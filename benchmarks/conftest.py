@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Each experiment benchmark runs its full sweep exactly once inside
+``benchmark.pedantic`` (the sweeps are the measurement; re-running them
+dozens of times would only slow the suite), asserts every paper-shape
+check, and attaches the headline findings to the benchmark's ``extra_info``
+so they appear in ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, experiment, scale):
+    """Run one experiment under pytest-benchmark and assert its checks."""
+    report = benchmark.pedantic(experiment, args=(scale,), rounds=1, iterations=1)
+    for key, value in report.findings:
+        benchmark.extra_info[key] = str(value)[:120]
+    report.raise_if_failed()
+    return report

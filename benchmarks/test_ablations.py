@@ -1,0 +1,158 @@
+"""Ablation benchmarks: remove one design ingredient at a time.
+
+Each of the paper's protocols is an earlier protocol plus one idea; these
+benches toggle exactly that idea and measure what it buys:
+
+* **C's k choice** — sweep the class width k; the paper's
+  ``k = N/2^⌈log log N⌉`` must sit on the message/time Pareto knee between
+  the pure-sequential (k=1 ≈ LMW86) and pure-doubling (k=N ≈ B) extremes.
+* **A′'s awaken spreading** — A with and without the two wake-up nudges
+  under the chain schedule (the only difference between A and A′).
+* **ℰ's flow control** — AG85 with and without the one-in-flight rule on
+  the staged hotspot (the only difference between AG85 and ℰ).
+* **𝒢's ordering phases** — ℱ with and without the two permission phases
+  under the chain schedule (the only difference between ℱ and 𝒢).
+* **FT's window headroom** — the redundancy window at f+1 vs f+log N vs
+  f+N/4: more parallelism buys time, costs messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary import wakeup
+from repro.adversary.congestion import hotspot_scenario
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_a import ProtocolA, ProtocolAPrime
+from repro.protocols.sense.protocol_c import ProtocolC, protocol_c_k
+from repro.sim.network import Network, run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+def test_ablation_c_class_width(benchmark):
+    """The paper's k balances C between its two parent protocols."""
+    n = 256
+
+    def sweep():
+        rows = {}
+        k = 1
+        while k <= n:
+            result = run_election(
+                ProtocolC(k=k), complete_with_sense_of_direction(n)
+            )
+            rows[k] = (result.messages_total, result.election_time)
+            k *= 4
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    paper_k = protocol_c_k(n)
+    paper = run_election(
+        ProtocolC(), complete_with_sense_of_direction(n)
+    )
+    benchmark.extra_info["paper_k"] = paper_k
+    benchmark.extra_info["sweep"] = {k: rows[k] for k in rows}
+    best_msgs = min(msgs for msgs, _ in rows.values())
+    best_time = min(t for _, t in rows.values())
+    # The paper's k is within 2x of the best of the whole family on BOTH
+    # axes simultaneously — neither extreme achieves that.
+    assert paper.messages_total <= 2 * best_msgs
+    assert paper.election_time <= 2 * best_time
+    k_min, k_max = min(rows), max(rows)
+    sequential_msgs, sequential_time = rows[k_min]
+    doubling_msgs, doubling_time = rows[k_max]
+    assert doubling_msgs > 2 * paper.messages_total  # pure doubling overpays
+    assert sequential_time > 2 * paper.election_time  # pure sequential is slow
+
+
+def test_ablation_a_prime_awaken_spreading(benchmark):
+    """The two awaken nudges are all that separates A from A′."""
+    n = 256
+
+    def duel():
+        plain = run_election(
+            ProtocolA(), complete_with_sense_of_direction(n),
+            wakeup=wakeup.staggered_chain(),
+        )
+        spread = run_election(
+            ProtocolAPrime(), complete_with_sense_of_direction(n),
+            wakeup=wakeup.staggered_chain(),
+        )
+        return plain, spread
+
+    plain, spread = benchmark.pedantic(duel, rounds=1, iterations=1)
+    benchmark.extra_info["time_without"] = plain.election_time
+    benchmark.extra_info["time_with"] = spread.election_time
+    assert plain.election_time >= 0.7 * n  # Θ(N) chain
+    assert spread.election_time <= 8 * math.sqrt(n)  # O(√N)
+    # the nudges cost at most 2N extra messages
+    assert spread.messages_total - plain.messages_total <= 2 * n + 8
+
+
+def test_ablation_e_flow_control(benchmark):
+    """The one-in-flight forward rule is all that separates ℰ from AG85."""
+    n = 128
+
+    def duel():
+        topo, wake, delays = hotspot_scenario(n)
+        without = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+        topo, wake, delays = hotspot_scenario(n)
+        with_fc = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        return without, with_fc
+
+    without, with_fc = benchmark.pedantic(duel, rounds=1, iterations=1)
+    benchmark.extra_info["time_without"] = without.election_time
+    benchmark.extra_info["time_with"] = with_fc.election_time
+    assert without.election_time / with_fc.election_time >= 5.0
+
+
+def test_ablation_g_ordering_phases(benchmark):
+    """The two permission phases are all that separates 𝒢 from ℱ."""
+    n, k = 128, 8
+
+    def duel():
+        without = run_election(
+            ProtocolF(k=k), complete_without_sense(n, seed=7),
+            wakeup=wakeup.staggered_chain(), seed=7,
+        )
+        with_phases = run_election(
+            ProtocolG(k=k), complete_without_sense(n, seed=7),
+            wakeup=wakeup.staggered_chain(), seed=7,
+        )
+        return without, with_phases
+
+    without, with_phases = benchmark.pedantic(duel, rounds=1, iterations=1)
+    benchmark.extra_info["time_without"] = without.election_time
+    benchmark.extra_info["time_with"] = with_phases.election_time
+    assert with_phases.election_time < without.election_time
+
+
+def test_ablation_ft_window_headroom(benchmark):
+    """More window parallelism buys time; f+1 is the progress minimum."""
+    import random
+
+    n, f = 96, 20
+    rng = random.Random(5)
+    failed = frozenset(rng.sample(range(n), f))
+
+    def sweep():
+        out = {}
+        for parallelism in (1, math.ceil(math.log2(n)), n // 4):
+            result = run_election(
+                FaultTolerantElection(max_failures=f, parallelism=parallelism),
+                complete_without_sense(n, seed=5),
+                failed_positions=failed,
+                seed=5,
+            )
+            out[parallelism] = (result.messages_total, result.election_time)
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = rows
+    times = [t for _, t in rows.values()]
+    assert times[-1] <= times[0]  # widest window is fastest (or equal)

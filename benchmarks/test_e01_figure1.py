@@ -1,0 +1,14 @@
+"""Benchmark E01: Figure 1 — the 6-node sense-of-direction network, validated at scale.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e1_figure1
+
+from conftest import run_experiment
+
+
+def test_e01_figure1(benchmark):
+    run_experiment(benchmark, e1_figure1, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E02: E2 — message complexity with sense of direction (LMW86/A/A'/C are O(N); B is O(N log N)).
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e2_messages_sense
+
+from conftest import run_experiment
+
+
+def test_e02_messages_sense(benchmark):
+    run_experiment(benchmark, e2_messages_sense, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E03: E3 — time under the chain wake-up (A Θ(N), A' O(√N), C O(log N)).
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e3_time_sense
+
+from conftest import run_experiment
+
+
+def test_e03_time_sense(benchmark):
+    run_experiment(benchmark, e3_time_sense, QUICK)

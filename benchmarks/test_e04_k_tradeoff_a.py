@@ -1,0 +1,14 @@
+"""Benchmark E04: E4 — Protocol A/A' trade-off over k (messages N+N²/k², time k+N/k).
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e4_k_tradeoff_a
+
+from conftest import run_experiment
+
+
+def test_e04_k_tradeoff_a(benchmark):
+    run_experiment(benchmark, e4_k_tradeoff_a, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E05: E5 — protocols D and ℰ, plus the forwarding-congestion duel vs AG85.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e5_d_and_e
+
+from conftest import run_experiment
+
+
+def test_e05_d_and_e(benchmark):
+    run_experiment(benchmark, e5_d_and_e, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E06: E6 — the ℱ/𝒢 family: O(Nk) messages vs O(N/k) time; 𝒢 survives the chain.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e6_fg_tradeoff
+
+from conftest import run_experiment
+
+
+def test_e06_fg_tradeoff(benchmark):
+    run_experiment(benchmark, e6_fg_tradeoff, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E07: E7 — Theorem 5.1 executed: time ≥ N/16d; Ω(N/log N) for message-optimal.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e7_lower_bound
+
+from conftest import run_experiment
+
+
+def test_e07_lower_bound(benchmark):
+    run_experiment(benchmark, e7_lower_bound, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E08: E8 — initial site failures: O(Nf + N log N) messages, live leader.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e8_fault_tolerance
+
+from conftest import run_experiment
+
+
+def test_e08_fault_tolerance(benchmark):
+    run_experiment(benchmark, e8_fault_tolerance, QUICK)

@@ -1,0 +1,14 @@
+"""Benchmark E09: E9 — time as a function of the number of base nodes r.
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e9_base_nodes
+
+from conftest import run_experiment
+
+
+def test_e09_base_nodes(benchmark):
+    run_experiment(benchmark, e9_base_nodes, QUICK)

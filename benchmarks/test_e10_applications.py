@@ -1,0 +1,14 @@
+"""Benchmark E10: E10 — spanning tree / global function / broadcast ≡ election + O(N).
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e10_applications
+
+from conftest import run_experiment
+
+
+def test_e10_applications(benchmark):
+    run_experiment(benchmark, e10_applications, QUICK)

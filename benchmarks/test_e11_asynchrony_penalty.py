@@ -1,0 +1,15 @@
+"""Benchmark E11: the asynchrony penalty (sync O(log N) rounds vs
+async Ω(N/log N) time — the paper's N/(log N)² speed loss).
+
+Regenerates the corresponding row of DESIGN.md §6 and asserts every
+paper-shape check.  Run ``python -m repro.harness.report`` for the
+full-scale sweep behind EXPERIMENTS.md.
+"""
+
+from repro.harness.experiments import QUICK, e11_asynchrony_penalty
+
+from conftest import run_experiment
+
+
+def test_e11_asynchrony_penalty(benchmark):
+    run_experiment(benchmark, e11_asynchrony_penalty, QUICK)

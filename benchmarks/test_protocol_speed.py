@@ -1,0 +1,49 @@
+"""Micro-benchmarks: wall-clock cost of simulating one election.
+
+These time the *simulator* (events/second), not the protocols' virtual-time
+complexity — that is what experiments E2–E9 measure.  Useful to catch
+kernel performance regressions; a 128-node Protocol C election should stay
+comfortably in the low milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+N = 128
+
+
+@pytest.mark.parametrize(
+    "name,factory,sense",
+    [
+        ("A", ProtocolA, True),
+        ("C", ProtocolC, True),
+        ("E", ProtocolE, False),
+        ("G", ProtocolG, False),
+    ],
+)
+def test_election_simulation_speed(benchmark, name, factory, sense):
+    def run():
+        if sense:
+            topology = complete_with_sense_of_direction(N)
+        else:
+            topology = complete_without_sense(N, seed=1)
+        return run_election(factory(), topology)
+
+    result = benchmark(run)
+    benchmark.extra_info["messages"] = result.messages_total
+    result.verify()
+
+
+def test_topology_construction_speed(benchmark):
+    benchmark(complete_without_sense, 256, seed=3)

@@ -1,0 +1,62 @@
+"""Scaling benchmarks: the headline protocols at N in the thousands.
+
+The asymptotic claims are most convincing where the constants have stopped
+mattering; these benches push protocol C and 𝒢 to N = 2048 and assert the
+per-node message budget is still flat — i.e. the O(N) message claim holds
+two orders of magnitude above the unit-test sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+def test_protocol_c_at_2048(benchmark):
+    n = 2048
+
+    def run():
+        return run_election(ProtocolC(), complete_with_sense_of_direction(n))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["messages"] = result.messages_total
+    benchmark.extra_info["virtual_time"] = result.election_time
+    assert result.messages_per_node <= 10  # O(N) messages, flat per node
+    assert result.election_time <= 8 * math.log2(n)  # O(log N) time
+
+
+def test_protocol_g_at_1024(benchmark):
+    n, k = 1024, 10
+
+    def run():
+        return run_election(
+            ProtocolG(k=k), complete_without_sense(n, seed=5), seed=5
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["messages"] = result.messages_total
+    benchmark.extra_info["virtual_time"] = result.election_time
+    assert result.messages_total <= 8 * n * k  # O(Nk)
+    assert result.election_time <= 12 * n / k  # O(N/k)
+
+
+def test_protocol_r_lone_base_at_1024(benchmark):
+    n = 1024
+
+    def run():
+        return run_election(
+            ProtocolR(), complete_without_sense(n, seed=5),
+            wakeup={0: 0.0}, seed=5,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["virtual_time"] = result.election_time
+    assert result.election_time <= 6 * math.log2(n)  # the r=1 log bound

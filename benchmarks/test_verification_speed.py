@@ -1,0 +1,31 @@
+"""Benchmark: exhaustive-exploration throughput.
+
+Tracks the explorer's states/second (clone + fingerprint dominate) so a
+kernel or protocol state-size regression shows up as a throughput drop.
+"""
+
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification import explore_protocol
+
+
+def test_explore_protocol_c_n4(benchmark):
+    report = benchmark.pedantic(
+        lambda: explore_protocol(ProtocolC(), complete_with_sense_of_direction(4)),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["states"] = report.states_explored
+    assert report.complete
+
+
+def test_explore_protocol_e_n3(benchmark):
+    report = benchmark.pedantic(
+        lambda: explore_protocol(ProtocolE(), complete_without_sense(3, seed=0)),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["states"] = report.states_explored
+    assert report.complete

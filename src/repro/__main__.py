@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list
+    python -m repro run --protocol C --n 64 [--no-sense] [--seed 7]
+    python -m repro replay --protocol A --n 8 [--messages]
+    python -m repro scenario --protocol G --name chain --n 64
+    python -m repro report [--quick] [--output EXPERIMENTS.md]
+
+Kept deliberately thin: each subcommand is a few lines over the public API,
+so it doubles as living documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+    protocol_class,
+    registered_protocols,
+    run_election,
+)
+from repro.analysis.tables import render_table
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name, cls in sorted(registered_protocols().items()):
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        needs = "yes" if cls.needs_sense_of_direction else "no"
+        rows.append((name, needs, doc))
+    print(render_table(("protocol", "sense of direction", "summary"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cls = protocol_class(args.protocol)
+    if cls.needs_sense_of_direction or not args.no_sense:
+        topology = complete_with_sense_of_direction(args.n)
+    else:
+        topology = complete_without_sense(args.n, seed=args.seed)
+    result = run_election(cls(), topology, seed=args.seed)
+    print(result.summary())
+    rows = sorted(result.messages_by_type.items())
+    print(render_table(("message type", "count"), rows))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analysis.replay import render_replay
+    from repro.sim.network import Network
+
+    cls = protocol_class(args.protocol)
+    if cls.needs_sense_of_direction or not args.no_sense:
+        topology = complete_with_sense_of_direction(args.n)
+    else:
+        topology = complete_without_sense(args.n, seed=args.seed)
+    network = Network(cls(), topology, seed=args.seed, trace=True)
+    result = network.run()
+    print(render_replay(result, include_messages=args.messages))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.harness.scenarios import SCENARIOS, run_scenario
+
+    if args.name not in SCENARIOS:
+        print(f"unknown scenario {args.name!r}; available:")
+        for scenario in SCENARIOS.values():
+            print(f"  {scenario.name:18s} {scenario.description}")
+        return 2
+    cls = protocol_class(args.protocol)
+    result = run_scenario(cls(), args.name, args.n, seed=args.seed)
+    print(f"scenario {args.name!r}: {SCENARIOS[args.name].description}")
+    print(result.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered protocols")
+
+    run_parser = sub.add_parser("run", help="run one election")
+    run_parser.add_argument("--protocol", default="C")
+    run_parser.add_argument("--n", type=int, default=64)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--no-sense", action="store_true",
+        help="run on an unlabeled network (protocols that allow it)",
+    )
+
+    replay_parser = sub.add_parser(
+        "replay", help="run a traced election and narrate it"
+    )
+    replay_parser.add_argument("--protocol", default="A")
+    replay_parser.add_argument("--n", type=int, default=8)
+    replay_parser.add_argument("--seed", type=int, default=0)
+    replay_parser.add_argument("--no-sense", action="store_true")
+    replay_parser.add_argument(
+        "--messages", action="store_true", help="list every send/deliver"
+    )
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="run a protocol inside a named adversarial scenario"
+    )
+    scenario_parser.add_argument("--protocol", default="G")
+    scenario_parser.add_argument("--name", default="chain")
+    scenario_parser.add_argument("--n", type=int, default=64)
+    scenario_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (see repro.harness.report)"
+    )
+    report_parser.add_argument("--quick", action="store_true")
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "report":
+        from repro.harness.report import main as report_main
+
+        forwarded = ["--output", args.output]
+        if args.quick:
+            forwarded.append("--quick")
+        return report_main(forwarded)
+    parser.error(f"unknown command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Adversarial strategies: wake-ups, delays, wirings, the Section 5 harness."""

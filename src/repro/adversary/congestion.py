@@ -1,0 +1,82 @@
+"""The Section 4 forwarding-congestion scenario (AG85 vs ℰ).
+
+The paper motivates ℰ with this execution: a captured node ``j`` receives
+capture claims from candidates ``i₁ … i_m`` and forwards each to its owner
+over one link; with inter-message delay up to a unit on that link, only the
+last forwarded claim defeats the owner and the capture of ``j`` takes Θ(N)
+time.  ℰ keeps at most one forwarded claim in flight and answers the rest
+from the buffer, restoring O(1) time per capture.
+
+:func:`hotspot_scenario` stages exactly that execution:
+
+* node 0 (**victim**) is passive and is everyone's first port;
+* node N-2 (**blocker**) wakes first, captures the victim, and is then
+  stalled by design (its second claim goes to the eventual winner over a
+  deliberately slow link, and loses) — but its ``(1, N-2)`` pair still
+  defeats every level-0 challenge forwarded to it;
+* nodes 1..N-3 (**crowd**) wake together and all claim the victim, creating
+  the forwarded burst on the victim→blocker link;
+* node N-1 (**winner**) visits the victim *last*, so its decisive claim
+  queues behind the burst under AG85 but jumps the buffer under ℰ.
+
+All links carry small latency and full unit inter-message spacing
+(:func:`~repro.adversary.delays.congested_links` semantics).  Under AG85
+the election takes Θ(N) time; under ℰ it takes O(1) beyond the winner's
+own O(N) sequential march — benchmark E5b measures the gap.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.sim.delays import DelayModel, HookDelay
+from repro.sim.network import WakeupSchedule
+from repro.topology.complete import CompleteTopology
+
+
+def hotspot_scenario(
+    n: int, *, latency: float = 0.05
+) -> tuple[CompleteTopology, WakeupSchedule, DelayModel]:
+    """Build (topology, wakeup, delays) for the forwarding-congestion duel.
+
+    Run the same triple under ``AfekGafni()`` and ``ProtocolE()`` and
+    compare election times.
+    """
+    if n < 6:
+        raise ConfigurationError(f"hotspot scenario needs N >= 6, got {n}")
+    victim, blocker, winner = 0, n - 2, n - 1
+    crowd = [p for p in range(1, n - 2)]
+
+    port_maps: list[list[int]] = [[] for _ in range(n)]
+    port_maps[victim] = [p for p in range(n) if p != victim]
+    # The blocker claims the victim first, then runs into the winner.
+    port_maps[blocker] = [victim, winner] + crowd
+    # The winner sweeps the crowd and the blocker, reaching the victim last.
+    port_maps[winner] = crowd + [blocker, victim]
+    for member in crowd:
+        rest = [p for p in range(n) if p not in (member, victim)]
+        port_maps[member] = [victim] + rest
+
+    topology = CompleteTopology(
+        n, list(range(n)), port_maps, sense_of_direction=False
+    )
+
+    # The blocker gets a head start to own the victim; the winner starts
+    # next so its level outgrows the blocker's stalled pair; the crowd then
+    # floods the victim.
+    wakeup = {blocker: 0.0, winner: 0.1}
+    for member in crowd:
+        wakeup[member] = 0.2
+
+    def link_latency(sender: int, receiver: int, message, send_time) -> float:
+        # The blocker→winner link crawls, so the blocker's second claim
+        # arrives after the winner has leveled up and is refused: the
+        # blocker stalls at pair (1, N-2), strong enough to beat the crowd.
+        if sender == blocker and receiver == winner:
+            return 1.0
+        return latency
+
+    delays = HookDelay(
+        link_latency,
+        gap_fn=lambda sender, receiver, message, send_time: 1.0,
+    )
+    return topology, wakeup, delays

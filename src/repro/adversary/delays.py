@@ -1,0 +1,62 @@
+"""Adversarial delay strategies.
+
+The asynchronous adversary of the paper's proofs controls two dials within
+the Section 2 model: per-message latency (≤ 1) and inter-message spacing on
+a link (≤ 1).  This module packages the schedules the paper's arguments
+use:
+
+* :func:`worst_case_unit` — every message takes the full unit; the schedule
+  the time-complexity definition quantifies over.
+* :func:`congested_links` — tiny latency but full unit spacing per link.
+  This is the Section 4 pathology that motivates ℰ: under AG85, a popular
+  captured node forwards a burst of claims to its owner over one link, and
+  unit spacing serialises the burst into Θ(burst) time.  ℰ's one-in-flight
+  rule is immune.
+* :func:`band_freeze` — a qualitative rendition of the Section 5
+  ``h(ex, B)`` transformation: messages touching the middle half of the
+  identity space crawl at the full unit while the rest of the network runs
+  at ``epsilon``, so symmetry among the middle bands is broken only by
+  information that pays the stretched delays.
+"""
+
+from __future__ import annotations
+
+from repro.sim.delays import ConstantDelay, DelayModel, HookDelay
+
+
+def worst_case_unit() -> DelayModel:
+    """Unit latency on every message (the time-complexity schedule)."""
+    return ConstantDelay(1.0)
+
+
+def congested_links(latency: float = 0.05) -> DelayModel:
+    """Fast links with full unit inter-message spacing.
+
+    Bursts of messages on a single link serialise at one per time unit —
+    exactly the behaviour that makes an AG85 capture take Θ(N) time and
+    that ℰ's flow control avoids (see Protocol ℰ's module docstring).
+    """
+    return HookDelay(
+        lambda sender, receiver, message, send_time: latency,
+        gap_fn=lambda sender, receiver, message, send_time: 1.0,
+    )
+
+
+def band_freeze(n: int, epsilon: float = 0.1) -> DelayModel:
+    """Slow every message touching the middle half of the identity space.
+
+    Nodes with identities in ``[N/4, 3N/4)`` are the order-symmetric middle
+    bands of the Section 5 construction; messages to or from them take the
+    full unit while the rest of the network runs at ``epsilon``.  Identity
+    comparisons are the only symmetry-breaker a comparison-based protocol
+    has, and the asymmetric information (from the extreme identities) now
+    pays stretched delays to reach the middle.
+    """
+    low, high = n // 4, 3 * n // 4
+
+    def latency(sender: int, receiver: int, message, send_time: float) -> float:
+        if low <= sender < high or low <= receiver < high:
+            return 1.0
+        return epsilon
+
+    return HookDelay(latency)

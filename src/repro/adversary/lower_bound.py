@@ -1,0 +1,85 @@
+"""Executable form of the Section 5 lower bound.
+
+**Theorem 5.1.** Any comparison-based leader-election protocol on an
+asynchronous complete network that sends fewer than ``Nd`` messages needs
+at least ``N/16d`` time.  **Corollary:** message-optimal protocols
+(O(N log N) messages) need Ω(N/log N) time.
+
+A lower bound is a statement about *all* protocols, so it cannot be "run";
+what can be run is the adversary it constructs, against each protocol we
+have:
+
+* **Port selection.**  Fresh edges resolve Up-first
+  (:class:`~repro.topology.ports.UpDownPorts`): as long as a node stays in
+  an order-symmetric state it talks only to its k identity-neighbours, so
+  information that breaks symmetry must travel through the identity chain.
+* **Delay scheduling.**  Unit latency everywhere
+  (:func:`~repro.adversary.delays.worst_case_unit`), with
+  :func:`~repro.adversary.delays.band_freeze` available as the qualitative
+  rendition of the band-stretching ``h(ex, B)`` transformation.
+* **Simultaneous wake-up** (condition (1) of the execution family ``Ex``).
+
+:func:`adversarial_run` assembles that environment for one protocol;
+:func:`theorem_bound` computes ``N/16d`` from a measured message count, so
+benchmarks can check ``measured_time ≥ theorem_bound`` and watch both grow
+together — the *shape* claim of the theorem.  The tradeoff version (sweep
+``k`` in ℱ/𝒢 and verify ``time × messages/N = Ω(N)``) lives in experiment
+E7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.protocol import ElectionProtocol
+from repro.core.results import ElectionResult
+from repro.sim.delays import DelayModel
+from repro.sim.network import Network
+from repro.topology.complete import complete_without_sense
+from repro.topology.ports import UpDownPorts
+from repro.adversary.delays import worst_case_unit
+
+
+def theorem_bound(n: int, messages: int) -> float:
+    """The Theorem 5.1 floor ``N / 16d`` for a run that sent ``messages``.
+
+    ``d`` is the per-node message budget the theorem parameterises on; a
+    run that sent ``M`` messages fits ``d = M/N``, giving ``N² / 16M``.
+    """
+    if messages <= 0:
+        return math.inf
+    return n * n / (16 * messages)
+
+
+def corollary_bound(n: int) -> float:
+    """The corollary floor Ω(N/log N) for message-optimal protocols."""
+    return n / (16 * max(1.0, math.log2(n)))
+
+
+def adversarial_run(
+    protocol: ElectionProtocol,
+    n: int,
+    *,
+    locality: int | None = None,
+    delays: DelayModel | None = None,
+    seed: int = 0,
+) -> ElectionResult:
+    """Run ``protocol`` against the Section 5 adversary.
+
+    ``locality`` is the adversary's band width ``k`` (default ``⌈log₂ N⌉``,
+    matching the message-optimal regime ``d = log N`` the corollary talks
+    about).  Returns the finished :class:`ElectionResult`; compare its
+    ``election_time`` against :func:`theorem_bound` of its
+    ``messages_total``.
+    """
+    k = locality if locality is not None else max(1, math.ceil(math.log2(n)))
+    topology = complete_without_sense(
+        n, port_strategy=UpDownPorts(k), seed=seed
+    )
+    network = Network(
+        protocol,
+        topology,
+        delays=delays if delays is not None else worst_case_unit(),
+        seed=seed,
+    )
+    return network.run()

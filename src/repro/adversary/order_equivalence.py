@@ -1,0 +1,138 @@
+"""Order-equivalence of executions (Section 5's comparison-based premise).
+
+Theorem 5.1 applies to *comparison-based* protocols: ones whose behaviour
+depends on identities only through their relative order.  Formally, two
+executions are order-equivalent when an order-preserving identity map
+carries one's event structure onto the other's; a comparison-based protocol
+cannot distinguish them.
+
+This module makes that premise executable: :func:`check_comparison_based`
+runs the same protocol on the same wired network under two order-isomorphic
+identity assignments and verifies that the two traces are identical up to
+the identity map.  Every protocol in this library passes (they compare
+identities, never do arithmetic on them), which is what entitles them to
+the lower bound's conclusions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import ElectionProtocol
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.network import Network
+from repro.sim.tracing import TraceEvent
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.topology.ports import IdOrderedPorts
+
+
+def order_isomorphic(ids_a: Sequence[int], ids_b: Sequence[int]) -> bool:
+    """True when the two assignments have identical rank structure."""
+    if len(ids_a) != len(ids_b):
+        return False
+    rank_a = {identity: rank for rank, identity in enumerate(sorted(ids_a))}
+    rank_b = {identity: rank for rank, identity in enumerate(sorted(ids_b))}
+    return all(rank_a[a] == rank_b[b] for a, b in zip(ids_a, ids_b))
+
+
+def canonical_trace(
+    events: Sequence[TraceEvent], ids: Sequence[int]
+) -> list[tuple[float, str, int, tuple[tuple[str, Any], ...]]]:
+    """Rewrite a trace with every identity replaced by its rank.
+
+    Two executions are order-equivalent exactly when their canonical traces
+    are equal.
+    """
+    rank = {identity: index for index, identity in enumerate(sorted(ids))}
+
+    def canon_value(key: str, value: Any) -> Any:
+        if key in ("to", "cand", "owner", "sender") and isinstance(value, int):
+            return rank.get(value, value)
+        return value
+
+    out = []
+    for event in events:
+        detail = tuple(
+            (key, canon_value(key, value)) for key, value in event.detail
+        )
+        out.append((event.time, event.kind, rank[event.node], detail))
+    return out
+
+
+def run_traced(
+    protocol: ElectionProtocol,
+    n: int,
+    ids: Sequence[int],
+    *,
+    sense_of_direction: bool = False,
+    delays: DelayModel | None = None,
+    seed: int = 0,
+):
+    """Run one traced election.
+
+    Without sense of direction the hidden wiring is derived from identity
+    ranks (so order-isomorphic assignments get identical wiring); with it,
+    ports are the chord labels and wiring is rank-independent by
+    construction.
+    """
+    if sense_of_direction:
+        topology = complete_with_sense_of_direction(n, ids=list(ids))
+    else:
+        topology = complete_without_sense(
+            n, ids=list(ids), port_strategy=IdOrderedPorts(), seed=seed
+        )
+    network = Network(
+        protocol,
+        topology,
+        delays=delays if delays is not None else ConstantDelay(1.0),
+        seed=seed,
+        trace=True,
+    )
+    return network.run()
+
+
+def check_comparison_based(
+    protocol_factory,
+    ids_a: Sequence[int],
+    ids_b: Sequence[int],
+    *,
+    sense_of_direction: bool = False,
+    seed: int = 0,
+) -> None:
+    """Assert a protocol cannot distinguish order-isomorphic assignments.
+
+    Runs the protocol twice — same positions, same (rank-derived) wiring,
+    same delays — under the two assignments and compares canonical traces.
+    Raises :class:`AssertionError` with the first divergence on failure.
+    """
+    if not order_isomorphic(ids_a, ids_b):
+        raise ConfigurationError(
+            "identity assignments are not order-isomorphic; the comparison "
+            "tells you nothing"
+        )
+    n = len(ids_a)
+    result_a = run_traced(
+        protocol_factory(), n, ids_a, sense_of_direction=sense_of_direction,
+        seed=seed,
+    )
+    result_b = run_traced(
+        protocol_factory(), n, ids_b, sense_of_direction=sense_of_direction,
+        seed=seed,
+    )
+    trace_a = canonical_trace(result_a.trace.events, ids_a)
+    trace_b = canonical_trace(result_b.trace.events, ids_b)
+    if trace_a != trace_b:
+        for index, (a, b) in enumerate(zip(trace_a, trace_b)):
+            if a != b:
+                raise AssertionError(
+                    f"executions diverge at trace index {index}: {a} != {b}"
+                )
+        raise AssertionError(
+            f"executions have different lengths: "
+            f"{len(trace_a)} vs {len(trace_b)}"
+        )

@@ -1,0 +1,114 @@
+"""Band symmetry under the Section 5 adversary (Lemmas 5.1 / 5.2).
+
+The lower-bound proof's engine is a *symmetry* invariant: under the
+execution family ``Ex`` — simultaneous wake-up, uniform delays, Up-first
+port selection — nodes in the middle identity bands remain in
+order-equivalent states until information from the asymmetric extremes
+(the wrap-around of the identity circle) physically reaches them, which
+takes time proportional to their band distance from the extremes.  A
+comparison-based protocol cannot break the symmetry any faster, so it
+cannot elect quickly without spending messages.
+
+This module makes that invariant measurable.  Under ``Ex`` the whole
+environment is **translation-invariant** in identity space except at the
+wrap: node ``i+d``'s k-neighbourhood looks exactly like node ``i``'s
+shifted by ``d``, with all identity *comparisons* equal.  Hence two
+middle-band nodes' local histories must be identical once every partner
+identity is rewritten as a centered cyclic offset from the observing node.
+:func:`history_signature` computes that canonical local history from a
+trace; :func:`symmetric_prefix_time` reports how long a pair of nodes
+stayed indistinguishable; :func:`check_band_symmetry` asserts the lemma's
+shape: middle-band nodes stay symmetric for a time that grows with their
+distance from the extremes.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.results import ElectionResult
+
+#: Trace-detail keys that carry a partner identity (rewritten to offsets).
+_PARTNER_KEYS = ("to", "sender", "cand", "owner")
+
+
+def _centered_offset(partner: int, observer: int, n: int) -> int:
+    """Cyclic identity offset in ``(-n/2, n/2]`` — the translation-free
+    coordinate of a partner as seen from ``observer``."""
+    delta = (partner - observer) % n
+    return delta if delta <= n // 2 else delta - n
+
+
+def history_signature(
+    result: ElectionResult, node_id: int, *, until: float | None = None
+) -> list[tuple]:
+    """The canonical local history of one node.
+
+    Every event at ``node_id`` up to ``until``, with partner identities
+    replaced by centered offsets.  Two nodes in order-equivalent states
+    have equal signatures under the translation-invariant environment.
+    """
+    if not result.trace.enabled:
+        raise ConfigurationError("history signatures need a traced run")
+    n = result.n
+    out: list[tuple] = []
+    for event in result.trace.events:
+        if event.node != node_id:
+            continue
+        if until is not None and event.time > until:
+            break
+        detail = tuple(
+            (
+                key,
+                _centered_offset(value, node_id, n)
+                if key in _PARTNER_KEYS and isinstance(value, int)
+                else value,
+            )
+            for key, value in event.detail
+        )
+        out.append((event.time, event.kind, detail))
+    return out
+
+
+def symmetric_prefix_time(
+    result: ElectionResult, node_a: int, node_b: int
+) -> float:
+    """How long two nodes' canonical histories stayed identical.
+
+    Returns the time of the first divergent event (``inf`` when the whole
+    histories match).
+    """
+    history_a = history_signature(result, node_a)
+    history_b = history_signature(result, node_b)
+    for entry_a, entry_b in zip(history_a, history_b):
+        if entry_a != entry_b:
+            return min(entry_a[0], entry_b[0])
+    if len(history_a) != len(history_b):
+        shorter = history_a if len(history_a) < len(history_b) else history_b
+        longer = history_b if shorter is history_a else history_a
+        return longer[len(shorter)][0]
+    return float("inf")
+
+
+def check_band_symmetry(
+    result: ElectionResult, *, band_width: int
+) -> dict[str, float]:
+    """Measure the Lemma 5.1/5.2 shape on one adversarial run.
+
+    With identities ``0..N-1`` on an Up-wired network, compares the
+    canonical histories of identity-adjacent pairs at three depths into
+    the middle region and returns how long each pair stayed symmetric.
+    The lemma predicts the symmetric prefix grows with the distance from
+    the extremes (the wrap at 0/N-1), because asymmetric information needs
+    that many unit-delay band-hops to arrive.
+    """
+    n = result.n
+    quarter, middle = n // 4, n // 2
+    pairs = {
+        "near_extreme": (band_width + 1, band_width + 2),
+        "quarter_deep": (quarter, quarter + 1),
+        "center": (middle, middle + 1),
+    }
+    return {
+        name: symmetric_prefix_time(result, a, b)
+        for name, (a, b) in pairs.items()
+    }

@@ -1,0 +1,102 @@
+"""Wake-up patterns.
+
+The paper's time bounds are sensitive to *when* base nodes wake: Protocol A
+is O(k) when wake-ups are clustered but Θ(N) under the staggered chain of
+Section 3, and Protocol ℱ's O(N/k) bound (Lemma 4.1) holds only when all
+nodes wake within O(N/k) of each other — which is exactly why Protocol 𝒢
+adds its two ordering phases.  Each pattern here is a factory the
+:class:`~repro.sim.network.Network` calls with the topology and its RNG; it
+returns ``{position: wake_time}`` for the base nodes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ConfigurationError
+from repro.topology.complete import CompleteTopology
+
+
+def simultaneous(time: float = 0.0):
+    """Every node wakes spontaneously at ``time`` (all nodes are base)."""
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        return {position: time for position in range(topology.n)}
+
+    return schedule
+
+
+def single_base(position: int = 0, time: float = 0.0):
+    """Exactly one base node; everyone else wakes by message only."""
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        if not 0 <= position < topology.n:
+            raise ConfigurationError(f"base position {position} out of range")
+        return {position: time}
+
+    return schedule
+
+
+def random_subset(count: int, *, window: float = 0.0, seed_offset: int = 0):
+    """``count`` base nodes chosen uniformly, waking within ``window``.
+
+    Used by experiment E9 (time as a function of the number of base nodes
+    ``r``).
+    """
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        if not 1 <= count <= topology.n:
+            raise ConfigurationError(
+                f"base-node count must be in 1..{topology.n}, got {count}"
+            )
+        local = random.Random(rng.getrandbits(48) + seed_offset)
+        positions = local.sample(range(topology.n), count)
+        return {
+            position: (local.uniform(0.0, window) if window else 0.0)
+            for position in positions
+        }
+
+    return schedule
+
+
+def staggered_chain(*, epsilon: float = 0.25, count: int | None = None):
+    """The Section 3 worst case for Protocol A.
+
+    Node at cycle position ``p`` wakes at ``p * (1 - epsilon)`` — "just
+    before the message from i reaches it" — so each capture attempt meets a
+    same-level, higher-identity opponent and dies, and only the last node
+    survives, after Θ(N) time.  ``count`` limits how many nodes take part
+    (default: all).
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        limit = topology.n if count is None else min(count, topology.n)
+        spacing = 1.0 - epsilon
+        return {position: position * spacing for position in range(limit)}
+
+    return schedule
+
+
+def staggered_uniform(count: int, *, spread: float):
+    """``count`` base nodes (positions 0..count-1) spread evenly over
+    ``[0, spread]`` — the knob Lemma 4.1 ranges over."""
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        limit = min(count, topology.n)
+        if limit < 1:
+            raise ConfigurationError("need at least one base node")
+        step = spread / max(1, limit - 1) if limit > 1 else 0.0
+        return {position: position * step for position in range(limit)}
+
+    return schedule
+
+
+def explicit(schedule_by_position: dict[int, float]):
+    """Use a hand-written ``{position: time}`` schedule verbatim."""
+
+    def schedule(topology: CompleteTopology, rng: random.Random):
+        return dict(schedule_by_position)
+
+    return schedule

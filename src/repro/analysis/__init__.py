@@ -1,0 +1,1 @@
+"""Empirical analysis: complexity fits, stats, tables, invariants, replay."""

@@ -1,0 +1,95 @@
+"""Terminal sparkline charts for sweep results.
+
+EXPERIMENTS.md and the examples stay plain-text; a sparkline row per series
+is often all that is needed to *see* O(N) vs O(N log N) vs O(N²) at a
+glance.  Pure Python, Unicode block glyphs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    log_scale: bool = False,
+    bounds: tuple[float, float] | None = None,
+) -> str:
+    """One-line bar chart of ``values``.
+
+    ``log_scale=True`` plots the logarithm — the right view for data
+    spanning orders of magnitude (message counts across a doubling sweep).
+    ``bounds`` fixes the (low, high) range so several sparklines share one
+    scale and their heights are comparable (pass pre-logged bounds when
+    combining with ``log_scale``).
+    """
+    if not values:
+        raise ConfigurationError("cannot chart zero values")
+    if log_scale:
+        if any(v <= 0 for v in values):
+            raise ConfigurationError("log-scale charts need positive values")
+        values = [math.log(v) for v in values]
+    low, high = bounds if bounds is not None else (min(values), max(values))
+    if math.isclose(low, high):
+        return _BARS[0] * len(values)
+    span = high - low
+    return "".join(
+        _BARS[
+            max(
+                0,
+                min(len(_BARS) - 1, int((v - low) / span * len(_BARS))),
+            )
+        ]
+        for v in values
+    )
+
+
+def chart_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    log_scale: bool = True,
+    shared_scale: bool = True,
+) -> str:
+    """A labeled block of sparklines sharing one x-axis.
+
+    With ``shared_scale`` (default) every row uses the same y-range, so bar
+    heights compare *across* protocols — an O(N log N) series visibly
+    out-climbs an O(N) one.  Example output::
+
+        N:      16 .. 512
+        C       ▁▂▃▃▄▅   (98 .. 4226)
+        B       ▂▃▄▅▆█   (230 .. 19462)
+    """
+    width = max((len(name) for name in series), default=1)
+    lines = [f"{'N:'.ljust(width)}  {xs[0]} .. {xs[-1]}"]
+    bounds = None
+    if shared_scale:
+        flat = [v for values in series.values() for v in values]
+        if not flat:
+            raise ConfigurationError("cannot chart empty series")
+        if log_scale:
+            if any(v <= 0 for v in flat):
+                raise ConfigurationError(
+                    "log-scale charts need positive values"
+                )
+            bounds = (math.log(min(flat)), math.log(max(flat)))
+        else:
+            bounds = (min(flat), max(flat))
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for {len(xs)} xs"
+            )
+        line = sparkline(values, log_scale=log_scale, bounds=bounds)
+        lines.append(
+            f"{name.ljust(width)}  {line}   "
+            f"({values[0]:g} .. {values[-1]:g})"
+        )
+    return "\n".join(lines)

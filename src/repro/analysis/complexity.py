@@ -1,0 +1,85 @@
+"""Empirical complexity checks.
+
+The paper's claims are asymptotic; the benchmarks verify their *shape* on
+finite sweeps.  Three tools cover every experiment:
+
+* :func:`loglog_slope` — the growth exponent of a measured series (O(N)
+  messages show slope ≈ 1, O(N²) slope ≈ 2, O(log N) slope ≈ 0.x);
+* :func:`boundedness_ratio` — how flat ``measured / claimed_bound`` is
+  across the sweep (flat ⇒ the bound's shape holds with some constant);
+* :func:`crossover` — where one protocol overtakes another, for the
+  "who wins, and from which N on" claims.
+
+Pure Python on purpose: the core library has no hard dependencies, and the
+sweeps are small enough that ``math`` is all we need.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.core.errors import ConfigurationError
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    This is the empirical growth exponent: for ``y = c·x^a`` it returns
+    ``a`` exactly.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ConfigurationError("need at least two matching samples")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ConfigurationError("log-log fit needs positive samples")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ConfigurationError("all x values identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx
+
+
+def boundedness_ratio(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    bound: Callable[[float], float],
+) -> float:
+    """Spread of ``y / bound(x)`` across the sweep (max over min).
+
+    A value close to 1 means the measurement tracks the claimed bound up to
+    a constant; a value growing with the sweep means the bound's shape is
+    wrong.
+    """
+    ratios = [y / bound(x) for x, y in zip(xs, ys)]
+    low, high = min(ratios), max(ratios)
+    if low <= 0:
+        raise ConfigurationError("bound must be positive over the sweep")
+    return high / low
+
+
+def crossover(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float | None:
+    """Smallest x at which series A becomes ≤ series B (None if never)."""
+    for x, a, b in zip(xs, ys_a, ys_b):
+        if a <= b:
+            return x
+    return None
+
+
+def doubling_ratios(xs: Sequence[float], ys: Sequence[float]) -> list[float]:
+    """``y(2x)/y(x)`` along a doubling sweep.
+
+    Ratios near 2 mean linear growth, near 4 quadratic, near 1 logarithmic
+    — a scale-free way to read growth off a table.
+    """
+    out = []
+    for i in range(len(xs) - 1):
+        if xs[i + 1] != 2 * xs[i]:
+            raise ConfigurationError("doubling_ratios needs a doubling sweep")
+        out.append(ys[i + 1] / ys[i])
+    return out

@@ -1,0 +1,151 @@
+"""Trace-based invariant checkers.
+
+Post-hoc validation of model and protocol invariants over a traced run
+(``Network(..., trace=True)``).  The runtime already *enforces* the model;
+these checkers independently *audit* it from the observable event stream,
+which is how the property tests catch a kernel regression that the
+enforcement path itself might share.
+
+All checkers raise :class:`~repro.core.errors.ProtocolViolation` with the
+offending events on failure and return quietly on success.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.errors import ProtocolViolation
+from repro.core.results import ElectionResult
+
+
+def _require_trace(result: ElectionResult) -> None:
+    if not result.trace.enabled or not result.trace.events:
+        raise ProtocolViolation(
+            "invariant checks need a traced run: pass trace=True to Network"
+        )
+
+
+def assert_fifo_per_link(result: ElectionResult) -> None:
+    """Per directed link, messages are delivered in the order sent.
+
+    Matches the ``send`` stream (sender, to, type) against the ``deliver``
+    stream (receiver, sender, type): for every ordered pair of nodes the
+    two type sequences must be equal, with deliveries never outrunning
+    sends.
+    """
+    _require_trace(result)
+    sent: dict[tuple[int, int], list[str]] = defaultdict(list)
+    delivered: dict[tuple[int, int], list[str]] = defaultdict(list)
+    for event in result.trace.events:
+        if event.kind == "send":
+            sent[(event.node, event.get("to"))].append(event.get("message"))
+        elif event.kind == "deliver":
+            sender = event.get("sender")
+            delivered[(sender, event.node)].append(event.get("message"))
+    for link, delivered_types in delivered.items():
+        sent_types = sent.get(link, [])
+        if delivered_types != sent_types[: len(delivered_types)]:
+            raise ProtocolViolation(
+                f"FIFO violated on link {link}: sent {sent_types}, "
+                f"delivered {delivered_types}"
+            )
+
+
+def assert_no_losses(result: ElectionResult) -> None:
+    """Every sent message was delivered (to a live node) or addressed to a
+    failed or crashed one — links are reliable."""
+    _require_trace(result)
+    dead_ids = {
+        result.node_snapshots[p]["id"]
+        for p in (*result.failed_positions, *result.crashed_positions)
+    }
+    sends = sum(
+        1
+        for e in result.trace.events
+        if e.kind == "send" and e.get("to") not in dead_ids
+    )
+    sends_to_crashed = sum(
+        1
+        for e in result.trace.events
+        if e.kind == "send" and e.get("to") in dead_ids
+    )
+    delivers = sum(1 for e in result.trace.events if e.kind == "deliver")
+    # Messages to a mid-run-crashed node may have been delivered before the
+    # crash, so the exact count is bracketed rather than pinned.
+    if not sends <= delivers <= sends + sends_to_crashed:
+        raise ProtocolViolation(
+            f"message loss: {sends} sends to live nodes, up to "
+            f"{sends_to_crashed} more to crashed ones, but {delivers} "
+            "deliveries"
+        )
+
+
+def assert_levels_monotone(result: ElectionResult) -> None:
+    """A candidate's level (or lattice level) never decreases."""
+    _require_trace(result)
+    last: dict[int, int] = {}
+    for event in result.trace.events:
+        if event.kind in ("level", "lattice_level"):
+            level = event.get("level")
+            if level < last.get(event.node, -1):
+                raise ProtocolViolation(
+                    f"node {event.node} level went backwards: "
+                    f"{last[event.node]} -> {level} at t={event.time}"
+                )
+            last[event.node] = level
+
+
+def assert_captured_at_most_once(result: ElectionResult) -> None:
+    """Protocol A/C phase 1: each node surrenders to a contest at most once.
+
+    (The message-complexity argument of Section 3 rests on this.)
+    """
+    _require_trace(result)
+    captures: dict[int, int] = defaultdict(int)
+    for event in result.trace.events:
+        if event.kind == "captured_by":
+            captures[event.node] += 1
+    repeat = {node: c for node, c in captures.items() if c > 1}
+    if repeat:
+        raise ProtocolViolation(
+            f"nodes contest-captured more than once: {repeat}"
+        )
+
+
+def assert_single_declaration(result: ElectionResult) -> None:
+    """Exactly one ``leader`` trace event in the whole execution."""
+    _require_trace(result)
+    leaders = [e.node for e in result.trace.of_kind("leader")]
+    if len(leaders) != 1:
+        raise ProtocolViolation(f"leader declarations: {leaders}")
+
+
+def assert_wakeups_before_activity(result: ElectionResult) -> None:
+    """No node sends before its wake event."""
+    _require_trace(result)
+    awake: set[int] = set()
+    for event in result.trace.events:
+        if event.kind == "wake":
+            awake.add(event.node)
+        elif event.kind == "send" and event.node not in awake:
+            raise ProtocolViolation(
+                f"node {event.node} sent {event.get('message')} at "
+                f"t={event.time} before waking"
+            )
+
+
+#: The full audit battery, in dependency-free order.
+ALL_INVARIANTS = (
+    assert_fifo_per_link,
+    assert_no_losses,
+    assert_levels_monotone,
+    assert_captured_at_most_once,
+    assert_single_declaration,
+    assert_wakeups_before_activity,
+)
+
+
+def audit(result: ElectionResult) -> None:
+    """Run every invariant checker against a traced result."""
+    for checker in ALL_INVARIANTS:
+        checker(result)

@@ -1,0 +1,93 @@
+"""Human-readable execution replay.
+
+Turns a traced run into the narrative a distributed-systems person would
+sketch on a whiteboard: who woke when, who captured whom, where challenges
+were forwarded, and the moment of victory.  Invaluable when a property test
+shrinks a counterexample down to six nodes and you need to *see* it.
+
+Usage::
+
+    network = Network(ProtocolA(), topology, trace=True)
+    result = network.run()
+    print(render_replay(result))
+"""
+
+from __future__ import annotations
+
+from repro.core.results import ElectionResult
+
+#: Events worth narrating, with terse templates.  Anything else (raw
+#: send/deliver noise) is summarised per time step instead.
+_NARRATED = {
+    "wake": "node {node} wakes {detail}",
+    "level": "node {node} reaches level {detail}",
+    "lattice_level": "node {node} captures its class up to {detail}",
+    "captured_by": "node {node} is captured by {detail}",
+    "stalled": "node {node} is killed",
+    "phase2": "node {node} enters its second phase",
+    "first_phase": "node {node} starts asking permission",
+    "second_phase": "node {node} got permission {detail}",
+    "killed_by_finish": "node {node} woke too late (finish)",
+    "conquest": "node {node} starts its conquest {detail}",
+    "flood": "node {node} floods its election {detail}",
+    "sweep_step": "node {node} completes doubling step {detail}",
+    "step": "node {node} completes step {detail}",
+    "tree_complete": "node {node} finished the spanning tree {detail}",
+    "global_result": "node {node} folded the global result {detail}",
+    "leader": "*** node {node} declares itself LEADER ***",
+}
+
+
+def _describe_detail(event) -> str:
+    parts = [f"{key}={value}" for key, value in event.detail]
+    return f"({', '.join(parts)})" if parts else ""
+
+
+def render_replay(
+    result: ElectionResult, *, include_messages: bool = False
+) -> str:
+    """Render a traced run as a time-ordered narrative.
+
+    With ``include_messages=True`` every send/deliver is listed too;
+    otherwise message traffic is summarised as a per-instant count.
+    """
+    events = result.trace.events
+    if not events:
+        return "(no trace recorded — run with trace=True)"
+    lines = [
+        f"replay of {result.protocol} on N={result.n} "
+        f"(leader={result.leader_id}, {result.messages_total} messages)",
+    ]
+    pending_traffic = 0
+    last_time: float | None = None
+
+    def flush_traffic() -> None:
+        nonlocal pending_traffic
+        if pending_traffic and not include_messages:
+            lines.append(f"         ... {pending_traffic} messages in flight")
+        pending_traffic = 0
+
+    for event in events:
+        if event.time != last_time:
+            flush_traffic()
+            last_time = event.time
+        if event.kind in ("send", "deliver"):
+            if include_messages:
+                direction = "->" if event.kind == "send" else "<-"
+                peer = event.get("to", event.get("sender"))
+                lines.append(
+                    f"t={event.time:8.2f}  {event.node} {direction} {peer}: "
+                    f"{event.get('message')}"
+                )
+            elif event.kind == "send":
+                pending_traffic += 1
+            continue
+        template = _NARRATED.get(event.kind)
+        if template is None:
+            continue
+        lines.append(
+            f"t={event.time:8.2f}  "
+            + template.format(node=event.node, detail=_describe_detail(event))
+        )
+    flush_traffic()
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Small-sample summary statistics for repeated runs.
+
+Experiments repeat each configuration over several seeds (different hidden
+wirings, delay draws and wake subsets); these helpers condense the repeats
+into the mean ± spread the tables report.  Pure Python, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number condensation of one measured quantity."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        if self.count == 1:
+            return f"{self.mean:.1f}"
+        return f"{self.mean:.1f}±{self.std:.1f}"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Mean, sample standard deviation and range of ``samples``."""
+    if not samples:
+        raise ConfigurationError("cannot summarize zero samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return Summary(n, mean, std, min(samples), max(samples))
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios and speed-ups)."""
+    if not samples:
+        raise ConfigurationError("cannot average zero samples")
+    if any(s <= 0 for s in samples):
+        raise ConfigurationError("geometric mean needs positive samples")
+    return math.exp(sum(math.log(s) for s in samples) / len(samples))

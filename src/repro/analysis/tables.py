@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment produces one or more tables in the style of the paper's
+complexity summary; this renderer keeps them aligned, diff-friendly and
+embeddable in EXPERIMENTS.md (GitHub renders the pipe form).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured pipe table with aligned columns."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells), 3)
+        if cells
+        else max(len(str(headers[i])), 3)
+        for i in range(len(headers))
+    ]
+
+    def line(parts: Sequence[str]) -> str:
+        return "| " + " | ".join(p.ljust(w) for p, w in zip(parts, widths)) + " |"
+
+    out = [line([str(h) for h in headers])]
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_kv(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """A titled key/value block for headline findings."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title, "-" * len(title)]
+    lines.extend(f"{k.ljust(width)} : {_format_cell(v)}" for k, v in pairs)
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Applications built on election (the Section 1 equivalences)."""

@@ -1,0 +1,90 @@
+"""Reliable single-source broadcast via leader election.
+
+The simplest of the Section 1 equivalences: electing a leader and having it
+distribute a value is how a complete network agrees on anything (epoch
+numbers, configuration, the leader's own identity).  Overhead: 2(N-1)
+messages and 2 time units on top of the election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol
+from repro.apps.wrapper import AppNode, AppProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class Payload(Message):
+    """The value the leader distributes."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class PayloadAck(Message):
+    """Delivery confirmation."""
+
+
+class BroadcastNode(AppNode):
+    """Election plus a broadcast-with-acks epilogue."""
+
+    APP_MESSAGES = (Payload, PayloadAck)
+
+    def __init__(self, ctx: NodeContext, election, payload_fn) -> None:
+        super().__init__(ctx, election)
+        self.payload_fn = payload_fn
+        self.received: int | None = None
+        self.delivered_to = 0
+        self.broadcast_complete = False
+        self._acks_outstanding = 0
+
+    def on_leader_elected(self) -> None:
+        value = int(self.payload_fn(self.ctx.node_id))
+        self.received = value
+        self._acks_outstanding = self.ctx.num_ports
+        if self._acks_outstanding == 0:
+            self.broadcast_complete = True
+            return
+        for port in range(self.ctx.num_ports):
+            self.ctx.send(port, Payload(value))
+
+    def on_app_message(self, port: int, message: Message) -> None:
+        match message:
+            case Payload():
+                self.received = message.value
+                self.ctx.send(port, PayloadAck())
+            case PayloadAck():
+                self.delivered_to += 1
+                self._acks_outstanding -= 1
+                if self._acks_outstanding == 0:
+                    self.broadcast_complete = True
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            received=self.received,
+            broadcast_complete=self.broadcast_complete,
+        )
+        return base
+
+
+class Broadcast(AppProtocol):
+    """Leader-sourced broadcast on top of any election protocol."""
+
+    name = "Broadcast"
+
+    def __init__(
+        self,
+        election: ElectionProtocol,
+        *,
+        payload_fn: Callable[[int], int] = lambda leader_id: leader_id,
+    ) -> None:
+        super().__init__(election)
+        self.payload_fn = payload_fn
+
+    def create_node(self, ctx: NodeContext) -> BroadcastNode:
+        return BroadcastNode(ctx, self.election, self.payload_fn)

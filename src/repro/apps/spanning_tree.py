@@ -1,0 +1,76 @@
+"""Spanning-tree construction via leader election.
+
+In a complete network a breadth-first tree rooted at the leader is a star,
+so once a leader exists the tree costs one broadcast round: the leader
+invites every neighbour, each non-leader adopts the inviting port as its
+parent and acknowledges, and the leader records its children.  Total
+overhead: 2(N-1) messages and 2 time units on top of the election —
+establishing the Section 1 equivalence empirically (experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.messages import Message
+from repro.apps.wrapper import AppNode, AppProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class TreeInvite(Message):
+    """The leader's adoption offer, carrying its identity."""
+
+    leader_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TreeAck(Message):
+    """A node confirming it joined the tree."""
+
+
+class SpanningTreeNode(AppNode):
+    """Election plus star-tree construction."""
+
+    APP_MESSAGES = (TreeInvite, TreeAck)
+
+    def __init__(self, ctx, election) -> None:
+        super().__init__(ctx, election)
+        self.parent_port: int | None = None
+        self.children = 0
+        self.tree_complete = False
+        self._acks_outstanding = 0
+
+    def on_leader_elected(self) -> None:
+        self._acks_outstanding = self.ctx.num_ports
+        for port in range(self.ctx.num_ports):
+            self.ctx.send(port, TreeInvite(self.ctx.node_id))
+
+    def on_app_message(self, port: int, message: Message) -> None:
+        match message:
+            case TreeInvite():
+                self.parent_port = port
+                self.leader_id = message.leader_id
+                self.ctx.send(port, TreeAck())
+            case TreeAck():
+                self.children += 1
+                self._acks_outstanding -= 1
+                if self._acks_outstanding == 0:
+                    self.tree_complete = True
+                    self.ctx.trace("tree_complete", children=self.children)
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            parent_port=self.parent_port,
+            children=self.children,
+            tree_complete=self.tree_complete,
+        )
+        return base
+
+
+class SpanningTree(AppProtocol):
+    """Spanning tree on top of any election protocol."""
+
+    name = "SpanningTree"
+    node_class = SpanningTreeNode

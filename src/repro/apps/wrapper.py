@@ -1,0 +1,122 @@
+"""Composing applications on top of any election protocol.
+
+Section 1: "There are many problems such as spanning tree construction,
+computing a global function, etc. which are equivalent to leader election
+in terms of message and time complexities."  The apps in this package make
+that claim concrete: each wraps an arbitrary
+:class:`~repro.core.protocol.ElectionProtocol`, lets it elect a leader, and
+then runs a constant number of extra rounds costing O(N) messages — so the
+app inherits the election's asymptotic message and time complexity.
+
+The composition pattern: an :class:`AppNode` owns the election protocol's
+node, hands it a wrapped context whose ``declare_leader`` is intercepted,
+and dispatches messages by type — the app's own message classes to the app
+handler, everything else to the inner election node.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+
+
+class _InterceptedContext(NodeContext):
+    """Pass-through context that reports leadership to the app first."""
+
+    def __init__(self, real: NodeContext, app: "AppNode") -> None:
+        self._real = real
+        self._app = app
+        self.node_id = real.node_id
+        self.n = real.n
+        self.num_ports = real.num_ports
+        self.has_sense_of_direction = real.has_sense_of_direction
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self._real.send(port, message)
+
+    def port_label(self, port: int) -> int | None:  # noqa: D102
+        return self._real.port_label(port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._real.port_with_label(distance)
+
+    def now(self) -> float:  # noqa: D102
+        return self._real.now()
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self._app._inner_declared_leader()
+        self._real.declare_leader()
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        self._real.trace(kind, **detail)
+
+
+class AppNode(Node):
+    """A node running an election protocol plus an app epilogue.
+
+    Subclasses define :attr:`APP_MESSAGES` (the message classes they own),
+    :meth:`on_leader_elected` (the leader's first app action) and
+    :meth:`on_app_message`.
+    """
+
+    APP_MESSAGES: tuple[type[Message], ...] = ()
+
+    def __init__(self, ctx: NodeContext, election: ElectionProtocol) -> None:
+        super().__init__(ctx)
+        self.inner = election.create_node(_InterceptedContext(ctx, self))
+        self.leader_id: int | None = None
+
+    def on_wake(self, spontaneous: bool) -> None:
+        self.inner.wake(spontaneous)
+
+    def on_message(self, port: int, message: Message) -> None:
+        if isinstance(message, self.APP_MESSAGES):
+            self.on_app_message(port, message)
+        else:
+            self.inner.receive(port, message)
+
+    def _inner_declared_leader(self) -> None:
+        self.is_leader = True
+        self.leader_id = self.ctx.node_id
+        self.on_leader_elected()
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def on_leader_elected(self) -> None:
+        """The election just finished and this node won; start the app."""
+        raise NotImplementedError
+
+    def on_app_message(self, port: int, message: Message) -> None:
+        """Handle one of this app's own messages."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, Any]:
+        base = self.inner.snapshot()
+        base.update(
+            awake=self.awake,
+            is_base=self.is_base,
+            is_leader=self.is_leader,
+            leader_id=self.leader_id,
+        )
+        return base
+
+
+class AppProtocol(ElectionProtocol):
+    """Base for app protocol factories wrapping an election protocol."""
+
+    node_class: type[AppNode]
+
+    def __init__(self, election: ElectionProtocol) -> None:
+        self.election = election
+
+    def validate(self, topology) -> None:  # noqa: D102
+        self.election.validate(topology)
+
+    def create_node(self, ctx: NodeContext) -> AppNode:
+        return self.node_class(ctx, self.election)
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.election.describe()}]"

@@ -1,0 +1,1 @@
+"""Core abstractions: nodes, messages, protocols, strengths, results."""

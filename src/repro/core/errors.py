@@ -1,0 +1,49 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still distinguishing categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or simulation was configured with invalid parameters.
+
+    Examples: a protocol that requires ``N = 2**r`` handed a non-power-of-two
+    network, a capture quota ``k`` outside the range the paper allows, or a
+    failure count ``f >= N/2``.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the kernel or a protocol implementation,
+    never bad user input.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """A protocol broke one of its own declared invariants.
+
+    Raised, for instance, when two distinct nodes declare themselves leader
+    (safety), or when a captured set stops being a contiguous prefix in
+    Protocol A.
+    """
+
+
+class LivelockError(SimulationError):
+    """The event budget was exhausted before the network went quiescent.
+
+    The bounded-execution guard exists so a buggy protocol cannot spin the
+    simulator forever; hitting it in a test means the protocol livelocked.
+    """
+
+
+class MessageSizeError(ProtocolViolation):
+    """A message exceeded the O(log N) bit budget of the paper's model."""

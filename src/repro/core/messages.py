@@ -1,0 +1,109 @@
+"""Typed protocol messages and the O(log N)-bit size model.
+
+The paper's model (Section 2) allows each message to carry ``O(log N)`` bits.
+Every protocol message in this library is a frozen dataclass deriving from
+:class:`Message`.  The simulator audits each message against the bit budget
+via :func:`message_bits`: a message is charged ``ceil(log2(n)) + 1`` bits per
+integer field (identities, levels, steps are all at most polynomial in ``N``,
+so a constant number of machine words of ``O(log N)`` bits suffices), plus a
+constant tag for the message type.
+
+Messages are *values*: they are immutable and compared structurally, which
+keeps the simulator deterministic and makes traces easy to assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import MessageSizeError
+
+#: Bits charged for the message-type tag.  There are far fewer than 2**8
+#: message types in any one protocol.
+TYPE_TAG_BITS = 8
+
+#: How many integer fields a single message may carry and still count as
+#: O(log N) bits.  The richest message in the library (a forwarded challenge)
+#: carries a strength pair plus a hop counter: four integers.  Anything wider
+#: is almost certainly a modelling mistake.
+MAX_INT_FIELDS = 6
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for all protocol messages.
+
+    Subclasses add frozen fields.  Field values must be ``int``, ``bool``,
+    ``None`` or (rarely) a short tuple of ints; anything else breaks the
+    O(log N)-bit accounting and raises :class:`MessageSizeError` when sent.
+    """
+
+    @property
+    def type_name(self) -> str:
+        """Short name used in traces and per-type message tallies."""
+        return type(self).__name__
+
+
+def _field_bits(value: object, n: int) -> int:
+    """Bits needed to encode one field value in a network of ``n`` nodes."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        # Identities, distances, levels and steps are all < n**2 in every
+        # protocol here, so one O(log n) word each.
+        return max(1, math.ceil(math.log2(max(2, n)))) + 1
+    if isinstance(value, tuple):
+        return sum(_field_bits(item, n) for item in value)
+    raise MessageSizeError(
+        f"message field of type {type(value).__name__} is not encodable "
+        "in the O(log N)-bit message model"
+    )
+
+
+def message_bits(message: Message, n: int) -> int:
+    """Return the number of bits ``message`` occupies in an ``n``-node net.
+
+    Raises :class:`MessageSizeError` if the message carries a field that the
+    O(log N) model cannot encode, or more integer fields than
+    :data:`MAX_INT_FIELDS`.
+    """
+    fields = dataclasses.fields(message)
+    int_fields = 0
+    total = TYPE_TAG_BITS
+    for field in fields:
+        value = getattr(message, field.name)
+        total += _field_bits(value, n)
+        if isinstance(value, int) and not isinstance(value, bool):
+            int_fields += 1
+        elif isinstance(value, tuple):
+            int_fields += len(value)
+    if int_fields > MAX_INT_FIELDS:
+        raise MessageSizeError(
+            f"{message.type_name} carries {int_fields} integer fields; "
+            f"the O(log N) model allows at most {MAX_INT_FIELDS}"
+        )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Messages shared by several protocols.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Wakeup(Message):
+    """Explicit wake-up nudge (Protocol A' sends these to i[1] and i[k])."""
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderAnnouncement(Message):
+    """Optional post-election broadcast so every node learns the leader.
+
+    The paper's protocols end when one node *declares itself* leader; the
+    announcement round is the standard O(N)-message epilogue used by the
+    applications in :mod:`repro.apps`.
+    """
+
+    leader_id: int

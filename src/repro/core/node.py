@@ -1,0 +1,120 @@
+"""The node framework protocols are written against.
+
+A protocol implements a :class:`Node` subclass with two entry points:
+
+* :meth:`Node.on_wake` — called exactly once, when the node first wakes.
+  ``spontaneous=True`` means the node is a *base node* (it woke by itself
+  and may start the protocol); ``spontaneous=False`` means it was woken by
+  an arriving message and, per the paper, "is not allowed to become a base
+  node".
+* :meth:`Node.on_message` — called for each delivered message with the
+  local port it arrived on.
+
+Nodes interact with the world only through their :class:`NodeContext` — a
+capability handle the runtime injects.  Nodes never see positions, other
+nodes' objects, or the clock beyond ``now()``; with sense of direction they
+additionally see port labels.  This keeps protocol code honest about the
+information model the paper assumes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.core.messages import Message
+
+
+class NodeContext(ABC):
+    """Runtime capabilities granted to one node."""
+
+    node_id: int
+    n: int
+    num_ports: int
+    has_sense_of_direction: bool
+
+    @abstractmethod
+    def send(self, port: int, message: Message) -> None:
+        """Transmit ``message`` over ``port`` (FIFO, reliable, async)."""
+
+    @abstractmethod
+    def port_label(self, port: int) -> int | None:
+        """Distance label of ``port`` (None without sense of direction)."""
+
+    @abstractmethod
+    def port_with_label(self, distance: int) -> int:
+        """Port labeled ``distance`` (sense-of-direction networks only)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current virtual time (protocols use it only for traces)."""
+
+    @abstractmethod
+    def declare_leader(self) -> None:
+        """Announce that this node elected itself leader."""
+
+    @abstractmethod
+    def trace(self, kind: str, **detail: Any) -> None:
+        """Record a trace event attributed to this node."""
+
+
+class Node(ABC):
+    """Base class for one protocol instance at one node.
+
+    The runtime drives nodes through :meth:`wake` and :meth:`receive`;
+    subclasses implement :meth:`on_wake` / :meth:`on_message`.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+        self.awake = False
+        self.is_base = False
+        self.is_leader = False
+
+    # -- runtime entry points (do not override) ----------------------------
+
+    def wake(self, spontaneous: bool) -> None:
+        """Idempotent wake-up; dispatches :meth:`on_wake` exactly once."""
+        if self.awake:
+            return
+        self.awake = True
+        self.is_base = spontaneous
+        self.ctx.trace("wake", spontaneous=spontaneous)
+        self.on_wake(spontaneous)
+
+    def receive(self, port: int, message: Message) -> None:
+        """Deliver one message, waking the node first if it was passive."""
+        if not self.awake:
+            self.wake(spontaneous=False)
+        self.on_message(port, message)
+
+    # -- protocol hooks ------------------------------------------------------
+
+    @abstractmethod
+    def on_wake(self, spontaneous: bool) -> None:
+        """React to waking up (start the protocol iff ``spontaneous``)."""
+
+    @abstractmethod
+    def on_message(self, port: int, message: Message) -> None:
+        """React to one delivered message."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def become_leader(self) -> None:
+        """Declare this node the leader (records it with the runtime)."""
+        self.is_leader = True
+        self.ctx.trace("leader")
+        self.ctx.declare_leader()
+
+    def snapshot(self) -> dict[str, Any]:
+        """A summary of final node state for results and assertions.
+
+        Subclasses extend the dict with protocol-specific fields (level,
+        owner, phase, ...).
+        """
+        return {
+            "id": self.ctx.node_id,
+            "awake": self.awake,
+            "is_base": self.is_base,
+            "is_leader": self.is_leader,
+        }

@@ -1,0 +1,72 @@
+"""Protocol plug-in interface and registry.
+
+An :class:`ElectionProtocol` is a *factory* for per-node state machines plus
+static metadata (name, whether sense of direction is required, parameter
+validation).  The registry lets the harness and examples refer to protocols
+by name (``"A"``, ``"C"``, ``"G"``, ...), which keeps experiment definitions
+declarative.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import Node, NodeContext
+from repro.topology.complete import CompleteTopology
+
+
+class ElectionProtocol(ABC):
+    """Factory and metadata for one leader-election protocol."""
+
+    #: Human-readable protocol name (the paper's letter where applicable).
+    name: ClassVar[str] = "?"
+    #: Whether the protocol reads port labels (sense of direction).
+    needs_sense_of_direction: ClassVar[bool] = False
+
+    def validate(self, topology: CompleteTopology) -> None:
+        """Reject topologies this protocol cannot run on.
+
+        Subclasses with parameter constraints (``k`` ranges, power-of-two
+        sizes) extend this; they must call ``super().validate(topology)``.
+        """
+        if self.needs_sense_of_direction and not topology.sense_of_direction:
+            raise ConfigurationError(
+                f"protocol {self.name} requires sense of direction"
+            )
+
+    @abstractmethod
+    def create_node(self, ctx: NodeContext) -> Node:
+        """Instantiate this protocol's state machine for one node."""
+
+    def describe(self) -> str:
+        """One-line description used in harness reports."""
+        return self.name
+
+
+_REGISTRY: dict[str, type[ElectionProtocol]] = {}
+
+
+def register(cls: type[ElectionProtocol]) -> type[ElectionProtocol]:
+    """Class decorator adding a protocol to the global registry."""
+    key = cls.name
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ConfigurationError(f"duplicate protocol name {key!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def protocol_class(name: str) -> type[ElectionProtocol]:
+    """Look up a registered protocol class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_protocols() -> dict[str, type[ElectionProtocol]]:
+    """A copy of the registry (name -> class)."""
+    return dict(_REGISTRY)

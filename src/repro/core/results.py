@@ -1,0 +1,90 @@
+"""Election run results.
+
+:class:`ElectionResult` is the immutable record a :class:`~repro.sim.network
+.Network` run returns: who won, when, and at what message/time cost.  The
+benchmark harness aggregates these across sweeps; the tests assert the
+paper's invariants on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ProtocolViolation
+from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """Outcome and cost of one election run."""
+
+    n: int
+    protocol: str
+    leader_id: int | None
+    leader_position: int | None
+    elected_at: float | None
+    #: elected_at minus the first wake-up — the paper's time measure.
+    election_time: float
+    #: longest causal message chain up to the leader's declaration.
+    election_depth: int | None
+    messages_total: int
+    bits_total: int
+    messages_by_type: dict[str, int]
+    max_depth: int
+    quiescent_at: float
+    first_wake_time: float | None
+    last_wake_time: float | None
+    base_positions: tuple[int, ...]
+    failed_positions: tuple[int, ...]
+    node_snapshots: tuple[dict[str, Any], ...]
+    trace: Tracer = field(repr=False, default_factory=Tracer)
+    #: nodes killed mid-run by the crash schedule (empty in paper-model
+    #: runs; see Network's crash_schedule docs — mid-run crashes are a
+    #: boundary demonstration, not a tolerated fault).
+    crashed_positions: tuple[int, ...] = ()
+    #: messages carried by the busiest directed link — the Section 4
+    #: congestion measure (Θ(N) for AG85 on a hotspot, O(1)-ish for ℰ).
+    max_channel_load: int = 0
+
+    @property
+    def num_base_nodes(self) -> int:
+        """How many nodes woke spontaneously (the paper's r)."""
+        return len(self.base_positions)
+
+    @property
+    def messages_per_node(self) -> float:
+        """Messages normalised by network size — flat iff O(N) total."""
+        return self.messages_total / self.n
+
+    def verify(self) -> None:
+        """Assert the three election correctness properties.
+
+        * **liveness** — a leader was elected;
+        * **safety** — exactly one node believes it is the leader;
+        * **validity** — the leader is a base node (woke spontaneously).
+
+        Raises :class:`ProtocolViolation` on any failure.
+        """
+        leaders = [s for s in self.node_snapshots if s["is_leader"]]
+        if not leaders:
+            raise ProtocolViolation(
+                f"{self.protocol}: no leader elected in an {self.n}-node run"
+            )
+        if len(leaders) > 1:
+            ids = sorted(s["id"] for s in leaders)
+            raise ProtocolViolation(
+                f"{self.protocol}: multiple leaders declared: {ids}"
+            )
+        if not leaders[0]["is_base"]:
+            raise ProtocolViolation(
+                f"{self.protocol}: leader {leaders[0]['id']} is not a base node"
+            )
+
+    def summary(self) -> str:
+        """Compact single-line report used by examples and the harness."""
+        return (
+            f"{self.protocol}: N={self.n} leader={self.leader_id} "
+            f"msgs={self.messages_total} time={self.election_time:.2f} "
+            f"depth={self.election_depth}"
+        )

@@ -1,0 +1,46 @@
+"""Lexicographic contest strengths.
+
+Every protocol in the paper resolves contests between candidates by comparing
+a *strength pair* lexicographically:
+
+* Protocols LMW86, A, C (phase 1), ``E``, ``F``, ``G`` compare
+  ``(level, id)`` where ``level`` is the number of nodes captured so far.
+* Protocols B and C (phase 2) compare ``(step, id)`` where ``step`` counts
+  completed doubling rounds.
+
+The pair ordering is total because identities are unique, which is what makes
+the kill-the-owner rule antisymmetric: of two candidates that contest each
+other, exactly one survives.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Strength(NamedTuple):
+    """A ``(rank, node_id)`` pair compared lexicographically.
+
+    ``rank`` is the protocol's progress measure (level or step).  Named-tuple
+    comparison gives exactly the lexicographic order the paper uses.
+    """
+
+    rank: int
+    node_id: int
+
+    def outranks(self, other: "Strength") -> bool:
+        """True when this strength strictly beats ``other``.
+
+        Identities are unique, so ties can only occur when comparing a
+        candidate against itself; the paper's rules never do that.
+        """
+        return self > other
+
+    def with_rank(self, rank: int) -> "Strength":
+        """Return a copy at a different rank (same identity)."""
+        return Strength(rank, self.node_id)
+
+
+#: The weakest possible strength; every real candidate beats it.  Used as the
+#: initial "strongest seen so far" at passive nodes.
+ZERO_STRENGTH = Strength(-1, -1)

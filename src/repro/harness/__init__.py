@@ -1,0 +1,1 @@
+"""Experiment harness: definitions E1-E11, scenarios, report generation."""

@@ -1,0 +1,129 @@
+"""Named execution environments.
+
+The paper's bounds quantify over wake-up patterns, hidden wirings and delay
+schedules; experiments keep reusing the same few combinations.  A
+:class:`Scenario` bundles one combination under a name so tests, examples
+and benchmarks can say ``run_scenario(ProtocolG(k=8), "chain", n=128)``
+instead of re-assembling the pieces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.adversary import wakeup
+from repro.adversary.delays import band_freeze, congested_links, worst_case_unit
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import ElectionProtocol
+from repro.core.results import ElectionResult
+from repro.sim.delays import UniformDelay
+from repro.sim.network import Network
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.topology.ports import UpDownPorts
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (topology, delays, wake-up) combination."""
+
+    name: str
+    description: str
+    build: Callable[[int, int, bool], tuple[Any, dict[str, Any]]]
+
+
+def _benign(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    return topo, {"delays": UniformDelay(0.05, 1.0)}
+
+
+def _worst_case(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    return topo, {"delays": worst_case_unit()}
+
+
+def _chain(n: int, seed: int, sense: bool):
+    topo, kwargs = _worst_case(n, seed, sense)
+    kwargs["wakeup"] = wakeup.staggered_chain()
+    return topo, kwargs
+
+
+def _adversarial_ports(n: int, seed: int, sense: bool):
+    if sense:
+        raise ConfigurationError(
+            "the port adversary only exists on unlabeled networks"
+        )
+    import math
+
+    k = max(1, math.ceil(math.log2(n)))
+    topo = complete_without_sense(n, port_strategy=UpDownPorts(k), seed=seed)
+    return topo, {"delays": worst_case_unit()}
+
+
+def _congested(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    return topo, {"delays": congested_links()}
+
+
+def _frozen_middle(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    return topo, {"delays": band_freeze(n)}
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario("benign", "uniform random delays, everyone wakes at 0", _benign),
+        Scenario("worst_case", "unit delays (the time-complexity schedule)",
+                 _worst_case),
+        Scenario("chain", "unit delays + the Section 3 staggered chain", _chain),
+        Scenario("adversarial_ports",
+                 "Section 5 Up-first wiring + unit delays", _adversarial_ports),
+        Scenario("congested",
+                 "fast links, full unit inter-message spacing", _congested),
+        Scenario("frozen_middle",
+                 "Section 5 band stretching: the middle identities crawl",
+                 _frozen_middle),
+    )
+}
+
+
+def run_scenario(
+    protocol: ElectionProtocol,
+    scenario: str,
+    n: int,
+    *,
+    seed: int = 0,
+    trace: bool = False,
+    **overrides: Any,
+) -> ElectionResult:
+    """Run one protocol inside one named scenario."""
+    try:
+        spec = SCENARIOS[scenario]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    topology, kwargs = spec.build(n, seed, protocol.needs_sense_of_direction)
+    kwargs.update(overrides)
+    return Network(protocol, topology, seed=seed, trace=trace, **kwargs).run()

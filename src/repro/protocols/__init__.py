@@ -1,0 +1,1 @@
+"""The paper's election protocols, their baselines, and shared machinery."""

@@ -1,0 +1,204 @@
+"""Kill-the-owner contest machinery shared by the capture protocols.
+
+The paper resolves ownership conflicts the same way in Protocol C's second
+phase, in ℰ/ℱ/𝒢 and (implicitly — see DESIGN.md §4) in A's second phase:
+when a claim reaches a node that is already owned, the node *forwards* the
+challenge to its current owner, the owner compares strengths, and the loser
+is killed; the verdict travels back and the node switches owners iff the
+challenger won.  Forwarded challenges can hop again when the recorded owner
+has itself been captured ("each message can be forwarded at most twice" in
+the paper's setting; hops strictly increase in strength so the chain always
+terminates).
+
+:class:`ContestNode` packages that state machine:
+
+* owner bookkeeping (``owner_port``/``owner_strength``),
+* tokenised pending-challenge tracking, so verdicts returning out of order
+  from *different* owners are matched to the right challenger, and
+* verdict relay for multi-hop chains.
+
+Protocol subclasses supply how a live candidate resolves a challenge
+(:meth:`resolve_challenge`) and what reply the original claimant receives
+(:meth:`make_reply`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.strength import Strength
+from repro.protocols.common import Role
+
+
+@dataclass(frozen=True, slots=True)
+class Challenge(Message):
+    """A claim forwarded to the current owner for adjudication.
+
+    ``hops`` counts forwarding steps — the paper argues it stays ≤ 2 in
+    Protocol C's structure ("each message can be forwarded at most twice");
+    the trace event ``challenge_hops`` lets tests verify that empirically.
+    """
+
+    rank: int
+    cand: int
+    token: int
+    hops: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ChallengeVerdict(Message):
+    """The owner's ruling on a forwarded :class:`Challenge`."""
+
+    token: int
+    won: bool
+
+
+@dataclass(frozen=True, slots=True)
+class _Pending:
+    """One outstanding forwarded challenge at this node."""
+
+    reply_port: int
+    kind: str  # protocol reply kind, or "relay" for mid-chain hops
+    strength: Strength
+    reply_token: int  # token to echo when kind == "relay"
+
+
+class ContestNode(Node):
+    """A node that can be owned, challenged, and switch owners."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.role = Role.PASSIVE
+        self.owner_port: int | None = None
+        self.owner_strength: Strength | None = None
+        self._pending: dict[int, _Pending] = {}
+        self._next_token = 0
+
+    # -- protocol hooks -------------------------------------------------------
+
+    def current_strength(self) -> Strength:
+        """This node's strength in contests (override in candidates)."""
+        raise NotImplementedError
+
+    def resolve_challenge(self, challenger: Strength) -> bool:
+        """Adjudicate a challenge against this (candidate) node.
+
+        Returns True when the challenger wins; a losing incumbent must
+        transition itself to :attr:`Role.STALLED` here.
+        """
+        if challenger.outranks(self.current_strength()):
+            if self.role is Role.CANDIDATE:
+                self.role = Role.STALLED
+                self.on_stalled()
+            return True
+        return False
+
+    def on_stalled(self) -> None:
+        """Hook: a candidate just lost a contest (default: nothing extra)."""
+
+    def make_reply(self, kind: str, won: bool) -> Message:
+        """Build the protocol-level reply for the original claimant."""
+        raise NotImplementedError(f"no reply defined for kind {kind!r}")
+
+    def on_owner_installed(self, port: int, strength: Strength) -> None:
+        """Hook: this node just switched to a new owner."""
+
+    # -- claims at owned nodes -------------------------------------------------
+
+    def install_owner(self, port: int, strength: Strength) -> None:
+        """Record ``strength`` (reachable via ``port``) as the new owner."""
+        self.owner_port = port
+        self.owner_strength = strength
+        if self.role is Role.PASSIVE:
+            self.role = Role.CAPTURED
+        self.on_owner_installed(port, strength)
+
+    def claim(self, port: int, strength: Strength, kind: str) -> None:
+        """Process an ownership claim arriving on ``port``.
+
+        If unowned, the claim succeeds immediately; otherwise it is
+        forwarded to the current owner and answered when the verdict
+        returns.  ``kind`` selects the reply message via :meth:`make_reply`.
+        """
+        if self.owner_strength is None:
+            self.install_owner(port, strength)
+            self.ctx.send(port, self.make_reply(kind, True))
+            return
+        self._forward(port, strength, kind, reply_token=-1)
+
+    def _forward(
+        self,
+        reply_port: int,
+        strength: Strength,
+        kind: str,
+        reply_token: int,
+        hops: int = 1,
+    ) -> None:
+        if self.owner_port is None:  # pragma: no cover - defensive
+            raise ProtocolViolation(
+                f"node {self.ctx.node_id} has owner strength but no owner port"
+            )
+        token = self._next_token
+        self._next_token += 1
+        self._pending[token] = _Pending(reply_port, kind, strength, reply_token)
+        self.ctx.trace("challenge_hops", hops=hops)
+        self.ctx.send(
+            self.owner_port,
+            Challenge(strength.rank, strength.node_id, token, hops),
+        )
+
+    # -- message handlers (call from on_message) --------------------------------
+
+    def handle_challenge(self, port: int, message: Challenge) -> None:
+        """A forwarded claim reached this node: adjudicate or relay."""
+        challenger = Strength(message.rank, message.cand)
+        if message.cand == self.ctx.node_id:
+            # An ownership chain led a claim back to its own issuer (the
+            # claimed node's stale owner was captured by the claimant).
+            # There is nobody left to defeat: the claim stands.
+            self.ctx.send(port, ChallengeVerdict(message.token, True))
+            return
+        if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            won = self.resolve_challenge(challenger)
+            self.ctx.send(port, ChallengeVerdict(message.token, won))
+            return
+        if self.owner_strength is not None:
+            # The recorded owner was itself captured; hop once more.
+            self._forward(
+                port, challenger, "relay",
+                reply_token=message.token, hops=message.hops + 1,
+            )
+            return
+        # Nothing here to defeat: the claim stands.
+        self.ctx.send(port, ChallengeVerdict(message.token, True))
+
+    def handle_verdict(self, port: int, message: ChallengeVerdict) -> None:
+        """A verdict returned for a challenge this node forwarded."""
+        entry = self._pending.pop(message.token, None)
+        if entry is None:  # pragma: no cover - defensive
+            raise ProtocolViolation(
+                f"node {self.ctx.node_id} got a verdict for unknown token "
+                f"{message.token}"
+            )
+        if entry.kind == "relay":
+            self.ctx.send(
+                entry.reply_port, ChallengeVerdict(entry.reply_token, message.won)
+            )
+            return
+        if message.won:
+            self.install_owner(entry.reply_port, entry.strength)
+        self.ctx.send(entry.reply_port, self.make_reply(entry.kind, message.won))
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            role=self.role.value,
+            owner_strength=self.owner_strength,
+        )
+        return base

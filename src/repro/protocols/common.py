@@ -1,0 +1,41 @@
+"""State shared by the capture-style protocols.
+
+Every protocol in the paper except D is a *capture* protocol: candidates
+absorb nodes one contest at a time, contests compare a lexicographic
+strength, and a candidate that loses a contest stops initiating.  This
+module holds the role vocabulary and the strength bookkeeping those
+protocols share; the per-protocol rules stay in their own modules because
+the paper's whole point is how the rules differ.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.strength import Strength
+
+
+class Role(enum.Enum):
+    """Lifecycle of a node in a capture protocol.
+
+    PASSIVE    never woke spontaneously; obeys whoever captures it.
+    CANDIDATE  a base node actively running the protocol.
+    STALLED    a candidate that lost a contest ("killed" in the paper) but
+               has not been absorbed: it still holds its level and keeps
+               winning or losing future contests with it.
+    CAPTURED   absorbed into a stronger candidate's set.
+    LEADER     declared itself elected.
+    """
+
+    PASSIVE = "passive"
+    CANDIDATE = "candidate"
+    STALLED = "stalled"
+    CAPTURED = "captured"
+    LEADER = "leader"
+
+
+#: Strength rank awarded to a declared leader so it wins every later
+#: contest.  Any candidate's level/step is at most n; n + 1 beats them all.
+def leader_strength(n: int, node_id: int) -> Strength:
+    """The unbeatable strength of a node that already declared leader."""
+    return Strength(n + 1, node_id)

@@ -1,0 +1,1 @@
+"""Protocols for complete networks *without* sense of direction (Section 4)."""

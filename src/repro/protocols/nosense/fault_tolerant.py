@@ -1,0 +1,182 @@
+"""Fault-tolerant election under initial site failures (Section 4).
+
+The paper closes Section 4 by noting that the BKWZ87 technique extends the
+protocol to tolerate ``f < N/2`` *initial site failures* — nodes dead from
+the start, which never respond — at a cost of O(Nf + N log N) messages and
+O(N/log N) time.
+
+BKWZ87 itself is a different paper; DESIGN.md §4 records the substitution
+we make.  The implementation here keeps the paper's two load-bearing ideas:
+
+* **Redundancy window.**  In an asynchronous system without timeouts a
+  candidate cannot distinguish a dead neighbour from a slow one, so
+  sequential capture could block forever on a corpse.  The candidate
+  instead keeps a window of ``f + ⌈log N⌉`` claims outstanding on fresh
+  ports; at most ``f`` of them can be black holes, so the window always
+  contains a live claim and progress per unit time matches the parallelism
+  — the source of the sub-linear time.  Each candidate addresses each port
+  at most once, so dead nodes cost at most ``f`` wasted claims per
+  candidate: the O(Nf) term.
+
+* **Majority termination.**  Waiting for *all* grants is impossible (dead
+  nodes never grant), so a candidate declares once it has captured
+  ``⌊N/2⌋`` others — its set, including itself, is then a strict majority.
+  Two majorities intersect at some node, and changing a node's owner
+  requires killing the previous owner, so two candidates can never both
+  complete: the second must first defeat the (by then unbeatable) first.
+  Liveness needs ``N - 1 - f ≥ ⌊N/2⌋`` live peers, i.e. ``f < N/2``.
+
+Capture, contest and kill-the-owner rules are exactly ℰ's (with flow
+control), so the message potential stays O(N log N) plus the dead-claim
+term.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_e import SeqCapture, SequentialCaptureNode
+from repro.topology.complete import CompleteTopology
+
+
+class FaultTolerantNode(SequentialCaptureNode):
+    """ℰ-style capture with a redundancy window and majority termination."""
+
+    flow_control = True
+
+    def __init__(
+        self, ctx: NodeContext, max_failures: int, parallelism: int | None = None
+    ) -> None:
+        super().__init__(ctx)
+        self.max_failures = max_failures
+        if parallelism is None:
+            parallelism = max(1, math.ceil(math.log2(ctx.n)))
+        self.window = min(ctx.num_ports, max_failures + max(1, parallelism))
+        self.majority = ctx.n // 2  # others to capture; with self that is > N/2
+        self._outstanding = 0
+        # port -> level the in-flight claim was sent at.
+        self._in_flight: dict[int, int] = {}
+        # Refused ports with the level their claim was *sent* at; a retry is
+        # worthwhile only once the level has grown past that mark (an
+        # identical retry would be refused verbatim).
+        self._retry_ports: list[tuple[int, int]] = []
+
+    def start_conquest(self) -> None:
+        self._refill_window()
+
+    def _pop_claimable_port(self) -> int | None:
+        """Next port worth claiming: an eligible retry, else a fresh port."""
+        for index, (port, sent_at) in enumerate(self._retry_ports):
+            if self.level > sent_at:
+                del self._retry_ports[index]
+                return port
+        if self._next_port < self.ctx.num_ports:
+            port = self._next_port
+            self._next_port += 1
+            return port
+        return None
+
+    def _refill_window(self) -> None:
+        while self.role is Role.CANDIDATE and self._outstanding < self.window:
+            port = self._pop_claimable_port()
+            if port is None:
+                break
+            self._outstanding += 1
+            self._in_flight[port] = self.level
+            self.ctx.send(port, SeqCapture(self.level, self.ctx.node_id))
+
+    def on_level_reached(self, level: int) -> None:
+        if level >= self.majority:
+            self.role = Role.LEADER
+            self.become_leader()
+            return
+        self._refill_window()
+
+    def _handle_accept(self, port: int) -> None:
+        self._outstanding -= 1
+        self._in_flight.pop(port, None)
+        super()._handle_accept(port)
+
+    def _handle_reject(self, port: int) -> None:
+        """A refused claim is retried later instead of killing the candidate.
+
+        With several claims in flight, a refusal may merely mean the claim's
+        ``(level, id)`` pair was stale by the time it arrived — unlike
+        sequential ℰ, where the pair is always current and a refusal is
+        fatal.  Defeats still happen through the owner-challenge path (a
+        lost challenge stalls the candidate as usual); that keeps the
+        "maximal candidate always progresses" liveness argument intact
+        under parallelism.
+
+        A refusal of a claim sent at the *current* level is a different
+        matter: the refuser demonstrably holds a pair beating this
+        candidate's live pair.  When the window has starved down to at most
+        ``f`` claims (all possibly dead), no fresh ports remain, and every
+        refused port's claim was sent at the current level, the candidate
+        is genuinely beaten everywhere it still needs to go and stalls.
+        The maximal pair in the network is never refused at its current
+        level, so this rule cannot kill the eventual winner.
+        """
+        sent_at = self._in_flight.pop(port, self.level)
+        self._outstanding -= 1
+        if self.role is not Role.CANDIDATE:
+            return
+        self._retry_ports.append((port, sent_at))
+        self._refill_window()
+        starved = (
+            self._outstanding <= self.max_failures
+            and self._next_port >= self.ctx.num_ports
+            and all(sent >= self.level for _, sent in self._retry_ports)
+        )
+        if starved:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(window=self.window)
+        return base
+
+
+@register
+class FaultTolerantElection(ElectionProtocol):
+    """Election tolerating up to f initial site failures, f < N/2."""
+
+    name = "FT"
+    needs_sense_of_direction = False
+
+    def __init__(
+        self, max_failures: int = 0, *, parallelism: int | None = None
+    ) -> None:
+        """``parallelism`` is the window headroom beyond ``f`` (default
+        ⌈log₂ N⌉ — the term that keeps time sub-linear; 1 is the minimum
+        that still guarantees progress, at Θ(N) time)."""
+        if max_failures < 0:
+            raise ConfigurationError(
+                f"max_failures must be non-negative, got {max_failures}"
+            )
+        if parallelism is not None and parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {parallelism}"
+            )
+        self.max_failures = max_failures
+        self.parallelism = parallelism
+
+    def validate(self, topology: CompleteTopology) -> None:
+        super().validate(topology)
+        if self.max_failures >= topology.n / 2:
+            raise ConfigurationError(
+                f"fault tolerance requires f < N/2; got f={self.max_failures}, "
+                f"N={topology.n}"
+            )
+
+    def create_node(self, ctx: NodeContext) -> FaultTolerantNode:
+        return FaultTolerantNode(ctx, self.max_failures, self.parallelism)
+
+    def describe(self) -> str:
+        return f"FT(f={self.max_failures})"

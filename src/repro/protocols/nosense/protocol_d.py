@@ -1,0 +1,101 @@
+"""Protocol D — parallel broadcast election (Section 4).
+
+Setting: asynchronous complete network *without* sense of direction.
+
+On waking spontaneously, a base node sends its identity in an ``elect``
+message on **all** incident edges.  A base node that receives an elect from
+a smaller identity simply does not grant it; every other node grants.  A
+node granted by all N-1 neighbours declares itself leader.
+
+Costs (paper): O(1) time — one round trip — but O(N²) messages, since up to
+N base nodes each broadcast N-1 messages.  D is the "all time, no message
+thrift" endpoint of the family; protocol ℱ uses it as the closing move once
+ℰ has whittled the candidates down to O(k).
+
+Deviation noted in DESIGN.md §4: where the paper's loser receives no
+response, we send an explicit rejection so the simulator can observe the
+kill and drain cleanly; the O(N²) bound is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.common import Role
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastElect(Message):
+    """A base node's identity, flooded on every incident edge."""
+
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastAccept(Message):
+    """The receiver grants the broadcaster."""
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastReject(Message):
+    """The receiver is a base node with a larger identity."""
+
+
+class ProtocolDNode(Node):
+    """One node running Protocol D."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.role = Role.PASSIVE
+        self._accepts_outstanding = 0
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self._accepts_outstanding = self.ctx.num_ports
+        for port in range(self.ctx.num_ports):
+            self.ctx.send(port, BroadcastElect(self.ctx.node_id))
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case BroadcastElect():
+                if self.role is Role.CANDIDATE and self.ctx.node_id > message.cand:
+                    self.ctx.send(port, BroadcastReject())
+                else:
+                    self.ctx.send(port, BroadcastAccept())
+            case BroadcastAccept():
+                if self.role is not Role.CANDIDATE:
+                    return
+                self._accepts_outstanding -= 1
+                if self._accepts_outstanding == 0:
+                    self.role = Role.LEADER
+                    self.become_leader()
+            case BroadcastReject():
+                if self.role is Role.CANDIDATE:
+                    self.role = Role.STALLED
+            case _:
+                raise ConfigurationError(
+                    f"protocol D cannot handle {message.type_name}"
+                )
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(role=self.role.value)
+        return base
+
+
+@register
+class ProtocolD(ElectionProtocol):
+    """Protocol D: O(1) time, O(N²) messages."""
+
+    name = "D"
+    needs_sense_of_direction = False
+
+    def create_node(self, ctx: NodeContext) -> ProtocolDNode:
+        return ProtocolDNode(ctx)

@@ -1,0 +1,253 @@
+"""Protocol ℰ and the AG85 baseline — sequential capture (Section 4).
+
+Setting: asynchronous complete network *without* sense of direction.
+
+**AG85** (Afek & Gafni's protocol A, as summarised in the paper): a base
+node captures nodes one untraversed port at a time, contesting on
+``(level, id)``.  An uncaptured node grants iff the claim outranks its own
+``(level, id)`` (a passive node holds level 0 and its own identity); a
+captured node forwards the claim to its owner, who must be killed before
+the node changes hands.  A candidate that captures all N-1 nodes is leader.
+O(N log N) messages, O(N) time — but a *single capture* can take Θ(N) time,
+because a popular captured node may have Θ(N) forwarded claims queued on
+its owner link and inter-message delay on one link can be a full time unit.
+
+**ℰ** is AG85 plus flow control at captured nodes: at most one forwarded
+claim is outstanding on the owner link at any time.  While one is in
+flight, the node buffers only the strongest waiting claim (weaker arrivals
+are rejected outright — they lost to a demonstrably stronger live claim);
+when the owner's verdict returns, the buffered claim is forwarded to the
+(possibly new) owner.  This restores the constant-time-per-capture property
+that ℱ's and 𝒢's O(N/k) bounds need (Lemma 4.2).
+
+This module also hosts the shared sequential-capture node that protocols
+ℱ and 𝒢 extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.core.strength import Strength
+from repro.protocols.capture_base import Challenge, ChallengeVerdict, ContestNode
+from repro.protocols.common import Role, leader_strength
+
+
+@dataclass(frozen=True, slots=True)
+class SeqCapture(Message):
+    """A sequential capture claim carrying ``(level, id)``."""
+
+    level: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class SeqAccept(Message):
+    """Capture granted: the target now belongs to the claimant."""
+
+
+@dataclass(frozen=True, slots=True)
+class SeqReject(Message):
+    """Capture lost its contest; the claimant is killed."""
+
+
+class SequentialCaptureNode(ContestNode):
+    """AG85-style sequential capture, optionally flow controlled.
+
+    Subclasses tune two knobs:
+
+    * :attr:`flow_control` — ℰ's one-outstanding-forward rule;
+    * :meth:`on_level_reached` — called whenever the candidate's level
+      grows, letting ℱ switch to broadcast at level N/k and letting the
+      plain protocols declare at level N-1.
+    """
+
+    flow_control = False
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.level = 0
+        self._next_port = 0
+        # ℰ flow control state: one claim in flight toward the owner, plus
+        # at most the single strongest buffered claim.
+        self._forward_busy = False
+        self._buffered: tuple[int, Strength] | None = None
+
+    # -- strength --------------------------------------------------------------
+
+    def current_strength(self) -> Strength:
+        if self.role is Role.LEADER:
+            return leader_strength(self.ctx.n, self.ctx.node_id)
+        return Strength(self.level, self.ctx.node_id)
+
+    def make_reply(self, kind: str, won: bool) -> Message:
+        if kind == "capture":
+            return SeqAccept() if won else SeqReject()
+        return super().make_reply(kind, won)
+
+    # -- candidate side ----------------------------------------------------------
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self.start_conquest()
+
+    def start_conquest(self) -> None:
+        """Begin (or resume) claiming untraversed ports in index order."""
+        self._claim_next_port()
+
+    def _claim_next_port(self) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        if self._next_port >= self.ctx.num_ports:
+            return  # all ports claimed; on_level_reached decides what's next
+        port = self._next_port
+        self._next_port += 1
+        self.ctx.send(port, SeqCapture(self.level, self.ctx.node_id))
+
+    def on_level_reached(self, level: int) -> None:
+        """Hook invoked after each successful capture (level just grew).
+
+        The default (plain AG85 / ℰ) declares leader at level N-1 and
+        otherwise keeps claiming.
+        """
+        if level >= self.ctx.n - 1:
+            self.role = Role.LEADER
+            self.become_leader()
+            return
+        self._claim_next_port()
+
+    # -- target side -----------------------------------------------------------------
+
+    def _handle_capture(self, port: int, message: SeqCapture) -> None:
+        incoming = Strength(message.level, message.cand)
+        if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            # An uncaptured node contests with its own (level, id).
+            if incoming.outranks(self.current_strength()):
+                if self.role is not Role.LEADER:
+                    self.role = Role.CAPTURED
+                self.install_owner(port, incoming)
+                self.ctx.send(port, SeqAccept())
+            else:
+                self.ctx.send(port, SeqReject())
+            return
+        if self.role is Role.PASSIVE:
+            # A passive, never-captured node grants its first claim: the
+            # (level, id) contest is between base nodes' candidacies (and
+            # owners), not bystanders — Lemma 4.3 case (a) relies on this.
+            self.install_owner(port, incoming)
+            self.ctx.send(port, SeqAccept())
+            return
+        # CAPTURED: the claim must kill the owner first.
+        if self.flow_control:
+            self._claim_flow_controlled(port, incoming)
+        else:
+            self.claim(port, incoming, "capture")
+
+    def _claim_flow_controlled(self, port: int, incoming: Strength) -> None:
+        if not self._forward_busy:
+            self._forward_busy = True
+            self._forward(port, incoming, "capture", reply_token=-1)
+            return
+        if self._buffered is None:
+            self._buffered = (port, incoming)
+            return
+        held_port, held = self._buffered
+        if incoming.outranks(held):
+            self._buffered = (port, incoming)
+            self.ctx.send(held_port, SeqReject())
+        else:
+            self.ctx.send(port, SeqReject())
+
+    def handle_verdict(self, port: int, message: ChallengeVerdict) -> None:
+        releases_flow = (
+            self.flow_control
+            and (entry := self._pending.get(message.token)) is not None
+            and entry.kind == "capture"
+        )
+        super().handle_verdict(port, message)
+        if releases_flow:
+            self._forward_busy = False
+            if self._buffered is not None:
+                buffered_port, buffered = self._buffered
+                self._buffered = None
+                self._forward_busy = True
+                self._forward(buffered_port, buffered, "capture", reply_token=-1)
+
+    # -- candidate responses ------------------------------------------------------------
+
+    def _handle_accept(self, port: int) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        self.level += 1
+        self.ctx.trace("level", level=self.level)
+        self.on_level_reached(self.level)
+
+    def _handle_reject(self, port: int) -> None:
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case SeqCapture():
+                self._handle_capture(port, message)
+            case SeqAccept():
+                self._handle_accept(port)
+            case SeqReject():
+                self._handle_reject(port)
+            case Challenge():
+                self.handle_challenge(port, message)
+            case ChallengeVerdict():
+                self.handle_verdict(port, message)
+            case _:
+                raise ConfigurationError(
+                    f"{type(self).__name__} cannot handle {message.type_name}"
+                )
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(level=self.level)
+        return base
+
+
+class AfekGafniNode(SequentialCaptureNode):
+    """Plain AG85: forwarded claims are not flow controlled."""
+
+    flow_control = False
+
+
+class ProtocolENode(SequentialCaptureNode):
+    """ℰ: one outstanding forwarded claim per owner link."""
+
+    flow_control = True
+
+
+@register
+class AfekGafni(ElectionProtocol):
+    """The AG85 baseline: O(N log N) messages, O(N) time."""
+
+    name = "AG85"
+    needs_sense_of_direction = False
+
+    def create_node(self, ctx: NodeContext) -> AfekGafniNode:
+        return AfekGafniNode(ctx)
+
+
+@register
+class ProtocolE(ElectionProtocol):
+    """Protocol ℰ: AG85 with constant-time captures."""
+
+    name = "E"
+    needs_sense_of_direction = False
+
+    def create_node(self, ctx: NodeContext) -> ProtocolENode:
+        return ProtocolENode(ctx)

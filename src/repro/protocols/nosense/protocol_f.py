@@ -1,0 +1,167 @@
+"""Protocol ℱ — ℰ until level N/k, then broadcast (Section 4).
+
+Setting: asynchronous complete network without sense of direction, family
+parameter ``k`` with ``log N ≤ k ≤ N``.
+
+A base node runs ℰ's flow-controlled sequential capture until its level
+reaches ``N/k``, then switches to Protocol D: it floods an ``elect``
+carrying ``(N/k, id)`` on all incident edges.  A node grants the flood iff
+its local strongest-known pair ``(level, maxid)`` — its own candidacy if it
+is a base node, its owner's strength if captured — compares smaller; a
+flooding node granted by all N-1 neighbours is leader.
+
+Costs (paper): since ℰ admits at most ``k`` nodes at level ``N/k``, at most
+``k`` nodes flood, giving O(N log N + Nk) = O(Nk) messages; each capture
+takes O(1) time so a candidate needs O(N/k) time from its own wake-up
+(Lemma 4.1) — but a staggered wake-up chain can still stretch the run to
+Θ(N), which is exactly the problem Protocol 𝒢's ordering phases remove.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.core.strength import ZERO_STRENGTH, Strength
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_e import ProtocolENode
+from repro.topology.complete import CompleteTopology
+
+
+@dataclass(frozen=True, slots=True)
+class FloodElect(Message):
+    """The level-N/k flood, carrying ``(level, id)``."""
+
+    level: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class FloodAccept(Message):
+    """The receiver grants the flood."""
+
+
+@dataclass(frozen=True, slots=True)
+class FloodReject(Message):
+    """The receiver knows a strictly stronger pair (paper: no response)."""
+
+
+def flood_threshold(n: int, k: int) -> int:
+    """The level ``⌈N/k⌉`` at which ℱ switches from capture to flood."""
+    return min(n - 1, max(1, math.ceil(n / k)))
+
+
+class ProtocolFNode(ProtocolENode):
+    """One node running ℱ: ℰ conquest with a broadcast finish."""
+
+    def __init__(self, ctx: NodeContext, k: int) -> None:
+        super().__init__(ctx)
+        self.k = k
+        self.threshold = flood_threshold(ctx.n, k)
+        self.flooding = False
+        self._flood_outstanding = 0
+
+    # -- switching to the flood -------------------------------------------------
+
+    def on_level_reached(self, level: int) -> None:
+        if level >= self.threshold:
+            self._start_flood()
+            return
+        self._claim_next_port()
+
+    def _start_flood(self) -> None:
+        if self.flooding or self.role is not Role.CANDIDATE:
+            return
+        self.flooding = True
+        self.ctx.trace("flood", level=self.level)
+        self._flood_outstanding = self.ctx.num_ports
+        for port in range(self.ctx.num_ports):
+            self.ctx.send(port, FloodElect(self.level, self.ctx.node_id))
+
+    # -- flood handling ------------------------------------------------------------
+
+    def _local_strongest(self) -> Strength:
+        """The ``(level, maxid)`` pair this node holds against floods."""
+        if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            return self.current_strength()
+        if self.owner_strength is not None:
+            return self.owner_strength
+        return ZERO_STRENGTH
+
+    def _handle_flood(self, port: int, message: FloodElect) -> None:
+        incoming = Strength(message.level, message.cand)
+        if incoming.outranks(self._local_strongest()):
+            if self.role is Role.CANDIDATE:
+                self.role = Role.STALLED  # the paper's "changes status to killed"
+                self.ctx.trace("stalled")
+            elif self.role in (Role.PASSIVE, Role.CAPTURED):
+                self.install_owner(port, incoming)
+            self.ctx.send(port, FloodAccept())
+        else:
+            self.ctx.send(port, FloodReject())
+
+    def _handle_flood_accept(self) -> None:
+        if self.role is not Role.CANDIDATE or not self.flooding:
+            return
+        self._flood_outstanding -= 1
+        if self._flood_outstanding == 0:
+            self.role = Role.LEADER
+            self.become_leader()
+
+    def _handle_flood_reject(self) -> None:
+        """Someone out there holds a stronger pair: this flood is dead."""
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case FloodElect():
+                self._handle_flood(port, message)
+            case FloodAccept():
+                self._handle_flood_accept()
+            case FloodReject():
+                self._handle_flood_reject()
+            case _:
+                super().on_message(port, message)
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(flooding=self.flooding, threshold=self.threshold)
+        return base
+
+
+@register
+class ProtocolF(ElectionProtocol):
+    """Protocol ℱ: O(Nk) messages; O(N/k) time given clustered wake-ups."""
+
+    name = "F"
+    needs_sense_of_direction = False
+
+    def __init__(self, k: int | None = None) -> None:
+        self.k = k
+
+    def effective_k(self, n: int) -> int:
+        """Default to the message-optimal end of the family, k = ⌈log₂ N⌉."""
+        if self.k is not None:
+            return self.k
+        return max(1, math.ceil(math.log2(max(2, n))))
+
+    def validate(self, topology: CompleteTopology) -> None:
+        super().validate(topology)
+        k = self.effective_k(topology.n)
+        if not 1 <= k <= topology.n:
+            raise ConfigurationError(
+                f"protocol {self.name} needs 1 <= k <= N, got k={k}"
+            )
+
+    def create_node(self, ctx: NodeContext) -> ProtocolFNode:
+        return ProtocolFNode(ctx, self.effective_k(ctx.n))
+
+    def describe(self) -> str:
+        return f"{self.name}(k={self.k if self.k is not None else 'logN'})"

@@ -1,0 +1,258 @@
+"""Protocol 𝒢 — ℱ with wake-up ordering phases (Section 4, Lemma 4.3).
+
+ℱ's O(N/k) bound needs wake-ups clustered within O(N/k) of each other
+(Lemma 4.1); a staggered chain defeats it.  𝒢 prepends two phases that
+*order* the base nodes by wake-up time, so that in every constant-length
+interval either ≥ k nodes wake up or some node reaches level k — which,
+with Lemma 4.2, yields O(N/k) time unconditionally.
+
+**First phase** — a fresh base node asks k neighbours (its first k ports)
+for permission:
+
+* a passive neighbour is captured outright and *accepts*;
+* a neighbour still inside its own first phase answers *proceed*;
+* a neighbour that already finished its first phase answers *finish*;
+* a captured neighbour consults its owner with a ``check`` round trip (one
+  outstanding check per node; concurrent askers are queued and answered
+  together, and a positive answer is cached — once the owner has finished,
+  that fact never reverts).
+
+A base node that hears any *finish* is killed: it woke demonstrably later
+than an established candidate.  Otherwise it enters the second phase with
+``level = #accepts``.
+
+**Second phase** — the node captures every *proceed* neighbour with ℰ-rule
+capture messages (nodes that have not started their second phase count as
+passive).  Only when **all** of them accept does the level rise to k; any
+rejection kills the node.  Survivors then execute ℱ (ℰ conquest from port
+k onward, flood at level N/k).
+
+The paper shows a base node finishes its first phase within 5 time units
+of waking, giving the interval argument of Lemma 4.3.  Message cost stays
+O(Nk): the pre-phases add O(k) messages per base node plus one check round
+trip per first-phase message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.protocol import register
+from repro.core.strength import Strength
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_e import SeqAccept, SeqCapture
+from repro.protocols.nosense.protocol_f import ProtocolF, ProtocolFNode
+from repro.topology.complete import CompleteTopology
+
+# -- messages -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FirstPhase(Message):
+    """A fresh base node's permission request."""
+
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class FPAccept(Message):
+    """Permission granted by a passive node (which is now captured)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FPProceed(Message):
+    """The neighbour is itself still in its first phase."""
+
+
+@dataclass(frozen=True, slots=True)
+class FPFinish(Message):
+    """The neighbour (or its owner) already finished its first phase."""
+
+
+@dataclass(frozen=True, slots=True)
+class CheckOwner(Message):
+    """A captured node asking its owner: finished your first phase?"""
+
+
+@dataclass(frozen=True, slots=True)
+class CheckReply(Message):
+    """The owner's answer to :class:`CheckOwner`."""
+
+    finished: bool
+
+
+# -- node ----------------------------------------------------------------------------
+
+
+class ProtocolGNode(ProtocolFNode):
+    """One node running 𝒢."""
+
+    def __init__(self, ctx: NodeContext, k: int) -> None:
+        super().__init__(ctx, k)
+        self.stage = "idle"  # idle -> first -> second -> conquest
+        self.first_finished = False
+        self._fp_replies = 0
+        self._fp_accepts = 0
+        self._fp_finish = False
+        self._fp_proceed_ports: list[int] = []
+        self._second_outstanding = 0
+        # check-owner bookkeeping (target side)
+        self._check_busy = False
+        self._check_cached_finished = False
+        self._check_queue: list[int] = []
+
+    # -- first phase, requester side ------------------------------------------------
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self.stage = "first"
+        self.ctx.trace("first_phase")
+        for port in range(self.k):
+            self.ctx.send(port, FirstPhase(self.ctx.node_id))
+
+    def _first_phase_reply(self, accepted: bool, finished: bool) -> None:
+        if self.stage != "first" or self.role is not Role.CANDIDATE:
+            return
+        self._fp_replies += 1
+        self._fp_accepts += int(accepted)
+        self._fp_finish = self._fp_finish or finished
+        if self._fp_replies == self.k:
+            self._exit_first_phase()
+
+    def _exit_first_phase(self) -> None:
+        self.first_finished = True
+        self.level = self._fp_accepts
+        if self._fp_finish:
+            # Ordered after an established candidate: killed.
+            self.role = Role.STALLED
+            self.stage = "conquest"
+            self.ctx.trace("killed_by_finish")
+            return
+        self.stage = "second"
+        self.ctx.trace("second_phase", accepts=self._fp_accepts)
+        self._second_outstanding = len(self._fp_proceed_ports)
+        if self._second_outstanding == 0:
+            self._finish_second_phase()
+            return
+        for port in self._fp_proceed_ports:
+            self.ctx.send(port, SeqCapture(self.level, self.ctx.node_id))
+
+    def _finish_second_phase(self) -> None:
+        self.stage = "conquest"
+        self.level = self.k
+        self._next_port = self.k
+        self.ctx.trace("conquest", level=self.level)
+        self.on_level_reached(self.level)
+        if self.role is Role.CANDIDATE and not self.flooding:
+            # on_level_reached only claims one port when below threshold;
+            # nothing else to do here — conquest is sequential from now on.
+            pass
+
+    # -- responses in the second phase -----------------------------------------------
+
+    def _handle_accept(self, port: int) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        if self.stage == "second":
+            self._second_outstanding -= 1
+            if self._second_outstanding == 0:
+                self._finish_second_phase()
+            return
+        super()._handle_accept(port)
+
+    # -- first phase, target side -------------------------------------------------------
+
+    def _handle_first_phase(self, port: int, message: FirstPhase) -> None:
+        if self.role is Role.CAPTURED:
+            if self._check_cached_finished:
+                self.ctx.send(port, FPFinish())
+                return
+            self._check_queue.append(port)
+            if not self._check_busy:
+                self._check_busy = True
+                assert self.owner_port is not None
+                self.ctx.send(self.owner_port, CheckOwner())
+            return
+        if self.first_finished or self.role is Role.LEADER:
+            self.ctx.send(port, FPFinish())
+            return
+        if self.role is Role.PASSIVE:
+            self.install_owner(port, Strength(0, message.cand))
+            self.ctx.send(port, FPAccept())
+            return
+        # A base node still inside its own first phase.
+        self.ctx.send(port, FPProceed())
+
+    def _handle_check_reply(self, message: CheckReply) -> None:
+        self._check_busy = False
+        if message.finished:
+            self._check_cached_finished = True
+        queued, self._check_queue = self._check_queue, []
+        for port in queued:
+            self.ctx.send(port, FPFinish() if message.finished else FPProceed())
+
+    # -- capture rules: pre-second-phase nodes count as passive ---------------------------
+
+    def _handle_capture(self, port: int, message: SeqCapture) -> None:
+        if (
+            self.role is Role.CANDIDATE
+            and self.stage in ("idle", "first")
+        ):
+            # "Nodes which have not started the second phase are regarded
+            # as passive by these capture messages."
+            incoming = Strength(message.level, message.cand)
+            self.role = Role.CAPTURED
+            self.install_owner(port, incoming)
+            self.ctx.send(port, SeqAccept())
+            return
+        super()._handle_capture(port, message)
+
+    # -- dispatch ----------------------------------------------------------------------------
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case FirstPhase():
+                self._handle_first_phase(port, message)
+            case FPAccept():
+                self._first_phase_reply(accepted=True, finished=False)
+            case FPProceed():
+                self._first_phase_reply(accepted=False, finished=False)
+            case FPFinish():
+                self._first_phase_reply(accepted=False, finished=True)
+            case CheckOwner():
+                self.ctx.send(port, CheckReply(self.first_finished))
+            case CheckReply():
+                self._handle_check_reply(message)
+            case _:
+                super().on_message(port, message)
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(stage=self.stage, first_finished=self.first_finished)
+        return base
+
+
+@register
+class ProtocolG(ProtocolF):
+    """Protocol 𝒢: O(Nk) messages and O(N/k) time, unconditionally."""
+
+    name = "G"
+    needs_sense_of_direction = False
+
+    def validate(self, topology: CompleteTopology) -> None:
+        super().validate(topology)
+        k = self.effective_k(topology.n)
+        if k > topology.n - 1:
+            raise ConfigurationError(
+                f"protocol G asks permission from k neighbours, so it needs "
+                f"k <= N-1; got k={k}, N={topology.n}"
+            )
+
+    def create_node(self, ctx: NodeContext) -> ProtocolGNode:
+        return ProtocolGNode(ctx, self.effective_k(ctx.n))

@@ -1,0 +1,154 @@
+"""Protocol R — the base-node-sensitive refinement sketched via [Si92].
+
+The paper closes Section 4 with: *"By using the capturing pattern of the
+synchronous protocol in [AG85], we have obtained a message optimal protocol
+which requires O(logN + min(r, N/logN))"*, where ``r`` is the number of
+base nodes.  The construction itself lives in the cited technical report,
+which this reproduction does not have; DESIGN.md §4 records this module as
+a **reconstruction** built from the sentence's two ingredients:
+
+* 𝒢's two ordering phases with ``k = ⌈log₂ N⌉`` (message-optimal end of
+  the family, flood threshold ``N/k ≈ N/log N``), and
+* the AG85 *synchronous capturing pattern*: instead of claiming one port at
+  a time, a surviving candidate claims a **geometrically growing wave** of
+  fresh ports — wave ``w`` has ``2^w``-ish width (implemented as
+  ``window = max(1, level)``).
+
+Why this yields the claimed shape: a lone base node (``r = 1``) doubles its
+territory every constant time, reaching the flood threshold in O(log N)
+waves; with many base nodes, contests must still burn through the
+candidates between a claim and its grant, reproducing the ``min(r,
+N/log N)`` term; and the flood threshold caps everything at O(N/log N).
+Messages stay O(N log N): waves only widen with *granted* levels, so the
+total claim volume telescopes, and refusals are retried at most once per
+level (the ℱ𝒯-style retry rule below).
+
+Wave claims can be *stale* (sent before the latest grants landed), so —
+exactly as in the fault-tolerant variant — a refusal is not instantly
+fatal: the port is retried once the level has grown, and a candidate is
+defeated when a whole wave is refused at its current level (plus, as
+always, when it loses an owner challenge).  Experiment E9 benchmarks R
+against 𝒢 across ``r``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.node import NodeContext
+from repro.core.protocol import register
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_e import SeqCapture
+from repro.protocols.nosense.protocol_g import ProtocolG, ProtocolGNode
+
+
+class ProtocolRNode(ProtocolGNode):
+    """𝒢's phases with a geometric-wave conquest."""
+
+    def __init__(self, ctx: NodeContext, k: int) -> None:
+        super().__init__(ctx, k)
+        self._outstanding = 0
+        self._in_flight: dict[int, int] = {}  # port -> level at send
+        self._retry_ports: list[tuple[int, int]] = []  # (port, sent level)
+
+    # -- wave machinery -------------------------------------------------------
+
+    def _wave_width(self) -> int:
+        """The AG85 doubling pattern: claim as many ports as you hold."""
+        return max(1, min(self.level, self.threshold))
+
+    def _pop_claimable_port(self) -> int | None:
+        for index, (port, sent_at) in enumerate(self._retry_ports):
+            if self.level > sent_at:
+                del self._retry_ports[index]
+                return port
+        if self._next_port < self.ctx.num_ports:
+            port = self._next_port
+            self._next_port += 1
+            return port
+        return None
+
+    def _refill_wave(self) -> None:
+        while (
+            self.role is Role.CANDIDATE
+            and not self.flooding
+            and self._outstanding < self._wave_width()
+        ):
+            port = self._pop_claimable_port()
+            if port is None:
+                break
+            self._outstanding += 1
+            self._in_flight[port] = self.level
+            self.ctx.send(port, SeqCapture(self.level, self.ctx.node_id))
+
+    # -- overrides of the sequential conquest ------------------------------------
+
+    def _claim_next_port(self) -> None:
+        # Called by on_level_reached below the flood threshold: grow the
+        # wave instead of probing a single port.
+        self._refill_wave()
+
+    def _handle_accept(self, port: int) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        if self.stage == "second":
+            super()._handle_accept(port)
+            return
+        self._outstanding -= 1
+        self._in_flight.pop(port, None)
+        if self.flooding:
+            # The level is frozen once the flood is out: all flooders must
+            # compare at exactly (threshold, id), as in sequential ℱ —
+            # otherwise a late wave grant would let a *beaten* candidate
+            # out-rank every live flood and veto the election.
+            return
+        self.level += 1
+        self.ctx.trace("level", level=self.level)
+        self.on_level_reached(self.level)
+
+    def _handle_reject(self, port: int) -> None:
+        """Wave claims may be stale; retry at a higher level (see the
+        fault-tolerant variant for the full liveness argument).  A whole
+        wave refused at the current level is a genuine defeat."""
+        if self.stage == "second" or self.role is not Role.CANDIDATE:
+            super()._handle_reject(port)
+            return
+        sent_at = self._in_flight.pop(port, self.level)
+        self._outstanding -= 1
+        if self.flooding:
+            return  # the flood's verdict decides now; stale wave noise
+        self._retry_ports.append((port, sent_at))
+        self._refill_wave()
+        starved = (
+            self._outstanding == 0
+            and self._next_port >= self.ctx.num_ports
+            and all(sent >= self.level for _, sent in self._retry_ports)
+        )
+        if starved:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(wave_width=self._wave_width())
+        return base
+
+
+@register
+class ProtocolR(ProtocolG):
+    """Protocol R (reconstructed): message optimal,
+    O(log N + min(r, N/log N)) time."""
+
+    name = "R"
+    needs_sense_of_direction = False
+
+    def effective_k(self, n: int) -> int:
+        # Pinned to the message-optimal end of the family; an explicit k is
+        # still honoured for experiments.
+        if self.k is not None:
+            return self.k
+        return max(1, min(n - 1, math.ceil(math.log2(max(2, n)))))
+
+    def create_node(self, ctx: NodeContext) -> ProtocolRNode:
+        return ProtocolRNode(ctx, self.effective_k(ctx.n))

@@ -1,0 +1,1 @@
+"""Protocols for complete networks *with* sense of direction (Section 3)."""

@@ -1,0 +1,80 @@
+"""Chang–Roberts ring election — a classical baseline.
+
+The paper situates complete networks between two extremes of topological
+knowledge; rings are the classical substrate where election was first
+studied.  Any network with sense of direction contains a directed
+Hamiltonian ring (the distance-1 chords), so Chang–Roberts runs unmodified
+on our complete networks *and* on the ALSZ89 chordal rings — a useful
+sanity baseline for experiments E2/E3: O(N log N) expected / O(N²) worst
+messages and Θ(N) time, strictly dominated by the paper's protocols.
+
+Rules: a base node sends its identity clockwise.  A node forwards tokens
+larger than the largest it has seen, swallows smaller ones, and a candidate
+that receives its own identity back has circled the ring and is leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.common import Role
+
+
+@dataclass(frozen=True, slots=True)
+class Token(Message):
+    """An identity travelling clockwise around the ring."""
+
+    cand: int
+
+
+class ChangRobertsNode(Node):
+    """One node running Chang–Roberts on the distance-1 ring."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.role = Role.PASSIVE
+        self.max_seen = -1
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self.max_seen = self.ctx.node_id
+        self.ctx.send(self.ctx.port_with_label(1), Token(self.ctx.node_id))
+
+    def on_message(self, port: int, message: Message) -> None:
+        if not isinstance(message, Token):
+            raise ConfigurationError(
+                f"Chang-Roberts cannot handle {message.type_name}"
+            )
+        if message.cand == self.ctx.node_id:
+            self.role = Role.LEADER
+            self.become_leader()
+            return
+        if message.cand > self.max_seen:
+            self.max_seen = message.cand
+            if self.role is Role.CANDIDATE:
+                self.role = Role.STALLED  # a larger identity passed through
+            self.ctx.send(self.ctx.port_with_label(1), message)
+        # Smaller tokens are swallowed.
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(role=self.role.value, max_seen=self.max_seen)
+        return base
+
+
+@register
+class ChangRoberts(ElectionProtocol):
+    """Chang–Roberts: O(N log N) average messages, Θ(N) time."""
+
+    name = "CR"
+    needs_sense_of_direction = True
+
+    def create_node(self, ctx: NodeContext) -> ChangRobertsNode:
+        return ChangRobertsNode(ctx)

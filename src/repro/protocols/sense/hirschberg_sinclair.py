@@ -1,0 +1,167 @@
+"""Hirschberg–Sinclair ring election — the second classical baseline.
+
+Complements Chang–Roberts: a *bidirectional* ring election with guaranteed
+O(N log N) messages (CR's worst case is O(N²)) at the price of Θ(N) time.
+Like CR it runs on the distance-1/distance-(N-1) chords, so it works on
+complete networks with sense of direction and on the ALSZ89 chordal rings.
+Useful in experiments E2/E3 as the strongest classical ring contender that
+the paper's Protocol C still beats on both axes.
+
+Rules: a candidate proceeds in phases; in phase ``p`` it sends probes
+``2^p`` hops both ways.  A relay with a larger identity swallows the probe
+(replying *defeat* so the loser stalls cleanly — the textbook's silence,
+made observable); a probe that exhausts its hop budget echoes back; a
+candidate needs both echoes to enter the next phase; a probe that travels
+all the way home means its owner beat everyone — leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.common import Role
+
+
+@dataclass(frozen=True, slots=True)
+class Probe(Message):
+    """A candidate's probe: identity, phase, and remaining hop budget."""
+
+    cand: int
+    phase: int
+    ttl: int
+
+
+@dataclass(frozen=True, slots=True)
+class Echo(Message):
+    """The probe survived its full range; travels back to the candidate."""
+
+    cand: int
+    phase: int
+
+
+@dataclass(frozen=True, slots=True)
+class Defeat(Message):
+    """The probe met a larger identity; travels back to kill the candidate."""
+
+    cand: int
+
+
+class HirschbergSinclairNode(Node):
+    """One node running Hirschberg–Sinclair on the ring chords."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.role = Role.PASSIVE
+        self.phase = 0
+        self._echoes_outstanding = 0
+
+    # -- ring geometry -----------------------------------------------------
+
+    def _forward_port(self, arrival_port: int) -> int:
+        """The port that continues a message's direction of travel.
+
+        A message from my ring neighbour arrives on my port labeled ``d``;
+        the same direction continues through my port labeled ``N - d``.
+        """
+        label = self.ctx.port_label(arrival_port)
+        if label is None:  # pragma: no cover - guarded by validate()
+            raise ConfigurationError("HS needs labeled ring ports")
+        return self.ctx.port_with_label(self.ctx.n - label)
+
+    def _send_probes(self) -> None:
+        ttl = 2**self.phase
+        self._echoes_outstanding = 2
+        probe = Probe(self.ctx.node_id, self.phase, ttl)
+        clockwise = self.ctx.port_with_label(1)
+        counter = self.ctx.port_with_label(self.ctx.n - 1)
+        self.ctx.send(clockwise, probe)
+        if counter == clockwise:  # N = 2: both directions share the link
+            self._echoes_outstanding = 1
+        else:
+            self.ctx.send(counter, probe)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self._send_probes()
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Probe():
+                self._handle_probe(port, message)
+            case Echo():
+                self._handle_echo(port, message)
+            case Defeat():
+                self._handle_defeat(port, message)
+            case _:
+                raise ConfigurationError(
+                    f"Hirschberg-Sinclair cannot handle {message.type_name}"
+                )
+
+    def _handle_probe(self, port: int, message: Probe) -> None:
+        if message.cand == self.ctx.node_id:
+            # The probe circled the whole ring: nobody beat it.
+            if self.role is Role.CANDIDATE:
+                self.role = Role.LEADER
+                self.become_leader()
+            return
+        contender = self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER)
+        if message.cand < self.ctx.node_id and contender:
+            # Only base nodes swallow: a passive bystander with a large
+            # identity never stood for election (validity would break if it
+            # could veto every candidate); it just relays.
+            self.ctx.send(port, Defeat(message.cand))
+            return
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED  # out-ranked; keep relaying
+        if message.ttl > 1:
+            self.ctx.send(
+                self._forward_port(port),
+                Probe(message.cand, message.phase, message.ttl - 1),
+            )
+        else:
+            self.ctx.send(port, Echo(message.cand, message.phase))
+
+    def _handle_echo(self, port: int, message: Echo) -> None:
+        if message.cand != self.ctx.node_id:
+            self.ctx.send(self._forward_port(port), message)
+            return
+        if self.role is not Role.CANDIDATE or message.phase != self.phase:
+            return
+        self._echoes_outstanding -= 1
+        if self._echoes_outstanding == 0:
+            self.phase += 1
+            self.ctx.trace("phase", phase=self.phase)
+            self._send_probes()
+
+    def _handle_defeat(self, port: int, message: Defeat) -> None:
+        if message.cand != self.ctx.node_id:
+            self.ctx.send(self._forward_port(port), message)
+            return
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(role=self.role.value, phase=self.phase)
+        return base
+
+
+@register
+class HirschbergSinclair(ElectionProtocol):
+    """Hirschberg–Sinclair: O(N log N) messages guaranteed, Θ(N) time."""
+
+    name = "HS"
+    needs_sense_of_direction = True
+
+    def create_node(self, ctx: NodeContext) -> HirschbergSinclairNode:
+        return HirschbergSinclairNode(ctx)

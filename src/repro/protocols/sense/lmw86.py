@@ -1,0 +1,38 @@
+"""The LMW86 baseline — majority capture with sense of direction.
+
+Loui, Matsushita and West (1986) showed that sense of direction breaks the
+Ω(N log N) message lower bound: a candidate that captures the *majority
+window* ``i[1..⌈N/2⌉]`` can safely declare itself leader, because any two
+majority windows overlap and the overlap forces a contest that kills one of
+the two candidates.  O(N) messages, O(N) time.
+
+Singh's Protocol A is exactly this scheme with the majority threshold
+replaced by a window of ``k`` plus a sparse lattice; so the baseline is
+implemented as Protocol A with ``k = ⌈N/2⌉`` (the lattice is then empty and
+phase 2 degenerates to the ownership round).  This mirrors the paper's own
+presentation, which derives A from LMW86's capture rules.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.protocol import register
+from repro.protocols.sense.protocol_a import ProtocolA
+
+
+@register
+class LMW86(ProtocolA):
+    """Majority-capture election: O(N) messages, O(N) time."""
+
+    name = "LMW86"
+
+    def __init__(self) -> None:
+        super().__init__(k=None)
+
+    def effective_k(self, n: int) -> int:
+        """The majority window ⌈N/2⌉ (clamped to the N-1 ports)."""
+        return min(n - 1, math.ceil(n / 2))
+
+    def describe(self) -> str:
+        return self.name

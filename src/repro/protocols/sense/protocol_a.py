@@ -1,0 +1,337 @@
+"""Protocol A (and its wake-up-spreading variant A′) — Section 3.
+
+Setting: asynchronous complete network *with* sense of direction.
+
+Phase 1 — a base node ``i`` captures the window ``i[1..k]`` sequentially.
+Contests compare ``(level, id)`` lexicographically; a captured base node
+surrenders the nodes it had captured, so a candidate's set is always the
+contiguous window ``i[1..level]``.
+
+Phase 2 — a candidate that reached level ``k`` installs itself as owner of
+``i[1..k]`` (owner messages, acknowledged), then claims the lattice
+``{i[2k], i[3k], ..., i[N-k]}`` with elect messages.  A node that is already
+owned forwards the claim to its owner, who is killed if it compares smaller
+(see DESIGN.md §4 — the kill-the-owner rule the paper spells out in
+Protocol C).  A candidate holding acknowledgements from its whole window and
+acceptances from the whole lattice declares itself leader.
+
+Costs (paper): ``O(N + N²/k²)`` messages and, because a chain of unlucky
+wake-ups can serialise the first phase, Θ(N) worst-case time.  At
+``k = ⌈√N⌉`` the message complexity is O(N).
+
+Protocol A′ additionally has every node, upon waking, nudge ``i[1]`` and
+``i[k]`` awake, which bounds the wake-up spread by ``O(k + N/k)`` and hence
+the running time by ``O(k + N/k)`` — ``O(√N)`` at ``k = ⌈√N⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message, Wakeup
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.core.strength import Strength
+from repro.protocols.capture_base import Challenge, ChallengeVerdict, ContestNode
+from repro.protocols.common import Role, leader_strength
+from repro.topology.complete import CompleteTopology
+
+# -- messages ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Capture(Message):
+    """Phase-1 sequential capture attempt, carrying ``(level, id)``."""
+
+    level: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureAccept(Message):
+    """Capture succeeded; ``surrendered`` nodes change hands with the target."""
+
+    surrendered: int
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureReject(Message):
+    """Capture lost its contest (the paper's silent 'ignore', made explicit)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Owner(Message):
+    """Phase-2 ownership installation over the captured window."""
+
+    level: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class OwnerAck(Message):
+    """Ownership acknowledged."""
+
+
+@dataclass(frozen=True, slots=True)
+class OwnerReject(Message):
+    """Ownership claim lost its forwarded contest."""
+
+
+@dataclass(frozen=True, slots=True)
+class Elect(Message):
+    """Phase-2 claim on a lattice node."""
+
+    level: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class ElectAccept(Message):
+    """Lattice claim granted."""
+
+
+@dataclass(frozen=True, slots=True)
+class ElectReject(Message):
+    """Lattice claim lost its contest."""
+
+
+# -- node ----------------------------------------------------------------------
+
+
+class ProtocolANode(ContestNode):
+    """One node running Protocol A."""
+
+    def __init__(self, ctx: NodeContext, k: int, *, spread_wakeup: bool) -> None:
+        super().__init__(ctx)
+        self.k = k
+        self.spread_wakeup = spread_wakeup
+        self.level = 0
+        self.phase = 1
+        self._acks_outstanding = 0
+        self._elects_outstanding = 0
+
+    # -- strength ---------------------------------------------------------------
+
+    def current_strength(self) -> Strength:
+        if self.role is Role.LEADER:
+            return leader_strength(self.ctx.n, self.ctx.node_id)
+        return Strength(self.level, self.ctx.node_id)
+
+    def make_reply(self, kind: str, won: bool) -> Message:
+        if kind == "owner":
+            return OwnerAck() if won else OwnerReject()
+        if kind == "elect":
+            return ElectAccept() if won else ElectReject()
+        return super().make_reply(kind, won)
+
+    # -- wake-up ------------------------------------------------------------------
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if self.spread_wakeup:
+            self.ctx.send(self.ctx.port_with_label(1), Wakeup())
+            if self.k != 1:
+                self.ctx.send(self.ctx.port_with_label(self.k), Wakeup())
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self._advance_phase1()
+
+    def _advance_phase1(self) -> None:
+        if self.level >= self.k:
+            self._enter_phase2()
+            return
+        port = self.ctx.port_with_label(self.level + 1)
+        self.ctx.send(port, Capture(self.level, self.ctx.node_id))
+
+    # -- phase 2 --------------------------------------------------------------------
+
+    def _enter_phase2(self) -> None:
+        self.phase = 2
+        self.ctx.trace("phase2", level=self.level)
+        window = min(self.k, self.ctx.n - 1)
+        self._acks_outstanding = window
+        for distance in range(1, window + 1):
+            self.ctx.send(
+                self.ctx.port_with_label(distance),
+                Owner(self.level, self.ctx.node_id),
+            )
+
+    def _lattice_distances(self) -> list[int]:
+        """The elect targets ``{i[2k], i[3k], ..., i[N-k]}``."""
+        return list(range(2 * self.k, self.ctx.n, self.k))
+
+    def _send_elects(self) -> None:
+        lattice = self._lattice_distances()
+        self._elects_outstanding = len(lattice)
+        if not lattice:
+            # k >= N/2: the window alone is a majority (the LMW86 regime).
+            self._declare()
+            return
+        for distance in lattice:
+            self.ctx.send(
+                self.ctx.port_with_label(distance),
+                Elect(self.level, self.ctx.node_id),
+            )
+
+    def _declare(self) -> None:
+        if self.role is Role.CANDIDATE:
+            self.role = Role.LEADER
+            self.become_leader()
+
+    # -- message dispatch ---------------------------------------------------------
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Wakeup():
+                pass  # waking happened in receive()
+            case Capture():
+                self._handle_capture(port, message)
+            case CaptureAccept():
+                self._handle_capture_accept(message)
+            case CaptureReject():
+                self._handle_capture_reject()
+            case Owner():
+                self.claim(port, Strength(message.level, message.cand), "owner")
+            case Elect():
+                self._handle_elect(port, message)
+            case OwnerAck():
+                self._handle_owner_ack()
+            case OwnerReject():
+                self._stall()
+            case ElectAccept():
+                self._handle_elect_accept()
+            case ElectReject():
+                self._stall()
+            case Challenge():
+                self.handle_challenge(port, message)
+            case ChallengeVerdict():
+                self.handle_verdict(port, message)
+            case _:
+                raise ConfigurationError(
+                    f"protocol A cannot handle {message.type_name}"
+                )
+
+    # -- phase-1 handlers -----------------------------------------------------------
+
+    def _handle_capture(self, port: int, message: Capture) -> None:
+        incoming = Strength(message.level, message.cand)
+        if self.role in (Role.PASSIVE, Role.CAPTURED):
+            if self.role is Role.PASSIVE:
+                self.role = Role.CAPTURED
+            self.ctx.send(port, CaptureAccept(0))
+            return
+        if self.role is Role.LEADER:
+            self.ctx.send(port, CaptureReject())
+            return
+        # CANDIDATE or STALLED: contest on (level, id).
+        if incoming.outranks(self.current_strength()):
+            surrendered = self.level
+            self.role = Role.CAPTURED
+            self.ctx.trace("captured_by", cand=message.cand)
+            self.ctx.send(port, CaptureAccept(surrendered))
+        else:
+            self.ctx.send(port, CaptureReject())
+
+    def _handle_capture_accept(self, message: CaptureAccept) -> None:
+        if self.role is not Role.CANDIDATE or self.phase != 1:
+            return
+        self.level += message.surrendered + 1
+        self.ctx.trace("level", level=self.level)
+        self._advance_phase1()
+
+    def _handle_capture_reject(self) -> None:
+        if self.role is Role.CANDIDATE and self.phase == 1:
+            self._stall()
+
+    def _stall(self) -> None:
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    # -- phase-2 handlers --------------------------------------------------------------
+
+    def _handle_elect(self, port: int, message: Elect) -> None:
+        incoming = Strength(message.level, message.cand)
+        if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            # Direct contest with another candidate.
+            if incoming.outranks(self.current_strength()):
+                self.role = Role.CAPTURED
+                self.install_owner(port, incoming)
+                self.ctx.send(port, ElectAccept())
+            else:
+                self.ctx.send(port, ElectReject())
+            return
+        self.claim(port, incoming, "elect")
+
+    def _handle_owner_ack(self) -> None:
+        if self.role is not Role.CANDIDATE or self.phase != 2:
+            return
+        self._acks_outstanding -= 1
+        if self._acks_outstanding == 0:
+            self._send_elects()
+
+    def _handle_elect_accept(self) -> None:
+        if self.role is not Role.CANDIDATE or self.phase != 2:
+            return
+        self._elects_outstanding -= 1
+        if self._elects_outstanding == 0:
+            self._declare()
+
+    # -- snapshot --------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(level=self.level, phase=self.phase)
+        return base
+
+
+# -- protocol factories ----------------------------------------------------------------
+
+
+def default_k(n: int) -> int:
+    """The paper's message-optimal choice ``k = ⌈√N⌉`` (clamped to N-1)."""
+    return min(n - 1, max(1, math.ceil(math.sqrt(n))))
+
+
+@register
+class ProtocolA(ElectionProtocol):
+    """Protocol A: O(N + N²/k²) messages, Θ(N) worst-case time."""
+
+    name = "A"
+    needs_sense_of_direction = True
+    spread_wakeup = False
+
+    def __init__(self, k: int | None = None) -> None:
+        self.k = k
+
+    def validate(self, topology: CompleteTopology) -> None:
+        super().validate(topology)
+        k = self.effective_k(topology.n)
+        if not 1 <= k <= topology.n - 1:
+            raise ConfigurationError(
+                f"protocol {self.name} needs 1 <= k <= N-1, got k={k}, "
+                f"N={topology.n}"
+            )
+
+    def effective_k(self, n: int) -> int:
+        """The window width in use: the explicit ``k`` or the √N default."""
+        return self.k if self.k is not None else default_k(n)
+
+    def create_node(self, ctx: NodeContext) -> ProtocolANode:
+        return ProtocolANode(
+            ctx, self.effective_k(ctx.n), spread_wakeup=self.spread_wakeup
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}(k={self.k if self.k is not None else '√N'})"
+
+
+@register
+class ProtocolAPrime(ProtocolA):
+    """Protocol A′: A plus wake-up spreading; O(k + N/k) time."""
+
+    name = "A'"
+    spread_wakeup = True

@@ -1,0 +1,173 @@
+"""Protocol B — the asynchronous doubling protocol (Section 3).
+
+An asynchronous rendition of the synchronous AG85 election, used by the
+paper as the second ingredient of Protocol C.  Requires ``N = 2^r``.
+
+A candidate captures all other nodes in ``log N`` doubling steps: step ``s``
+claims the ``2^(s-1)`` nodes at distances ``{(2j-1)·N/2^s : j = 1..2^(s-1)}``
+— so step 1 claims ``i[N/2]``, step 2 claims ``i[N/4]`` and ``i[3N/4]``, and
+after ``log N`` steps every distance ``1..N-1`` has been claimed exactly
+once.  Contests compare ``(step, id)``; claims on owned nodes are forwarded
+to the owner (kill-the-owner), and a candidate advances a step only when all
+of the step's claims are accepted.
+
+Costs (paper): O(log N) time but O(N log N) messages — only one of ``i`` and
+``i[N/2]`` survives step 1, only one of four candidates survives step 2, and
+so on, so step ``s`` is run by at most ``N/2^(s-1)`` candidates each sending
+``2^(s-1)`` messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.core.strength import Strength
+from repro.protocols.capture_base import Challenge, ChallengeVerdict, ContestNode
+from repro.protocols.common import Role, leader_strength
+from repro.topology.complete import CompleteTopology
+
+
+@dataclass(frozen=True, slots=True)
+class StepCapture(Message):
+    """A doubling-step claim, carrying ``(step, id)``."""
+
+    step: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class StepAccept(Message):
+    """Claim granted."""
+
+
+@dataclass(frozen=True, slots=True)
+class StepReject(Message):
+    """Claim lost its contest."""
+
+
+def doubling_distances(span: int, step: int) -> list[int]:
+    """Distances claimed in ``step`` of a doubling schedule over ``span``.
+
+    ``{(2j-1) * span/2^step : j = 1..2^(step-1)}`` — the paper's capture
+    pattern for both Protocol B (``span = N``) and Protocol C's second phase
+    (``span = k``).
+    """
+    stride = span >> step
+    if stride == 0:
+        raise ConfigurationError(f"step {step} too deep for span {span}")
+    return [(2 * j - 1) * stride for j in range(1, 2 ** (step - 1) + 1)]
+
+
+def exact_log2(value: int, what: str) -> int:
+    """``log2(value)`` for exact powers of two; raises otherwise."""
+    if value < 1 or value & (value - 1):
+        raise ConfigurationError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class ProtocolBNode(ContestNode):
+    """One node running Protocol B."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.steps_done = 0
+        self._outstanding = 0
+        self._total_steps = exact_log2(ctx.n, "N")
+
+    def current_strength(self) -> Strength:
+        if self.role is Role.LEADER:
+            return leader_strength(self.ctx.n, self.ctx.node_id)
+        return Strength(self.steps_done, self.ctx.node_id)
+
+    def make_reply(self, kind: str, won: bool) -> Message:
+        if kind == "step":
+            return StepAccept() if won else StepReject()
+        return super().make_reply(kind, won)
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        self.role = Role.CANDIDATE
+        self._start_step()
+
+    def _start_step(self) -> None:
+        if self.steps_done >= self._total_steps:
+            if self.role is Role.CANDIDATE:
+                self.role = Role.LEADER
+                self.become_leader()
+            return
+        distances = doubling_distances(self.ctx.n, self.steps_done + 1)
+        self._outstanding = len(distances)
+        for distance in distances:
+            self.ctx.send(
+                self.ctx.port_with_label(distance),
+                StepCapture(self.steps_done, self.ctx.node_id),
+            )
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case StepCapture():
+                self._handle_claim(port, message)
+            case StepAccept():
+                self._handle_accept()
+            case StepReject():
+                self._handle_reject()
+            case Challenge():
+                self.handle_challenge(port, message)
+            case ChallengeVerdict():
+                self.handle_verdict(port, message)
+            case _:
+                raise ConfigurationError(
+                    f"protocol B cannot handle {message.type_name}"
+                )
+
+    def _handle_claim(self, port: int, message: StepCapture) -> None:
+        incoming = Strength(message.step, message.cand)
+        if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            if incoming.outranks(self.current_strength()):
+                self.role = Role.CAPTURED
+                self.install_owner(port, incoming)
+                self.ctx.send(port, StepAccept())
+            else:
+                self.ctx.send(port, StepReject())
+            return
+        self.claim(port, incoming, "step")
+
+    def _handle_accept(self) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.steps_done += 1
+            self.ctx.trace("step", step=self.steps_done)
+            self._start_step()
+
+    def _handle_reject(self) -> None:
+        if self.role is Role.CANDIDATE:
+            self.role = Role.STALLED
+            self.ctx.trace("stalled")
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(steps_done=self.steps_done)
+        return base
+
+
+@register
+class ProtocolB(ElectionProtocol):
+    """Protocol B: O(N log N) messages, O(log N) time; needs N = 2^r."""
+
+    name = "B"
+    needs_sense_of_direction = True
+
+    def validate(self, topology: CompleteTopology) -> None:
+        super().validate(topology)
+        exact_log2(topology.n, "N")
+
+    def create_node(self, ctx: NodeContext) -> ProtocolBNode:
+        return ProtocolBNode(ctx)

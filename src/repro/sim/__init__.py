@@ -1,0 +1,1 @@
+"""The discrete-event simulator: kernel, links, delays, runtime, metrics."""

@@ -1,0 +1,119 @@
+"""Message-delay models.
+
+Section 2 of the paper fixes the timing model used for all complexity
+claims:
+
+* a message takes *at most one time unit* to reach its destination, and
+* the *inter-message delay* on a single link is at most one time unit
+  (consecutive deliveries on one link may be spaced up to a unit apart).
+
+A :class:`DelayModel` decides, per message, the transmission latency and the
+extra FIFO spacing.  The asynchronous adversary of the proofs corresponds to
+choosing these values maliciously; the benign benchmarks use constant or
+random delays.  Models receive the *sender/receiver identities* and the send
+time so adversarial models (Section 5's band-stretching construction) can
+condition on them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+
+
+class DelayModel(ABC):
+    """Chooses per-message latency (and per-link spacing) in ``(0, 1]``."""
+
+    @abstractmethod
+    def latency(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        send_time: float,
+        rng: random.Random,
+    ) -> float:
+        """Transmission latency for this message, in ``(0, 1]``."""
+
+    def gap(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        send_time: float,
+        rng: random.Random,
+    ) -> float:
+        """Minimum spacing after the previous delivery on the same link.
+
+        The paper allows up to one time unit; the default is zero (links as
+        fast as FIFO permits).  Adversaries override this to stretch chains.
+        """
+        return 0.0
+
+
+def _check_unit_interval(value: float, what: str) -> float:
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{what} must lie in (0, 1], got {value}")
+    return value
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units.
+
+    ``ConstantDelay(1.0)`` is the worst-case synchronous-looking schedule the
+    paper's time-complexity definition measures against.
+    """
+
+    def __init__(self, delay: float = 1.0) -> None:
+        self._delay = _check_unit_interval(delay, "delay")
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        return self._delay
+
+
+class UniformDelay(DelayModel):
+    """Latency drawn uniformly from ``[low, high] ⊆ (0, 1]`` per message."""
+
+    def __init__(self, low: float = 0.1, high: float = 1.0) -> None:
+        self._low = _check_unit_interval(low, "low")
+        self._high = _check_unit_interval(high, "high")
+        if low > high:
+            raise ConfigurationError(f"low={low} exceeds high={high}")
+
+    def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        return rng.uniform(self._low, self._high)
+
+
+class HookDelay(DelayModel):
+    """Delegates to caller-supplied callables.
+
+    The Section 5 adversary is implemented as hooks so the lower-bound
+    experiment can stretch delays for the moving band ``B_i`` while leaving
+    the rest of the network fast.  ``latency_fn`` (and optional ``gap_fn``)
+    receive ``(sender, receiver, message, send_time)`` and must return a
+    value in ``(0, 1]`` (gap in ``[0, 1]``).
+    """
+
+    def __init__(self, latency_fn, gap_fn=None) -> None:
+        self._latency_fn = latency_fn
+        self._gap_fn = gap_fn
+
+    def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        return _check_unit_interval(
+            self._latency_fn(sender, receiver, message, send_time), "latency"
+        )
+
+    def gap(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        if self._gap_fn is None:
+            return 0.0
+        value = self._gap_fn(sender, receiver, message, send_time)
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"gap must lie in [0, 1], got {value}")
+        return value

@@ -1,0 +1,321 @@
+"""The network runtime: topology + protocol + scheduler + adversaries.
+
+:class:`Network` wires a :class:`~repro.topology.complete.CompleteTopology`
+to one :class:`~repro.core.protocol.ElectionProtocol`, drives the event loop
+and produces an :class:`~repro.core.results.ElectionResult`.
+
+Model guarantees enforced here (Section 2 of the paper):
+
+* reliable FIFO links with per-message latency in ``(0, 1]`` chosen by the
+  :class:`~repro.sim.delays.DelayModel` (the asynchronous adversary);
+* passive nodes wake when their first message arrives, and such nodes are
+  not base nodes;
+* every message is audited against the O(log N)-bit budget;
+* at most one leader may ever be declared — a second declaration raises
+  :class:`~repro.core.errors.ProtocolViolation` at the exact instant of the
+  violation, with both culprits named.
+
+Failure injection (for the fault-tolerant protocol): positions listed in
+``failed_positions`` model the paper's *initial site failures* — they never
+wake, never send, and silently drop everything addressed to them.
+``crash_schedule`` additionally kills nodes *mid-run* (``{position:
+time}``): from that instant the node drops incoming messages and any send
+it attempts raises.  The paper's protocols make no promises about mid-run
+crashes (a purely asynchronous network cannot detect them — the FLP
+boundary), so these runs are expected to hang candidates; the facility
+exists to *demonstrate* that boundary and to fuzz the protocols' state
+machines, not to model a tolerated fault.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.errors import ProtocolViolation, SimulationError
+from repro.core.messages import Message, message_bits
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+from repro.core.results import ElectionResult
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.events import Event
+from repro.sim.link import ChannelTable
+from repro.sim.metrics import MetricsCollector
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Tracer
+from repro.topology.complete import CompleteTopology
+
+#: A wake-up schedule maps base-node *positions* to spontaneous wake times.
+WakeupSchedule = Mapping[int, float]
+WakeupFactory = Callable[[CompleteTopology, random.Random], WakeupSchedule]
+
+
+class _BoundContext(NodeContext):
+    """The capability handle handed to one node."""
+
+    def __init__(self, network: "Network", position: int) -> None:
+        topology = network.topology
+        self._network = network
+        self._position = position
+        self.node_id = topology.id_at(position)
+        self.n = topology.n
+        self.num_ports = topology.num_ports
+        self.has_sense_of_direction = topology.sense_of_direction
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self._network._transmit(self._position, port, message)
+
+    def port_label(self, port: int) -> int | None:  # noqa: D102
+        return self._network.topology.label(self._position, port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._network.topology.port_with_label(self._position, distance)
+
+    def now(self) -> float:  # noqa: D102
+        return self._network.scheduler.now
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self._network._on_leader_declared(self._position)
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        self._network.tracer.record(
+            self._network.scheduler.now, kind, self.node_id, **detail
+        )
+
+
+class Network:
+    """One runnable election instance."""
+
+    def __init__(
+        self,
+        protocol: ElectionProtocol,
+        topology: CompleteTopology,
+        *,
+        delays: DelayModel | None = None,
+        wakeup: WakeupSchedule | WakeupFactory | None = None,
+        failed_positions: frozenset[int] | set[int] = frozenset(),
+        crash_schedule: Mapping[int, float] | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        max_events: int = 5_000_000,
+    ) -> None:
+        protocol.validate(topology)
+        self.protocol = protocol
+        self.topology = topology
+        self.delays = delays if delays is not None else ConstantDelay(1.0)
+        self.rng = random.Random(seed)
+        self.scheduler = Scheduler(max_events=max_events)
+        self.tracer = Tracer(enabled=trace)
+        self.metrics = MetricsCollector()
+        self.channels = ChannelTable()
+        self.failed_positions = frozenset(failed_positions)
+        bad = [p for p in self.failed_positions if not 0 <= p < topology.n]
+        if bad:
+            raise SimulationError(f"failed positions out of range: {bad}")
+        self.crash_schedule = dict(crash_schedule or {})
+        bad = [p for p in self.crash_schedule if not 0 <= p < topology.n]
+        if bad:
+            raise SimulationError(f"crash positions out of range: {bad}")
+        self._crashed: set[int] = set()
+
+        self._wakeup_spec = wakeup
+        self._leader_position: int | None = None
+        self._current_depth = 0
+        self._ran = False
+
+        self.nodes: list[Node] = [
+            protocol.create_node(_BoundContext(self, position))
+            for position in range(topology.n)
+        ]
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _resolve_wakeup(self) -> dict[int, float]:
+        """Materialise the wake-up schedule (default: everyone at t=0)."""
+        spec = self._wakeup_spec
+        if spec is None:
+            schedule = {p: 0.0 for p in range(self.topology.n)}
+        elif callable(spec):
+            schedule = dict(spec(self.topology, self.rng))
+        else:
+            schedule = dict(spec)
+        schedule = {
+            p: t for p, t in schedule.items() if p not in self.failed_positions
+        }
+        if not schedule:
+            raise SimulationError("wake-up schedule contains no live base node")
+        for position, time in schedule.items():
+            if not 0 <= position < self.topology.n:
+                raise SimulationError(f"wake position {position} out of range")
+            if time < 0:
+                raise SimulationError(f"negative wake time {time}")
+        return schedule
+
+    def _transmit(self, position: int, port: int, message: Message) -> None:
+        """Node ``position`` sends ``message`` through ``port``."""
+        if not 0 <= port < self.topology.num_ports:
+            raise SimulationError(
+                f"node {self.topology.id_at(position)} used invalid port {port}"
+            )
+        bits = message_bits(message, self.topology.n)
+        self.metrics.on_send(message.type_name, bits)
+        far = self.topology.neighbor(position, port)
+        far_port = self.topology.reverse_port(position, port)
+        self.tracer.record(
+            self.scheduler.now,
+            "send",
+            self.topology.id_at(position),
+            to=self.topology.id_at(far),
+            message=message.type_name,
+        )
+        # Channels are keyed (and delay models addressed) by identity, so
+        # adversarial delay strategies can condition on the ids the paper's
+        # constructions talk about.
+        channel = self.channels.channel(
+            self.topology.id_at(position), self.topology.id_at(far)
+        )
+        arrival = channel.arrival_time(
+            message, self.scheduler.now, self.delays, self.rng
+        )
+        depth = self._current_depth + 1
+
+        sender_id = self.topology.id_at(position)
+
+        def deliver(event: Event, far=far, far_port=far_port, message=message):
+            self._deliver(far, far_port, message, event.depth, sender_id)
+
+        self.scheduler.schedule_at(arrival, deliver, depth=depth)
+
+    def _deliver(
+        self, position: int, port: int, message: Message, depth: int, sender_id: int
+    ) -> None:
+        """Hand a message to its destination node (or drop it if failed)."""
+        self.metrics.on_delivery_depth(depth)
+        if position in self.failed_positions or position in self._crashed:
+            return
+        node = self.nodes[position]
+        was_asleep = not node.awake
+        previous_depth = self._current_depth
+        self._current_depth = depth
+        try:
+            if was_asleep:
+                self.metrics.on_wake(self.scheduler.now)
+            self.tracer.record(
+                self.scheduler.now,
+                "deliver",
+                self.topology.id_at(position),
+                message=message.type_name,
+                sender=sender_id,
+            )
+            node.receive(port, message)
+        finally:
+            self._current_depth = previous_depth
+
+    def _on_leader_declared(self, position: int) -> None:
+        if self._leader_position is not None and self._leader_position != position:
+            first = self.topology.id_at(self._leader_position)
+            second = self.topology.id_at(position)
+            raise ProtocolViolation(
+                f"{self.protocol.name}: node {second} declared leader at "
+                f"t={self.scheduler.now} but node {first} already had"
+            )
+        if self._leader_position is None:
+            self._leader_position = position
+            self.metrics.on_leader(self.scheduler.now, self._current_depth)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(
+        self, *, until: float | None = None, require_leader: bool = True
+    ) -> ElectionResult:
+        """Execute to quiescence (or ``until``) and return the result.
+
+        With ``require_leader=True`` (default) the result is also verified:
+        liveness, safety and validity per :meth:`ElectionResult.verify`.
+        """
+        if self._ran:
+            raise SimulationError("a Network instance can only run once")
+        self._ran = True
+
+        schedule = self._resolve_wakeup()
+        for position, time in schedule.items():
+
+            def wake(event: Event, position=position):
+                node = self.nodes[position]
+                if position not in self._crashed and not node.awake:
+                    self.metrics.on_wake(self.scheduler.now)
+                    node.wake(spontaneous=True)
+
+            self.scheduler.schedule_at(time, wake, tiebreak=-1)
+
+        for position, time in self.crash_schedule.items():
+
+            def crash(event: Event, position=position):
+                self._crashed.add(position)
+                self.tracer.record(
+                    self.scheduler.now, "crash", self.topology.id_at(position)
+                )
+
+            # Crashes win ties against deliveries at the same instant: the
+            # adversary kills the node before it can act.
+            self.scheduler.schedule_at(time, crash, tiebreak=-2)
+
+        self.scheduler.run(until=until)
+        self.metrics.quiescent_at = self.scheduler.now
+
+        # A node scheduled to wake spontaneously may have been woken earlier
+        # by a message, in which case it is *not* a base node; report the
+        # nodes that actually started the protocol on their own.
+        base_positions = tuple(
+            position
+            for position in range(self.topology.n)
+            if self.nodes[position].is_base
+        )
+        result = self._build_result(base_positions)
+        if require_leader:
+            result.verify()
+        return result
+
+    def _build_result(self, base_positions: tuple[int, ...]) -> ElectionResult:
+        leader_position = self._leader_position
+        leader_id = (
+            self.topology.id_at(leader_position)
+            if leader_position is not None
+            else None
+        )
+        metrics = self.metrics
+        return ElectionResult(
+            n=self.topology.n,
+            protocol=self.protocol.describe(),
+            leader_id=leader_id,
+            leader_position=leader_position,
+            elected_at=metrics.leader_declared_at,
+            election_time=metrics.election_time,
+            election_depth=metrics.leader_declared_depth,
+            messages_total=metrics.messages_total,
+            bits_total=metrics.bits_total,
+            messages_by_type=dict(metrics.messages_by_type),
+            max_depth=metrics.max_depth,
+            quiescent_at=metrics.quiescent_at,
+            first_wake_time=metrics.first_wake_time,
+            last_wake_time=metrics.last_wake_time,
+            base_positions=base_positions,
+            failed_positions=tuple(sorted(self.failed_positions)),
+            node_snapshots=tuple(node.snapshot() for node in self.nodes),
+            trace=self.tracer,
+            crashed_positions=tuple(sorted(self._crashed)),
+            max_channel_load=self.channels.max_load,
+        )
+
+
+def run_election(
+    protocol: ElectionProtocol,
+    topology: CompleteTopology,
+    **kwargs: Any,
+) -> ElectionResult:
+    """One-shot convenience wrapper: build a :class:`Network` and run it."""
+    until = kwargs.pop("until", None)
+    require_leader = kwargs.pop("require_leader", True)
+    network = Network(protocol, topology, **kwargs)
+    return network.run(until=until, require_leader=require_leader)

@@ -1,0 +1,73 @@
+"""Synchronous (round-based) execution view.
+
+The paper twice contrasts its asynchronous bounds with the synchronous
+world: AG85's synchronous protocol elects in O(log N) rounds, while
+Corollary 5.1 pins asynchronous message-optimal election at Ω(N/log N)
+time, "a loss in speed by a factor of N/(log N)²".
+
+A synchronous network is the special case of the Section 2 model where
+every message takes exactly one time unit and all base nodes wake together
+at t = 0 — lock-step rounds.  :func:`run_synchronous` runs a protocol in
+that regime, *verifies* the execution really was lock-step (every delivery
+on an integer boundary), and reports the round count, which for protocol B
+is the paper's synchronous O(log N) benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.core.protocol import ElectionProtocol
+from repro.core.results import ElectionResult
+from repro.sim.delays import ConstantDelay
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class SynchronousResult:
+    """An election result plus its round accounting."""
+
+    result: ElectionResult
+    #: rounds until the leader declared (= election time under unit delays).
+    rounds: int
+
+    @property
+    def messages_total(self) -> int:
+        return self.result.messages_total
+
+
+def run_synchronous(
+    protocol: ElectionProtocol, topology, *, trace: bool = False
+) -> SynchronousResult:
+    """Run ``protocol`` in lock-step rounds and verify the lock-step.
+
+    All nodes wake spontaneously at t=0 and every message takes exactly one
+    unit, so sends happen at integer instants and deliveries at the next
+    integer — the classic synchronous model.  Raises
+    :class:`SimulationError` if any event lands off-grid (which would mean
+    the unit-delay schedule failed to be synchronous, e.g. a delay model
+    leak).
+    """
+    network = Network(
+        protocol, topology, delays=ConstantDelay(1.0), trace=True
+    )
+    result = network.run()
+    for event in result.trace.events:
+        if event.kind == "deliver" and not math.isclose(
+            event.time, round(event.time)
+        ):
+            raise SimulationError(
+                f"non-integral delivery at t={event.time}: the run was not "
+                "synchronous"
+            )
+    if not trace:
+        # Keep the result lightweight unless the caller wants the trace.
+        import dataclasses
+
+        from repro.sim.tracing import Tracer
+
+        result = dataclasses.replace(result, trace=Tracer())
+    rounds = int(round(result.election_time))
+    return SynchronousResult(result, rounds)

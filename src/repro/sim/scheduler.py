@@ -1,0 +1,101 @@
+"""The discrete-event scheduler.
+
+A thin, deterministic loop over :class:`~repro.sim.events.EventQueue` with a
+virtual clock and a hard event budget.  The budget turns protocol livelocks
+into loud :class:`~repro.core.errors.LivelockError` failures instead of hung
+test runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import LivelockError, SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Scheduler:
+    """Runs events in virtual-time order.
+
+    The clock only moves forward.  Scheduling into the past is a kernel bug
+    and raises :class:`SimulationError` immediately rather than silently
+    reordering history.
+    """
+
+    def __init__(self, *, max_events: int = 5_000_000) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._max_events = max_events
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (for budget accounting)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[Event], None],
+        *,
+        tiebreak: int = 0,
+        depth: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"attempt to schedule an event at t={time} in the past "
+                f"(now={self._now})"
+            )
+        return self._queue.push(time, action, tiebreak=tiebreak, depth=depth)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[Event], None],
+        *,
+        tiebreak: int = 0,
+        depth: int = 0,
+    ) -> Event:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self._now + delay, action, tiebreak=tiebreak, depth=depth
+        )
+
+    def run(self, *, until: float | None = None) -> None:
+        """Process events until the queue drains (or past ``until``).
+
+        Raises :class:`LivelockError` when the event budget is exhausted,
+        which in practice means a protocol is cycling messages forever.
+        """
+        if self._running:
+            raise SimulationError("scheduler re-entered while running")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._processed += 1
+                if self._processed > self._max_events:
+                    raise LivelockError(
+                        f"event budget of {self._max_events} exhausted at "
+                        f"t={self._now}; the protocol is livelocked"
+                    )
+                event.action(event)
+        finally:
+            self._running = False

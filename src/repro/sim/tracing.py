@@ -1,0 +1,52 @@
+"""Execution traces.
+
+Traces are opt-in (they cost memory on large sweeps) and record enough to
+replay an execution on paper: sends, deliveries, wake-ups, captures and
+leader declarations.  The order-equivalence checker in
+:mod:`repro.adversary.order_equivalence` consumes these traces to verify the
+comparison-based property that Section 5's lower bound relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observable step of an execution."""
+
+    time: float
+    kind: str
+    node: int
+    detail: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up one detail field by name."""
+        for name, value in self.detail:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records when enabled."""
+
+    enabled: bool = False
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, kind: str, node: int, **detail: Any) -> None:
+        """Append an event (no-op when disabled)."""
+        if self.enabled:
+            self.events.append(
+                TraceEvent(time, kind, node, tuple(sorted(detail.items())))
+            )
+
+    def of_kind(self, kind: str) -> Iterator[TraceEvent]:
+        """All recorded events of one kind, in time order."""
+        return (event for event in self.events if event.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.events)

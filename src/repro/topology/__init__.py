@@ -1,0 +1,1 @@
+"""Network topologies: complete graphs, sense of direction, chordal rings."""

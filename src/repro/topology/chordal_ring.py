@@ -1,0 +1,112 @@
+"""Chordal rings (the ALSZ89 substrate).
+
+[ALSZ89] showed that O(log N) chords per node — a *chordal ring* with
+chords at power-of-two distances — already admit O(N)-message election,
+sitting between the unlabeled complete network (Ω(N log N) messages) and
+the fully labeled one (O(N)).  The paper cites this spectrum in its
+introduction; we provide the topology as an extension substrate.
+
+A :class:`ChordalRingTopology` has nodes on a directed Hamiltonian cycle
+and, at every node, one labeled port per chord distance.  Links are
+bidirectional, so the port set is the symmetric closure of the chord set
+(distance ``d`` implies distance ``N-d``).  The class satisfies the same
+structural interface as :class:`~repro.topology.complete.CompleteTopology`
+(``neighbor``/``reverse_port``/``label``/...), so ring protocols such as
+Chang–Roberts run on it unchanged via the distance-1 ports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import ConfigurationError
+
+
+def power_of_two_chords(n: int) -> list[int]:
+    """The ALSZ89 chord set {1, 2, 4, ...} below N."""
+    chords = []
+    d = 1
+    while d < n:
+        chords.append(d)
+        d *= 2
+    return chords
+
+
+class ChordalRingTopology:
+    """A ring with labeled chords at fixed distances."""
+
+    sense_of_direction = True
+
+    def __init__(
+        self,
+        n: int,
+        chords: Sequence[int] | None = None,
+        *,
+        ids: Sequence[int] | None = None,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"a ring needs n >= 2, got {n}")
+        raw = list(chords) if chords is not None else power_of_two_chords(n)
+        if any(not 1 <= d <= n - 1 for d in raw):
+            raise ConfigurationError(f"chord distances must be in 1..{n - 1}")
+        if 1 not in raw:
+            raise ConfigurationError("a chordal ring must contain the ring (chord 1)")
+        # Bidirectional links: close the chord set under d -> n - d.
+        closed = sorted({d for d in raw} | {(n - d) % n for d in raw} - {0})
+        self.n = n
+        self.chords = tuple(closed)
+        if ids is None:
+            ids = list(range(n))
+        if len(ids) != n or len(set(ids)) != n:
+            raise ConfigurationError("ids must be n distinct integers")
+        self.ids = tuple(ids)
+        self._position_of_id = {identity: p for p, identity in enumerate(self.ids)}
+        self._port_of_distance = {d: i for i, d in enumerate(self.chords)}
+
+    @property
+    def num_ports(self) -> int:
+        """Labeled ports per node (symmetric chord count)."""
+        return len(self.chords)
+
+    def neighbor(self, position: int, port: int) -> int:
+        """Position reached through ``port``."""
+        return (position + self.chords[port]) % self.n
+
+    def port_to(self, position: int, neighbor: int) -> int:
+        """Port of ``position`` leading to ``neighbor`` (must be a chord)."""
+        distance = (neighbor - position) % self.n
+        try:
+            return self._port_of_distance[distance]
+        except KeyError:
+            raise ConfigurationError(
+                f"positions {position} and {neighbor} are not chord-adjacent"
+            ) from None
+
+    def reverse_port(self, position: int, port: int) -> int:
+        """The far end's port for this link."""
+        return self.port_to(self.neighbor(position, port), position)
+
+    def id_at(self, position: int) -> int:
+        """Identity of the node at ``position``."""
+        return self.ids[position]
+
+    def position_of(self, identity: int) -> int:
+        """Position of the node with ``identity``."""
+        return self._position_of_id[identity]
+
+    def label(self, position: int, port: int) -> int:
+        """Chord distance carried by ``port``."""
+        return self.chords[port]
+
+    def port_with_label(self, position: int, distance: int) -> int:
+        """Port at chord distance ``distance`` (raises if absent)."""
+        try:
+            return self._port_of_distance[distance]
+        except KeyError:
+            raise ConfigurationError(
+                f"no chord at distance {distance}; chords: {self.chords}"
+            ) from None
+
+    def degree_per_node(self) -> int:
+        """Links per node — Θ(log N) for the ALSZ89 chord set."""
+        return self.num_ports

@@ -1,0 +1,146 @@
+"""Complete-network topologies.
+
+A :class:`CompleteTopology` fixes everything static about a run:
+
+* ``n`` node *positions* ``0..n-1`` arranged on the directed Hamiltonian
+  cycle that defines sense of direction (positions are the simulator's
+  ground truth; protocols never see them directly),
+* an *identity assignment* ``ids[position]`` (unique, arbitrary ints), and
+* per-node *port maps*: ``port_neighbor[p][q]`` is the position reached from
+  position ``p`` via port ``q``.
+
+With sense of direction, port ``d-1`` of every node carries label ``d`` and
+leads to the node at cyclic distance ``d`` (Figure 1 of the paper).  Without
+it, a :class:`~repro.topology.ports.PortStrategy` chooses the hidden wiring.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.topology.ports import PortStrategy, RandomPorts, validate_port_map
+
+
+class CompleteTopology:
+    """An immutable complete graph with identities and port maps."""
+
+    def __init__(
+        self,
+        n: int,
+        ids: Sequence[int],
+        port_neighbor: Sequence[Sequence[int]],
+        *,
+        sense_of_direction: bool,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"a complete network needs n >= 2, got {n}")
+        if len(ids) != n or len(set(ids)) != n:
+            raise ConfigurationError("ids must be n distinct integers")
+        if len(port_neighbor) != n:
+            raise ConfigurationError("port_neighbor must have one row per node")
+        for position, row in enumerate(port_neighbor):
+            validate_port_map(n, position, row)
+        self.n = n
+        self.ids = tuple(ids)
+        self.sense_of_direction = sense_of_direction
+        self._port_neighbor = tuple(tuple(row) for row in port_neighbor)
+        self._port_of = tuple(
+            {neighbor: port for port, neighbor in enumerate(row)}
+            for row in self._port_neighbor
+        )
+        self._position_of_id = {identity: p for p, identity in enumerate(self.ids)}
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def num_ports(self) -> int:
+        """Ports per node (= n - 1 in a complete graph)."""
+        return self.n - 1
+
+    def neighbor(self, position: int, port: int) -> int:
+        """Position reached from ``position`` through ``port``."""
+        return self._port_neighbor[position][port]
+
+    def port_to(self, position: int, neighbor: int) -> int:
+        """The port of ``position`` whose link leads to ``neighbor``."""
+        return self._port_of[position][neighbor]
+
+    def reverse_port(self, position: int, port: int) -> int:
+        """The far end's port for the link ``(position, port)``.
+
+        Needed to tell a receiver which of *its* ports a message arrived on.
+        """
+        far = self.neighbor(position, port)
+        return self.port_to(far, position)
+
+    # -- identities ---------------------------------------------------------
+
+    def id_at(self, position: int) -> int:
+        """Identity of the node at ``position``."""
+        return self.ids[position]
+
+    def position_of(self, identity: int) -> int:
+        """Position of the node with ``identity``."""
+        return self._position_of_id[identity]
+
+    # -- sense of direction -------------------------------------------------
+
+    def label(self, position: int, port: int) -> int | None:
+        """Chord label (cyclic distance) of a port, or None if unlabeled."""
+        if not self.sense_of_direction:
+            return None
+        return port + 1
+
+    def port_with_label(self, position: int, distance: int) -> int:
+        """Port carrying label ``distance`` (sense-of-direction networks)."""
+        if not self.sense_of_direction:
+            raise ConfigurationError(
+                "port_with_label requires a network with sense of direction"
+            )
+        if not 1 <= distance <= self.n - 1:
+            raise ConfigurationError(
+                f"distance must be in 1..{self.n - 1}, got {distance}"
+            )
+        return distance - 1
+
+
+def complete_with_sense_of_direction(
+    n: int, *, ids: Sequence[int] | None = None
+) -> CompleteTopology:
+    """Build a complete network with sense of direction.
+
+    Every node's port ``d-1`` leads to the node at distance ``d`` along the
+    Hamiltonian cycle and is labeled ``d`` — the structure of the paper's
+    Figure 1.
+    """
+    if ids is None:
+        ids = list(range(n))
+    port_neighbor = [
+        [(position + distance) % n for distance in range(1, n)]
+        for position in range(n)
+    ]
+    return CompleteTopology(n, ids, port_neighbor, sense_of_direction=True)
+
+
+def complete_without_sense(
+    n: int,
+    *,
+    ids: Sequence[int] | None = None,
+    port_strategy: PortStrategy | None = None,
+    seed: int = 0,
+) -> CompleteTopology:
+    """Build a complete network whose port wiring is hidden from nodes.
+
+    ``port_strategy`` picks the hidden wiring (default: uniformly random,
+    derived deterministically from ``seed``).
+    """
+    if ids is None:
+        ids = list(range(n))
+    strategy = port_strategy if port_strategy is not None else RandomPorts()
+    rng = random.Random(seed)
+    port_neighbor = [
+        strategy.assign(n, position, ids, rng) for position in range(n)
+    ]
+    return CompleteTopology(n, ids, port_neighbor, sense_of_direction=False)

@@ -1,0 +1,99 @@
+"""Sense of direction: definition, validation, and the paper's Figure 1.
+
+A complete network has *sense of direction* when there is a directed
+Hamiltonian cycle and each edge incident at node ``i`` is labeled with the
+distance along that cycle to the node at its far end.  The labeling obeys
+two algebraic laws that this module can check on any topology:
+
+* **antisymmetry** — if the edge is labeled ``d`` at one end it is labeled
+  ``N - d`` at the other;
+* **consistency** — following label ``a`` then label ``b`` lands on the node
+  reached directly by label ``(a + b) mod N``.
+
+These checks back the Figure 1 reproduction (experiment E1).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.topology.complete import CompleteTopology, complete_with_sense_of_direction
+
+
+def verify_sense_of_direction(topology: CompleteTopology) -> None:
+    """Raise :class:`ConfigurationError` unless the labeling is a valid
+    sense of direction (antisymmetric and cyclically consistent)."""
+    if not topology.sense_of_direction:
+        raise ConfigurationError("topology does not declare sense of direction")
+    n = topology.n
+    for position in range(n):
+        for port in range(topology.num_ports):
+            label = topology.label(position, port)
+            far = topology.neighbor(position, port)
+            back = topology.label(far, topology.reverse_port(position, port))
+            if (label + back) % n != 0:
+                raise ConfigurationError(
+                    f"labels {label} and {back} on edge ({position},{far}) "
+                    f"do not sum to N"
+                )
+            if far != (position + label) % n:
+                raise ConfigurationError(
+                    f"label {label} at position {position} leads to {far}, "
+                    f"not to position {(position + label) % n}"
+                )
+
+
+def figure1() -> CompleteTopology:
+    """The paper's Figure 1: a 6-node complete network with sense of
+    direction (directed Hamiltonian cycle 0→1→…→5→0, chords labeled by
+    distance)."""
+    return complete_with_sense_of_direction(6)
+
+
+def chord_endpoints(topology: CompleteTopology, distance: int) -> list[tuple[int, int]]:
+    """All directed chords of a given label, as ``(from, to)`` positions."""
+    return [
+        (position, (position + distance) % topology.n)
+        for position in range(topology.n)
+    ]
+
+
+def as_networkx(topology: CompleteTopology):
+    """Export the labeled network as a ``networkx.DiGraph``.
+
+    Nodes carry their identity; edges carry their distance label.  Used by
+    the Figure 1 example to render the topology.  Imported lazily so the
+    core library keeps zero hard dependencies.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for position in range(topology.n):
+        graph.add_node(position, identity=topology.id_at(position))
+    for position in range(topology.n):
+        for port in range(topology.num_ports):
+            graph.add_edge(
+                position,
+                topology.neighbor(position, port),
+                label=topology.label(position, port),
+            )
+    return graph
+
+
+def ascii_figure(topology: CompleteTopology) -> str:
+    """A textual rendering of a labeled complete network.
+
+    One line per directed chord family, mirroring how Figure 1 annotates the
+    six-node example.
+    """
+    lines = [
+        f"Complete network, N={topology.n}, with sense of direction",
+        f"Hamiltonian cycle: "
+        + " -> ".join(str(p) for p in range(topology.n))
+        + " -> 0",
+    ]
+    for distance in range(1, topology.n):
+        chords = ", ".join(
+            f"{src}->{dst}" for src, dst in chord_endpoints(topology, distance)
+        )
+        lines.append(f"label {distance}: {chords}")
+    return "\n".join(lines)

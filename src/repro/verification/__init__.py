@@ -1,0 +1,10 @@
+"""Exhaustive verification of protocol executions (small N).
+
+The simulator samples executions; this package *enumerates* them: every
+interleaving of wake-ups and FIFO message deliveries a complete
+asynchronous network allows.  See :mod:`repro.verification.explore`.
+"""
+
+from repro.verification.explore import ExplorationReport, explore_protocol
+
+__all__ = ["ExplorationReport", "explore_protocol"]

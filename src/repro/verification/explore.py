@@ -1,0 +1,247 @@
+"""Exhaustive interleaving exploration — a small explicit-state checker.
+
+The paper's safety claims are "for every execution"; random delay sampling
+only ever visits a sliver of that space.  For small N this module explores
+it **completely**: the asynchronous adversary's remaining freedom, once
+latencies are abstracted away, is exactly (a) the interleaving of
+spontaneous wake-ups with everything else and (b) which channel's
+head-of-line message is delivered next (FIFO fixes the order *within* a
+channel; Section 2 guarantees nothing *across* channels).
+
+:func:`explore_protocol` runs a depth-first search over those choices with
+state-fingerprint memoisation and checks, in every reachable state:
+
+* **safety** — never two leader declarations (checked on every transition);
+* **liveness** — every quiescent state (no enabled action) has exactly one
+  leader;
+* **validity** — the leader woke spontaneously.
+
+This is how the library earns "for all executions" rather than "for the
+executions we happened to sample": e.g. every interleaving of Protocol A
+at N=3 (hundreds of states) or Protocol B at N=4 (tens of thousands) is
+checked in well under a second.
+
+Implementation notes.  The timed simulator cannot branch (its event queue
+holds closures), so exploration runs on a separate lock-step world of
+plain FIFO queues; node state machines are reused verbatim — the *same*
+``Node`` classes the simulator runs, driven through the same
+``NodeContext`` interface, so there is no model/implementation gap.
+Branching uses ``deepcopy``; fingerprints use ``pickle`` over a canonical
+projection of node state and queues.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message, message_bits
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+from repro.topology.complete import CompleteTopology
+
+
+class _StepContext(NodeContext):
+    """Node capabilities inside the lock-step exploration world."""
+
+    def __init__(self, world: "_World", position: int) -> None:
+        topology = world.topology
+        self._world = world
+        self._position = position
+        self.node_id = topology.id_at(position)
+        self.n = topology.n
+        self.num_ports = topology.num_ports
+        self.has_sense_of_direction = topology.sense_of_direction
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self._world.enqueue(self._position, port, message)
+
+    def port_label(self, port: int):  # noqa: D102
+        return self._world.topology.label(self._position, port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._world.topology.port_with_label(self._position, distance)
+
+    def now(self) -> float:  # noqa: D102
+        # Logical time: number of transitions taken so far.
+        return float(self._world.steps)
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self._world.on_leader(self._position)
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        pass  # exploration keeps no traces; fingerprints carry the state
+
+
+class _World:
+    """One node-states + channel-queues configuration."""
+
+    def __init__(self, protocol: ElectionProtocol, topology: CompleteTopology,
+                 base_positions: tuple[int, ...]) -> None:
+        protocol.validate(topology)
+        self.topology = topology
+        self.nodes: list[Node] = [
+            protocol.create_node(_StepContext(self, position))
+            for position in range(topology.n)
+        ]
+        self.queues: dict[tuple[int, int], deque[Message]] = {}
+        self.pending_wakes: set[int] = set(base_positions)
+        self.leaders: list[int] = []
+        self.steps = 0
+        self.messages_sent = 0
+
+    # -- transitions -----------------------------------------------------------
+
+    def enqueue(self, position: int, port: int, message: Message) -> None:
+        message_bits(message, self.topology.n)  # O(log N) audit, as in sim
+        far = self.topology.neighbor(position, port)
+        self.queues.setdefault((position, far), deque()).append(message)
+        self.messages_sent += 1
+
+    def on_leader(self, position: int) -> None:
+        self.leaders.append(position)
+        if len(set(self.leaders)) > 1:
+            ids = sorted(self.topology.id_at(p) for p in set(self.leaders))
+            raise ProtocolViolation(f"two leaders declared: {ids}")
+
+    def enabled_actions(self) -> list[tuple[str, Any]]:
+        """Every choice the adversary has in this configuration."""
+        actions: list[tuple[str, Any]] = [
+            ("wake", position) for position in sorted(self.pending_wakes)
+        ]
+        actions.extend(
+            ("deliver", link)
+            for link in sorted(self.queues)
+            if self.queues[link]
+        )
+        return actions
+
+    def apply(self, action: tuple[str, Any]) -> None:
+        kind, arg = action
+        self.steps += 1
+        if kind == "wake":
+            self.pending_wakes.discard(arg)
+            node = self.nodes[arg]
+            if not node.awake:
+                node.wake(spontaneous=True)
+            return
+        src, dst = arg
+        message = self.queues[arg].popleft()
+        if not self.queues[arg]:
+            del self.queues[arg]
+        port = self.topology.port_to(dst, src)
+        self.nodes[dst].receive(port, message)
+
+    # -- identity ---------------------------------------------------------------
+
+    def fingerprint(self) -> bytes:
+        """A canonical byte identity of this configuration.
+
+        Node state is projected to ``__dict__`` minus the context handle
+        (every other field is protocol data: ints, enums, strengths,
+        pending-challenge records — all picklable and value-compared).
+        """
+        node_states = tuple(
+            tuple(
+                sorted(
+                    (key, value)
+                    for key, value in node.__dict__.items()
+                    if key != "ctx"
+                )
+            )
+            for node in self.nodes
+        )
+        queue_state = tuple(
+            (link, tuple(queue)) for link, queue in sorted(self.queues.items())
+        )
+        wakes = tuple(sorted(self.pending_wakes))
+        return pickle.dumps((node_states, queue_state, wakes), protocol=4)
+
+    def clone(self) -> "_World":
+        # A pickle round-trip is a faithful deep copy here (everything in a
+        # world is protocol data plus the ctx back-references, which pickle
+        # preserves as an object graph) and measures ~3x faster than
+        # copy.deepcopy, which dominates exploration cost.
+        return pickle.loads(pickle.dumps(self, protocol=4))
+
+
+@dataclass
+class ExplorationReport:
+    """What the exhaustive search saw."""
+
+    states_explored: int
+    terminal_states: int
+    leaders_seen: set[int] = field(default_factory=set)
+    #: True when the search finished within budget, i.e. the verdict covers
+    #: *every* reachable interleaving.
+    complete: bool = True
+    max_messages_sent: int = 0
+
+    def __str__(self) -> str:
+        coverage = "complete" if self.complete else "TRUNCATED"
+        return (
+            f"{self.states_explored} states, {self.terminal_states} terminal, "
+            f"leaders {sorted(self.leaders_seen)} ({coverage})"
+        )
+
+
+def explore_protocol(
+    protocol: ElectionProtocol,
+    topology: CompleteTopology,
+    *,
+    base_positions: tuple[int, ...] | None = None,
+    max_states: int = 200_000,
+) -> ExplorationReport:
+    """Exhaustively check every interleaving of one election instance.
+
+    Raises :class:`ProtocolViolation` the moment any interleaving declares
+    a second leader, reaches quiescence without a leader, or elects a
+    non-base node.  Returns the coverage report otherwise.  ``max_states``
+    bounds the search; if it is hit, ``report.complete`` is False and the
+    verdict only covers the states visited.
+    """
+    if base_positions is None:
+        base_positions = tuple(range(topology.n))
+    root = _World(protocol, topology, tuple(base_positions))
+    visited: set[bytes] = {root.fingerprint()}
+    stack: list[_World] = [root]
+    report = ExplorationReport(states_explored=1, terminal_states=0)
+
+    while stack:
+        world = stack.pop()
+        actions = world.enabled_actions()
+        if not actions:
+            report.terminal_states += 1
+            report.max_messages_sent = max(
+                report.max_messages_sent, world.messages_sent
+            )
+            leaders = {p for p in set(world.leaders)}
+            if not leaders:
+                raise ProtocolViolation(
+                    f"{protocol.describe()}: an interleaving reached "
+                    "quiescence with no leader"
+                )
+            (leader,) = leaders  # safety already enforced on declaration
+            if not world.nodes[leader].is_base:
+                raise ProtocolViolation(
+                    f"{protocol.describe()}: an interleaving elected the "
+                    f"non-base node {topology.id_at(leader)}"
+                )
+            report.leaders_seen.add(topology.id_at(leader))
+            continue
+        for action in actions:
+            child = world.clone() if len(actions) > 1 else world
+            child.apply(action)
+            key = child.fingerprint()
+            if key in visited:
+                continue
+            visited.add(key)
+            report.states_explored += 1
+            if report.states_explored > max_states:
+                report.complete = False
+                return report
+            stack.append(child)
+    return report

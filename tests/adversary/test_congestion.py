@@ -1,0 +1,54 @@
+"""Tests for the staged forwarding-congestion scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.congestion import hotspot_scenario
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.sim.network import Network
+
+
+class TestScenarioShape:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_scenario(4)
+
+    def test_everyone_claims_the_victim_first_except_the_winner(self):
+        n = 12
+        topo, wake, delays = hotspot_scenario(n)
+        for p in range(1, n - 1):
+            assert topo.neighbor(p, 0) == 0
+        assert topo.neighbor(n - 1, topo.num_ports - 1) == 0
+
+    def test_wake_order_blocker_winner_crowd(self):
+        _, wake, _ = hotspot_scenario(12)
+        assert wake[10] == 0.0  # blocker
+        assert wake[11] == 0.1  # winner
+        assert all(wake[p] == 0.2 for p in range(1, 10))
+        assert 0 not in wake  # the victim stays passive
+
+
+class TestScenarioOutcome:
+    def test_the_designated_winner_wins_under_both_protocols(self):
+        for protocol in (AfekGafni(), ProtocolE()):
+            topo, wake, delays = hotspot_scenario(16)
+            result = Network(protocol, topo, delays=delays, wakeup=wake).run()
+            assert result.leader_id == 15
+
+    def test_blocker_ends_stalled_with_pair_one(self):
+        topo, wake, delays = hotspot_scenario(16)
+        result = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        blocker = result.node_snapshots[14]
+        assert blocker["role"] in ("stalled", "captured")
+
+    def test_e_wins_the_duel_by_a_growing_margin(self):
+        margins = []
+        for n in (16, 64):
+            topo, wake, delays = hotspot_scenario(n)
+            slow = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+            topo, wake, delays = hotspot_scenario(n)
+            fast = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+            margins.append(slow.election_time / fast.election_time)
+        assert margins[1] > margins[0] > 1.5

@@ -1,0 +1,99 @@
+"""Tests for the Section 5 adversary and its executable bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary.delays import band_freeze, congested_links, worst_case_unit
+from repro.adversary.lower_bound import (
+    adversarial_run,
+    corollary_bound,
+    theorem_bound,
+)
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.sim.network import run_election
+from repro.topology.complete import complete_without_sense
+
+
+class TestBounds:
+    def test_theorem_bound_formula(self):
+        # M messages => d = M/N => floor N/16d = N²/16M
+        assert theorem_bound(64, 64) == 64 / 16
+        assert theorem_bound(100, 200) == pytest.approx(100 / 32)
+
+    def test_zero_messages_means_no_finite_bound(self):
+        assert theorem_bound(64, 0) == math.inf
+
+    def test_corollary_is_n_over_log_n(self):
+        assert corollary_bound(256) == pytest.approx(256 / (16 * 8))
+
+
+class TestAdversarialRun:
+    def test_e_is_driven_to_linear_time(self):
+        times = {}
+        for n in (32, 128):
+            result = adversarial_run(ProtocolE(), n)
+            times[n] = result.election_time
+            assert result.election_time >= theorem_bound(n, result.messages_total)
+        assert times[128] / times[32] > 3.0
+
+    def test_adversarial_time_beats_the_corollary_floor(self):
+        for n in (32, 64, 128):
+            result = adversarial_run(ProtocolE(), n)
+            assert result.election_time >= corollary_bound(n)
+
+    def test_locality_parameter_controls_the_band_width(self):
+        result = adversarial_run(ProtocolE(), 32, locality=4)
+        result.verify()
+
+    def test_the_tradeoff_product_holds_across_the_f_family(self):
+        """Theorem 5.1 as a trade-off: time × (messages/N) = Ω(N)."""
+        n = 64
+        for k in (2, 8, 32):
+            result = run_election(
+                ProtocolF(k=k), complete_without_sense(n, seed=11),
+                delays=worst_case_unit(), seed=11,
+            )
+            product = result.election_time * result.messages_total / n
+            assert product >= n / 16
+
+
+class TestAdversarialDelayModels:
+    def test_worst_case_unit_is_constant_one(self):
+        import random
+
+        from repro.core.messages import Wakeup
+
+        model = worst_case_unit()
+        assert model.latency(0, 1, Wakeup(), 0.0, random.Random(0)) == 1.0
+
+    def test_congested_links_space_deliveries(self):
+        import random
+
+        from repro.core.messages import Wakeup
+
+        model = congested_links()
+        assert model.gap(0, 1, Wakeup(), 0.0, random.Random(0)) == 1.0
+        assert model.latency(0, 1, Wakeup(), 0.0, random.Random(0)) < 0.2
+
+    def test_band_freeze_slows_the_middle_half_only(self):
+        import random
+
+        from repro.core.messages import Wakeup
+
+        model = band_freeze(16, epsilon=0.1)
+        rng = random.Random(0)
+        # middle band = ids 4..11
+        assert model.latency(5, 14, Wakeup(), 0.0, rng) == 1.0
+        assert model.latency(0, 6, Wakeup(), 0.0, rng) == 1.0
+        assert model.latency(0, 15, Wakeup(), 0.0, rng) == 0.1
+
+    def test_band_freeze_still_elects(self):
+        result = run_election(
+            ProtocolE(), complete_without_sense(32, seed=2),
+            delays=band_freeze(32), seed=2,
+        )
+        result.verify()

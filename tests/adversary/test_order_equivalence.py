@@ -1,0 +1,108 @@
+"""Tests for the comparison-based / order-equivalence machinery (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.order_equivalence import (
+    canonical_trace,
+    check_comparison_based,
+    order_isomorphic,
+)
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.tracing import TraceEvent
+
+
+class TestOrderIsomorphism:
+    def test_monotone_transforms_are_isomorphic(self):
+        assert order_isomorphic([3, 1, 2], [30, 10, 20])
+        assert order_isomorphic([0, 5, 9], [100, 200, 999])
+
+    def test_rank_swaps_are_not(self):
+        assert not order_isomorphic([1, 2, 3], [2, 1, 3])
+
+    def test_length_mismatch(self):
+        assert not order_isomorphic([1, 2], [1, 2, 3])
+
+
+class TestCanonicalTrace:
+    def test_identities_replaced_by_ranks_everywhere(self):
+        events = [
+            TraceEvent(1.0, "send", 30, (("message", "X"), ("to", 10))),
+            TraceEvent(2.0, "level", 10, (("level", 2),)),
+        ]
+        canon = canonical_trace(events, [10, 20, 30])
+        assert canon[0][2] == 2  # node 30 has rank 2
+        assert dict(canon[0][3])["to"] == 0  # id 10 has rank 0
+        assert dict(canon[1][3])["level"] == 2  # counts untouched
+
+
+monotone_assignments = st.integers(min_value=2, max_value=12).flatmap(
+    lambda n: st.tuples(
+        st.just(list(range(n))),
+        st.tuples(
+            st.integers(min_value=1, max_value=50),
+            st.integers(min_value=0, max_value=1000),
+        ).map(lambda ab: [ab[0] * x + ab[1] for x in range(n)]),
+    )
+)
+
+
+class TestComparisonBased:
+    @pytest.mark.parametrize(
+        "factory",
+        [ProtocolD, ProtocolE, lambda: ProtocolF(k=3)],
+        ids=["D", "E", "F"],
+    )
+    def test_unlabeled_protocols_cannot_distinguish_isomorphic_ids(self, factory):
+        check_comparison_based(factory, list(range(10)),
+                               [7 * x + 3 for x in range(10)])
+
+    @pytest.mark.parametrize(
+        "factory", [ProtocolA, ProtocolC], ids=["A", "C"]
+    )
+    def test_sense_protocols_are_comparison_based_too(self, factory):
+        check_comparison_based(
+            factory, list(range(16)), [5 * x + 2 for x in range(16)],
+            sense_of_direction=True,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(monotone_assignments)
+    def test_property_affine_id_maps_never_distinguishable(self, pair):
+        ids_a, ids_b = pair
+        check_comparison_based(ProtocolE, ids_a, ids_b)
+
+    def test_non_isomorphic_assignments_rejected(self):
+        with pytest.raises(ConfigurationError, match="not order-isomorphic"):
+            check_comparison_based(ProtocolD, [1, 2, 3], [3, 2, 1])
+
+    def test_a_genuinely_identity_dependent_protocol_is_caught(self):
+        """Sanity: the checker can fail.  A protocol where only even
+        identities stand for election is not comparison-based."""
+        from repro.protocols.nosense.protocol_d import ProtocolD, ProtocolDNode
+
+        class ParityNode(ProtocolDNode):
+            def on_wake(self, spontaneous):
+                # Only even identities contest: an arithmetic (non-order)
+                # property of the identity.
+                super().on_wake(spontaneous and self.ctx.node_id % 2 == 0)
+
+        class ParityProtocol(ProtocolD):
+            name = "parity-test"
+
+            def create_node(self, ctx):
+                return ParityNode(ctx)
+
+        # Same ranks, but rank 3 is even (4) in one assignment and odd (5)
+        # in the other, so the candidate sets differ.
+        with pytest.raises(AssertionError, match="diverge|lengths"):
+            check_comparison_based(
+                ParityProtocol, [1, 2, 3, 4], [1, 2, 3, 5], seed=0
+            )

@@ -1,0 +1,90 @@
+"""Tests for the Lemma 5.1/5.2 band-symmetry machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary.delays import worst_case_unit
+from repro.adversary.symmetry import (
+    check_band_symmetry,
+    history_signature,
+    symmetric_prefix_time,
+)
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.sim.network import Network
+from repro.topology.complete import complete_without_sense
+from repro.topology.ports import RandomPorts, UpDownPorts
+
+
+def adversarial_trace(n, *, k=None):
+    k = k if k is not None else max(1, math.ceil(math.log2(n)))
+    topology = complete_without_sense(n, port_strategy=UpDownPorts(k))
+    network = Network(
+        ProtocolE(), topology, delays=worst_case_unit(), trace=True
+    )
+    return network.run(), k
+
+
+class TestHistorySignature:
+    def test_partner_identities_become_centered_offsets(self):
+        result, _ = adversarial_trace(16)
+        history = history_signature(result, 8, until=3.0)
+        assert history, "the node must have acted by t=3"
+        for _, kind, detail in history:
+            for key, value in detail:
+                if key in ("to", "sender", "cand", "owner"):
+                    assert -8 < value <= 8  # centered, not raw ids
+
+    def test_requires_a_trace(self):
+        result = Network(
+            ProtocolE(), complete_without_sense(8, seed=0)
+        ).run()
+        with pytest.raises(ConfigurationError, match="traced"):
+            history_signature(result, 0)
+
+
+class TestSymmetricPrefix:
+    def test_adjacent_middle_nodes_are_long_symmetric(self):
+        result, k = adversarial_trace(64)
+        center = symmetric_prefix_time(result, 32, 33)
+        assert center >= 64  # far beyond anything random wiring allows
+
+    def test_random_wiring_breaks_symmetry_immediately(self):
+        """The symmetry is the ADVERSARY's construction: benign random
+        wiring has no translation invariance to preserve."""
+        n = 64
+        topology = complete_without_sense(n, port_strategy=RandomPorts(), seed=1)
+        network = Network(
+            ProtocolE(), topology, delays=worst_case_unit(), trace=True, seed=1
+        )
+        result = network.run()
+        assert symmetric_prefix_time(result, 32, 33) <= 8.0
+
+
+class TestLemmaShape:
+    def test_symmetry_lasts_longer_deeper_into_the_middle(self):
+        result, k = adversarial_trace(128)
+        times = check_band_symmetry(result, band_width=k)
+        assert (
+            times["near_extreme"]
+            < times["quarter_deep"]
+            < times["center"]
+        )
+
+    def test_center_symmetry_scales_linearly_with_n(self):
+        centers = {}
+        for n in (64, 256):
+            result, k = adversarial_trace(n)
+            centers[n] = check_band_symmetry(result, band_width=k)["center"]
+        assert centers[256] / centers[64] > 3.0
+
+    def test_center_nodes_stay_symmetric_for_almost_the_whole_run(self):
+        """Lemma 5.2's conclusion: the middle cannot be told apart until
+        the execution is nearly over — which is exactly why the election
+        cannot finish early."""
+        result, k = adversarial_trace(128)
+        center = check_band_symmetry(result, band_width=k)["center"]
+        assert center >= 0.9 * result.election_time

@@ -1,0 +1,85 @@
+"""Tests for the wake-up patterns."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.core.errors import ConfigurationError
+from repro.topology.complete import complete_with_sense_of_direction
+
+RNG = random.Random(0)
+TOPO = complete_with_sense_of_direction(16)
+
+
+class TestSimultaneous:
+    def test_everyone_at_the_given_time(self):
+        schedule = wakeup.simultaneous(2.5)(TOPO, RNG)
+        assert set(schedule) == set(range(16))
+        assert set(schedule.values()) == {2.5}
+
+
+class TestSingleBase:
+    def test_one_entry(self):
+        schedule = wakeup.single_base(3, time=1.0)(TOPO, RNG)
+        assert schedule == {3: 1.0}
+
+    def test_position_validated(self):
+        with pytest.raises(ConfigurationError):
+            wakeup.single_base(99)(TOPO, RNG)
+
+
+class TestRandomSubset:
+    def test_count_and_window_respected(self):
+        schedule = wakeup.random_subset(5, window=3.0)(TOPO, RNG)
+        assert len(schedule) == 5
+        assert all(0.0 <= t <= 3.0 for t in schedule.values())
+
+    def test_zero_window_means_simultaneous(self):
+        schedule = wakeup.random_subset(4)(TOPO, RNG)
+        assert set(schedule.values()) == {0.0}
+
+    def test_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            wakeup.random_subset(17)(TOPO, RNG)
+
+    def test_seed_offset_changes_the_draw(self):
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        a = wakeup.random_subset(5, seed_offset=0)(TOPO, rng_a)
+        b = wakeup.random_subset(5, seed_offset=1)(TOPO, rng_b)
+        assert a != b
+
+
+class TestStaggeredChain:
+    def test_spacing_is_one_minus_epsilon(self):
+        schedule = wakeup.staggered_chain(epsilon=0.25)(TOPO, RNG)
+        assert schedule[0] == 0.0
+        assert schedule[5] == pytest.approx(5 * 0.75)
+
+    def test_count_limits_participants(self):
+        schedule = wakeup.staggered_chain(count=4)(TOPO, RNG)
+        assert set(schedule) == {0, 1, 2, 3}
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ConfigurationError):
+            wakeup.staggered_chain(epsilon=0.0)
+
+
+class TestStaggeredUniform:
+    def test_spread_covered_evenly(self):
+        schedule = wakeup.staggered_uniform(5, spread=8.0)(TOPO, RNG)
+        assert schedule[0] == 0.0
+        assert schedule[4] == pytest.approx(8.0)
+        assert schedule[2] == pytest.approx(4.0)
+
+    def test_single_node_degenerates(self):
+        schedule = wakeup.staggered_uniform(1, spread=8.0)(TOPO, RNG)
+        assert schedule == {0: 0.0}
+
+
+class TestExplicit:
+    def test_passes_through_verbatim(self):
+        schedule = wakeup.explicit({2: 0.5, 9: 1.5})(TOPO, RNG)
+        assert schedule == {2: 0.5, 9: 1.5}

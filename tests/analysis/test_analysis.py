@@ -1,0 +1,123 @@
+"""Tests for the analysis toolkit (complexity fits, stats, tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.complexity import (
+    boundedness_ratio,
+    crossover,
+    doubling_ratios,
+    loglog_slope,
+)
+from repro.analysis.stats import geometric_mean, summarize
+from repro.analysis.tables import render_kv, render_table
+from repro.core.errors import ConfigurationError
+
+
+class TestLogLogSlope:
+    def test_recovers_exact_exponents(self):
+        xs = [2, 4, 8, 16, 32]
+        assert loglog_slope(xs, [x**2 for x in xs]) == pytest.approx(2.0)
+        assert loglog_slope(xs, [5 * x for x in xs]) == pytest.approx(1.0)
+        assert loglog_slope(xs, [7.0] * 5) == pytest.approx(0.0)
+
+    def test_nlogn_sits_between_linear_and_quadratic(self):
+        xs = [16, 64, 256, 1024]
+        slope = loglog_slope(xs, [x * math.log2(x) for x in xs])
+        assert 1.0 < slope < 1.5
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_property_power_laws_recovered(self, exponent, constant):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [constant * x**exponent for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(exponent, rel=1e-6)
+
+    def test_insufficient_or_invalid_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loglog_slope([2], [4])
+        with pytest.raises(ConfigurationError):
+            loglog_slope([2, 4], [0, 4])
+        with pytest.raises(ConfigurationError):
+            loglog_slope([2, 2], [4, 4])
+
+
+class TestBoundedness:
+    def test_exact_bound_gives_ratio_one(self):
+        xs = [2, 4, 8]
+        assert boundedness_ratio(xs, [3 * x for x in xs], lambda x: x) == 1.0
+
+    def test_wrong_shape_inflates_the_ratio(self):
+        xs = [2, 4, 8, 16]
+        ratio = boundedness_ratio(xs, [x**2 for x in xs], lambda x: x)
+        assert ratio == pytest.approx(8.0)
+
+
+class TestCrossover:
+    def test_finds_the_first_win(self):
+        xs = [1, 2, 3, 4]
+        assert crossover(xs, [9, 7, 3, 1], [5, 5, 5, 5]) == 3
+
+    def test_none_when_never_winning(self):
+        assert crossover([1, 2], [9, 9], [5, 5]) is None
+
+
+class TestDoublingRatios:
+    def test_linear_series_doubles(self):
+        assert doubling_ratios([2, 4, 8], [10, 20, 40]) == [2.0, 2.0]
+
+    def test_requires_a_doubling_sweep(self):
+        with pytest.raises(ConfigurationError):
+            doubling_ratios([2, 5], [1, 2])
+
+
+class TestStats:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert (s.count, s.mean, s.minimum, s.maximum) == (3, 2.0, 1.0, 3.0)
+        assert s.std == pytest.approx(1.0)
+
+    def test_single_sample_has_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert str(s) == "5.0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=20))
+    def test_property_mean_within_range(self, samples):
+        s = summarize(samples)
+        tolerance = 1e-12 * max(abs(s.minimum), abs(s.maximum))
+        assert s.minimum - tolerance <= s.mean <= s.maximum + tolerance
+
+
+class TestTables:
+    def test_render_table_aligns_and_pipes(self):
+        text = render_table(("N", "msgs"), [(16, 100), (256, 1600)])
+        lines = text.splitlines()
+        assert lines[0].startswith("| N")
+        assert set(lines[1]) <= {"|", "-"}
+        assert "256" in lines[3]
+
+    def test_floats_formatted_compactly(self):
+        text = render_table(("x",), [(3.14159,), (float("nan"),)])
+        assert "3.14" in text and "-" in text
+
+    def test_render_kv(self):
+        text = render_kv("Findings", [("slope", 1.02), ("n", 256)])
+        assert "Findings" in text
+        assert "slope" in text and "1.02" in text

@@ -1,0 +1,177 @@
+"""Tests for the invariant audit, replay renderer and sparkline charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import chart_series, sparkline
+from repro.analysis.invariants import (
+    ALL_INVARIANTS,
+    assert_captured_at_most_once,
+    assert_fifo_per_link,
+    assert_levels_monotone,
+    assert_no_losses,
+    assert_single_declaration,
+    assert_wakeups_before_activity,
+    audit,
+)
+from repro.analysis.replay import render_replay
+from repro.core.errors import ConfigurationError, ProtocolViolation
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import UniformDelay
+from repro.sim.network import Network
+from repro.sim.tracing import TraceEvent, Tracer
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+def traced_run(protocol, topology, **kwargs):
+    return Network(protocol, topology, trace=True, **kwargs).run()
+
+
+class TestAuditOnRealRuns:
+    @pytest.mark.parametrize(
+        "protocol,sense",
+        [(ProtocolA(), True), (ProtocolC(), True),
+         (ProtocolE(), False), (ProtocolG(k=4), False)],
+        ids=["A", "C", "E", "G"],
+    )
+    def test_full_audit_passes(self, protocol, sense):
+        topology = (
+            complete_with_sense_of_direction(16)
+            if sense
+            else complete_without_sense(16, seed=2)
+        )
+        result = traced_run(protocol, topology, seed=2)
+        audit(result)
+
+    def test_audit_passes_under_random_delays(self):
+        result = traced_run(
+            ProtocolE(), complete_without_sense(20, seed=4),
+            delays=UniformDelay(0.05, 1.0), seed=4,
+        )
+        audit(result)
+
+    def test_untraced_run_is_rejected(self):
+        result = Network(
+            ProtocolE(), complete_without_sense(8, seed=0)
+        ).run()
+        with pytest.raises(ProtocolViolation, match="trace=True"):
+            audit(result)
+
+
+def forged_result(events, **overrides):
+    """A result carrying a hand-written trace."""
+    from tests.core.test_results import make_result, snap
+
+    tracer = Tracer(enabled=True, events=list(events))
+    return make_result(
+        [snap(0, leader=True, base=True), snap(1)], trace=tracer, **overrides
+    )
+
+
+class TestCheckersCatchViolations:
+    def test_fifo_checker_catches_reordering(self):
+        events = [
+            TraceEvent(0.0, "send", 0, (("message", "X"), ("to", 1))),
+            TraceEvent(0.1, "send", 0, (("message", "Y"), ("to", 1))),
+            TraceEvent(1.0, "deliver", 1, (("message", "Y"), ("sender", 0))),
+            TraceEvent(1.1, "deliver", 1, (("message", "X"), ("sender", 0))),
+        ]
+        with pytest.raises(ProtocolViolation, match="FIFO"):
+            assert_fifo_per_link(forged_result(events))
+
+    def test_loss_checker_catches_a_dropped_message(self):
+        events = [
+            TraceEvent(0.0, "send", 0, (("message", "X"), ("to", 1))),
+        ]
+        with pytest.raises(ProtocolViolation, match="loss"):
+            assert_no_losses(forged_result(events))
+
+    def test_level_checker_catches_regression(self):
+        events = [
+            TraceEvent(0.0, "level", 0, (("level", 3),)),
+            TraceEvent(1.0, "level", 0, (("level", 2),)),
+        ]
+        with pytest.raises(ProtocolViolation, match="backwards"):
+            assert_levels_monotone(forged_result(events))
+
+    def test_capture_checker_catches_double_capture(self):
+        events = [
+            TraceEvent(0.0, "captured_by", 5, (("cand", 1),)),
+            TraceEvent(1.0, "captured_by", 5, (("cand", 2),)),
+        ]
+        with pytest.raises(ProtocolViolation, match="more than once"):
+            assert_captured_at_most_once(forged_result(events))
+
+    def test_declaration_checker_counts_leader_events(self):
+        events = [
+            TraceEvent(0.0, "leader", 0, ()),
+            TraceEvent(1.0, "leader", 1, ()),
+        ]
+        with pytest.raises(ProtocolViolation, match="declarations"):
+            assert_single_declaration(forged_result(events))
+
+    def test_wake_checker_catches_sleep_sending(self):
+        events = [
+            TraceEvent(0.0, "send", 3, (("message", "X"), ("to", 1))),
+        ]
+        with pytest.raises(ProtocolViolation, match="before waking"):
+            assert_wakeups_before_activity(forged_result(events))
+
+    def test_battery_is_complete(self):
+        assert len(ALL_INVARIANTS) == 6
+
+
+class TestReplay:
+    def test_narrates_the_key_moments(self):
+        result = traced_run(
+            ProtocolA(), complete_with_sense_of_direction(8), seed=0
+        )
+        text = render_replay(result)
+        assert "wakes" in text
+        assert "LEADER" in text
+        assert f"leader={result.leader_id}" in text
+
+    def test_verbose_mode_lists_messages(self):
+        result = traced_run(
+            ProtocolA(), complete_with_sense_of_direction(4), seed=0
+        )
+        text = render_replay(result, include_messages=True)
+        assert "Capture" in text and "->" in text
+
+    def test_untraced_run_degrades_gracefully(self):
+        result = Network(
+            ProtocolE(), complete_without_sense(4, seed=0)
+        ).run()
+        assert "no trace" in render_replay(result)
+
+
+class TestCharts:
+    def test_sparkline_shape(self):
+        line = sparkline([1, 2, 4, 8, 16], log_scale=True)
+        assert len(line) == 5
+        assert line[0] < line[-1]  # rising bars
+
+    def test_flat_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+        with pytest.raises(ConfigurationError):
+            sparkline([0, 1], log_scale=True)
+
+    def test_chart_series_aligns_labels(self):
+        text = chart_series([16, 64], {"C": [98, 418], "B": [230, 1542]})
+        assert "C  " in text and "B  " in text
+        assert "(98 .. 418)" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="points"):
+            chart_series([1, 2], {"x": [1.0]})

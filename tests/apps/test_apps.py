@@ -1,0 +1,144 @@
+"""Tests for the applications layer (Section 1 equivalences)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.broadcast import Broadcast
+from repro.apps.global_function import FOLDS, GlobalFunction
+from repro.apps.spanning_tree import SpanningTree
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+ELECTIONS = [
+    ("C", lambda: ProtocolC(), True),
+    ("A", lambda: ProtocolA(), True),
+    ("E", lambda: ProtocolE(), False),
+    ("G", lambda: ProtocolG(k=4), False),
+]
+
+
+def topology_for(sense, n, seed=0):
+    if sense:
+        return complete_with_sense_of_direction(n)
+    return complete_without_sense(n, seed=seed)
+
+
+class TestSpanningTree:
+    @pytest.mark.parametrize("name,factory,sense", ELECTIONS)
+    def test_tree_over_any_election_protocol(self, name, factory, sense):
+        n = 16
+        result = run_election(SpanningTree(factory()), topology_for(sense, n))
+        result.verify()
+        snaps = result.node_snapshots
+        assert sum(1 for s in snaps if s["parent_port"] is not None) == n - 1
+        assert all(s["leader_id"] == result.leader_id for s in snaps)
+        root = snaps[result.leader_position]
+        assert root["tree_complete"] and root["children"] == n - 1
+
+    def test_overhead_is_two_rounds(self):
+        n = 32
+        bare = run_election(ProtocolC(), complete_with_sense_of_direction(n))
+        tree = run_election(
+            SpanningTree(ProtocolC()), complete_with_sense_of_direction(n)
+        )
+        assert tree.messages_total - bare.messages_total == 2 * (n - 1)
+        assert tree.quiescent_at - bare.quiescent_at <= 2.0
+
+    def test_tree_survives_random_delays(self):
+        for seed in range(4):
+            result = run_election(
+                SpanningTree(ProtocolE()),
+                complete_without_sense(12, seed=seed),
+                delays=UniformDelay(0.05, 1.0),
+                seed=seed,
+            )
+            result.verify()
+            assert all(
+                s["leader_id"] == result.leader_id for s in result.node_snapshots
+            )
+
+
+class TestGlobalFunction:
+    @pytest.mark.parametrize("fold,expected", [
+        ("sum", sum(range(16))),
+        ("max", 15),
+        ("min", 0),
+    ])
+    def test_folds_over_identities(self, fold, expected):
+        result = run_election(
+            GlobalFunction(ProtocolC(), fold=fold),
+            complete_with_sense_of_direction(16),
+        )
+        assert all(
+            s["global_result"] == expected for s in result.node_snapshots
+        )
+
+    def test_custom_inputs(self):
+        result = run_election(
+            GlobalFunction(ProtocolC(), fold="sum", input_fn=lambda i: i * i),
+            complete_with_sense_of_direction(8),
+        )
+        expected = sum(i * i for i in range(8))
+        assert result.node_snapshots[0]["global_result"] == expected
+
+    def test_unknown_fold_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fold"):
+            GlobalFunction(ProtocolC(), fold="median")
+
+    def test_all_folds_registered(self):
+        assert set(FOLDS) == {"sum", "max", "min"}
+
+    def test_overhead_is_three_rounds(self):
+        n = 16
+        bare = run_election(ProtocolC(), complete_with_sense_of_direction(n))
+        agg = run_election(
+            GlobalFunction(ProtocolC()), complete_with_sense_of_direction(n)
+        )
+        assert agg.messages_total - bare.messages_total == 3 * (n - 1)
+
+
+class TestBroadcast:
+    def test_payload_reaches_everyone(self):
+        result = run_election(
+            Broadcast(ProtocolC(), payload_fn=lambda i: 777),
+            complete_with_sense_of_direction(16),
+        )
+        assert all(s["received"] == 777 for s in result.node_snapshots)
+        leader = result.node_snapshots[result.leader_position]
+        assert leader["broadcast_complete"]
+
+    def test_default_payload_is_the_leader_identity(self):
+        result = run_election(
+            Broadcast(ProtocolE()), complete_without_sense(10, seed=1)
+        )
+        assert all(
+            s["received"] == result.leader_id for s in result.node_snapshots
+        )
+
+
+class TestComposition:
+    def test_described_names_nest(self):
+        app = GlobalFunction(ProtocolG(k=4), fold="max")
+        assert app.describe() == "GlobalFunction(max)[G(k=4)]"
+
+    def test_validation_delegates_to_the_election(self):
+        with pytest.raises(ConfigurationError, match="sense of direction"):
+            run_election(
+                SpanningTree(ProtocolC()), complete_without_sense(8)
+            )
+
+    def test_app_preserves_election_safety_checks(self):
+        result = run_election(
+            SpanningTree(ProtocolG(k=3)), complete_without_sense(12, seed=5)
+        )
+        result.verify()

@@ -1,0 +1,89 @@
+"""Property tests for the applications layer.
+
+The apps must inherit the election's correctness under any environment and
+deliver their own postconditions exactly: tree shape, fold value, payload
+ubiquity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import wakeup
+from repro.apps.broadcast import Broadcast
+from repro.apps.global_function import GlobalFunction
+from repro.apps.spanning_tree import SpanningTree
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import complete_without_sense
+
+SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+environments = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=2, max_value=24),
+        "seed": st.integers(min_value=0, max_value=10**6),
+        "bases": st.integers(min_value=1, max_value=24),
+    }
+)
+
+
+def run_app(app_factory, env):
+    n = env["n"]
+    return run_election(
+        app_factory(),
+        complete_without_sense(n, seed=env["seed"]),
+        delays=UniformDelay(0.05, 1.0),
+        wakeup=wakeup.random_subset(
+            min(env["bases"], n), seed_offset=env["seed"]
+        ),
+        seed=env["seed"],
+    )
+
+
+class TestSpanningTreeProperties:
+    @SETTINGS
+    @given(env=environments)
+    def test_tree_is_always_a_rooted_star_with_n_minus_1_edges(self, env):
+        result = run_app(lambda: SpanningTree(ProtocolE()), env)
+        result.verify()
+        snaps = result.node_snapshots
+        parents = [s for s in snaps if s["parent_port"] is not None]
+        assert len(parents) == env["n"] - 1
+        root = snaps[result.leader_position]
+        assert root["parent_port"] is None
+        assert root["children"] == env["n"] - 1
+        assert all(s["leader_id"] == result.leader_id for s in snaps)
+
+
+class TestGlobalFunctionProperties:
+    @SETTINGS
+    @given(env=environments, fold=st.sampled_from(["sum", "max", "min"]))
+    def test_fold_is_exact_and_ubiquitous(self, env, fold):
+        result = run_app(
+            lambda: GlobalFunction(
+                ProtocolE(), fold=fold, input_fn=lambda i: (i * 13) % 97
+            ),
+            env,
+        )
+        inputs = [(i * 13) % 97 for i in range(env["n"])]
+        expected = {"sum": sum, "max": max, "min": min}[fold](inputs)
+        assert all(
+            s["global_result"] == expected for s in result.node_snapshots
+        )
+
+
+class TestBroadcastProperties:
+    @SETTINGS
+    @given(env=environments, payload=st.integers(min_value=0, max_value=10**6))
+    def test_payload_reaches_every_node_exactly(self, env, payload):
+        result = run_app(
+            lambda: Broadcast(ProtocolE(), payload_fn=lambda i: payload), env
+        )
+        assert all(s["received"] == payload for s in result.node_snapshots)
+        leader = result.node_snapshots[result.leader_position]
+        assert leader["broadcast_complete"]

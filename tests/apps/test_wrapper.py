@@ -1,0 +1,83 @@
+"""Unit tests for the app-composition wrapper itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.spanning_tree import SpanningTree, SpanningTreeNode
+from repro.apps.wrapper import AppNode, _InterceptedContext
+from repro.core.messages import Wakeup
+from repro.protocols.nosense.protocol_e import ProtocolE, SeqCapture
+from repro.protocols.sense.protocol_a import Capture, ProtocolA
+
+from tests.protocols.helpers import RecordingContext
+
+
+class TestInterceptedContext:
+    def test_passthrough_of_capabilities(self):
+        real = RecordingContext(node_id=3, n=8, sense=True)
+        app = SpanningTreeNode(real, ProtocolA(k=2))
+        inner_ctx = app.inner.ctx
+        assert isinstance(inner_ctx, _InterceptedContext)
+        assert (inner_ctx.node_id, inner_ctx.n) == (3, 8)
+        assert inner_ctx.port_with_label(2) == 1
+        assert inner_ctx.port_label(0) == 1
+        assert inner_ctx.now() == 0.0
+        inner_ctx.send(4, Wakeup())
+        assert real.sent == [(4, Wakeup())]
+        inner_ctx.trace("x", y=1)  # must not raise
+
+    def test_leader_interception_reaches_both_parties(self):
+        real = RecordingContext(node_id=3, n=8, sense=True)
+        app = SpanningTreeNode(real, ProtocolA(k=2))
+        app.inner.ctx.declare_leader()
+        assert app.is_leader
+        assert app.leader_id == 3
+        assert real.leader_declared  # still reported to the runtime
+
+
+class TestMessageRouting:
+    def test_app_messages_never_reach_the_inner_protocol(self):
+        from repro.apps.spanning_tree import TreeInvite
+
+        real = RecordingContext(node_id=5, n=8)
+        app = SpanningTreeNode(real, ProtocolE())
+        app.receive(2, TreeInvite(7))
+        assert app.parent_port == 2
+        assert app.leader_id == 7
+        # the inner protocol saw nothing (it would have raised or replied)
+        assert app.inner.role.value == "passive"
+
+    def test_protocol_messages_pass_straight_through(self):
+        real = RecordingContext(node_id=5, n=8)
+        app = SpanningTreeNode(real, ProtocolE())
+        app.receive(2, SeqCapture(1, 7))
+        assert app.inner.role.value == "captured"
+
+    def test_wake_propagates_base_status_to_the_inner_node(self):
+        real = RecordingContext(node_id=5, n=8, sense=True)
+        app = SpanningTreeNode(real, ProtocolA(k=2))
+        app.wake(True)
+        assert app.inner.is_base
+        # the inner candidacy started: a capture went out
+        assert any(isinstance(m, Capture) for _, m in real.sent)
+
+    def test_snapshot_merges_inner_and_app_state(self):
+        real = RecordingContext(node_id=5, n=8)
+        app = SpanningTreeNode(real, ProtocolE())
+        snap = app.snapshot()
+        assert "level" in snap  # inner field
+        assert "tree_complete" in snap  # app field
+        assert snap["leader_id"] is None
+
+
+class TestAbstractHooks:
+    def test_base_appnode_requires_the_hooks(self):
+        node = AppNode(RecordingContext(), ProtocolE())
+        with pytest.raises(NotImplementedError):
+            node.on_leader_elected()
+        with pytest.raises(NotImplementedError):
+            node.on_app_message(0, Wakeup())
+
+    def test_describe_nests_the_election_name(self):
+        assert SpanningTree(ProtocolE()).describe() == "SpanningTree[E]"

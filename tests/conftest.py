@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+@pytest.fixture
+def unit_delays():
+    """The paper's worst-case schedule: every message takes one unit."""
+    return ConstantDelay(1.0)
+
+
+@pytest.fixture
+def jittery_delays():
+    """A representative asynchronous schedule."""
+    return UniformDelay(0.05, 1.0)
+
+
+def elect_sense(protocol, n, **kwargs):
+    """Run one election on a labeled complete network."""
+    return run_election(protocol, complete_with_sense_of_direction(n), **kwargs)
+
+
+def elect_nosense(protocol, n, *, topo_seed=0, **kwargs):
+    """Run one election on an unlabeled complete network."""
+    return run_election(
+        protocol, complete_without_sense(n, seed=topo_seed), **kwargs
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for the message model and its O(log N) size accounting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import MessageSizeError
+from repro.core.messages import (
+    LeaderAnnouncement,
+    MAX_INT_FIELDS,
+    Message,
+    TYPE_TAG_BITS,
+    Wakeup,
+    message_bits,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TwoInts(Message):
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class WithBool(Message):
+    flag: bool
+
+
+@dataclass(frozen=True, slots=True)
+class WithTuple(Message):
+    pair: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class TooWide(Message):
+    a: int
+    b: int
+    c: int
+    d: int
+    e: int
+    f: int
+    g: int
+
+
+@dataclass(frozen=True, slots=True)
+class BadField(Message):
+    name: str
+
+
+class TestMessageBits:
+    def test_empty_message_costs_only_the_tag(self):
+        assert message_bits(Wakeup(), 16) == TYPE_TAG_BITS
+
+    def test_int_fields_cost_one_log_n_word_each(self):
+        expected = TYPE_TAG_BITS + 2 * (math.ceil(math.log2(16)) + 1)
+        assert message_bits(TwoInts(3, 7), 16) == expected
+
+    def test_bits_grow_logarithmically_with_n(self):
+        small = message_bits(TwoInts(1, 2), 16)
+        large = message_bits(TwoInts(1, 2), 16**4)
+        assert large == small + 2 * (4 - 1) * 4  # 4x the exponent, same fields
+
+    def test_bool_fields_cost_one_bit(self):
+        assert message_bits(WithBool(True), 64) == TYPE_TAG_BITS + 1
+
+    def test_tuple_fields_charge_per_element(self):
+        bits = message_bits(WithTuple((1, 2, 3)), 64)
+        word = math.ceil(math.log2(64)) + 1
+        assert bits == TYPE_TAG_BITS + 3 * word
+
+    def test_too_many_int_fields_rejected(self):
+        with pytest.raises(MessageSizeError):
+            message_bits(TooWide(1, 2, 3, 4, 5, 6, 7), 64)
+        assert MAX_INT_FIELDS < 7
+
+    def test_unencodable_field_rejected(self):
+        with pytest.raises(MessageSizeError):
+            message_bits(BadField("oops"), 64)
+
+    @given(st.integers(min_value=2, max_value=10**6),
+           st.integers(min_value=0, max_value=10**9))
+    def test_bits_always_within_constant_times_log_n(self, n, value):
+        bits = message_bits(LeaderAnnouncement(value), n)
+        assert bits <= TYPE_TAG_BITS + 4 * (math.log2(n) + 2)
+
+
+class TestMessageValues:
+    def test_messages_compare_structurally(self):
+        assert TwoInts(1, 2) == TwoInts(1, 2)
+        assert TwoInts(1, 2) != TwoInts(2, 1)
+
+    def test_messages_are_immutable(self):
+        message = TwoInts(1, 2)
+        with pytest.raises(AttributeError):
+            message.a = 5  # type: ignore[misc]
+
+    def test_type_name_matches_class(self):
+        assert Wakeup().type_name == "Wakeup"
+        assert LeaderAnnouncement(3).type_name == "LeaderAnnouncement"

@@ -1,0 +1,95 @@
+"""Unit tests for the node framework (wake semantics, snapshots)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import Message, Wakeup
+from repro.core.node import Node, NodeContext
+
+
+class StubContext(NodeContext):
+    def __init__(self):
+        self.node_id = 7
+        self.n = 4
+        self.num_ports = 3
+        self.has_sense_of_direction = False
+        self.sent = []
+        self.leader_declared = False
+        self.traces = []
+
+    def send(self, port, message):
+        self.sent.append((port, message))
+
+    def port_label(self, port):
+        return None
+
+    def port_with_label(self, distance):
+        raise AssertionError
+
+    def now(self):
+        return 1.5
+
+    def declare_leader(self):
+        self.leader_declared = True
+
+    def trace(self, kind, **detail):
+        self.traces.append((kind, detail))
+
+
+class CountingNode(Node):
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.wakes: list[bool] = []
+        self.received: list[tuple[int, Message]] = []
+
+    def on_wake(self, spontaneous):
+        self.wakes.append(spontaneous)
+
+    def on_message(self, port, message):
+        self.received.append((port, message))
+
+    def snapshot(self) -> dict[str, Any]:
+        return super().snapshot()
+
+
+class TestWakeSemantics:
+    def test_wake_dispatches_exactly_once(self):
+        node = CountingNode(StubContext())
+        node.wake(True)
+        node.wake(True)
+        node.wake(False)
+        assert node.wakes == [True]
+        assert node.is_base
+
+    def test_message_wakes_passive_node_as_non_base(self):
+        node = CountingNode(StubContext())
+        node.receive(1, Wakeup())
+        assert node.wakes == [False]
+        assert not node.is_base
+        assert node.received == [(1, Wakeup())]
+
+    def test_spontaneous_after_message_does_not_rewake(self):
+        node = CountingNode(StubContext())
+        node.receive(0, Wakeup())
+        node.wake(True)
+        assert node.wakes == [False]
+        assert not node.is_base
+
+
+class TestLeadership:
+    def test_become_leader_declares_and_traces(self):
+        ctx = StubContext()
+        node = CountingNode(ctx)
+        node.become_leader()
+        assert node.is_leader
+        assert ctx.leader_declared
+        assert ("leader", {}) in ctx.traces
+
+    def test_snapshot_reports_the_basics(self):
+        node = CountingNode(StubContext())
+        node.wake(True)
+        snap = node.snapshot()
+        assert snap == {
+            "id": 7, "awake": True, "is_base": True, "is_leader": False,
+        }

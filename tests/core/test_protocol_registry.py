@@ -1,0 +1,57 @@
+"""Tests for the protocol registry and validation plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro  # noqa: F401  - importing registers every protocol
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import protocol_class, registered_protocols
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+EXPECTED_NAMES = {
+    "A", "A'", "B", "C", "D", "E", "F", "G",
+    "AG85", "LMW86", "CR", "FT",
+}
+
+
+class TestRegistry:
+    def test_every_paper_protocol_is_registered(self):
+        assert EXPECTED_NAMES <= set(registered_protocols())
+
+    def test_lookup_by_name(self):
+        assert protocol_class("A") is ProtocolA
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            protocol_class("nope")
+
+
+class TestValidation:
+    def test_sense_protocols_reject_unlabeled_networks(self):
+        with pytest.raises(ConfigurationError, match="sense of direction"):
+            ProtocolA().validate(complete_without_sense(8))
+
+    def test_protocol_a_rejects_out_of_range_k(self):
+        topo = complete_with_sense_of_direction(8)
+        with pytest.raises(ConfigurationError):
+            ProtocolA(k=0).validate(topo)
+        with pytest.raises(ConfigurationError):
+            ProtocolA(k=8).validate(topo)
+
+    def test_protocol_c_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            ProtocolC().validate(complete_with_sense_of_direction(6))
+
+    def test_protocol_c_requires_dividing_k(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolC(k=3).validate(complete_with_sense_of_direction(16))
+
+    def test_valid_configs_pass(self):
+        ProtocolA(k=3).validate(complete_with_sense_of_direction(9))
+        ProtocolC(k=4).validate(complete_with_sense_of_direction(16))

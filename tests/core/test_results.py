@@ -1,0 +1,81 @@
+"""Tests for ElectionResult verification (liveness/safety/validity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProtocolViolation
+from repro.core.results import ElectionResult
+from repro.sim.tracing import Tracer
+
+
+def make_result(snapshots, **overrides):
+    defaults = dict(
+        n=len(snapshots),
+        protocol="X",
+        leader_id=None,
+        leader_position=None,
+        elected_at=None,
+        election_time=float("inf"),
+        election_depth=None,
+        messages_total=0,
+        bits_total=0,
+        messages_by_type={},
+        max_depth=0,
+        quiescent_at=0.0,
+        first_wake_time=0.0,
+        last_wake_time=0.0,
+        base_positions=(0,),
+        failed_positions=(),
+        node_snapshots=tuple(snapshots),
+        trace=Tracer(),
+    )
+    defaults.update(overrides)
+    return ElectionResult(**defaults)
+
+
+def snap(node_id, *, leader=False, base=False):
+    return {"id": node_id, "awake": True, "is_base": base, "is_leader": leader}
+
+
+class TestVerify:
+    def test_single_base_leader_passes(self):
+        result = make_result([snap(0, leader=True, base=True), snap(1)])
+        result.verify()
+
+    def test_no_leader_is_a_liveness_violation(self):
+        result = make_result([snap(0, base=True), snap(1)])
+        with pytest.raises(ProtocolViolation, match="no leader"):
+            result.verify()
+
+    def test_two_leaders_is_a_safety_violation(self):
+        result = make_result(
+            [snap(0, leader=True, base=True), snap(1, leader=True, base=True)]
+        )
+        with pytest.raises(ProtocolViolation, match="multiple leaders"):
+            result.verify()
+
+    def test_passive_leader_is_a_validity_violation(self):
+        result = make_result([snap(0, leader=True, base=False), snap(1, base=True)])
+        with pytest.raises(ProtocolViolation, match="not a base node"):
+            result.verify()
+
+
+class TestDerived:
+    def test_messages_per_node(self):
+        result = make_result([snap(0, leader=True, base=True), snap(1)],
+                             messages_total=10)
+        assert result.messages_per_node == 5.0
+
+    def test_num_base_nodes(self):
+        result = make_result([snap(0, leader=True, base=True), snap(1)],
+                             base_positions=(0, 1, 2))
+        assert result.num_base_nodes == 3
+
+    def test_summary_mentions_the_essentials(self):
+        result = make_result(
+            [snap(0, leader=True, base=True)],
+            leader_id=0, messages_total=7, election_time=3.0,
+        )
+        text = result.summary()
+        assert "leader=0" in text and "msgs=7" in text

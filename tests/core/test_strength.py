@@ -1,0 +1,43 @@
+"""Unit and property tests for the lexicographic contest strengths."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.strength import Strength, ZERO_STRENGTH
+
+strengths = st.builds(
+    Strength,
+    st.integers(min_value=-1, max_value=10**6),
+    st.integers(min_value=-1, max_value=10**6),
+)
+
+
+class TestOrdering:
+    def test_rank_dominates_id(self):
+        assert Strength(2, 1).outranks(Strength(1, 999))
+
+    def test_id_breaks_rank_ties(self):
+        assert Strength(3, 10).outranks(Strength(3, 9))
+        assert not Strength(3, 9).outranks(Strength(3, 10))
+
+    def test_zero_strength_loses_to_any_real_candidate(self):
+        assert Strength(0, 0).outranks(ZERO_STRENGTH)
+
+    def test_with_rank_preserves_identity(self):
+        s = Strength(3, 42).with_rank(9)
+        assert s == Strength(9, 42)
+
+    @given(strengths, strengths)
+    def test_outranks_is_antisymmetric(self, a, b):
+        if a != b:
+            assert a.outranks(b) != b.outranks(a)
+
+    @given(strengths, strengths, strengths)
+    def test_outranks_is_transitive(self, a, b, c):
+        if a.outranks(b) and b.outranks(c):
+            assert a.outranks(c)
+
+    @given(strengths)
+    def test_nothing_outranks_itself(self, a):
+        assert not a.outranks(a)

@@ -1,0 +1,67 @@
+"""Tests for the experiment harness and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import Check, ExperimentReport
+from repro.harness.experiments import QUICK, Scale, e1_figure1
+
+
+class TestExperimentReport:
+    def test_passes_when_all_checks_pass(self):
+        report = ExperimentReport("X", "claim")
+        report.check("a", True)
+        report.check("b", True)
+        assert report.passed
+
+    def test_fails_when_any_check_fails(self):
+        report = ExperimentReport("X", "claim")
+        report.check("a", True)
+        report.check("b", False, "boom")
+        assert not report.passed
+        with pytest.raises(AssertionError, match="boom"):
+            report.raise_if_failed()
+
+    def test_render_includes_claim_tables_and_verdicts(self):
+        report = ExperimentReport("E-test", "the claim text")
+        report.add_table("tbl", ("N", "msgs"), [(4, 10)])
+        report.find("slope", 1.0)
+        report.check("shape holds", True, "detail")
+        text = report.render()
+        assert "the claim text" in text
+        assert "| N" in text
+        assert "[PASS] shape holds" in text
+
+    def test_check_records_are_immutable_values(self):
+        check = Check("n", True, "d")
+        with pytest.raises(AttributeError):
+            check.passed = False  # type: ignore[misc]
+
+
+class TestScales:
+    def test_quick_scale_is_modest(self):
+        assert max(QUICK.ns) <= 128
+        assert len(QUICK.seeds) <= 3
+
+    def test_custom_scales_flow_through(self):
+        tiny = Scale(ns=(4, 8), seeds=(1,))
+        report = e1_figure1(tiny)
+        assert report.passed
+        # the table was built from the custom sweep
+        title, headers, rows = report.tables[0]
+        assert [row[0] for row in rows] == [4, 8]
+
+
+class TestReportGenerator:
+    def test_generate_quick_writes_markdown(self, tmp_path, capsys):
+        """Smoke: the CLI path runs E1 (cheap) end to end."""
+        from repro.harness import report as report_module
+
+        # run only the cheap experiment through the module's machinery
+        markdown = report_module.PREAMBLE + e1_figure1(QUICK).render()
+        out = tmp_path / "EXPERIMENTS.md"
+        out.write_text(markdown)
+        content = out.read_text()
+        assert "paper vs. measured" in content
+        assert "Figure 1" in content

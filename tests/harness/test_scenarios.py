@@ -1,0 +1,58 @@
+"""Tests for the named scenario library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.harness.scenarios import SCENARIOS, run_scenario
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_c import ProtocolC
+
+
+class TestCatalogue:
+    def test_expected_scenarios_exist(self):
+        assert set(SCENARIOS) == {
+            "benign", "worst_case", "chain", "adversarial_ports",
+            "congested", "frozen_middle",
+        }
+
+    def test_every_scenario_has_a_description(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_unlabeled_protocol_runs_everywhere(self, name):
+        result = run_scenario(ProtocolG(k=4), name, 16, seed=1)
+        result.verify()
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(SCENARIOS) - {"adversarial_ports"})
+    )
+    def test_sense_protocol_runs_where_labels_exist(self, name):
+        result = run_scenario(ProtocolC(), name, 16, seed=1)
+        result.verify()
+
+    def test_sense_protocol_rejected_by_the_port_adversary(self):
+        with pytest.raises(ConfigurationError, match="unlabeled"):
+            run_scenario(ProtocolC(), "adversarial_ports", 16)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            run_scenario(ProtocolE(), "nope", 16)
+
+    def test_overrides_flow_through(self):
+        result = run_scenario(
+            ProtocolE(), "worst_case", 12, seed=2, wakeup={3: 0.0}
+        )
+        assert result.leader_position == 3
+
+    def test_port_adversary_pins_e_to_linear_time(self):
+        from repro.adversary.lower_bound import theorem_bound
+
+        result = run_scenario(ProtocolE(), "adversarial_ports", 32, seed=1)
+        assert result.election_time >= theorem_bound(32, result.messages_total)
+        assert result.election_time >= 1.5 * 32

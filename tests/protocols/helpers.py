@@ -1,0 +1,54 @@
+"""Shared white-box test harness: a recording NodeContext.
+
+Lets handler tests drive a protocol node directly — inject any message on
+any port, inspect exactly what it sent back — without a network, scheduler
+or second node.  Sense-of-direction lookups map label ``d`` to port
+``d - 1`` as the real topology does.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+
+
+class RecordingContext(NodeContext):
+    """Captures sends and leader declarations instead of delivering them."""
+
+    def __init__(self, node_id: int = 0, n: int = 8, *, sense: bool = False):
+        self.node_id = node_id
+        self.n = n
+        self.num_ports = n - 1
+        self.has_sense_of_direction = sense
+        self.sent: list[tuple[int, Message]] = []
+        self.leader_declared = False
+
+    def send(self, port: int, message: Message) -> None:
+        self.sent.append((port, message))
+
+    def port_label(self, port: int):
+        return port + 1 if self.has_sense_of_direction else None
+
+    def port_with_label(self, distance: int) -> int:
+        assert self.has_sense_of_direction
+        return distance - 1
+
+    def now(self) -> float:
+        return 0.0
+
+    def declare_leader(self) -> None:
+        self.leader_declared = True
+
+    def trace(self, kind: str, **detail) -> None:
+        pass
+
+    # -- assertions -----------------------------------------------------------
+
+    def take(self) -> list[tuple[int, Message]]:
+        """Pop and return everything sent since the last call."""
+        out, self.sent = self.sent, []
+        return out
+
+    def sent_types(self) -> list[str]:
+        """Type names of everything sent since the last take()."""
+        return [message.type_name for _, message in self.sent]

@@ -1,0 +1,123 @@
+"""Hypothesis as the asynchronous adversary.
+
+The paper's adversary chooses message delays; here hypothesis plays that
+role directly: it generates the latency sequence a run will consume, and
+shrinking searches for a schedule that elects two leaders, loses liveness,
+or breaks an invariant.  This is a much nastier adversary than any fixed
+delay model — it is exactly the quantifier in "for every execution".
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.invariants import audit
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import DelayModel
+from repro.sim.network import Network
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+class ScriptedDelays(DelayModel):
+    """Latencies consumed from a finite script, then cycled.
+
+    Gaps are scripted too (every other value), so hypothesis controls both
+    adversary dials of the Section 2 model.
+    """
+
+    def __init__(self, script: list[float]) -> None:
+        if not script:
+            raise ConfigurationError("need at least one scripted delay")
+        self._script = script
+        self._index = 0
+
+    def _next(self) -> float:
+        value = self._script[self._index % len(self._script)]
+        self._index += 1
+        return value
+
+    def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        return min(1.0, max(0.01, self._next()))
+
+    def gap(self, sender, receiver, message, send_time, rng):  # noqa: D102
+        return min(1.0, max(0.0, self._next() - 0.5))
+
+
+delay_scripts = st.lists(
+    st.floats(min_value=0.0, max_value=1.5), min_size=1, max_size=64
+)
+
+ADVERSARIAL_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestScriptedDelaySearch:
+    @ADVERSARIAL_SETTINGS
+    @given(script=delay_scripts, n=st.integers(min_value=2, max_value=24))
+    def test_protocol_a_safe_under_any_delay_script(self, script, n):
+        result = Network(
+            ProtocolA(),
+            complete_with_sense_of_direction(n),
+            delays=ScriptedDelays(script),
+        ).run()
+        result.verify()
+
+    @ADVERSARIAL_SETTINGS
+    @given(script=delay_scripts,
+           r=st.integers(min_value=1, max_value=4))
+    def test_protocol_c_safe_under_any_delay_script(self, script, r):
+        n = 2**r
+        result = Network(
+            ProtocolC(),
+            complete_with_sense_of_direction(n),
+            delays=ScriptedDelays(script),
+        ).run()
+        result.verify()
+
+    @ADVERSARIAL_SETTINGS
+    @given(script=delay_scripts, n=st.integers(min_value=2, max_value=20),
+           wiring=st.integers(min_value=0, max_value=10**6))
+    def test_protocol_e_safe_under_any_delay_script(self, script, n, wiring):
+        result = Network(
+            ProtocolE(),
+            complete_without_sense(n, seed=wiring),
+            delays=ScriptedDelays(script),
+        ).run()
+        result.verify()
+
+    @ADVERSARIAL_SETTINGS
+    @given(script=delay_scripts, n=st.integers(min_value=6, max_value=20),
+           k=st.integers(min_value=2, max_value=5),
+           wiring=st.integers(min_value=0, max_value=10**6))
+    def test_f_g_r_safe_under_any_delay_script(self, script, n, k, wiring):
+        for factory in (ProtocolF, ProtocolG, ProtocolR):
+            result = Network(
+                factory(k=k),
+                complete_without_sense(n, seed=wiring),
+                delays=ScriptedDelays(script),
+            ).run()
+            result.verify()
+
+    @ADVERSARIAL_SETTINGS
+    @given(script=delay_scripts)
+    def test_invariants_hold_under_scripted_delays(self, script):
+        network = Network(
+            ProtocolG(k=3),
+            complete_without_sense(12, seed=3),
+            delays=ScriptedDelays(script),
+            trace=True,
+        )
+        result = network.run()
+        audit(result)

@@ -1,0 +1,77 @@
+"""Tests for the baseline protocols: LMW86 and Chang–Roberts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.protocols.sense.chang_roberts import ChangRoberts
+from repro.protocols.sense.lmw86 import LMW86
+from repro.topology.chordal_ring import ChordalRingTopology
+from repro.sim.network import run_election
+
+from tests.conftest import elect_sense
+
+
+class TestLMW86:
+    @pytest.mark.parametrize("n", [2, 3, 7, 16, 50])
+    def test_elects_one_leader(self, n):
+        elect_sense(LMW86(), n).verify()
+
+    def test_k_is_the_majority_window(self):
+        assert LMW86().effective_k(16) == 8
+        assert LMW86().effective_k(17) == 9
+        assert LMW86().effective_k(2) == 1
+
+    def test_messages_linear(self):
+        per_node = [
+            elect_sense(LMW86(), n).messages_total / n for n in (16, 64, 256)
+        ]
+        assert max(per_node) / min(per_node) < 1.6
+
+    def test_time_linear_even_with_simultaneous_wakeup(self):
+        """Capturing a majority sequentially costs Θ(N) time — the gap
+        Protocol A/C close."""
+        t64 = elect_sense(LMW86(), 64).election_time
+        t256 = elect_sense(LMW86(), 256).election_time
+        assert t256 / t64 > 3.0
+
+    def test_winner_holds_a_majority(self):
+        result = elect_sense(LMW86(), 20)
+        leader = result.node_snapshots[result.leader_position]
+        assert leader["level"] >= 10
+
+
+class TestChangRoberts:
+    @pytest.mark.parametrize("n", [2, 3, 8, 21])
+    def test_elects_one_leader(self, n):
+        elect_sense(ChangRoberts(), n).verify()
+
+    def test_max_base_id_wins(self):
+        result = elect_sense(
+            ChangRoberts(), 12, wakeup={3: 0.0, 7: 0.2, 5: 1.0}
+        )
+        assert result.leader_id == 7
+
+    def test_runs_on_chordal_rings(self):
+        ring = ChordalRingTopology(24)
+        result = run_election(ChangRoberts(), ring)
+        assert result.leader_id == 23
+
+    def test_token_circles_once_for_a_single_base(self):
+        result = elect_sense(ChangRoberts(), 16, wakeup=wakeup.single_base(4))
+        assert result.leader_id == 4
+        assert result.messages_total == 16  # one full lap
+
+    def test_descending_ids_cost_quadratic_messages(self):
+        """The classical Chang–Roberts worst case: every prefix token
+        travels far before being swallowed."""
+        n = 32
+        from repro.topology.complete import complete_with_sense_of_direction
+
+        descending = complete_with_sense_of_direction(
+            n, ids=list(reversed(range(n)))
+        )
+        worst = run_election(ChangRoberts(), descending)
+        ascending = elect_sense(ChangRoberts(), n)
+        assert worst.messages_total > 4 * ascending.messages_total

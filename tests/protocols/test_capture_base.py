@@ -1,0 +1,195 @@
+"""Unit tests for the kill-the-owner contest machinery.
+
+Driven through a miniature harness so the token bookkeeping, relay hops and
+owner switching can be asserted in isolation from any full protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message
+from repro.core.node import NodeContext
+from repro.core.strength import Strength
+from repro.protocols.capture_base import Challenge, ChallengeVerdict, ContestNode
+from repro.protocols.common import Role
+
+
+class RecordingContext(NodeContext):
+    """Captures sends instead of delivering them."""
+
+    def __init__(self, node_id=0, n=8):
+        self.node_id = node_id
+        self.n = n
+        self.num_ports = n - 1
+        self.has_sense_of_direction = False
+        self.sent: list[tuple[int, Message]] = []
+
+    def send(self, port, message):
+        self.sent.append((port, message))
+
+    def port_label(self, port):
+        return None
+
+    def port_with_label(self, distance):
+        raise AssertionError("not used")
+
+    def now(self):
+        return 0.0
+
+    def declare_leader(self):
+        pass
+
+    def trace(self, kind, **detail):
+        pass
+
+
+class Reply(Message):
+    pass
+
+
+class TestNode(ContestNode):
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, ctx, strength=Strength(0, 0)):
+        super().__init__(ctx)
+        self._strength = strength
+
+    def current_strength(self):
+        return self._strength
+
+    def make_reply(self, kind: str, won: bool) -> Message:
+        assert kind == "test"
+        return Reply()
+
+    def on_wake(self, spontaneous):
+        pass
+
+    def on_message(self, port, message):
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return super().snapshot()
+
+
+class TestClaimUnowned:
+    def test_first_claim_succeeds_immediately(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")
+        assert node.owner_port == 2
+        assert node.owner_strength == Strength(1, 5)
+        assert node.role is Role.CAPTURED
+        port, message = ctx.sent[0]
+        assert port == 2 and isinstance(message, Reply)
+
+
+class TestClaimOwned:
+    def test_second_claim_is_forwarded_to_the_owner(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")
+        ctx.sent.clear()
+        node.claim(3, Strength(2, 6), "test")
+        port, message = ctx.sent[0]
+        assert port == 2  # the owner link
+        assert isinstance(message, Challenge)
+        assert (message.rank, message.cand) == (2, 6)
+
+    def test_winning_verdict_switches_owner_and_replies(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")
+        node.claim(3, Strength(2, 6), "test")
+        challenge = ctx.sent[-1][1]
+        ctx.sent.clear()
+        node.handle_verdict(2, ChallengeVerdict(challenge.token, True))
+        assert node.owner_port == 3
+        assert node.owner_strength == Strength(2, 6)
+        assert ctx.sent == [(3, ctx.sent[0][1])]
+        assert isinstance(ctx.sent[0][1], Reply)
+
+    def test_losing_verdict_keeps_owner(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")
+        node.claim(3, Strength(0, 1), "test")
+        challenge = ctx.sent[-1][1]
+        node.handle_verdict(2, ChallengeVerdict(challenge.token, False))
+        assert node.owner_port == 2
+        assert node.owner_strength == Strength(1, 5)
+
+    def test_interleaved_verdicts_matched_by_token(self):
+        """Two challenges to different owners resolve out of order."""
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")
+        node.claim(3, Strength(2, 6), "test")
+        first = ctx.sent[-1][1]
+        node.claim(4, Strength(3, 7), "test")
+        second = ctx.sent[-1][1]
+        assert first.token != second.token
+        ctx.sent.clear()
+        # resolve the *second* challenge first
+        node.handle_verdict(2, ChallengeVerdict(second.token, True))
+        assert node.owner_port == 4
+        node.handle_verdict(2, ChallengeVerdict(first.token, False))
+        assert node.owner_port == 4  # unchanged by the stale loss
+
+    def test_unknown_verdict_token_is_a_protocol_violation(self):
+        node = TestNode(RecordingContext())
+        with pytest.raises(ProtocolViolation, match="unknown token"):
+            node.handle_verdict(0, ChallengeVerdict(99, True))
+
+
+class TestChallengeAdjudication:
+    def test_candidate_beats_weaker_challenger(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx, strength=Strength(5, 3))
+        node.role = Role.CANDIDATE
+        node.handle_challenge(1, Challenge(2, 9, token=7))
+        port, verdict = ctx.sent[0]
+        assert (port, verdict.token, verdict.won) == (1, 7, False)
+        assert node.role is Role.CANDIDATE
+
+    def test_candidate_loses_to_stronger_challenger_and_stalls(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx, strength=Strength(1, 3))
+        node.role = Role.CANDIDATE
+        node.handle_challenge(1, Challenge(2, 9, token=7))
+        assert ctx.sent[0][1].won is True
+        assert node.role is Role.STALLED
+
+    def test_self_challenge_always_wins(self):
+        """An ownership chain can route a claim back to its issuer."""
+        ctx = RecordingContext(node_id=9)
+        node = TestNode(ctx, strength=Strength(1, 9))
+        node.role = Role.CANDIDATE
+        node.handle_challenge(1, Challenge(0, 9, token=3))
+        assert ctx.sent[0][1].won is True
+        assert node.role is Role.CANDIDATE  # not stalled by itself
+
+    def test_captured_node_relays_and_echoes_the_original_token(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.claim(2, Strength(1, 5), "test")  # now captured, owner on port 2
+        ctx.sent.clear()
+        node.handle_challenge(4, Challenge(3, 8, token=42))
+        port, relayed = ctx.sent[0]
+        assert port == 2 and isinstance(relayed, Challenge)
+        assert relayed.token != 42  # rewritten per-hop
+        ctx.sent.clear()
+        node.handle_verdict(2, ChallengeVerdict(relayed.token, True))
+        port, verdict = ctx.sent[0]
+        assert port == 4
+        assert (verdict.token, verdict.won) == (42, True)
+
+    def test_unowned_bystander_concedes(self):
+        ctx = RecordingContext()
+        node = TestNode(ctx)
+        node.role = Role.CAPTURED  # captured but no owner recorded
+        node.handle_challenge(1, Challenge(1, 5, token=0))
+        assert ctx.sent[0][1].won is True

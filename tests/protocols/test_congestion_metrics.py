@@ -1,0 +1,83 @@
+"""Link-load and forwarding-depth claims, measured.
+
+Two quantitative statements from the paper's Section 3/4 analysis made
+directly observable:
+
+* a hotspot's owner link carries Θ(N) forwarded claims under AG85 but only
+  O(1)-per-unit under ℰ (the ``max_channel_load`` metric);
+* in Protocol C "each message can be forwarded at most twice"
+  (the ``challenge_hops`` trace).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.congestion import hotspot_scenario
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import Network, run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+class TestChannelLoad:
+    def test_hotspot_owner_link_is_linear_under_ag85(self):
+        loads = {}
+        for n in (32, 128):
+            topo, wake, delays = hotspot_scenario(n)
+            result = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+            loads[n] = result.max_channel_load
+        assert loads[128] / loads[32] > 3.0  # ~linear in N
+        assert loads[128] >= 100
+
+    def test_flow_control_caps_the_same_link(self):
+        n = 128
+        topo, wake, delays = hotspot_scenario(n)
+        ag = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+        topo, wake, delays = hotspot_scenario(n)
+        e = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        assert e.max_channel_load < ag.max_channel_load / 4
+
+    def test_benign_runs_have_modest_link_loads(self):
+        result = run_election(ProtocolE(), complete_without_sense(64, seed=1))
+        assert result.max_channel_load <= 16
+
+
+class TestChallengeHops:
+    def _max_hops(self, result):
+        return max(
+            (e.get("hops") for e in result.trace.of_kind("challenge_hops")),
+            default=0,
+        )
+
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_protocol_c_forwards_at_most_twice(self, n):
+        """The paper's phase-2 remark, verified on every sweep size."""
+        network = Network(
+            ProtocolC(), complete_with_sense_of_direction(n), trace=True
+        )
+        result = network.run()
+        assert self._max_hops(result) <= 2
+
+    def test_protocol_a_forwards_at_most_twice_too(self):
+        network = Network(
+            ProtocolA(), complete_with_sense_of_direction(64), trace=True
+        )
+        result = network.run()
+        assert self._max_hops(result) <= 2
+
+    def test_e_chains_stay_short_under_staggered_wakeups(self):
+        from repro.adversary import wakeup
+
+        network = Network(
+            ProtocolE(), complete_without_sense(48, seed=3), trace=True,
+            wakeup=wakeup.staggered_uniform(48, spread=12.0),
+        )
+        result = network.run()
+        # owner chains strictly increase in strength, so hops are bounded
+        # well below N even in the unstructured protocol
+        assert self._max_hops(result) <= 6

@@ -1,0 +1,105 @@
+"""Behavioural tests for the fault-tolerant election (Section 4)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import complete_without_sense
+
+
+def elect_ft(n, f, failed, **kwargs):
+    topo = complete_without_sense(n, seed=kwargs.pop("topo_seed", 0))
+    return run_election(
+        FaultTolerantElection(max_failures=f), topo,
+        failed_positions=failed, **kwargs,
+    )
+
+
+class TestValidation:
+    def test_f_at_least_half_rejected(self):
+        with pytest.raises(ConfigurationError, match="f < N/2"):
+            elect_ft(8, 4, set())
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultTolerantElection(max_failures=-1)
+
+
+class TestElectionWithFailures:
+    @pytest.mark.parametrize("n,f", [(8, 3), (16, 7), (31, 15)])
+    def test_maximum_tolerable_failures(self, n, f):
+        rng = random.Random(n)
+        failed = set(rng.sample(range(n), f))
+        result = elect_ft(n, f, failed)
+        assert result.leader_position not in failed
+
+    def test_no_failures_still_works(self):
+        elect_ft(16, 5, set()).verify()
+
+    def test_leader_captured_a_majority(self):
+        result = elect_ft(16, 5, {1, 2, 3})
+        leader = result.node_snapshots[result.leader_position]
+        assert leader["level"] >= 16 // 2
+
+    def test_fewer_actual_failures_than_budget(self):
+        result = elect_ft(16, 7, {4})
+        assert result.leader_position != 4
+
+    def test_stress_random_configurations(self):
+        for seed in range(15):
+            rng = random.Random(seed)
+            n = rng.choice([8, 16, 25])
+            f = (n - 1) // 2
+            failed = set(rng.sample(range(1, n), rng.randint(0, f)))
+            result = elect_ft(
+                n, f, failed, topo_seed=seed, seed=seed,
+                delays=UniformDelay(0.05, 1.0),
+            )
+            assert result.leader_position not in failed
+
+    def test_staggered_wakeups_with_failures(self):
+        result = elect_ft(
+            16, 5, {0, 1}, wakeup=wakeup.staggered_uniform(16, spread=8.0),
+        )
+        result.verify()
+
+
+class TestComplexityEnvelope:
+    def test_messages_grow_with_f_but_stay_in_the_envelope(self):
+        n = 32
+        budget = lambda f: 8 * (n * f + n * math.log2(n))  # noqa: E731
+        for f in (0, 5, 10, 15):
+            rng = random.Random(f)
+            failed = set(rng.sample(range(1, n), f)) if f else set()
+            result = elect_ft(n, max(f, 1), failed)
+            assert result.messages_total <= budget(f)
+
+    def test_window_scales_with_f_plus_log_n(self):
+        from repro.protocols.nosense.fault_tolerant import FaultTolerantNode
+
+        class FakeCtx:
+            node_id = 0
+            n = 64
+            num_ports = 63
+            has_sense_of_direction = False
+
+        node = FaultTolerantNode.__new__(FaultTolerantNode)
+        # window formula only needs ctx numbers
+        node.__init__(FakeCtx(), 10)
+        assert node.window == 10 + 6
+
+    def test_dead_nodes_do_not_block_progress(self):
+        """All of the leader's first `window` ports could be dead; the
+        refill logic must keep live claims in flight."""
+        n = 21
+        failed = set(range(1, 11))  # 10 dead nodes, f < N/2
+        result = elect_ft(n, 10, failed)
+        assert result.leader_position not in failed

@@ -1,0 +1,71 @@
+"""Behavioural tests for the Hirschberg–Sinclair ring baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.protocols.sense.hirschberg_sinclair import HirschbergSinclair
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.chordal_ring import ChordalRingTopology
+from repro.topology.complete import complete_with_sense_of_direction
+
+from tests.conftest import elect_sense
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 33])
+    def test_elects_one_leader(self, n):
+        elect_sense(HirschbergSinclair(), n).verify()
+
+    def test_max_base_id_wins(self):
+        result = elect_sense(
+            HirschbergSinclair(), 16, wakeup={2: 0.0, 9: 0.0, 4: 1.0}
+        )
+        assert result.leader_id == 9
+
+    def test_passive_nodes_relay_but_never_veto(self):
+        """Validity: a sleeping giant must not block the election."""
+        result = elect_sense(
+            HirschbergSinclair(), 16, wakeup=wakeup.single_base(0)
+        )
+        assert result.leader_id == 0  # id 15 never woke, so 0 wins
+
+    def test_runs_on_chordal_rings(self):
+        ring = ChordalRingTopology(20)
+        result = run_election(HirschbergSinclair(), ring)
+        assert result.leader_id == 19
+
+    def test_correct_under_random_delays(self):
+        for seed in range(5):
+            elect_sense(
+                HirschbergSinclair(), 12,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+            ).verify()
+
+
+class TestComplexity:
+    def test_messages_are_n_log_n_even_for_descending_ids(self):
+        """HS's guarantee over Chang–Roberts: the worst case is still
+        O(N log N)."""
+        per_nlogn = []
+        for n in (16, 64, 256):
+            topo = complete_with_sense_of_direction(
+                n, ids=list(reversed(range(n)))
+            )
+            msgs = run_election(HirschbergSinclair(), topo).messages_total
+            per_nlogn.append(msgs / (n * math.log2(n)))
+        assert max(per_nlogn) / min(per_nlogn) < 2.5
+
+    def test_winner_runs_log_n_phases(self):
+        result = elect_sense(HirschbergSinclair(), 32)
+        winner = result.node_snapshots[result.leader_position]
+        assert winner["phase"] <= math.ceil(math.log2(32)) + 1
+
+    def test_time_is_linear(self):
+        t32 = elect_sense(HirschbergSinclair(), 32).election_time
+        t128 = elect_sense(HirschbergSinclair(), 128).election_time
+        assert t128 / t32 > 3.0

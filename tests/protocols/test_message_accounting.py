@@ -1,0 +1,135 @@
+"""Per-message-type accounting tests.
+
+The complexity proofs charge each phase separately ("the first phase
+requires O(N) messages since a node is captured at most once", "at most
+O(N/k) candidates", ...).  These tests audit the per-type tallies the
+metrics collector produces against those per-phase budgets — a much tighter
+check than total counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+class TestProtocolAAccounting:
+    def test_phase_budgets(self):
+        n = 64
+        k = 8  # √N
+        result = run_election(
+            ProtocolA(k=k), complete_with_sense_of_direction(n)
+        )
+        by_type = result.messages_by_type
+        # Phase 1: each capture accepted at most once per captured node.
+        assert by_type.get("CaptureAccept", 0) <= n
+        # Each candidate sends at most k owner messages; candidates that
+        # reach phase 2 are at most N/k.
+        assert by_type.get("Owner", 0) <= (n // k) * k
+        # Elect volume: at most N/k candidates × N/k lattice nodes.
+        assert by_type.get("Elect", 0) <= (n // k) ** 2
+        # Forwarded contests are a constant per elect/owner message.
+        assert by_type.get("Challenge", 0) <= 2 * (
+            by_type.get("Elect", 0) + by_type.get("Owner", 0)
+        )
+
+    def test_request_reply_conservation(self):
+        result = run_election(
+            ProtocolA(), complete_with_sense_of_direction(32)
+        )
+        by_type = result.messages_by_type
+        # Every capture gets exactly one response.
+        assert by_type.get("Capture", 0) == (
+            by_type.get("CaptureAccept", 0) + by_type.get("CaptureReject", 0)
+        )
+        # Every challenge gets exactly one verdict.
+        assert by_type.get("Challenge", 0) == by_type.get("ChallengeVerdict", 0)
+
+
+class TestProtocolCAccounting:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_phase_budgets(self, n):
+        result = run_election(ProtocolC(), complete_with_sense_of_direction(n))
+        by_type = result.messages_by_type
+        # Phase 1 (lattice): each class member accepted at most once.
+        assert by_type.get("LatticeAccept", 0) <= n
+        # Phase 2 sweeps: the telescoping bound Σ k/2^(l-1) · 2^(l-1) ≤ k·log k
+        # collapses to O(N); give it the paper's constant headroom.
+        assert by_type.get("Sweep", 0) <= 2 * n
+        assert by_type.get("OwnerUpdate", 0) <= n
+
+
+class TestProtocolDAccounting:
+    def test_exact_counts_with_all_base(self):
+        n = 16
+        result = run_election(ProtocolD(), complete_without_sense(n, seed=0))
+        by_type = result.messages_by_type
+        assert by_type["BroadcastElect"] == n * (n - 1)
+        # every elect is answered: accepts + rejects == elects
+        assert (
+            by_type.get("BroadcastAccept", 0) + by_type.get("BroadcastReject", 0)
+            == n * (n - 1)
+        )
+        # only smaller-id base nodes withhold... i.e. rejects come from
+        # candidates with larger ids: each pair contributes exactly one.
+        assert by_type.get("BroadcastReject", 0) == n * (n - 1) // 2
+
+
+class TestProtocolEAccounting:
+    def test_claims_are_answered_once_each(self):
+        result = run_election(ProtocolE(), complete_without_sense(32, seed=3))
+        by_type = result.messages_by_type
+        assert by_type.get("SeqCapture", 0) == (
+            by_type.get("SeqAccept", 0) + by_type.get("SeqReject", 0)
+        )
+        assert by_type.get("Challenge", 0) == by_type.get("ChallengeVerdict", 0)
+
+    def test_winner_accounts_for_n_minus_1_accepts(self):
+        n = 24
+        result = run_election(
+            ProtocolE(), complete_without_sense(n, seed=1), wakeup={5: 0.0}
+        )
+        assert result.messages_by_type["SeqAccept"] == n - 1
+
+
+class TestProtocolFAccounting:
+    def test_flood_volume_is_bounded_by_flooders(self):
+        n, k = 64, 8
+        result = run_election(
+            ProtocolF(k=k), complete_without_sense(n, seed=2)
+        )
+        by_type = result.messages_by_type
+        floods = by_type.get("FloodElect", 0)
+        # at most k nodes reach level N/k (the paper's counting argument)
+        assert floods <= k * (n - 1)
+        assert floods % (n - 1) == 0  # whole broadcasts only
+
+
+class TestBitBudget:
+    @pytest.mark.parametrize(
+        "factory,sense",
+        [(ProtocolA, True), (ProtocolC, True), (ProtocolE, False)],
+        ids=["A", "C", "E"],
+    )
+    def test_mean_message_size_is_o_log_n(self, factory, sense):
+        for n in (16, 256):
+            topo = (
+                complete_with_sense_of_direction(n)
+                if sense
+                else complete_without_sense(n, seed=0)
+            )
+            result = run_election(factory(), topo)
+            mean_bits = result.bits_total / result.messages_total
+            assert mean_bits <= 8 + 4 * (math.log2(n) + 2)

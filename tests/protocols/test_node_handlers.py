@@ -1,0 +1,373 @@
+"""White-box handler tests: every branch of each protocol state machine.
+
+Integration runs rarely exercise the defensive branches (stale responses,
+messages at a leader, unknown types); these tests inject messages directly
+and assert the node's exact reaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Wakeup
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_d import (
+    BroadcastAccept,
+    BroadcastElect,
+    BroadcastReject,
+    ProtocolD,
+)
+from repro.protocols.nosense.protocol_e import (
+    ProtocolE,
+    SeqAccept,
+    SeqCapture,
+    SeqReject,
+)
+from repro.protocols.nosense.protocol_f import (
+    FloodAccept,
+    FloodElect,
+    FloodReject,
+    ProtocolF,
+)
+from repro.protocols.nosense.protocol_g import (
+    CheckOwner,
+    CheckReply,
+    FirstPhase,
+    FPAccept,
+    FPFinish,
+    FPProceed,
+    ProtocolG,
+)
+from repro.protocols.capture_base import Challenge
+from repro.protocols.sense.protocol_a import (
+    Capture,
+    CaptureAccept,
+    CaptureReject,
+    Elect,
+    ElectAccept,
+    ElectReject,
+    Owner,
+    OwnerAck,
+    ProtocolA,
+    ProtocolAPrime,
+)
+from repro.protocols.sense.protocol_b import ProtocolB, StepCapture, StepReject
+
+from tests.protocols.helpers import RecordingContext
+
+
+def make_node(protocol, *, node_id=0, n=8, sense=False):
+    ctx = RecordingContext(node_id=node_id, n=n, sense=sense)
+    node = protocol.create_node(ctx)
+    return node, ctx
+
+
+class TestProtocolAHandlers:
+    def test_passive_node_grants_capture_and_becomes_captured(self):
+        node, ctx = make_node(ProtocolA(k=2), sense=True)
+        node.receive(3, Capture(0, 5))
+        assert node.role is Role.CAPTURED
+        [(port, reply)] = ctx.take()
+        assert port == 3 and reply == CaptureAccept(0)
+
+    def test_already_captured_node_grants_zero(self):
+        node, ctx = make_node(ProtocolA(k=2), sense=True)
+        node.receive(3, Capture(0, 5))
+        ctx.take()
+        node.receive(4, Capture(2, 6))
+        assert ctx.take() == [(4, CaptureAccept(0))]
+
+    def test_candidate_contest_decides_by_level_then_id(self):
+        node, ctx = make_node(ProtocolA(k=3), node_id=4, sense=True)
+        node.wake(True)  # sends its first capture
+        ctx.take()
+        node.receive(5, Capture(0, 3))  # same level, smaller id: refused
+        assert ctx.take() == [(5, CaptureReject())]
+        assert node.role is Role.CANDIDATE
+        node.receive(5, Capture(0, 6))  # same level, larger id: captured
+        [(_, reply)] = ctx.take()
+        assert reply == CaptureAccept(0)
+        assert node.role is Role.CAPTURED
+
+    def test_surrender_hands_over_the_level(self):
+        node, ctx = make_node(ProtocolA(k=5), node_id=2, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, CaptureAccept(0))  # captures one node -> level 1
+        ctx.take()
+        node.receive(5, Capture(3, 7))  # stronger challenger
+        [(_, reply)] = ctx.take()
+        assert reply == CaptureAccept(1)  # surrenders its 1 capture
+
+    def test_leader_refuses_captures(self):
+        node, ctx = make_node(ProtocolA(k=1), node_id=7, n=2, sense=True)
+        node.wake(True)
+        node.receive(0, CaptureAccept(0))  # level 1 = k -> phase 2
+        node.receive(0, OwnerAck())  # window acked; lattice empty -> leader
+        assert node.role is Role.LEADER
+        ctx.take()
+        node.receive(0, Capture(0, 9))
+        assert ctx.take() == [(0, CaptureReject())]
+
+    def test_stale_capture_accept_ignored_when_stalled(self):
+        node, ctx = make_node(ProtocolA(k=3), node_id=1, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, CaptureReject())
+        assert node.role is Role.STALLED
+        node.receive(0, CaptureAccept(0))  # late grant changes nothing
+        assert node.level == 0
+        assert ctx.take() == []
+
+    def test_phase2_sends_owner_messages_then_elects(self):
+        node, ctx = make_node(ProtocolA(k=2), node_id=7, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, CaptureAccept(1))  # jumps to level 2 = k -> phase 2
+        owners = ctx.take()
+        assert [m.type_name for _, m in owners] == ["Owner", "Owner"]
+        node.receive(0, OwnerAck())
+        assert ctx.take() == []  # still waiting for the second ack
+        node.receive(1, OwnerAck())
+        elects = ctx.take()
+        assert all(isinstance(m, Elect) for _, m in elects)
+        # lattice distances {4, 6} at N=8, k=2 -> ports 3 and 5
+        assert [port for port, _ in elects] == [3, 5]
+
+    def test_elect_at_weaker_candidate_captures_it(self):
+        node, ctx = make_node(ProtocolA(k=3), node_id=1, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(6, Elect(3, 9))
+        assert node.role is Role.CAPTURED
+        assert node.owner_strength is not None
+        assert ctx.take() == [(6, ElectAccept())]
+
+    def test_elect_at_stronger_candidate_is_refused(self):
+        node, ctx = make_node(ProtocolA(k=3), node_id=5, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(6, Elect(0, 2))
+        assert ctx.take() == [(6, ElectReject())]
+
+    def test_unknown_message_raises(self):
+        node, ctx = make_node(ProtocolA(k=2), sense=True)
+        with pytest.raises(ConfigurationError, match="cannot handle"):
+            node.receive(0, StepCapture(0, 1))
+
+    def test_wakeup_message_is_inert(self):
+        node, ctx = make_node(ProtocolA(k=2), sense=True)
+        node.receive(0, Wakeup())
+        assert ctx.take() == []
+        assert node.awake and not node.is_base
+
+
+class TestProtocolAPrimeHandlers:
+    def test_wake_nudges_distance_1_and_k(self):
+        node, ctx = make_node(ProtocolAPrime(k=3), node_id=2, sense=True)
+        node.wake(True)
+        sent = ctx.take()
+        nudges = [(p, m) for p, m in sent if isinstance(m, Wakeup)]
+        assert [p for p, _ in nudges] == [0, 2]  # labels 1 and 3
+
+    def test_k_equal_one_sends_a_single_nudge(self):
+        node, ctx = make_node(ProtocolAPrime(k=1), node_id=2, sense=True)
+        node.receive(0, Wakeup())  # passive wake still spreads
+        nudges = [m for _, m in ctx.take() if isinstance(m, Wakeup)]
+        assert len(nudges) == 1
+
+
+class TestProtocolBHandlers:
+    def test_claim_at_weaker_candidate_captures(self):
+        node, ctx = make_node(ProtocolB(), node_id=1, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(2, StepCapture(1, 6))
+        assert node.role is Role.CAPTURED
+        assert ctx.sent_types() == ["StepAccept"]
+
+    def test_claim_at_stronger_candidate_refused(self):
+        node, ctx = make_node(ProtocolB(), node_id=6, sense=True)
+        node.wake(True)
+        ctx.take()
+        node.receive(2, StepCapture(0, 1))
+        assert ctx.take() == [(2, StepReject())]
+
+    def test_reject_kills_the_candidate(self):
+        node, ctx = make_node(ProtocolB(), node_id=6, sense=True)
+        node.wake(True)
+        node.receive(3, StepReject())
+        assert node.role is Role.STALLED
+
+
+class TestProtocolDHandlers:
+    def test_larger_base_node_withholds(self):
+        node, ctx = make_node(ProtocolD(), node_id=6)
+        node.wake(True)
+        ctx.take()
+        node.receive(2, BroadcastElect(3))
+        assert ctx.take() == [(2, BroadcastReject())]
+
+    def test_everyone_else_grants(self):
+        node, ctx = make_node(ProtocolD(), node_id=6)
+        node.receive(2, BroadcastElect(3))  # passive: grants
+        assert ctx.take() == [(2, BroadcastAccept())]
+
+    def test_leader_needs_all_grants(self):
+        node, ctx = make_node(ProtocolD(), node_id=6, n=3)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, BroadcastAccept())
+        assert not node.is_leader
+        node.receive(1, BroadcastAccept())
+        assert node.is_leader and ctx.leader_declared
+
+
+class TestProtocolEFlowControl:
+    def _captured_node(self):
+        node, ctx = make_node(ProtocolE(), node_id=0)
+        node.receive(5, SeqCapture(2, 9))  # captured by 9 via port 5
+        ctx.take()
+        return node, ctx
+
+    def test_second_claim_forwards_one_challenge(self):
+        node, ctx = self._captured_node()
+        node.receive(1, SeqCapture(3, 7))
+        [(port, message)] = ctx.take()
+        assert port == 5 and isinstance(message, Challenge)
+
+    def test_third_claim_is_buffered_not_forwarded(self):
+        node, ctx = self._captured_node()
+        node.receive(1, SeqCapture(3, 7))
+        ctx.take()
+        node.receive(2, SeqCapture(3, 8))
+        assert ctx.take() == []  # buffered silently
+
+    def test_weaker_overflow_claim_is_refused_immediately(self):
+        node, ctx = self._captured_node()
+        node.receive(1, SeqCapture(3, 7))
+        ctx.take()
+        node.receive(2, SeqCapture(4, 8))  # buffered (strongest)
+        node.receive(3, SeqCapture(3, 6))  # weaker than the buffer
+        assert ctx.take() == [(3, SeqReject())]
+
+    def test_stronger_claim_displaces_and_refuses_the_buffer(self):
+        node, ctx = self._captured_node()
+        node.receive(1, SeqCapture(3, 7))
+        ctx.take()
+        node.receive(2, SeqCapture(3, 6))  # buffered
+        node.receive(3, SeqCapture(4, 8))  # displaces it
+        assert ctx.take() == [(2, SeqReject())]
+
+    def test_verdict_releases_the_buffer_toward_the_new_owner(self):
+        from repro.protocols.capture_base import ChallengeVerdict
+
+        node, ctx = self._captured_node()
+        node.receive(1, SeqCapture(3, 7))
+        [(_, challenge)] = ctx.take()
+        node.receive(2, SeqCapture(4, 8))  # buffered
+        node.receive(5, ChallengeVerdict(challenge.token, True))
+        sent = ctx.take()
+        # the winner (port 1) gets its grant, then the buffered claim is
+        # forwarded to the NEW owner via port 1
+        assert (1, SeqAccept()) in sent
+        forwards = [(p, m) for p, m in sent if isinstance(m, Challenge)]
+        assert [p for p, _ in forwards] == [1]
+
+
+class TestProtocolFHandlers:
+    def test_flood_at_passive_node_grants_and_installs_owner(self):
+        node, ctx = make_node(ProtocolF(k=2), node_id=0)
+        node.receive(3, FloodElect(4, 9))
+        assert node.role is Role.CAPTURED
+        assert ctx.take() == [(3, FloodAccept())]
+
+    def test_flood_at_stronger_candidate_is_refused(self):
+        node, ctx = make_node(ProtocolF(k=2), node_id=9)
+        node.wake(True)
+        ctx.take()
+        node.level = 6
+        node.receive(3, FloodElect(4, 5))
+        assert ctx.take() == [(3, FloodReject())]
+
+    def test_flood_reject_stalls_the_flooder(self):
+        node, ctx = make_node(ProtocolF(k=8), node_id=4)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, SeqAccept())  # level 1 >= ceil(8/8) -> floods
+        assert node.flooding
+        ctx.take()
+        node.receive(2, FloodReject())
+        assert node.role is Role.STALLED
+
+
+class TestProtocolGHandlers:
+    def test_wake_asks_k_neighbours_for_permission(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=2)
+        node.wake(True)
+        sent = ctx.take()
+        assert [p for p, _ in sent] == [0, 1, 2]
+        assert all(isinstance(m, FirstPhase) for _, m in sent)
+
+    def test_passive_target_grants_and_is_captured(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=5)
+        node.receive(2, FirstPhase(1))
+        assert node.role is Role.CAPTURED
+        assert ctx.take() == [(2, FPAccept())]
+
+    def test_in_first_phase_target_says_proceed(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=5)
+        node.wake(True)
+        ctx.take()
+        node.receive(4, FirstPhase(1))
+        assert ctx.take() == [(4, FPProceed())]
+
+    def test_finished_target_says_finish(self):
+        node, ctx = make_node(ProtocolG(k=2), node_id=5)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, FPProceed())
+        node.receive(1, FPProceed())  # first phase over, second begun
+        ctx.take()
+        node.receive(4, FirstPhase(1))
+        assert ctx.take() == [(4, FPFinish())]
+
+    def test_captured_target_checks_its_owner_once_and_queues_askers(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=5)
+        node.receive(2, FirstPhase(1))  # captured via port 2
+        ctx.take()
+        node.receive(3, FirstPhase(6))
+        assert ctx.take() == [(2, CheckOwner())]
+        node.receive(4, FirstPhase(7))  # queued behind the open check
+        assert ctx.take() == []
+        node.receive(2, CheckReply(False))
+        assert sorted(ctx.take()) == [(3, FPProceed()), (4, FPProceed())]
+
+    def test_positive_check_reply_is_cached(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=5)
+        node.receive(2, FirstPhase(1))
+        ctx.take()
+        node.receive(3, FirstPhase(6))
+        ctx.take()
+        node.receive(2, CheckReply(True))
+        assert ctx.take() == [(3, FPFinish())]
+        node.receive(4, FirstPhase(7))  # answered instantly from the cache
+        assert ctx.take() == [(4, FPFinish())]
+
+    def test_any_finish_kills_the_asker(self):
+        node, ctx = make_node(ProtocolG(k=2), node_id=5)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, FPFinish())
+        node.receive(1, FPAccept())
+        assert node.role is Role.STALLED
+        assert node.first_finished
+
+    def test_capture_treats_pre_second_phase_candidate_as_passive(self):
+        node, ctx = make_node(ProtocolG(k=3), node_id=9)
+        node.wake(True)  # in first phase, id 9 (largest!)
+        ctx.take()
+        node.receive(4, SeqCapture(0, 1))
+        assert node.role is Role.CAPTURED  # captured despite the bigger id
+        assert ctx.sent_types() == ["SeqAccept"]

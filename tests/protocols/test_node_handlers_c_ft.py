@@ -1,0 +1,170 @@
+"""White-box handler tests for Protocol C and the fault-tolerant variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.common import Role
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.protocols.nosense.protocol_e import SeqAccept, SeqCapture, SeqReject
+from repro.protocols.sense.protocol_c import (
+    LatticeAccept,
+    LatticeCapture,
+    LatticeReject,
+    OwnerUpdate,
+    OwnerUpdateAck,
+    ProtocolC,
+    Sweep,
+    SweepAccept,
+    SweepReject,
+)
+
+from tests.protocols.helpers import RecordingContext
+
+
+def make_c_node(*, node_id=0, n=16, k=4):
+    ctx = RecordingContext(node_id=node_id, n=n, sense=True)
+    node = ProtocolC(k=k).create_node(ctx)
+    return node, ctx
+
+
+def make_ft_node(*, node_id=0, n=8, f=2, parallelism=None):
+    ctx = RecordingContext(node_id=node_id, n=n)
+    node = FaultTolerantElection(
+        max_failures=f, parallelism=parallelism
+    ).create_node(ctx)
+    return node, ctx
+
+
+class TestProtocolCPhase1:
+    def test_wake_claims_the_first_class_member(self):
+        node, ctx = make_c_node(node_id=2, n=16, k=4)
+        node.wake(True)
+        [(port, message)] = ctx.take()
+        assert port == 3  # distance k=4 -> port 3
+        assert message == LatticeCapture(0, 2)
+
+    def test_passive_class_member_grants_zero(self):
+        node, ctx = make_c_node()
+        node.receive(3, LatticeCapture(0, 9))
+        assert node.role is Role.CAPTURED
+        assert ctx.take() == [(3, LatticeAccept(0))]
+
+    def test_contest_surrenders_the_lattice_level(self):
+        node, ctx = make_c_node(node_id=2)
+        node.wake(True)
+        ctx.take()
+        node.receive(3, LatticeAccept(0))  # lattice level 1
+        ctx.take()
+        node.receive(5, LatticeCapture(2, 9))  # stronger classmate
+        [(_, reply)] = ctx.take()
+        assert reply == LatticeAccept(1)
+        assert node.role is Role.CAPTURED
+
+    def test_weaker_classmate_is_refused(self):
+        node, ctx = make_c_node(node_id=9)
+        node.wake(True)
+        ctx.take()
+        node.receive(5, LatticeCapture(0, 2))
+        assert ctx.take() == [(5, LatticeReject())]
+
+    def test_surrender_accounting_advances_the_conquest(self):
+        node, ctx = make_c_node(node_id=2, n=16, k=4)  # class size 4
+        node.wake(True)
+        ctx.take()
+        node.receive(3, LatticeAccept(1))  # inherits one member: level 2
+        [(port, message)] = ctx.take()
+        assert message == LatticeCapture(2, 2)
+        assert port == 11  # next target at distance 3k=12
+
+
+class TestProtocolCPhase2:
+    def _winner(self):
+        """A node that just finished phase 1 (class size 4 at N=16,k=4)."""
+        node, ctx = make_c_node(node_id=3, n=16, k=4)
+        node.wake(True)
+        ctx.take()
+        node.receive(3, LatticeAccept(2))  # level 3 = class_size-1 -> phase 2
+        return node, ctx
+
+    def test_phase2_entry_updates_owners_across_the_class(self):
+        node, ctx = self._winner()
+        updates = ctx.take()
+        assert [m.type_name for _, m in updates] == ["OwnerUpdate"] * 3
+        assert [p for p, _ in updates] == [3, 7, 11]  # distances 4, 8, 12
+
+    def test_sweeps_double_after_all_owner_acks(self):
+        node, ctx = self._winner()
+        ctx.take()
+        for port in (3, 7, 11):
+            node.receive(port, OwnerUpdateAck())
+        [(port, sweep)] = ctx.take()
+        assert isinstance(sweep, Sweep)
+        assert port == 1  # first doubling target at distance k/2 = 2
+        node.receive(1, SweepAccept())
+        step2 = ctx.take()
+        assert [p for p, _ in step2] == [0, 2]  # distances 1 and 3
+
+    def test_sweep_reject_kills(self):
+        node, ctx = self._winner()
+        ctx.take()
+        for port in (3, 7, 11):
+            node.receive(port, OwnerUpdateAck())
+        ctx.take()
+        node.receive(1, SweepReject())
+        assert node.role is Role.STALLED
+
+    def test_sweep_at_weaker_class_winner_captures_it(self):
+        node, ctx = make_c_node(node_id=1)
+        node.wake(True)
+        ctx.take()
+        node.receive(6, Sweep(5, 9))
+        assert node.role is Role.CAPTURED
+        assert ctx.sent_types() == ["SweepAccept"]
+
+
+class TestFaultTolerantWindow:
+    def test_wake_fills_the_whole_window(self):
+        node, ctx = make_ft_node(n=8, f=2, parallelism=3)
+        node.wake(True)
+        claims = ctx.take()
+        assert len(claims) == 5  # window = f + parallelism
+        assert all(isinstance(m, SeqCapture) for _, m in claims)
+
+    def test_rejects_refill_from_fresh_ports(self):
+        node, ctx = make_ft_node(n=8, f=1, parallelism=1)
+        node.wake(True)
+        ctx.take()  # two claims out (window=2)
+        node.receive(0, SeqReject())
+        refill = ctx.take()
+        assert len(refill) == 1  # a fresh port keeps the window full
+        assert node.role is Role.CANDIDATE  # reject was not fatal
+
+    def test_refused_port_retried_only_after_a_level_up(self):
+        node, ctx = make_ft_node(n=8, f=1, parallelism=1)
+        node.wake(True)
+        ctx.take()
+        node.receive(0, SeqReject())
+        ctx.take()
+        assert (0, 0) in node._retry_ports
+        node.receive(1, SeqAccept())  # level 1
+        sent_ports = [p for p, _ in ctx.take()]
+        assert 0 in sent_ports  # the refused port is back in flight
+
+    def test_majority_declares(self):
+        node, ctx = make_ft_node(node_id=7, n=8, f=2)
+        node.wake(True)
+        ctx.take()
+        for port in range(4):  # majority = n//2 = 4 grants
+            node.receive(port, SeqAccept())
+        assert node.is_leader
+        assert ctx.leader_declared
+
+    def test_starvation_rule_stalls_a_truly_beaten_candidate(self):
+        node, ctx = make_ft_node(node_id=0, n=4, f=1, parallelism=2)
+        node.wake(True)
+        ctx.take()  # claims on all 3 ports (window 3 = n-1)
+        for port in range(3):
+            node.receive(port, SeqReject())
+        # refused at level 0 on every port, nothing fresh left: defeated
+        assert node.role is Role.STALLED

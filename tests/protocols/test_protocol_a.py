@@ -1,0 +1,107 @@
+"""Behavioural tests for Protocol A and A′ (Section 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.protocols.sense.protocol_a import ProtocolA, ProtocolAPrime, default_k
+from repro.sim.network import run_election
+from repro.topology.complete import complete_with_sense_of_direction
+
+from tests.conftest import elect_sense
+
+
+class TestDefaultK:
+    def test_default_k_is_ceil_sqrt_n(self):
+        assert default_k(16) == 4
+        assert default_k(17) == 5
+        assert default_k(100) == 10
+
+    def test_default_k_clamped_for_tiny_networks(self):
+        assert default_k(2) == 1
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 33, 64])
+    def test_elects_exactly_one_leader_at_any_size(self, n):
+        result = elect_sense(ProtocolA(), n)
+        result.verify()
+
+    def test_simultaneous_wake_elects_the_largest_id(self):
+        """With identical wake times and unit delays, contests are decided
+        purely by identity, so the largest base node must win."""
+        result = elect_sense(ProtocolA(), 32)
+        assert result.leader_id == 31
+
+    def test_single_base_node_wins_unopposed(self):
+        result = elect_sense(ProtocolA(), 16, wakeup=wakeup.single_base(3))
+        assert result.leader_id == 3
+        # Unopposed: one capture+accept per window node, owner round, elects.
+        assert result.messages_total <= 6 * 16
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 15])
+    def test_every_k_is_correct(self, k):
+        result = elect_sense(ProtocolA(k=k), 16)
+        result.verify()
+
+
+class TestMessageComplexity:
+    def test_messages_linear_at_default_k(self):
+        """O(N + N²/k²) = O(N) at k = √N; constants stay in a tight band."""
+        per_node = []
+        for n in (16, 64, 256):
+            result = elect_sense(ProtocolA(), n)
+            per_node.append(result.messages_total / n)
+        assert max(per_node) / min(per_node) < 2.0
+
+    def test_small_k_pays_the_quadratic_term(self):
+        n = 64
+        msgs_small_k = elect_sense(ProtocolA(k=2), n).messages_total
+        msgs_sqrt_k = elect_sense(ProtocolA(k=8), n).messages_total
+        assert msgs_small_k > msgs_sqrt_k
+
+
+class TestChainWakeup:
+    """The Section 3 pathology: node i+1 wakes just before i's capture lands."""
+
+    def test_chain_forces_linear_time_on_a(self):
+        times = {}
+        for n in (32, 128):
+            result = elect_sense(
+                ProtocolA(), n, wakeup=wakeup.staggered_chain()
+            )
+            times[n] = result.election_time
+        assert times[128] / times[32] > 3.0  # ~linear, not √N
+
+    def test_chain_survivor_is_the_last_chain_node(self):
+        result = elect_sense(ProtocolA(), 32, wakeup=wakeup.staggered_chain())
+        assert result.leader_id == 31
+
+    def test_awaken_spreading_caps_a_prime(self):
+        n = 128
+        slow = elect_sense(ProtocolA(), n, wakeup=wakeup.staggered_chain())
+        fast = elect_sense(ProtocolAPrime(), n, wakeup=wakeup.staggered_chain())
+        assert fast.election_time < slow.election_time / 2
+        assert fast.election_time <= 6 * math.sqrt(n)
+
+    def test_awaken_messages_cost_only_o_n_extra(self):
+        n = 64
+        bare = elect_sense(ProtocolA(), n).messages_total
+        spread = elect_sense(ProtocolAPrime(), n).messages_total
+        assert spread - bare <= 2 * n + 4
+
+
+class TestCapturedSetContiguity:
+    def test_levels_report_contiguous_windows(self):
+        """Protocol A's invariant: a candidate's captured set is always
+        i[1..level], so the sum of surviving levels cannot exceed N."""
+        topology = complete_with_sense_of_direction(32)
+        result = run_election(ProtocolA(), topology)
+        total_captured = sum(
+            s["level"] for s in result.node_snapshots
+            if s["role"] in ("candidate", "leader")
+        )
+        assert total_captured <= 32

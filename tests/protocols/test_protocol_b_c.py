@@ -1,0 +1,124 @@
+"""Behavioural tests for Protocols B and C (Section 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.core.errors import ConfigurationError
+from repro.protocols.sense.protocol_b import ProtocolB, doubling_distances
+from repro.protocols.sense.protocol_c import ProtocolC, protocol_c_k
+from repro.sim.delays import UniformDelay
+
+from tests.conftest import elect_sense
+
+
+class TestDoublingSchedule:
+    def test_step_distances_match_the_paper(self):
+        # N=16: step 1 -> {8}, step 2 -> {4, 12}, step 3 -> {2,6,10,14}
+        assert doubling_distances(16, 1) == [8]
+        assert doubling_distances(16, 2) == [4, 12]
+        assert doubling_distances(16, 3) == [2, 6, 10, 14]
+        assert doubling_distances(16, 4) == [1, 3, 5, 7, 9, 11, 13, 15]
+
+    def test_all_steps_cover_every_distance_exactly_once(self):
+        n = 64
+        seen = []
+        for step in range(1, 7):
+            seen.extend(doubling_distances(n, step))
+        assert sorted(seen) == list(range(1, n))
+
+    def test_too_deep_a_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            doubling_distances(8, 4)
+
+
+class TestProtocolB:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_elects_one_leader(self, n):
+        elect_sense(ProtocolB(), n).verify()
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            elect_sense(ProtocolB(), 12)
+
+    def test_time_is_logarithmic(self):
+        t64 = elect_sense(ProtocolB(), 64).election_time
+        t512 = elect_sense(ProtocolB(), 512).election_time
+        # doubling N three times adds a constant number of steps
+        assert t512 - t64 <= 18
+
+    def test_messages_are_n_log_n(self):
+        per_nlogn = []
+        for n in (16, 64, 256):
+            msgs = elect_sense(ProtocolB(), n).messages_total
+            per_nlogn.append(msgs / (n * math.log2(n)))
+        assert max(per_nlogn) / min(per_nlogn) < 2.0
+
+    def test_winner_captures_everyone(self):
+        result = elect_sense(ProtocolB(), 16)
+        steps = [s["steps_done"] for s in result.node_snapshots
+                 if s["is_leader"]]
+        assert steps == [4]
+
+
+class TestProtocolCK:
+    def test_k_formula(self):
+        # N=16: r=4, ceil(log2 4)=2, k=4.  N=64: r=6, ceil(log2 6)=3, k=8.
+        assert protocol_c_k(16) == 4
+        assert protocol_c_k(64) == 8
+        assert protocol_c_k(256) == 32
+
+    def test_k_is_theta_n_over_log_n(self):
+        for n in (16, 64, 256, 1024):
+            k = protocol_c_k(n)
+            assert n / (2 * math.log2(n)) <= k <= n / math.log2(n) * 2
+
+
+class TestProtocolC:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 128])
+    def test_elects_one_leader(self, n):
+        elect_sense(ProtocolC(), n).verify()
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    def test_any_dividing_power_of_two_k_works(self, k):
+        elect_sense(ProtocolC(k=k), 16).verify()
+
+    def test_messages_stay_linear(self):
+        per_node = []
+        for n in (16, 64, 256):
+            result = elect_sense(ProtocolC(), n)
+            per_node.append(result.messages_total / n)
+        assert max(per_node) / min(per_node) < 2.0
+
+    def test_time_is_logarithmic(self):
+        """time/log₂N stays in a narrow band (the constant is jumpy because
+        the class size is 2^⌈log log N⌉, not log N exactly)."""
+        ratios = [
+            elect_sense(ProtocolC(), n).election_time / math.log2(n)
+            for n in (32, 128, 512)
+        ]
+        assert max(ratios) / min(ratios) < 1.6
+        assert max(ratios) < 8.0
+
+    def test_chain_wakeup_does_not_break_c(self):
+        """C's phase 1 is a contest among O(log N) class members, so the
+        chain pattern cannot serialise the whole network."""
+        result = elect_sense(
+            ProtocolC(), 128, wakeup=wakeup.staggered_chain()
+        )
+        result.verify()
+        assert result.election_time <= 60
+
+    def test_correct_under_random_delays(self):
+        for seed in range(5):
+            result = elect_sense(
+                ProtocolC(), 32, delays=UniformDelay(0.05, 1.0), seed=seed
+            )
+            result.verify()
+
+    def test_single_base_node(self):
+        result = elect_sense(ProtocolC(), 64, wakeup=wakeup.single_base(5))
+        assert result.leader_id == 5

@@ -1,0 +1,51 @@
+"""Behavioural tests for Protocol D (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.sim.delays import UniformDelay
+
+from tests.conftest import elect_nosense
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [2, 3, 8, 17, 64])
+    def test_elects_one_leader(self, n):
+        elect_nosense(ProtocolD(), n).verify()
+
+    def test_largest_base_id_always_wins(self):
+        """Only a base node with a larger identity withholds its grant, so
+        the maximum base identity collects all N-1 grants."""
+        for bases in ({0: 0.0}, {0: 0.0, 3: 0.0}, {1: 0.0, 2: 1.0, 5: 0.5}):
+            result = elect_nosense(ProtocolD(), 8, wakeup=bases)
+            assert result.leader_position == max(bases)
+
+    def test_correct_under_random_delays_and_wirings(self):
+        for seed in range(6):
+            result = elect_nosense(
+                ProtocolD(), 24, topo_seed=seed,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+            )
+            assert result.leader_id == 23
+
+
+class TestComplexity:
+    def test_constant_time_one_round_trip(self):
+        for n in (8, 64, 256):
+            result = elect_nosense(ProtocolD(), n)
+            assert result.election_time == 2.0
+            assert result.election_depth == 2
+
+    def test_quadratic_messages_when_everyone_is_base(self):
+        for n in (8, 32):
+            result = elect_nosense(ProtocolD(), n)
+            # n broadcasts of n-1 plus n-1 responses to the winner and the
+            # responses among losers: at least n(n-1), at most 2n(n-1).
+            assert n * (n - 1) <= result.messages_total <= 2 * n * (n - 1)
+
+    def test_single_base_costs_linear_messages(self):
+        result = elect_nosense(ProtocolD(), 32, wakeup=wakeup.single_base(0))
+        assert result.messages_total == 2 * 31

@@ -1,0 +1,100 @@
+"""Behavioural tests for AG85 and Protocol ℰ (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.adversary.congestion import hotspot_scenario
+from repro.protocols.common import Role
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.sim.delays import UniformDelay
+from repro.sim.network import Network
+
+from tests.conftest import elect_nosense
+
+
+@pytest.mark.parametrize("protocol_cls", [AfekGafni, ProtocolE])
+class TestElection:
+    @pytest.mark.parametrize("n", [2, 3, 8, 17, 64])
+    def test_elects_one_leader(self, protocol_cls, n):
+        elect_nosense(protocol_cls(), n).verify()
+
+    def test_single_base_wins_and_captures_everyone(self, protocol_cls):
+        result = elect_nosense(
+            protocol_cls(), 16, wakeup=wakeup.single_base(4)
+        )
+        assert result.leader_id == 4
+        leader = result.node_snapshots[4]
+        assert leader["level"] == 15
+
+    def test_correct_under_random_delays(self, protocol_cls):
+        for seed in range(6):
+            elect_nosense(
+                protocol_cls(), 20, topo_seed=seed,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+            ).verify()
+
+    def test_ownership_chains_resolve(self, protocol_cls):
+        """Staggered wake-ups force claims onto captured nodes, exercising
+        the kill-the-owner forwarding path."""
+        result = elect_nosense(
+            protocol_cls(), 24,
+            wakeup=wakeup.staggered_uniform(24, spread=8.0),
+        )
+        result.verify()
+
+
+class TestMessageComplexity:
+    def test_messages_are_n_log_n_ish(self):
+        per_nlogn = []
+        for n in (16, 64, 256):
+            result = elect_nosense(ProtocolE(), n, topo_seed=1)
+            per_nlogn.append(result.messages_total / (n * math.log2(n)))
+        assert max(per_nlogn) / min(per_nlogn) < 2.5
+
+    def test_flow_control_never_sends_more_than_ag85(self):
+        for seed in range(4):
+            ag = elect_nosense(AfekGafni(), 32, topo_seed=seed).messages_total
+            e = elect_nosense(ProtocolE(), 32, topo_seed=seed).messages_total
+            assert e <= ag + 4
+
+
+class TestFlowControl:
+    """ℰ's defining property: one forwarded claim in flight per owner link."""
+
+    def test_hotspot_duel_separates_e_from_ag85(self):
+        n = 64
+        topo, wake, delays = hotspot_scenario(n)
+        slow = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+        topo, wake, delays = hotspot_scenario(n)
+        fast = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        assert slow.leader_id == fast.leader_id == n - 1
+        assert slow.election_time / fast.election_time >= 4.0
+
+    def test_ag85_hotspot_time_is_linear(self):
+        times = {}
+        for n in (32, 128):
+            topo, wake, delays = hotspot_scenario(n)
+            times[n] = Network(
+                AfekGafni(), topo, delays=delays, wakeup=wake
+            ).run().election_time
+        assert times[128] / times[32] > 3.0
+
+    def test_e_hotspot_saves_the_forwarding_burst_messages(self):
+        n = 64
+        topo, wake, delays = hotspot_scenario(n)
+        ag = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
+        topo, wake, delays = hotspot_scenario(n)
+        e = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        # AG85 forwards the whole crowd; ℰ answers most from the buffer.
+        assert ag.messages_total - e.messages_total >= n
+
+
+class TestRoles:
+    def test_every_non_leader_ends_captured_or_stalled(self):
+        result = elect_nosense(ProtocolE(), 32)
+        roles = {s["role"] for s in result.node_snapshots if not s["is_leader"]}
+        assert roles <= {Role.CAPTURED.value, Role.STALLED.value}

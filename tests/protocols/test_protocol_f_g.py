@@ -1,0 +1,141 @@
+"""Behavioural tests for Protocols ℱ and 𝒢 (Section 4, Lemmas 4.1–4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.core.errors import ConfigurationError
+from repro.protocols.nosense.protocol_f import ProtocolF, flood_threshold
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.sim.delays import UniformDelay
+
+from tests.conftest import elect_nosense
+
+
+class TestFloodThreshold:
+    def test_threshold_is_ceil_n_over_k(self):
+        assert flood_threshold(64, 8) == 8
+        assert flood_threshold(64, 7) == 10
+        assert flood_threshold(64, 64) == 1
+
+    def test_threshold_clamped_to_n_minus_1(self):
+        assert flood_threshold(4, 1) == 3
+
+
+@pytest.mark.parametrize("protocol_cls", [ProtocolF, ProtocolG])
+class TestElection:
+    @pytest.mark.parametrize("n", [6, 8, 17, 64])
+    def test_elects_one_leader(self, protocol_cls, n):
+        elect_nosense(protocol_cls(), n).verify()
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_whole_k_family_is_correct(self, protocol_cls, k):
+        elect_nosense(protocol_cls(k=k), 32).verify()
+
+    def test_correct_under_random_delays_and_wake_subsets(self, protocol_cls):
+        for seed in range(6):
+            elect_nosense(
+                protocol_cls(k=5), 24, topo_seed=seed,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+                wakeup=wakeup.random_subset(8, window=5.0, seed_offset=seed),
+            ).verify()
+
+
+class TestTradeoffShape:
+    def test_messages_grow_with_k(self):
+        n = 64
+        msgs = [
+            elect_nosense(ProtocolF(k=k), n, topo_seed=2).messages_total
+            for k in (2, 8, 32)
+        ]
+        assert msgs[0] < msgs[-1]
+
+    def test_time_falls_with_k(self):
+        n = 64
+        times = [
+            elect_nosense(ProtocolF(k=k), n, topo_seed=2).election_time
+            for k in (2, 8, 32)
+        ]
+        assert times[-1] < times[0]
+
+    def test_k_equal_n_degenerates_to_protocol_d_speed(self):
+        result = elect_nosense(ProtocolF(k=64), 64, topo_seed=2)
+        assert result.election_time <= 6.0
+
+
+class TestChainRobustness:
+    """Lemma 4.1 vs Lemma 4.3: ℱ needs clustered wake-ups, 𝒢 does not."""
+
+    def test_g_beats_f_under_the_staggered_chain(self):
+        n, k = 64, 8
+        f = elect_nosense(
+            ProtocolF(k=k), n, topo_seed=7, wakeup=wakeup.staggered_chain()
+        )
+        g = elect_nosense(
+            ProtocolG(k=k), n, topo_seed=7, wakeup=wakeup.staggered_chain()
+        )
+        assert g.election_time < f.election_time
+
+    def test_g_time_stays_near_n_over_k_under_the_chain(self):
+        n, k = 128, 16
+        g = elect_nosense(
+            ProtocolG(k=k), n, topo_seed=7, wakeup=wakeup.staggered_chain()
+        )
+        assert g.election_time <= 4 * (n / k) + 12
+
+
+class TestGPhases:
+    def test_late_wakers_are_killed_by_finish(self):
+        """A node waking after the first finishers must hear `finish` and
+        never become a candidate in ℱ.  The wiring puts the late node on
+        everyone's last port so no message reaches it before it wakes."""
+        from repro.sim.network import run_election
+        from repro.topology.complete import CompleteTopology
+
+        n, k = 64, 4  # flood threshold N/k = 16 keeps conquest busy past t=6
+        late = n - 1
+        port_maps = []
+        for p in range(n):
+            others = [q for q in range(n) if q not in (p, late)]
+            port_maps.append(others + [late] if p != late else list(range(n - 1)))
+        topo = CompleteTopology(n, list(range(n)), port_maps,
+                                sense_of_direction=False)
+        schedule = {p: 0.0 for p in range(n - 1)}
+        schedule[late] = 6.0  # after every first phase ends (≤ 5 time units)
+        result = run_election(ProtocolG(k=k), topo, wakeup=schedule)
+        result.verify()
+        late_snap = result.node_snapshots[late]
+        assert late_snap["is_base"]
+        assert late_snap["first_finished"]
+        assert late_snap["role"] in ("stalled", "captured")
+        assert not late_snap["is_leader"]
+
+    def test_single_base_node_succeeds_through_both_phases(self):
+        result = elect_nosense(
+            ProtocolG(k=4), 16, topo_seed=1, wakeup=wakeup.single_base(2)
+        )
+        assert result.leader_id == 2
+
+    def test_g_requires_k_at_most_n_minus_1(self):
+        with pytest.raises(ConfigurationError, match="k <= N-1"):
+            elect_nosense(ProtocolG(k=16), 16)
+
+    def test_first_phase_is_fast(self):
+        """The paper: a base node finishes its first phase within 5 time
+        units of waking.  The trace shows second_phase/killed entries early."""
+        from repro.sim.network import Network
+        from repro.topology.complete import complete_without_sense
+
+        topo = complete_without_sense(16, seed=0)
+        network = Network(ProtocolG(k=4), topo, trace=True)
+        network.run()
+        events = network.tracer.events
+        wakes = {e.node: e.time for e in events if e.kind == "wake"}
+        exits = [
+            (e.node, e.time) for e in events
+            if e.kind in ("second_phase", "killed_by_finish")
+        ]
+        assert exits, "someone must leave the first phase"
+        for node, t in exits:
+            assert t - wakes[node] <= 5.0

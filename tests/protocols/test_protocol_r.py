@@ -1,0 +1,98 @@
+"""Behavioural tests for Protocol R (the reconstructed [Si92] refinement)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversary import wakeup
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import complete_without_sense
+
+from tests.conftest import elect_nosense
+
+
+class TestElection:
+    @pytest.mark.parametrize("n", [6, 8, 17, 64])
+    def test_elects_one_leader(self, n):
+        elect_nosense(ProtocolR(), n).verify()
+
+    def test_correct_under_random_environments(self):
+        for seed in range(10):
+            elect_nosense(
+                ProtocolR(), 24, topo_seed=seed,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+                wakeup=wakeup.random_subset(
+                    1 + seed % 20, window=5.0, seed_offset=seed
+                ),
+            ).verify()
+
+    def test_default_k_is_log_n(self):
+        assert ProtocolR().effective_k(256) == 8
+        assert ProtocolR().effective_k(2) == 1
+
+
+class TestBaseNodeSensitivity:
+    """The O(log N + min(r, N/log N)) shape the paper claims via [Si92]."""
+
+    def test_lone_base_node_finishes_in_logarithmic_time(self):
+        times = {}
+        for n in (64, 256):
+            result = elect_nosense(
+                ProtocolR(), n, topo_seed=3, wakeup=wakeup.single_base(0)
+            )
+            times[n] = result.election_time
+            assert result.election_time <= 6 * math.log2(n)
+        # quadrupling N adds ~a constant, not a factor
+        assert times[256] - times[64] <= 10
+
+    def test_time_plateaus_below_n_over_log_n(self):
+        n = 128
+        for r in (1, 16, 128):
+            result = elect_nosense(
+                ProtocolR(), n, topo_seed=3,
+                wakeup=wakeup.random_subset(r, seed_offset=5),
+            )
+            assert result.election_time <= 4 * (
+                math.log2(n) + min(r, n / math.log2(n))
+            )
+
+    def test_r_beats_g_for_a_lone_base_node(self):
+        n = 128
+        g = elect_nosense(ProtocolG(), n, topo_seed=2,
+                          wakeup=wakeup.single_base(0))
+        r = elect_nosense(ProtocolR(), n, topo_seed=2,
+                          wakeup=wakeup.single_base(0))
+        assert r.election_time < g.election_time / 2
+
+    def test_messages_stay_n_log_n(self):
+        per_nlogn = []
+        for n in (32, 128):
+            result = elect_nosense(ProtocolR(), n, topo_seed=1)
+            per_nlogn.append(result.messages_total / (n * math.log2(n)))
+        assert max(per_nlogn) <= 8.0
+
+
+class TestWaveMechanics:
+    def test_wave_width_tracks_the_level(self):
+        """The snapshot exposes the doubling pattern."""
+        result = elect_nosense(
+            ProtocolR(), 64, topo_seed=1, wakeup=wakeup.single_base(0)
+        )
+        winner = result.node_snapshots[0]
+        assert winner["wave_width"] >= 1
+
+    def test_flood_level_is_frozen(self):
+        """Wave grants landing after the flood must not raise the level —
+        otherwise a dead candidate could veto every live flood."""
+        for seed in (1, 6):  # seeds that historically deadlocked
+            result = elect_nosense(
+                ProtocolR(), 32, topo_seed=seed,
+                delays=UniformDelay(0.05, 1.0), seed=seed,
+                wakeup=wakeup.random_subset(9, window=5.0, seed_offset=seed),
+            )
+            result.verify()

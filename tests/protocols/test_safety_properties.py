@@ -1,0 +1,184 @@
+"""Property-based safety/liveness/validity tests across every protocol.
+
+These are the paper's three election properties, checked under
+hypothesis-generated environments: network size, hidden wiring, random
+delays, and wake-up subsets/windows.  ``ElectionResult.verify`` raises on
+any violation (no leader, two leaders, passive leader), and the runtime
+raises at the instant of a double declaration, so a counterexample comes
+with a deterministic seed to replay.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary import wakeup
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
+from repro.protocols.nosense.protocol_f import ProtocolF
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.chang_roberts import ChangRoberts
+from repro.protocols.sense.lmw86 import LMW86
+from repro.protocols.sense.protocol_a import ProtocolA, ProtocolAPrime
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+environments = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10**6),
+        "delay_low": st.floats(min_value=0.01, max_value=0.5),
+        "base_fraction": st.floats(min_value=0.05, max_value=1.0),
+        "wake_window": st.floats(min_value=0.0, max_value=10.0),
+    }
+)
+
+
+def run_with_environment(protocol, topology, env):
+    count = max(1, round(env["base_fraction"] * topology.n))
+    return run_election(
+        protocol,
+        topology,
+        delays=UniformDelay(env["delay_low"], 1.0),
+        wakeup=wakeup.random_subset(
+            count, window=env["wake_window"], seed_offset=env["seed"]
+        ),
+        seed=env["seed"],
+    )
+
+
+class TestSenseOfDirectionProtocols:
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=2, max_value=48), env=environments)
+    def test_protocol_a_family(self, n, env):
+        for protocol in (ProtocolA(), ProtocolAPrime(), LMW86()):
+            result = run_with_environment(
+                protocol, complete_with_sense_of_direction(n), env
+            )
+            result.verify()  # liveness + safety + validity
+
+    @COMMON_SETTINGS
+    @given(r=st.integers(min_value=1, max_value=6), env=environments)
+    def test_protocols_b_and_c(self, r, env):
+        n = 2**r
+        for protocol in (ProtocolB(), ProtocolC()):
+            result = run_with_environment(
+                protocol, complete_with_sense_of_direction(n), env
+            )
+            result.verify()
+
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=2, max_value=48), env=environments)
+    def test_chang_roberts(self, n, env):
+        result = run_with_environment(
+            ChangRoberts(), complete_with_sense_of_direction(n), env
+        )
+        result.verify()
+        # CR specifically: the winner is the largest base identity.
+        assert result.leader_id == max(
+            result.node_snapshots[p]["id"] for p in result.base_positions
+        )
+
+
+class TestUnlabeledProtocols:
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=2, max_value=40), env=environments)
+    def test_protocol_d(self, n, env):
+        result = run_with_environment(
+            ProtocolD(), complete_without_sense(n, seed=env["seed"]), env
+        )
+        result.verify()
+        assert result.leader_position == max(result.base_positions)
+
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=2, max_value=32), env=environments)
+    def test_sequential_capture_family(self, n, env):
+        for protocol in (AfekGafni(), ProtocolE()):
+            result = run_with_environment(
+                protocol, complete_without_sense(n, seed=env["seed"]), env
+            )
+            result.verify()
+
+    @COMMON_SETTINGS
+    @given(
+        n=st.integers(min_value=6, max_value=32),
+        k=st.integers(min_value=2, max_value=8),
+        env=environments,
+    )
+    def test_protocols_f_and_g(self, n, k, env):
+        k = min(k, n - 1)
+        for protocol in (ProtocolF(k=k), ProtocolG(k=k)):
+            result = run_with_environment(
+                protocol, complete_without_sense(n, seed=env["seed"]), env
+            )
+            result.verify()
+
+    @COMMON_SETTINGS
+    @given(
+        n=st.integers(min_value=5, max_value=32),
+        env=environments,
+        failure_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_fault_tolerant_with_random_failures(self, n, env, failure_seed):
+        import random
+
+        f = (n - 1) // 2
+        rng = random.Random(failure_seed)
+        count = rng.randint(0, f)
+        failed = set(rng.sample(range(n), count))
+        if len(failed) >= n - 1:
+            failed.pop()
+        topology = complete_without_sense(n, seed=env["seed"])
+        result = run_election(
+            FaultTolerantElection(max_failures=f),
+            topology,
+            failed_positions=failed,
+            delays=UniformDelay(env["delay_low"], 1.0),
+            seed=env["seed"],
+        )
+        assert result.leader_position not in failed
+
+
+class TestDeterminism:
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=4, max_value=32),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_same_seed_reproduces_the_run_exactly(self, n, seed):
+        def run():
+            return run_election(
+                ProtocolE(),
+                complete_without_sense(n, seed=seed),
+                delays=UniformDelay(0.05, 1.0),
+                seed=seed,
+            )
+
+        a, b = run(), run()
+        assert a.leader_id == b.leader_id
+        assert a.messages_total == b.messages_total
+        assert a.elected_at == b.elected_at
+
+    @COMMON_SETTINGS
+    @given(n=st.integers(min_value=2, max_value=40))
+    def test_unit_delay_elections_are_wiring_independent_for_sense(self, n):
+        """With sense of direction, the wiring is fixed by the labels, so a
+        simultaneous-wake unit-delay run is fully deterministic."""
+        results = [
+            run_election(
+                ProtocolA(), complete_with_sense_of_direction(n),
+                delays=ConstantDelay(1.0), seed=seed,
+            )
+            for seed in (0, 1)
+        ]
+        assert results[0].leader_id == results[1].leader_id == n - 1

@@ -1,0 +1,124 @@
+"""Mid-run crash injection tests — the model boundary, demonstrated.
+
+The paper's fault tolerance covers *initial* site failures only; a purely
+asynchronous network cannot detect a mid-run crash (no timeouts), so a
+candidate waiting on a crashed node waits forever.  These tests pin both
+halves: the runtime's crash semantics, and the protocols' documented
+non-tolerance of mid-run crashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.invariants import audit
+from repro.core.errors import SimulationError
+from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.sim.network import Network, run_election
+from repro.topology.complete import complete_without_sense
+
+
+class TestCrashSemantics:
+    def test_crashed_node_drops_messages_from_the_crash_instant(self):
+        topo = complete_without_sense(6, seed=0)
+        victim = 3
+        result = run_election(
+            ProtocolD(), topo, crash_schedule={victim: 0.5},
+            require_leader=False,
+        )
+        assert result.crashed_positions == (victim,)
+        # The elect reaching it at t=1 is dropped, so its grant never
+        # exists and the would-be winner cannot finish.
+        assert result.leader_id is None
+
+    def test_crash_before_wake_prevents_candidacy(self):
+        topo = complete_without_sense(6, seed=0)
+        result = run_election(
+            ProtocolD(), topo, wakeup={0: 0.0, 5: 2.0},
+            crash_schedule={5: 1.0}, require_leader=False,
+        )
+        snap = result.node_snapshots[5]
+        assert not snap["awake"]
+
+    def test_crash_after_declaration_keeps_the_leader(self):
+        """A leader that crashes after declaring still counts: election is
+        a one-shot event, not a lease."""
+        topo = complete_without_sense(6, seed=0)
+        result = run_election(
+            ProtocolD(), topo, crash_schedule={5: 10.0},
+        )
+        assert result.leader_id == 5
+        assert result.crashed_positions == (5,)
+
+    def test_out_of_range_crash_rejected(self):
+        topo = complete_without_sense(4, seed=0)
+        with pytest.raises(SimulationError, match="out of range"):
+            Network(ProtocolD(), topo, crash_schedule={7: 1.0})
+
+    def test_trace_records_the_crash(self):
+        topo = complete_without_sense(6, seed=0)
+        network = Network(
+            ProtocolD(), topo, crash_schedule={2: 1.5}, trace=True
+        )
+        result = network.run(require_leader=False)
+        crashes = list(result.trace.of_kind("crash"))
+        assert [e.node for e in crashes] == [2]
+
+    def test_invariant_audit_tolerates_crash_drops(self):
+        topo = complete_without_sense(8, seed=1)
+        network = Network(
+            ProtocolE(), topo, crash_schedule={0: 2.0}, trace=True
+        )
+        result = network.run(require_leader=False)
+        audit_ok = True
+        try:
+            from repro.analysis.invariants import assert_no_losses
+
+            assert_no_losses(result)
+        except Exception:
+            audit_ok = False
+        assert audit_ok
+
+
+class TestModelBoundary:
+    """The paper's protocols do NOT tolerate mid-run crashes — by design."""
+
+    def test_e_hangs_when_its_next_target_crashes(self):
+        """Sequential capture blocks forever on a crashed responder —
+        there is no timeout in the asynchronous model to detect it."""
+        topo = complete_without_sense(8, seed=0)
+        victim = topo.neighbor(7, 1)  # the winner's second target
+        result = run_election(
+            ProtocolE(), topo, wakeup={7: 0.0},
+            crash_schedule={victim: 1.5},
+            require_leader=False,
+        )
+        assert result.leader_id is None
+        winner = result.node_snapshots[7]
+        assert winner["role"] == "candidate"  # alive, waiting forever
+
+    def test_even_the_fault_tolerant_protocol_only_covers_initial_failures(self):
+        """FT's redundancy window handles nodes dead from the start; crash
+        ENOUGH nodes mid-run and no majority can ever assemble."""
+        n = 9
+        topo = complete_without_sense(n, seed=2)
+        # Crash 5 of 9 just after the run starts: only 4 live nodes remain,
+        # below the majority threshold of 1 + n//2 = 5 members.
+        crash = {p: 0.4 for p in range(5)}
+        result = run_election(
+            FaultTolerantElection(max_failures=4), topo,
+            wakeup={p: 0.0 for p in range(5, n)},
+            crash_schedule=crash, require_leader=False,
+        )
+        assert result.leader_id is None
+
+    def test_initial_failures_remain_fine_under_the_same_budget(self):
+        n = 9
+        topo = complete_without_sense(n, seed=2)
+        result = run_election(
+            FaultTolerantElection(max_failures=4), topo,
+            failed_positions={0, 1, 2, 3},
+        )
+        assert result.leader_position not in {0, 1, 2, 3}

@@ -1,0 +1,67 @@
+"""Delay model validation tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Wakeup
+from repro.sim.delays import ConstantDelay, HookDelay, UniformDelay
+
+
+class TestConstantDelay:
+    def test_default_is_the_unit_worst_case(self):
+        assert ConstantDelay().delay == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_delays_outside_unit_interval_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(bad)
+
+
+class TestUniformDelay:
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.0, 1.0)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_draws_stay_in_bounds(self, seed):
+        model = UniformDelay(0.2, 0.8)
+        rng = random.Random(seed)
+        value = model.latency(0, 1, Wakeup(), 0.0, rng)
+        assert 0.2 <= value <= 0.8
+
+
+class TestHookDelay:
+    def test_latency_hook_is_consulted(self):
+        model = HookDelay(lambda s, r, m, t: 0.25)
+        assert model.latency(0, 1, Wakeup(), 0.0, random.Random(0)) == 0.25
+
+    def test_latency_hook_outside_model_rejected(self):
+        model = HookDelay(lambda s, r, m, t: 2.0)
+        with pytest.raises(ConfigurationError):
+            model.latency(0, 1, Wakeup(), 0.0, random.Random(0))
+
+    def test_gap_defaults_to_zero(self):
+        model = HookDelay(lambda s, r, m, t: 0.5)
+        assert model.gap(0, 1, Wakeup(), 0.0, random.Random(0)) == 0.0
+
+    def test_gap_hook_validated(self):
+        model = HookDelay(lambda *a: 0.5, gap_fn=lambda *a: 1.5)
+        with pytest.raises(ConfigurationError):
+            model.gap(0, 1, Wakeup(), 0.0, random.Random(0))
+
+    def test_hooks_see_sender_receiver_and_time(self):
+        seen = []
+
+        def latency(sender, receiver, message, send_time):
+            seen.append((sender, receiver, send_time))
+            return 0.5
+
+        HookDelay(latency).latency(3, 9, Wakeup(), 2.5, random.Random(0))
+        assert seen == [(3, 9, 2.5)]

@@ -1,0 +1,81 @@
+"""FIFO link tests — Section 2's 'arrive in the order sent' guarantee."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.core.messages import Wakeup
+from repro.sim.delays import ConstantDelay, HookDelay, UniformDelay
+from repro.sim.link import Channel, ChannelTable
+
+
+class TestChannel:
+    def test_constant_delay_arrivals(self):
+        channel = Channel(0, 1)
+        rng = random.Random(0)
+        t1 = channel.arrival_time(Wakeup(), 0.0, ConstantDelay(1.0), rng)
+        t2 = channel.arrival_time(Wakeup(), 0.5, ConstantDelay(1.0), rng)
+        assert (t1, t2) == (1.0, 1.5)
+
+    def test_fifo_clamps_reordering_delays(self):
+        """A later message with a shorter draw must not overtake."""
+        channel = Channel(0, 1)
+        rng = random.Random(0)
+        draws = iter([1.0, 0.1])
+        model = HookDelay(lambda *a: next(draws))
+        t1 = channel.arrival_time(Wakeup(), 0.0, model, rng)
+        t2 = channel.arrival_time(Wakeup(), 0.05, model, rng)
+        assert t1 == 1.0
+        assert t2 >= t1  # clamped to FIFO despite the 0.1 draw
+
+    def test_gap_spaces_consecutive_deliveries(self):
+        channel = Channel(0, 1)
+        rng = random.Random(0)
+        model = HookDelay(lambda *a: 0.05, gap_fn=lambda *a: 1.0)
+        times = [
+            channel.arrival_time(Wakeup(), 0.0, model, rng) for _ in range(5)
+        ]
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(abs(d - 1.0) < 1e-9 for d in diffs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_fifo_holds_for_any_send_times_and_random_delays(self, sends):
+        """Property: per-channel arrival order equals send order."""
+        channel = Channel(0, 1)
+        rng = random.Random(7)
+        model = UniformDelay(0.01, 1.0)
+        send_times = sorted(t for t, _ in sends)
+        arrivals = [
+            channel.arrival_time(Wakeup(), t, model, rng) for t in send_times
+        ]
+        assert arrivals == sorted(arrivals)
+        assert all(a >= t for a, t in zip(arrivals, send_times))
+
+
+class TestChannelTable:
+    def test_channels_are_lazy_and_directed(self):
+        table = ChannelTable()
+        forward = table.channel(0, 1)
+        backward = table.channel(1, 0)
+        assert forward is not backward
+        assert table.channel(0, 1) is forward
+
+    def test_touched_counts_only_used_channels(self):
+        table = ChannelTable()
+        table.channel(0, 1)
+        assert table.touched == 0
+        table.channel(0, 1).arrival_time(
+            Wakeup(), 0.0, ConstantDelay(1.0), random.Random(0)
+        )
+        assert table.touched == 1

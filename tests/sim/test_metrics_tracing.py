@@ -1,0 +1,66 @@
+"""Unit tests for metrics accounting and trace collection."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import MetricsCollector
+from repro.sim.tracing import TraceEvent, Tracer
+
+
+class TestMetricsCollector:
+    def test_send_accounting(self):
+        metrics = MetricsCollector()
+        metrics.on_send("Capture", 20)
+        metrics.on_send("Capture", 20)
+        metrics.on_send("Elect", 12)
+        assert metrics.messages_total == 3
+        assert metrics.bits_total == 52
+        assert metrics.messages_by_type == {"Capture": 2, "Elect": 1}
+
+    def test_depth_tracks_the_maximum(self):
+        metrics = MetricsCollector()
+        for depth in (1, 5, 3):
+            metrics.on_delivery_depth(depth)
+        assert metrics.max_depth == 5
+
+    def test_wake_window(self):
+        metrics = MetricsCollector()
+        for t in (3.0, 1.0, 2.0):
+            metrics.on_wake(t)
+        assert metrics.first_wake_time == 1.0
+        assert metrics.last_wake_time == 3.0
+
+    def test_election_time_relative_to_first_wake(self):
+        metrics = MetricsCollector()
+        metrics.on_wake(2.0)
+        metrics.on_leader(10.0, depth=8)
+        assert metrics.election_time == 8.0
+        assert metrics.leader_declared_depth == 8
+
+    def test_unfinished_election_is_infinite(self):
+        metrics = MetricsCollector()
+        metrics.on_wake(0.0)
+        assert metrics.election_time == float("inf")
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "send", 3, to=4)
+        assert len(tracer) == 0
+
+    def test_enabled_tracer_records_sorted_detail(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "send", 3, to=4, message="X")
+        event = tracer.events[0]
+        assert event == TraceEvent(
+            1.0, "send", 3, (("message", "X"), ("to", 4))
+        )
+        assert event.get("to") == 4
+        assert event.get("missing", "default") == "default"
+
+    def test_of_kind_filters(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "send", 0)
+        tracer.record(2.0, "wake", 1)
+        tracer.record(3.0, "send", 2)
+        assert [e.node for e in tracer.of_kind("send")] == [0, 2]

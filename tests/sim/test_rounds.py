@@ -1,0 +1,52 @@
+"""Tests for the synchronous-rounds executor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.sim.rounds import run_synchronous
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+class TestRunSynchronous:
+    def test_rounds_equal_unit_delay_election_time(self):
+        sync = run_synchronous(ProtocolB(), complete_with_sense_of_direction(32))
+        assert sync.rounds == int(sync.result.election_time)
+        sync.result.verify()
+
+    def test_b_elects_in_logarithmic_rounds(self):
+        rounds = {}
+        for n in (16, 64, 256):
+            sync = run_synchronous(
+                ProtocolB(), complete_with_sense_of_direction(n)
+            )
+            rounds[n] = sync.rounds
+            assert sync.rounds <= 8 * math.log2(n)
+        # quadrupling N adds a constant number of rounds, not a factor
+        assert rounds[256] - rounds[64] <= rounds[64] - rounds[16] + 4
+
+    def test_d_is_two_rounds(self):
+        sync = run_synchronous(ProtocolD(), complete_without_sense(24, seed=1))
+        assert sync.rounds == 2
+
+    def test_c_matches_b_round_order(self):
+        b = run_synchronous(ProtocolB(), complete_with_sense_of_direction(64))
+        c = run_synchronous(ProtocolC(), complete_with_sense_of_direction(64))
+        assert c.rounds <= b.rounds + 8
+        assert c.messages_total < b.messages_total
+
+    def test_trace_dropped_by_default_kept_on_request(self):
+        lean = run_synchronous(ProtocolD(), complete_without_sense(8, seed=0))
+        assert len(lean.result.trace) == 0
+        full = run_synchronous(
+            ProtocolD(), complete_without_sense(8, seed=0), trace=True
+        )
+        assert len(full.result.trace) > 0

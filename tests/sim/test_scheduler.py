@@ -1,0 +1,107 @@
+"""Unit tests for the event queue and scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import LivelockError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.scheduler import Scheduler
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda e: order.append("c"))
+        queue.push(1.0, lambda e: order.append("a"))
+        queue.push(2.0, lambda e: order.append("b"))
+        while queue:
+            queue.pop().action(None)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda e: None)
+        second = queue.push(1.0, lambda e: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_tiebreak_overrides_insertion_order(self):
+        queue = EventQueue()
+        late = queue.push(1.0, lambda e: None, tiebreak=1)
+        early = queue.push(1.0, lambda e: None, tiebreak=-1)
+        assert queue.pop() is early
+        assert queue.pop() is late
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                    max_size=50))
+    def test_any_schedule_pops_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda e: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(popped)
+
+
+class TestScheduler:
+    def test_clock_advances_with_events(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_at(2.5, lambda e: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_actions_can_schedule_more_events(self):
+        scheduler = Scheduler()
+        seen = []
+
+        def first(event):
+            seen.append("first")
+            scheduler.schedule_in(1.0, lambda e: seen.append("second"))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run()
+        assert seen == ["first", "second"]
+        assert scheduler.now == 2.0
+
+    def test_scheduling_into_the_past_is_rejected(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(5.0, lambda e: None)
+        scheduler.run()
+        with pytest.raises(SimulationError, match="past"):
+            scheduler.schedule_at(1.0, lambda e: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule_in(-0.1, lambda e: None)
+
+    def test_event_budget_turns_livelock_into_an_error(self):
+        scheduler = Scheduler(max_events=100)
+
+        def forever(event):
+            scheduler.schedule_in(1.0, forever)
+
+        scheduler.schedule_at(0.0, forever)
+        with pytest.raises(LivelockError):
+            scheduler.run()
+
+    def test_run_until_stops_before_later_events(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.schedule_at(1.0, lambda e: seen.append(1))
+        scheduler.schedule_at(10.0, lambda e: seen.append(10))
+        scheduler.run(until=5.0)
+        assert seen == [1]
+        assert scheduler.pending == 1
+
+    def test_depth_is_carried_on_events(self):
+        scheduler = Scheduler()
+        depths = []
+        scheduler.schedule_at(1.0, lambda e: depths.append(e.depth), depth=7)
+        scheduler.run()
+        assert depths == [7]

@@ -1,0 +1,80 @@
+"""Smoke tests: the CLI and every example script run end to end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as cli_main
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+class TestCli:
+    def test_list_shows_every_protocol(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("A'", "C", "G", "FT", "LMW86", "HS"):
+            assert name in out
+
+    def test_run_prints_summary_and_breakdown(self, capsys):
+        assert cli_main(["run", "--protocol", "C", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "leader=15" in out
+        assert "message type" in out
+
+    def test_run_without_sense(self, capsys):
+        assert cli_main(
+            ["run", "--protocol", "G", "--n", "12", "--no-sense"]
+        ) == 0
+        assert "leader=" in capsys.readouterr().out
+
+    def test_replay_narrates(self, capsys):
+        assert cli_main(["replay", "--protocol", "A", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "LEADER" in out and "wakes" in out
+
+    def test_replay_verbose_lists_messages(self, capsys):
+        assert cli_main(
+            ["replay", "--protocol", "A", "--n", "4", "--messages"]
+        ) == 0
+        assert "Capture" in capsys.readouterr().out
+
+    def test_scenario_runs(self, capsys):
+        assert cli_main(
+            ["scenario", "--protocol", "G", "--name", "chain", "--n", "16"]
+        ) == 0
+        assert "leader=" in capsys.readouterr().out
+
+    def test_scenario_unknown_lists_catalogue(self, capsys):
+        assert cli_main(["scenario", "--name", "bogus"]) == 2
+        out = capsys.readouterr().out
+        assert "frozen_middle" in out
+
+    def test_report_quick_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "EXP.md"
+        # restrict to the cheap path: quick scale
+        assert cli_main(["report", "--quick", "--output", str(out)]) == 0
+        assert "paper vs. measured" in out.read_text()
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script, monkeypatch, capsys):
+    small = {
+        "quickstart.py": ["16"],
+        "protocol_shootout.py": ["16"],
+        "spanning_tree_demo.py": ["16"],
+        "lower_bound_adversary.py": ["16", "32"],
+        "fault_tolerant_demo.py": ["17"],
+        "figure1_sense_of_direction.py": [],
+        "adversary_gallery.py": ["16"],
+        "exhaustive_verification.py": [],
+    }
+    monkeypatch.setattr(sys, "argv", [script.name, *small.get(script.name, [])])
+    runpy.run_path(str(script), run_name="__main__")
+    assert capsys.readouterr().out  # every example prints something

@@ -1,0 +1,78 @@
+"""Golden-value regression tests.
+
+Sense-of-direction runs under simultaneous wake-up and unit delays are
+fully deterministic (the wiring is fixed by the labels, ties break by
+sequence number), so their exact message counts, election times and winners
+are stable fingerprints of protocol behaviour.  Any change to a contest
+rule, a phase boundary, or the kernel's tie-breaking shows up here first —
+with a diff that says exactly which protocol moved and by how much.
+
+If a change is *intentional* (e.g. a message saved by a better rule),
+update the table and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChangRoberts,
+    HirschbergSinclair,
+    LMW86,
+    ProtocolA,
+    ProtocolAPrime,
+    ProtocolB,
+    ProtocolC,
+    complete_with_sense_of_direction,
+    run_election,
+)
+
+#: (protocol key, N) -> (messages_total, election_time, leader_id)
+GOLDENS = {
+    ("CR", 16): (31, 16.0, 15),
+    ("HS", 16): (152, 46.0, 15),
+    ("LMW86", 16): (62, 18.0, 15),
+    ("A", 16): (50, 12.0, 15),
+    ("A'", 16): (82, 12.0, 15),
+    ("B", 16): (230, 20.0, 15),
+    ("C", 16): (98, 16.0, 15),
+    ("CR", 64): (127, 64.0, 63),
+    ("HS", 64): (632, 190.0, 63),
+    ("LMW86", 64): (254, 66.0, 63),
+    ("A", 64): (170, 20.0, 63),
+    ("A'", 64): (298, 20.0, 63),
+    ("B", 64): (1542, 32.0, 63),
+    ("C", 64): (418, 28.0, 63),
+}
+
+FACTORIES = {
+    "CR": ChangRoberts,
+    "HS": HirschbergSinclair,
+    "LMW86": LMW86,
+    "A": ProtocolA,
+    "A'": ProtocolAPrime,
+    "B": ProtocolB,
+    "C": ProtocolC,
+}
+
+
+@pytest.mark.parametrize(
+    "key,n", sorted(GOLDENS), ids=[f"{k}-N{n}" for k, n in sorted(GOLDENS)]
+)
+def test_golden_run(key, n):
+    result = run_election(FACTORIES[key](), complete_with_sense_of_direction(n))
+    expected = GOLDENS[(key, n)]
+    actual = (result.messages_total, result.election_time, result.leader_id)
+    assert actual == expected, (
+        f"{key} at N={n} moved: expected {expected}, got {actual}. "
+        "If intentional, update GOLDENS and explain the behaviour change."
+    )
+
+
+def test_goldens_are_independent_of_the_seed():
+    """These runs involve no randomness at all: the seed must not matter."""
+    for seed in (0, 123):
+        result = run_election(
+            ProtocolC(), complete_with_sense_of_direction(16), seed=seed
+        )
+        assert (result.messages_total, result.leader_id) == (98, 15)

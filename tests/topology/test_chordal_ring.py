@@ -1,0 +1,65 @@
+"""Tests for the ALSZ89 chordal-ring substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topology.chordal_ring import ChordalRingTopology, power_of_two_chords
+
+
+class TestChordSets:
+    def test_power_of_two_chords(self):
+        assert power_of_two_chords(16) == [1, 2, 4, 8]
+        assert power_of_two_chords(100) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_degree_is_logarithmic(self):
+        for n in (16, 64, 256, 1024):
+            ring = ChordalRingTopology(n)
+            assert ring.degree_per_node() <= 2 * math.ceil(math.log2(n)) + 2
+
+    def test_chord_set_is_closed_under_reversal(self):
+        ring = ChordalRingTopology(20)
+        for d in ring.chords:
+            assert (20 - d) % 20 in ring.chords
+
+    def test_ring_edge_required(self):
+        with pytest.raises(ConfigurationError, match="chord 1"):
+            ChordalRingTopology(10, chords=[2, 4])
+
+    def test_chord_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChordalRingTopology(10, chords=[1, 10])
+
+
+class TestStructure:
+    def test_neighbor_and_reverse_port_roundtrip(self):
+        ring = ChordalRingTopology(24)
+        for position in range(24):
+            for port in range(ring.num_ports):
+                far = ring.neighbor(position, port)
+                back = ring.reverse_port(position, port)
+                assert ring.neighbor(far, back) == position
+
+    def test_labels_are_chord_distances(self):
+        ring = ChordalRingTopology(16)
+        for port in range(ring.num_ports):
+            d = ring.label(0, port)
+            assert ring.neighbor(0, port) == d % 16
+
+    def test_port_with_label_rejects_missing_chords(self):
+        ring = ChordalRingTopology(16)
+        with pytest.raises(ConfigurationError, match="no chord"):
+            ring.port_with_label(0, 3)
+
+    def test_non_adjacent_positions_rejected(self):
+        ring = ChordalRingTopology(16, chords=[1, 4])
+        with pytest.raises(ConfigurationError, match="not chord-adjacent"):
+            ring.port_to(0, 2)
+
+    def test_custom_ids(self):
+        ring = ChordalRingTopology(4, ids=[5, 6, 7, 8])
+        assert ring.id_at(2) == 7
+        assert ring.position_of(8) == 3

@@ -1,0 +1,85 @@
+"""Tests for complete-network topologies and port maps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.topology.complete import (
+    CompleteTopology,
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+class TestConstruction:
+    def test_rejects_tiny_networks(self):
+        with pytest.raises(ConfigurationError):
+            complete_with_sense_of_direction(1)
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            complete_with_sense_of_direction(3, ids=[1, 1, 2])
+
+    def test_rejects_broken_port_maps(self):
+        with pytest.raises(ValueError):
+            CompleteTopology(
+                3, [0, 1, 2], [[1, 1], [0, 2], [0, 1]],
+                sense_of_direction=False,
+            )
+
+    def test_custom_ids_are_respected(self):
+        topo = complete_with_sense_of_direction(3, ids=[10, 20, 30])
+        assert topo.id_at(1) == 20
+        assert topo.position_of(30) == 2
+
+
+class TestSenseOfDirectionWiring:
+    @given(st.integers(min_value=2, max_value=40))
+    def test_port_d_reaches_distance_d(self, n):
+        topo = complete_with_sense_of_direction(n)
+        for position in range(n):
+            for port in range(topo.num_ports):
+                assert topo.neighbor(position, port) == (position + port + 1) % n
+                assert topo.label(position, port) == port + 1
+
+    def test_port_with_label_roundtrips(self):
+        topo = complete_with_sense_of_direction(8)
+        for d in range(1, 8):
+            port = topo.port_with_label(0, d)
+            assert topo.label(0, port) == d
+
+    def test_port_with_label_bounds(self):
+        topo = complete_with_sense_of_direction(8)
+        with pytest.raises(ConfigurationError):
+            topo.port_with_label(0, 0)
+        with pytest.raises(ConfigurationError):
+            topo.port_with_label(0, 8)
+
+    def test_unlabeled_networks_have_no_labels(self):
+        topo = complete_without_sense(5, seed=0)
+        assert topo.label(0, 0) is None
+        with pytest.raises(ConfigurationError):
+            topo.port_with_label(0, 1)
+
+
+class TestReversePorts:
+    @given(st.integers(min_value=2, max_value=25),
+           st.integers(min_value=0, max_value=10**6))
+    def test_reverse_port_is_an_involution(self, n, seed):
+        """Property: following a link and coming back lands on your port."""
+        topo = complete_without_sense(n, seed=seed)
+        for position in range(n):
+            for port in range(topo.num_ports):
+                far = topo.neighbor(position, port)
+                back = topo.reverse_port(position, port)
+                assert topo.neighbor(far, back) == position
+                assert topo.reverse_port(far, back) == port
+
+    def test_port_to_is_inverse_of_neighbor(self):
+        topo = complete_without_sense(7, seed=3)
+        for position in range(7):
+            for port in range(topo.num_ports):
+                far = topo.neighbor(position, port)
+                assert topo.port_to(position, far) == port

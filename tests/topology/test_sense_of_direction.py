@@ -1,0 +1,71 @@
+"""Tests for the sense-of-direction laws and the Figure 1 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.topology.complete import CompleteTopology, complete_with_sense_of_direction
+from repro.topology.sense_of_direction import (
+    ascii_figure,
+    as_networkx,
+    chord_endpoints,
+    figure1,
+    verify_sense_of_direction,
+)
+
+
+class TestFigure1:
+    def test_figure1_is_the_six_node_network(self):
+        topo = figure1()
+        assert topo.n == 6
+        assert topo.num_ports == 5
+
+    def test_figure1_labels_are_valid(self):
+        verify_sense_of_direction(figure1())
+
+    def test_hamiltonian_cycle_is_the_distance_one_chords(self):
+        cycle = chord_endpoints(figure1(), 1)
+        assert cycle == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+
+    def test_opposite_chords_pair_up(self):
+        topo = figure1()
+        # the label-3 chords are their own reverses in a 6-node network
+        for src, dst in chord_endpoints(topo, 3):
+            assert (dst, src) in chord_endpoints(topo, 3)
+
+    def test_ascii_rendering_mentions_every_label(self):
+        art = ascii_figure(figure1())
+        for d in range(1, 6):
+            assert f"label {d}:" in art
+
+
+class TestVerification:
+    def test_accepts_all_sizes(self):
+        for n in (2, 3, 7, 16, 33):
+            verify_sense_of_direction(complete_with_sense_of_direction(n))
+
+    def test_rejects_unlabeled_topologies(self):
+        from repro.topology.complete import complete_without_sense
+
+        with pytest.raises(ConfigurationError):
+            verify_sense_of_direction(complete_without_sense(5))
+
+    def test_rejects_a_forged_labeling(self):
+        """A topology claiming sense of direction with scrambled wiring."""
+        n = 4
+        # Swap two neighbours in one row: labels no longer mean distance.
+        rows = [[(p + d) % n for d in range(1, n)] for p in range(n)]
+        rows[0][0], rows[0][1] = rows[0][1], rows[0][0]
+        forged = CompleteTopology(n, range(n), rows, sense_of_direction=True)
+        with pytest.raises(ConfigurationError):
+            verify_sense_of_direction(forged)
+
+
+class TestNetworkxExport:
+    def test_exports_labeled_digraph(self):
+        graph = as_networkx(figure1())
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 30
+        assert graph.edges[0, 2]["label"] == 2
+        assert graph.nodes[3]["identity"] == 3
