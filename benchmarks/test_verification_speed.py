@@ -1,16 +1,28 @@
-"""Benchmark: exhaustive-exploration throughput.
+"""Benchmark: verification throughput and the POR reduction ratio.
 
-Tracks the explorer's states/second (clone + fingerprint dominate) so a
-kernel or protocol state-size regression shows up as a throughput drop.
+Tracks the explorer's states/second (copy-on-write branching and
+incremental fingerprints dominate) so a kernel or protocol state-size
+regression shows up as a throughput drop, and records the headline
+reduction numbers:
+
+* ``full DFS`` (``por=False``) vs ``POR`` states and states/sec on
+  Protocol B at N=4 — the before/after of the reduction work;
+* the unpruned execution-tree baseline, proving POR explores >= 10x
+  fewer states than the literal "every interleaving" enumeration;
+* exhaustive Protocol A at N=5, which the seed checker could not finish.
 """
 
-from repro.protocols.sense.protocol_c import ProtocolC
+import time
+
 from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
 from repro.topology.complete import (
     complete_with_sense_of_direction,
     complete_without_sense,
 )
-from repro.verification import explore_protocol
+from repro.verification import count_unpruned_interleavings, explore_protocol
 
 
 def test_explore_protocol_c_n4(benchmark):
@@ -29,3 +41,69 @@ def test_explore_protocol_e_n3(benchmark):
     )
     benchmark.extra_info["states"] = report.states_explored
     assert report.complete
+
+
+def test_explore_b4_full_dfs(benchmark):
+    """The "before" bar: memoised DFS with the reduction switched off."""
+    topology = complete_with_sense_of_direction(4)
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: explore_protocol(ProtocolB(), topology, por=False),
+        rounds=1, iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["states"] = report.states_explored
+    benchmark.extra_info["states_per_sec"] = round(
+        report.states_explored / elapsed
+    )
+    assert report.complete
+
+
+def test_explore_b4_with_por(benchmark):
+    """The "after" bar: same instance, partial-order reduction on."""
+    topology = complete_with_sense_of_direction(4)
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: explore_protocol(ProtocolB(), topology, por=True),
+        rounds=1, iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["states"] = report.states_explored
+    benchmark.extra_info["states_per_sec"] = round(
+        report.states_explored / elapsed
+    )
+    assert report.complete
+
+
+def test_por_reduction_ratio_b4(benchmark):
+    """POR visits >= 10x fewer states than the unpruned execution tree."""
+    topology = complete_with_sense_of_direction(4)
+    reduced = explore_protocol(ProtocolB(), topology, por=True)
+    bound = 10 * reduced.states_explored
+    baseline = benchmark.pedantic(
+        lambda: count_unpruned_interleavings(
+            ProtocolB(), topology, max_states=bound
+        ),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["por_states"] = reduced.states_explored
+    benchmark.extra_info["unpruned_states_lower_bound"] = (
+        baseline.states_explored
+    )
+    assert not baseline.complete  # the tree blows through the 10x cap
+    assert reduced.states_explored * 10 <= baseline.states_explored
+
+
+def test_explore_a5_completes(benchmark):
+    """Exhaustive Protocol A at N=5 — out of reach before this rework."""
+    report = benchmark.pedantic(
+        lambda: explore_protocol(
+            ProtocolA(), complete_with_sense_of_direction(5),
+            max_states=100_000,
+        ),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["states"] = report.states_explored
+    benchmark.extra_info["transitions"] = report.transitions
+    assert report.complete
+    assert report.leaders_seen == {0, 1, 2, 3, 4}

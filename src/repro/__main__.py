@@ -7,6 +7,9 @@ Subcommands::
     python -m repro replay --protocol A --n 8 [--messages]
     python -m repro scenario --protocol G --name chain --n 64
     python -m repro report [--quick] [--output EXPERIMENTS.md]
+    python -m repro verify --protocol A --n 4 [--max-states M] [--no-por]
+    python -m repro verify --protocol A --n 8 --fuzz 200 [--save-trace T.json]
+    python -m repro verify --replay T.json [--shrink]
 
 Kept deliberately thin: each subcommand is a few lines over the public API,
 so it doubles as living documentation.
@@ -80,6 +83,67 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_topology(args: argparse.Namespace):
+    cls = protocol_class(args.protocol)
+    if cls.needs_sense_of_direction or not args.no_sense:
+        return cls(), complete_with_sense_of_direction(args.n)
+    return cls(), complete_without_sense(args.n, seed=args.seed)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.replay import render_schedule
+    from repro.core.errors import ProtocolViolation
+    from repro.verification import (
+        explore_protocol,
+        fuzz_protocol,
+        load_trace,
+        replay_trace,
+        save_trace,
+        shrink_trace,
+    )
+
+    if args.replay is not None:
+        trace = load_trace(args.replay)
+        if args.shrink:
+            trace = shrink_trace(trace)
+            print(f"shrunk to {len(trace.choices)} choices")
+        outcome = replay_trace(trace, record_log=True)
+        print(render_schedule(trace, outcome))
+        return 0 if outcome.ok else 1
+
+    protocol, topology = _verify_topology(args)
+    if args.fuzz:
+        report = fuzz_protocol(
+            protocol, topology, schedules=args.fuzz, seed=args.seed
+        )
+        print(report)
+        if report.ok:
+            return 0
+        violation = report.violations[0]
+        print(f"{violation.kind} violation: {violation.message}")
+        trace = shrink_trace(violation.trace, protocol)
+        print(
+            f"shrunk from {len(violation.trace.choices)} to "
+            f"{len(trace.choices)} choices"
+        )
+        if args.save_trace:
+            print(f"trace saved to {save_trace(trace, args.save_trace)}")
+        outcome = replay_trace(trace, protocol, record_log=True)
+        print(render_schedule(trace, outcome))
+        return 1
+
+    try:
+        report = explore_protocol(
+            protocol, topology,
+            max_states=args.max_states, por=not args.no_por,
+        )
+    except ProtocolViolation as violation:
+        print(f"VIOLATION: {violation}")
+        return 1
+    print(report)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -120,6 +184,40 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help="model-check a protocol: exhaustive exploration, schedule "
+        "fuzzing, or trace replay",
+    )
+    verify_parser.add_argument("--protocol", default="A")
+    verify_parser.add_argument("--n", type=int, default=3)
+    verify_parser.add_argument("--seed", type=int, default=0)
+    verify_parser.add_argument("--no-sense", action="store_true")
+    verify_parser.add_argument(
+        "--max-states", type=int, default=200_000,
+        help="state budget for exhaustive exploration",
+    )
+    verify_parser.add_argument(
+        "--no-por", action="store_true",
+        help="disable partial-order reduction (cross-validation mode)",
+    )
+    verify_parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="K",
+        help="fuzz K adversarial schedules instead of exploring exhaustively",
+    )
+    verify_parser.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="with --fuzz: write the shrunk violating trace to PATH",
+    )
+    verify_parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a saved schedule trace file instead of checking",
+    )
+    verify_parser.add_argument(
+        "--shrink", action="store_true",
+        help="with --replay: shrink the trace before replaying",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -129,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replay(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "report":
         from repro.harness.report import main as report_main
 

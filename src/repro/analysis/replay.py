@@ -10,11 +10,20 @@ Usage::
     network = Network(ProtocolA(), topology, trace=True)
     result = network.run()
     print(render_replay(result))
+
+:func:`render_schedule` is the same idea for the verification side: it
+narrates a replayed :class:`~repro.verification.replay.ScheduleTrace`
+(typically a shrunk fuzzer counterexample) step by step.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.results import ElectionResult
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.verification.replay import ReplayOutcome, ScheduleTrace
 
 #: Events worth narrating, with terse templates.  Anything else (raw
 #: send/deliver noise) is summarised per time step instead.
@@ -90,4 +99,32 @@ def render_replay(
             + template.format(node=event.node, detail=_describe_detail(event))
         )
     flush_traffic()
+    return "\n".join(lines)
+
+
+def render_schedule(trace: "ScheduleTrace", outcome: "ReplayOutcome") -> str:
+    """Render a replayed schedule trace as a step-by-step narrative.
+
+    ``outcome`` must come from
+    :func:`~repro.verification.replay.replay_trace` with
+    ``record_log=True`` (otherwise there are no steps to narrate).  The
+    verdict line makes the rendering self-contained: a clean run names the
+    leader, a violating run names the violated property.
+    """
+    lines = [
+        f"schedule replay of {trace.protocol} on N={trace.n} "
+        f"(family={trace.family}, seed={trace.seed}, "
+        f"{len(trace.choices)} recorded choices)"
+    ]
+    lines.extend(outcome.log or ["(no step log — replay with record_log=True)"])
+    if outcome.violation_kind is not None:
+        lines.append(
+            f"verdict: {outcome.violation_kind.upper()} violation — "
+            f"{outcome.violation}"
+        )
+    else:
+        lines.append(
+            f"verdict: ok (leader={outcome.leader_id}, "
+            f"{outcome.messages_sent} messages, {outcome.steps} steps)"
+        )
     return "\n".join(lines)

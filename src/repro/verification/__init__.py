@@ -1,10 +1,65 @@
-"""Exhaustive verification of protocol executions (small N).
+"""Execution-space verification: exhaustive exploration, fuzzing, replay.
 
-The simulator samples executions; this package *enumerates* them: every
-interleaving of wake-ups and FIFO message deliveries a complete
-asynchronous network allows.  See :mod:`repro.verification.explore`.
+The simulator samples executions; this package *checks* them at scale,
+all against the same lock-step world (:mod:`repro.verification.world`)
+driving the very ``Node`` classes the simulator runs:
+
+* :mod:`repro.verification.explore` — every interleaving of wake-ups and
+  FIFO message deliveries a complete asynchronous network allows, for
+  small N, with partial-order reduction and incremental fingerprints;
+* :mod:`repro.verification.fuzz` — seeded pseudo-random and adversarial
+  schedule families (wake-last, starve-channel, PCT) for N beyond
+  exhaustive reach, every run recorded as a replayable trace;
+* :mod:`repro.verification.replay` — byte-for-byte deterministic replay
+  of schedule traces, delta-debugging shrinking, and trace files.
 """
 
-from repro.verification.explore import ExplorationReport, explore_protocol
+from repro.verification.explore import (
+    ExplorationReport,
+    count_unpruned_interleavings,
+    explore_protocol,
+)
+from repro.verification.fuzz import (
+    DEFAULT_FAMILIES,
+    FuzzReport,
+    FuzzViolation,
+    PCTSchedule,
+    SchedulePolicy,
+    StarveChannelSchedule,
+    UniformSchedule,
+    WakeLastSchedule,
+    fuzz_protocol,
+)
+from repro.verification.replay import (
+    ReplayOutcome,
+    ScheduleTrace,
+    load_trace,
+    replay_trace,
+    save_trace,
+    shrink_trace,
+)
+from repro.verification.world import Action, LockStepWorld, StepContext
 
-__all__ = ["ExplorationReport", "explore_protocol"]
+__all__ = [
+    "Action",
+    "DEFAULT_FAMILIES",
+    "ExplorationReport",
+    "FuzzReport",
+    "FuzzViolation",
+    "LockStepWorld",
+    "PCTSchedule",
+    "ReplayOutcome",
+    "ScheduleTrace",
+    "SchedulePolicy",
+    "StarveChannelSchedule",
+    "StepContext",
+    "UniformSchedule",
+    "WakeLastSchedule",
+    "count_unpruned_interleavings",
+    "explore_protocol",
+    "fuzz_protocol",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+    "shrink_trace",
+]

@@ -1,0 +1,291 @@
+"""Schedule fuzzing: seeded pseudo-random and adversarial schedules.
+
+Exhaustive exploration (:mod:`repro.verification.explore`) proves "for all
+executions" at small N; this module stresses N far beyond exhaustive reach
+by driving the same lock-step world down *many* schedules, each drawn from
+a family of adversaries:
+
+* ``uniform`` — every enabled action equally likely, the unbiased baseline;
+* ``wake-last`` — spontaneous wake-ups are starved until no delivery is
+  possible, serialising the candidate arrivals (the schedule behind the
+  paper's Θ(N) worst-case time for Protocol A);
+* ``starve-channel`` — one channel, picked per run, is frozen as long as
+  anything else can move, forcing maximal head-of-line reordering across
+  channels;
+* ``pct`` — a PCT-style priority schedule: nodes get random priorities,
+  the highest-priority enabled node always moves, and a few random
+  priority-change points per run inject the "d critical reorderings" that
+  uniform sampling almost never hits.
+
+Every choice an adversary makes is recorded as an index into the world's
+canonical ``enabled_actions()`` list, so any run — in particular any
+*violating* run — is a compact :class:`~repro.verification.replay.ScheduleTrace`
+that replays byte-for-byte and shrinks by delta-debugging.  Same seed,
+same traces: the fuzzer is deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.core.errors import ProtocolViolation
+from repro.core.protocol import ElectionProtocol
+from repro.topology.complete import CompleteTopology
+from repro.verification.replay import ScheduleTrace
+from repro.verification.world import Action, LockStepWorld, actor
+
+
+class SchedulePolicy(ABC):
+    """One adversary: picks the next action, fully driven by a seeded RNG."""
+
+    #: Family name recorded into traces and per-family tallies.
+    family: ClassVar[str] = "?"
+
+    def reset(self, world: LockStepWorld, rng: random.Random) -> None:
+        """Per-run initialisation (victim picks, priorities, ...)."""
+
+    @abstractmethod
+    def choose(
+        self,
+        world: LockStepWorld,
+        actions: list[Action],
+        rng: random.Random,
+    ) -> int:
+        """Index of the action to apply next (into ``actions``)."""
+
+
+class UniformSchedule(SchedulePolicy):
+    """Unbiased baseline: every enabled action equally likely."""
+
+    family = "uniform"
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        return rng.randrange(len(actions))
+
+
+class WakeLastSchedule(SchedulePolicy):
+    """Starve spontaneous wake-ups until no delivery is possible.
+
+    This is the adversary behind the paper's Θ(N) time lower bound for
+    Protocol A: each candidate only enters the fray once the previous
+    one's messages have all landed.
+    """
+
+    family = "wake-last"
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        deliveries = [
+            index for index, (kind, _) in enumerate(actions)
+            if kind == "deliver"
+        ]
+        if deliveries:
+            return rng.choice(deliveries)
+        return rng.randrange(len(actions))
+
+
+class StarveChannelSchedule(SchedulePolicy):
+    """Freeze one randomly chosen channel while anything else can move."""
+
+    family = "starve-channel"
+
+    def __init__(self) -> None:
+        self._victim: tuple[int, int] | None = None
+
+    def reset(self, world, rng):  # noqa: D102
+        n = world.topology.n
+        src = rng.randrange(n)
+        dst = (src + rng.randrange(1, n)) % n
+        self._victim = (src, dst)
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        starved = ("deliver", self._victim)
+        allowed = [
+            index for index, action in enumerate(actions) if action != starved
+        ]
+        if allowed:
+            return rng.choice(allowed)
+        return rng.randrange(len(actions))
+
+
+class PCTSchedule(SchedulePolicy):
+    """PCT-style priority schedule with ``depth`` priority-change points.
+
+    Nodes get distinct random priorities; at every step the enabled action
+    of the highest-priority node is taken (random among that node's
+    enabled actions).  At ``depth - 1`` random step counts the current
+    top node is demoted below everyone, injecting the small number of
+    critical reorderings the PCT argument says suffice to hit any bug of
+    bounded depth with useful probability.
+    """
+
+    family = "pct"
+
+    def __init__(self, depth: int = 3, horizon: int = 0) -> None:
+        self.depth = max(1, depth)
+        #: Step range the change points are drawn from; 0 means
+        #: ``16 * n * n`` (comfortably past quiescence for small N).
+        self.horizon = horizon
+        self._priority: dict[int, float] = {}
+        self._changes: set[int] = set()
+        self._step = 0
+
+    def reset(self, world, rng):  # noqa: D102
+        n = world.topology.n
+        order = list(range(n))
+        rng.shuffle(order)
+        self._priority = {node: float(rank) for rank, node in enumerate(order)}
+        horizon = self.horizon or 16 * n * n
+        self._changes = {
+            rng.randrange(1, horizon) for _ in range(self.depth - 1)
+        }
+        self._step = 0
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        self._step += 1
+        enabled_actors = {actor(action) for action in actions}
+        top = max(enabled_actors, key=self._priority.__getitem__)
+        if self._step in self._changes:
+            self._priority[top] = min(self._priority.values()) - 1.0
+            top = max(enabled_actors, key=self._priority.__getitem__)
+        candidates = [
+            index for index, action in enumerate(actions)
+            if actor(action) == top
+        ]
+        return rng.choice(candidates)
+
+
+#: The default adversary line-up, cycled over the requested schedules.
+DEFAULT_FAMILIES: tuple[SchedulePolicy, ...] = (
+    UniformSchedule(),
+    WakeLastSchedule(),
+    StarveChannelSchedule(),
+    PCTSchedule(),
+)
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """One failing schedule, carried as a replayable trace."""
+
+    kind: str  # "safety" | "liveness" | "validity"
+    message: str
+    trace: ScheduleTrace
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one fuzzing campaign."""
+
+    runs: int = 0
+    steps_total: int = 0
+    truncated_runs: int = 0
+    leaders_seen: set[int] = field(default_factory=set)
+    runs_per_family: dict[str, int] = field(default_factory=dict)
+    violations: list[FuzzViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no schedule produced a violation."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        families = ", ".join(
+            f"{family}:{count}"
+            for family, count in sorted(self.runs_per_family.items())
+        )
+        verdict = (
+            "ok" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        )
+        return (
+            f"{self.runs} schedules ({families}), {self.steps_total} steps, "
+            f"leaders {sorted(self.leaders_seen)}, {verdict}"
+        )
+
+
+def fuzz_protocol(
+    protocol: ElectionProtocol,
+    topology: CompleteTopology,
+    *,
+    schedules: int = 100,
+    seed: int = 0,
+    base_positions: tuple[int, ...] | None = None,
+    families: tuple[SchedulePolicy, ...] | None = None,
+    max_steps: int = 20_000,
+    stop_at_first: bool = True,
+) -> FuzzReport:
+    """Drive ``schedules`` seeded adversarial schedules and check each run.
+
+    Each run cycles through ``families`` (default: all four), derives its
+    own RNG from ``(seed, run, family)``, and checks safety on every step
+    plus liveness and validity at quiescence.  Violations are collected as
+    replayable :class:`FuzzViolation` traces (``stop_at_first=True`` stops
+    the campaign at the first one).  The report never raises: the caller
+    inspects ``report.ok`` / ``report.violations`` — a found bug with its
+    trace in hand is the fuzzer's *successful* outcome.
+    """
+    if base_positions is None:
+        base_positions = tuple(range(topology.n))
+    else:
+        base_positions = tuple(base_positions)
+    line_up = families if families is not None else DEFAULT_FAMILIES
+    protocol_name = type(protocol).name
+    report = FuzzReport()
+    for run in range(schedules):
+        policy = line_up[run % len(line_up)]
+        rng = random.Random(f"{seed}:{run}:{policy.family}")
+        world = LockStepWorld(protocol, topology, base_positions)
+        policy.reset(world, rng)
+        report.runs += 1
+        report.runs_per_family[policy.family] = (
+            report.runs_per_family.get(policy.family, 0) + 1
+        )
+        choices: list[int] = []
+        violation: tuple[str, str] | None = None
+        quiescent = False
+        while True:
+            actions = world.enabled_actions()
+            if not actions:
+                quiescent = True
+                break
+            if len(choices) >= max_steps:
+                report.truncated_runs += 1
+                break
+            index = policy.choose(world, actions, rng)
+            choices.append(index)
+            try:
+                world.apply(actions[index])
+            except ProtocolViolation as error:
+                violation = ("safety", str(error))
+                break
+        report.steps_total += len(choices)
+        if violation is None and quiescent:
+            leaders = set(world.leaders)
+            if not leaders:
+                violation = ("liveness", "quiescent with no leader")
+            else:
+                (leader,) = leaders  # safety enforced at declaration
+                leader_id = world.topology.id_at(leader)
+                if not world.nodes[leader].is_base:
+                    violation = (
+                        "validity",
+                        f"non-base node {leader_id} was elected leader",
+                    )
+                else:
+                    report.leaders_seen.add(leader_id)
+        if violation is not None:
+            kind, message = violation
+            trace = ScheduleTrace.capture(
+                protocol_name,
+                topology,
+                base_positions,
+                tuple(choices),
+                family=policy.family,
+                seed=seed,
+            )
+            report.violations.append(FuzzViolation(kind, message, trace))
+            if stop_at_first:
+                break
+    return report

@@ -1,0 +1,426 @@
+"""Deterministic schedule traces: save, replay, shrink.
+
+A :class:`ScheduleTrace` is a complete, self-contained record of one
+lock-step execution: the topology (ids and port wiring, so no seed or
+strategy needs to be reconstructed), the base-node set, and the sequence
+of adversary choices — each choice an index into the canonical
+``enabled_actions()`` list of :class:`~repro.verification.world.LockStepWorld`
+at that step.  Because the world is deterministic given those choices, a
+trace replays **byte-for-byte**: same transitions, same sends, same
+violation at the same step.
+
+:func:`replay_trace` re-executes a trace (strictly, validating every
+index, or leniently for the shrinker).  :func:`shrink_trace` minimises a
+violating trace by delta-debugging (ddmin) over the choice points: chunks
+of choices are deleted, the candidate tape is replayed leniently (indices
+wrap modulo the enabled-action count; for liveness/validity bugs an
+exhausted tape is completed with first-enabled choices so quiescence is
+reached), and a deletion is kept whenever the same class of violation
+still reproduces.  The winner is canonicalised back into a strict trace by
+recording the indices that actually applied, and ddmin is re-run on the
+canonical tape until the executed length stops shrinking.
+
+Traces serialise to a small JSON document (:func:`save_trace` /
+:func:`load_trace`); the format is documented in ``docs/verification.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError, ProtocolViolation
+from repro.core.protocol import ElectionProtocol, protocol_class
+from repro.topology.complete import CompleteTopology
+from repro.verification.world import LockStepWorld
+
+#: Identifies the on-disk trace format; bumped on incompatible change.
+TRACE_FORMAT = "repro-schedule-trace-v1"
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """One fully-determined lock-step schedule, replayable byte-for-byte."""
+
+    #: Registry name of the protocol (``protocol_class(name)()`` must
+    #: reconstruct it; pass an explicit instance to replay otherwise).
+    protocol: str
+    n: int
+    sense: bool
+    ids: tuple[int, ...]
+    #: ``port_neighbor[p][q]``: position reached from ``p`` via port ``q``.
+    port_neighbor: tuple[tuple[int, ...], ...]
+    base_positions: tuple[int, ...]
+    #: Adversary choices: ``choices[k]`` indexes ``enabled_actions()`` at
+    #: step ``k``.
+    choices: tuple[int, ...]
+    #: Schedule family that produced the trace (``manual`` for hand-built).
+    family: str = "manual"
+    seed: int = 0
+
+    def topology(self) -> CompleteTopology:
+        """Reconstruct the exact topology the trace was recorded on."""
+        return CompleteTopology(
+            self.n,
+            self.ids,
+            self.port_neighbor,
+            sense_of_direction=self.sense,
+        )
+
+    @staticmethod
+    def capture(
+        protocol_name: str,
+        topology: CompleteTopology,
+        base_positions: tuple[int, ...],
+        choices: tuple[int, ...],
+        *,
+        family: str = "manual",
+        seed: int = 0,
+    ) -> "ScheduleTrace":
+        """Build a trace snapshotting ``topology``'s full wiring."""
+        port_neighbor = tuple(
+            tuple(
+                topology.neighbor(position, port)
+                for port in range(topology.num_ports)
+            )
+            for position in range(topology.n)
+        )
+        return ScheduleTrace(
+            protocol=protocol_name,
+            n=topology.n,
+            sense=topology.sense_of_direction,
+            ids=tuple(topology.ids),
+            port_neighbor=port_neighbor,
+            base_positions=tuple(base_positions),
+            choices=tuple(choices),
+            family=family,
+            seed=seed,
+        )
+
+
+@dataclass
+class ReplayOutcome:
+    """What replaying one schedule observed."""
+
+    #: ``safety`` / ``liveness`` / ``validity``, or None for a clean run.
+    violation_kind: str | None = None
+    violation: str | None = None
+    leader_id: int | None = None
+    steps: int = 0
+    messages_sent: int = 0
+    #: True when the run reached quiescence (no enabled action left).
+    quiescent: bool = False
+    #: The indices actually applied — a strict tape reproducing this exact
+    #: run (differs from the input under lenient replay).
+    choices_used: tuple[int, ...] = ()
+    #: Human-readable per-step narration (``record_log=True`` only);
+    #: rendered by :func:`repro.analysis.replay.render_schedule`.
+    log: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when the replay observed no violation."""
+        return self.violation_kind is None
+
+
+def _describe_action(world: LockStepWorld, action, step: int) -> str:
+    topology = world.topology
+    kind, arg = action
+    if kind == "wake":
+        return f"step {step:4d}  node {topology.id_at(arg)} wakes spontaneously"
+    src, dst = arg
+    message = world.peek_message(arg)
+    return (
+        f"step {step:4d}  {topology.id_at(src)} -> {topology.id_at(dst)}: "
+        f"{message.type_name}"
+    )
+
+
+def replay_trace(
+    trace: ScheduleTrace,
+    protocol: ElectionProtocol | None = None,
+    *,
+    strict: bool = True,
+    record_log: bool = False,
+    max_steps: int = 100_000,
+    complete_tape: bool = True,
+) -> ReplayOutcome:
+    """Re-execute a schedule trace deterministically.
+
+    ``strict=True`` (the default) demands every recorded choice be a valid
+    index for the state it is applied in — the trace replays byte-for-byte
+    or raises :class:`ConfigurationError`.  ``strict=False`` is the
+    shrinker's lenient interpreter: indices wrap modulo the number of
+    enabled actions and, with ``complete_tape=True``, an exhausted tape is
+    completed by always taking the first enabled action until quiescence
+    (or ``max_steps``); ``complete_tape=False`` stops where the tape ends,
+    which is how safety violations are shrunk without re-padding the run.
+    ``protocol`` defaults to reconstructing ``trace.protocol`` from the
+    registry.
+    """
+    if protocol is None:
+        protocol = protocol_class(trace.protocol)()
+    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    outcome = ReplayOutcome()
+    log: list[str] = []
+    used: list[int] = []
+    tape = iter(trace.choices)
+    while outcome.steps < max_steps:
+        actions = world.enabled_actions()
+        if not actions:
+            outcome.quiescent = True
+            break
+        choice = next(tape, None)
+        if choice is None:
+            if strict:
+                break  # tape over: stop exactly where the recording did
+            choice = 0
+        elif not 0 <= choice < len(actions):
+            if strict:
+                raise ConfigurationError(
+                    f"trace step {outcome.steps}: choice {choice} out of "
+                    f"range for {len(actions)} enabled actions"
+                )
+            choice %= len(actions)
+        action = actions[choice]
+        if record_log:
+            log.append(_describe_action(world, action, outcome.steps))
+        used.append(choice)
+        outcome.steps += 1
+        try:
+            world.apply(action)
+        except ProtocolViolation as violation:
+            outcome.violation_kind = "safety"
+            outcome.violation = str(violation)
+            if record_log:
+                log.append(f"step {outcome.steps - 1:4d}  *** {violation} ***")
+            break
+    outcome.messages_sent = world.messages_sent
+    outcome.choices_used = tuple(used)
+    if outcome.quiescent and outcome.violation_kind is None:
+        leaders = set(world.leaders)
+        if not leaders:
+            outcome.violation_kind = "liveness"
+            outcome.violation = "quiescent with no leader"
+        else:
+            (leader,) = leaders  # safety enforced at declaration time
+            leader_id = world.topology.id_at(leader)
+            if not world.nodes[leader].is_base:
+                outcome.violation_kind = "validity"
+                outcome.violation = (
+                    f"non-base node {leader_id} was elected leader"
+                )
+            else:
+                outcome.leader_id = leader_id
+    outcome.log = tuple(log)
+    return outcome
+
+
+@dataclass
+class _ActionRun:
+    """Outcome of replaying a concrete *action* sequence (shrinker internal)."""
+
+    violation_kind: str | None
+    #: The actions that actually applied (enabled when reached).
+    applied: list
+    #: Index of each applied action in ``enabled_actions()`` at its step —
+    #: a strict choice tape reproducing this exact run.
+    choices: list[int]
+
+
+def _run_actions(
+    trace: ScheduleTrace,
+    protocol: ElectionProtocol,
+    actions,
+    *,
+    complete: bool,
+    max_steps: int,
+) -> _ActionRun:
+    """Apply ``actions`` in order, silently skipping any that is not
+    enabled when its turn comes (the skip rule is what makes delta-debugging
+    over schedules stable: deleting an irrelevant step leaves every later
+    step meaningful instead of shifting its interpretation).  With
+    ``complete=True`` the run is then driven to quiescence with
+    first-enabled choices, so liveness/validity can be judged.
+    """
+    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    run = _ActionRun(violation_kind=None, applied=[], choices=[])
+
+    def apply_one(action, enabled) -> bool:
+        run.choices.append(enabled.index(action))
+        run.applied.append(action)
+        try:
+            world.apply(action)
+        except ProtocolViolation:
+            run.violation_kind = "safety"
+            return False
+        return True
+
+    for action in actions:
+        if len(run.applied) >= max_steps:
+            return run
+        enabled = world.enabled_actions()
+        if not enabled:
+            break
+        if action not in enabled:
+            continue
+        if not apply_one(action, enabled):
+            return run
+    while complete and len(run.applied) < max_steps:
+        enabled = world.enabled_actions()
+        if not enabled:
+            break
+        if not apply_one(enabled[0], enabled):
+            return run
+    if not world.enabled_actions():
+        leaders = set(world.leaders)
+        if not leaders:
+            run.violation_kind = "liveness"
+        else:
+            (leader,) = leaders
+            if not world.nodes[leader].is_base:
+                run.violation_kind = "validity"
+    return run
+
+
+def shrink_trace(
+    trace: ScheduleTrace,
+    protocol: ElectionProtocol | None = None,
+    *,
+    max_steps: int = 100_000,
+) -> ScheduleTrace:
+    """Minimise a violating trace by delta-debugging its schedule.
+
+    The trace's choice tape is first resolved into the concrete action
+    sequence it executes; ddmin then deletes actions, replaying each
+    candidate with skip-if-disabled semantics (see :func:`_run_actions`)
+    and keeping a deletion whenever the *same class* of violation
+    (safety / liveness / validity) still reproduces.  The winner is
+    canonicalised back into a strict choice tape and the result is never
+    longer than the input's executed schedule.  Raises
+    :class:`ConfigurationError` when the input trace does not witness a
+    violation.
+    """
+    if protocol is None:
+        protocol = protocol_class(trace.protocol)()
+    baseline = replay_trace(
+        trace, protocol, strict=False, max_steps=max_steps
+    )
+    if baseline.violation_kind is None:
+        raise ConfigurationError(
+            "trace replays cleanly; there is no violation to shrink"
+        )
+    kind = baseline.violation_kind
+    # A safety violation raises *during* the schedule, so candidates are
+    # not padded out to quiescence — padding would regrow every shrunk
+    # run.  Liveness and validity are judged at quiescence, which a
+    # shortened schedule must still be driven to.
+    complete = kind != "safety"
+
+    # Resolve the baseline tape into the action sequence it executes.
+    seed_run = _run_actions(
+        trace,
+        protocol,
+        _resolve_actions(trace, protocol, max_steps=max_steps),
+        complete=complete,
+        max_steps=max_steps,
+    )
+    assert seed_run.violation_kind == kind
+
+    def attempt(actions) -> _ActionRun | None:
+        run = _run_actions(
+            trace, protocol, actions, complete=complete, max_steps=max_steps
+        )
+        return run if run.violation_kind == kind else None
+
+    # ddmin, re-seeded with the applied (possibly shorter) sequence until
+    # the executed length stops shrinking.
+    current = seed_run.applied
+    while True:
+        best = _ddmin(list(current), lambda a: attempt(a) is not None)
+        run = attempt(best)
+        assert run is not None  # ddmin only returns reproducing sequences
+        if len(run.applied) >= len(current):
+            break
+        current = run.applied
+    return dataclasses.replace(trace, choices=tuple(run.choices))
+
+
+def _resolve_actions(
+    trace: ScheduleTrace,
+    protocol: ElectionProtocol,
+    *,
+    max_steps: int,
+) -> list:
+    """The concrete actions a trace's choice tape executes (leniently)."""
+    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    actions = []
+    for choice in trace.choices:
+        if len(actions) >= max_steps:
+            break
+        enabled = world.enabled_actions()
+        if not enabled:
+            break
+        action = enabled[choice % len(enabled)]
+        actions.append(action)
+        try:
+            world.apply(action)
+        except ProtocolViolation:
+            break
+    return actions
+
+
+def _ddmin(items: list[int], reproduces) -> list[int]:
+    """Zeller-Hildebrandt ddmin over a choice tape."""
+    if reproduces([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunk = math.ceil(len(items) / granularity)
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if reproduces(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                break
+        else:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def save_trace(trace: ScheduleTrace, path: str | Path) -> Path:
+    """Write a trace as a small JSON document; returns the path."""
+    path = Path(path)
+    payload = {"format": TRACE_FORMAT, **dataclasses.asdict(trace)}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> ScheduleTrace:
+    """Read a trace written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.pop("format", None) != TRACE_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not a {TRACE_FORMAT} trace file"
+        )
+    field_names = {f.name for f in dataclasses.fields(ScheduleTrace)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise ConfigurationError(
+            f"{path}: unknown trace fields {sorted(unknown)}"
+        )
+    payload["ids"] = tuple(payload["ids"])
+    payload["port_neighbor"] = tuple(
+        tuple(row) for row in payload["port_neighbor"]
+    )
+    payload["base_positions"] = tuple(payload["base_positions"])
+    payload["choices"] = tuple(payload["choices"])
+    return ScheduleTrace(**payload)

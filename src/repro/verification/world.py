@@ -1,0 +1,270 @@
+"""The lock-step execution world shared by the explorer, fuzzer and replayer.
+
+The timed simulator cannot branch (its event queue holds closures), so all
+of :mod:`repro.verification` runs on a separate *lock-step* world of plain
+FIFO queues.  Node state machines are reused verbatim — the **same**
+``Node`` classes the simulator runs, driven through the same
+``NodeContext`` interface, so there is no model/implementation gap.
+
+A configuration is ``(per-node protocol state, per-channel FIFO queue,
+pending spontaneous wake-ups)``.  The adversary's remaining freedom, once
+latencies are abstracted away, is exactly the set of *actions*:
+
+* ``("wake", position)`` — fire one pending spontaneous wake-up;
+* ``("deliver", (src, dst))`` — deliver the head-of-line message of one
+  channel (FIFO fixes the order *within* a channel; Section 2 guarantees
+  nothing *across* channels).
+
+Two things make the world cheap enough to explore at N=5:
+
+**Copy-on-write branching.**  :meth:`LockStepWorld.branch` copies only the
+container skeleton (node list, queue dict, fingerprint caches); node
+objects and queued messages are shared between branches.  A node is
+deep-copied lazily, the first time a branch actually steps it
+(:meth:`LockStepWorld._own_node`), so branching costs O(N) pointer copies
+plus one node copy per transition instead of a whole-world ``pickle``
+round-trip.  Queued messages are frozen dataclasses and never mutated, so
+queues are stored as immutable tuples and shared freely.
+
+**Incremental hash-chained fingerprints.**  Each node and each non-empty
+channel carries a cached 16-byte BLAKE2b digest of its pickled state;
+applying an action invalidates only the digests it touched.  The world
+fingerprint chains the per-node digests, per-channel digests and the
+pending wake-up set into one digest, so a transition re-hashes one node
+and O(1) short queues instead of re-pickling the whole configuration.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from hashlib import blake2b
+from typing import Any
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message, message_bits
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+from repro.topology.complete import CompleteTopology
+
+#: One adversary choice: ``("wake", position)`` or ``("deliver", (src, dst))``.
+Action = tuple[str, Any]
+
+_DIGEST_SIZE = 16
+
+
+def actor(action: Action) -> int:
+    """The position whose node an action steps.
+
+    ``wake p`` steps node ``p``; ``deliver (src, dst)`` steps node ``dst``.
+    This is the key to the independence relation: actions with different
+    actors commute (see :func:`independent`).
+    """
+    kind, arg = action
+    return arg if kind == "wake" else arg[1]
+
+
+def independent(a: Action, b: Action) -> bool:
+    """Whether two enabled actions commute (Mazurkiewicz independence).
+
+    Sufficient condition, proved in ``docs/verification.md``: actions with
+    distinct actors commute.  Each action mutates exactly its actor's node,
+    pops exactly its own channel's head, and only ever *appends* to other
+    channels' tails — and appending at the tail commutes with popping the
+    head of a non-empty FIFO queue.
+    """
+    return actor(a) != actor(b)
+
+
+class StepContext(NodeContext):
+    """Node capabilities inside the lock-step world."""
+
+    def __init__(self, world: "LockStepWorld", position: int) -> None:
+        topology = world.topology
+        self._world = world
+        self._position = position
+        self.node_id = topology.id_at(position)
+        self.n = topology.n
+        self.num_ports = topology.num_ports
+        self.has_sense_of_direction = topology.sense_of_direction
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self._world.enqueue(self._position, port, message)
+
+    def port_label(self, port: int):  # noqa: D102
+        return self._world.topology.label(self._position, port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._world.topology.port_with_label(self._position, distance)
+
+    def now(self) -> float:  # noqa: D102
+        # Logical time: number of transitions taken so far.
+        return float(self._world.steps)
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self._world.on_leader(self._position)
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        pass  # the lock-step world keeps no traces; fingerprints carry state
+
+
+class LockStepWorld:
+    """One node-states + channel-queues configuration, branchable cheaply."""
+
+    def __init__(
+        self,
+        protocol: ElectionProtocol,
+        topology: CompleteTopology,
+        base_positions: tuple[int, ...],
+    ) -> None:
+        protocol.validate(topology)
+        self.topology = topology
+        self.nodes: list[Node] = [
+            protocol.create_node(StepContext(self, position))
+            for position in range(topology.n)
+        ]
+        #: Per-channel FIFO contents as immutable tuples, keyed (src, dst);
+        #: absent key == empty channel.
+        self.queues: dict[tuple[int, int], tuple[Message, ...]] = {}
+        self.pending_wakes: frozenset[int] = frozenset(base_positions)
+        self.leaders: tuple[int, ...] = ()
+        self.steps = 0
+        self.messages_sent = 0
+        # Copy-on-write bookkeeping: positions whose node object belongs
+        # exclusively to this world (safe to mutate in place).
+        self._owned: set[int] = set(range(topology.n))
+        self._node_fp: list[bytes | None] = [None] * topology.n
+        self._queue_fp: dict[tuple[int, int], bytes] = {}
+
+    # -- branching ----------------------------------------------------------
+
+    def branch(self) -> "LockStepWorld":
+        """A copy sharing node objects and queued messages with ``self``.
+
+        After branching, neither world owns any node exclusively; the first
+        transition a world applies to a node copies it (copy-on-write).
+        """
+        child = object.__new__(LockStepWorld)
+        child.topology = self.topology
+        child.nodes = list(self.nodes)
+        child.queues = dict(self.queues)
+        child.pending_wakes = self.pending_wakes
+        child.leaders = self.leaders
+        child.steps = self.steps
+        child.messages_sent = self.messages_sent
+        child._owned = set()
+        self._owned = set()  # our nodes are now shared with the child
+        child._node_fp = list(self._node_fp)
+        child._queue_fp = dict(self._queue_fp)
+        return child
+
+    def _own_node(self, position: int) -> Node:
+        """The node at ``position``, deep-copied first if it is shared."""
+        node = self.nodes[position]
+        if position in self._owned:
+            return node
+        clone = object.__new__(type(node))
+        for key, value in node.__dict__.items():
+            if key != "ctx":
+                clone.__dict__[key] = copy.deepcopy(value)
+        clone.ctx = StepContext(self, position)
+        self.nodes[position] = clone
+        self._owned.add(position)
+        return clone
+
+    # -- transitions ---------------------------------------------------------
+
+    def enqueue(self, position: int, port: int, message: Message) -> None:
+        """Append a message to the channel behind ``position``'s ``port``."""
+        message_bits(message, self.topology.n)  # O(log N) audit, as in sim
+        far = self.topology.neighbor(position, port)
+        link = (position, far)
+        queue = self.queues.get(link, ()) + (message,)
+        self.queues[link] = queue
+        self._queue_fp[link] = blake2b(
+            pickle.dumps(queue, protocol=4), digest_size=_DIGEST_SIZE
+        ).digest()
+        self.messages_sent += 1
+
+    def on_leader(self, position: int) -> None:
+        """Record a leader declaration; raise on the second distinct one."""
+        self.leaders = self.leaders + (position,)
+        if len(set(self.leaders)) > 1:
+            ids = sorted(self.topology.id_at(p) for p in set(self.leaders))
+            raise ProtocolViolation(f"two leaders declared: {ids}")
+
+    def enabled_actions(self) -> list[Action]:
+        """Every choice the adversary has in this configuration, in a
+        canonical deterministic order (wake-ups first, then channels)."""
+        actions: list[Action] = [
+            ("wake", position) for position in sorted(self.pending_wakes)
+        ]
+        actions.extend(("deliver", link) for link in sorted(self.queues))
+        return actions
+
+    def peek_message(self, link: tuple[int, int]) -> Message:
+        """Head-of-line message of a channel (for narration; no mutation)."""
+        return self.queues[link][0]
+
+    def apply(self, action: Action) -> None:
+        """Take one transition: fire a wake-up or deliver a channel head."""
+        kind, arg = action
+        self.steps += 1
+        if kind == "wake":
+            self.pending_wakes = self.pending_wakes - {arg}
+            node = self._own_node(arg)
+            self._node_fp[arg] = None
+            if not node.awake:
+                node.wake(spontaneous=True)
+            return
+        src, dst = arg
+        queue = self.queues[arg]
+        message, rest = queue[0], queue[1:]
+        if rest:
+            self.queues[arg] = rest
+            self._queue_fp[arg] = blake2b(
+                pickle.dumps(rest, protocol=4), digest_size=_DIGEST_SIZE
+            ).digest()
+        else:
+            del self.queues[arg]
+            del self._queue_fp[arg]
+        port = self.topology.port_to(dst, src)
+        node = self._own_node(dst)
+        self._node_fp[dst] = None
+        node.receive(port, message)
+
+    # -- identity -------------------------------------------------------------
+
+    def _compute_node_fp(self, position: int) -> bytes:
+        node = self.nodes[position]
+        projection = sorted(
+            (key, value)
+            for key, value in node.__dict__.items()
+            if key != "ctx"
+        )
+        return blake2b(
+            pickle.dumps(projection, protocol=4), digest_size=_DIGEST_SIZE
+        ).digest()
+
+    def fingerprint(self) -> bytes:
+        """A canonical 16-byte identity of this configuration.
+
+        Chains the cached per-node digests, per-channel digests and the
+        pending wake-up set; only digests invalidated by the last action
+        are recomputed.  Node state is projected to ``__dict__`` minus the
+        context handle (every other field is protocol data: ints, enums,
+        strengths, pending-challenge records — all picklable and
+        value-compared).
+        """
+        fps = self._node_fp
+        for position in range(len(fps)):
+            if fps[position] is None:
+                fps[position] = self._compute_node_fp(position)
+        chain = blake2b(digest_size=_DIGEST_SIZE)
+        for digest in fps:
+            chain.update(digest)  # type: ignore[arg-type]
+        for link in sorted(self._queue_fp):
+            chain.update(b"%d:%d" % link)
+            chain.update(self._queue_fp[link])
+        chain.update(repr(sorted(self.pending_wakes)).encode())
+        return chain.digest()

@@ -62,6 +62,45 @@ class TestCli:
         assert cli_main(["report", "--quick", "--output", str(out)]) == 0
         assert "paper vs. measured" in out.read_text()
 
+    def test_verify_explores_exhaustively(self, capsys):
+        assert cli_main(["verify", "--protocol", "A", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "POR" in out
+
+    def test_verify_no_por_cross_validates(self, capsys):
+        assert cli_main(
+            ["verify", "--protocol", "E", "--no-sense", "--n", "3", "--no-por"]
+        ) == 0
+        assert "full DFS" in capsys.readouterr().out
+
+    def test_verify_fuzzes(self, capsys):
+        assert cli_main(
+            ["verify", "--protocol", "A", "--n", "5", "--fuzz", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "20 schedules" in out and "ok" in out
+
+    def test_verify_replays_a_trace_file(self, tmp_path, capsys):
+        from repro.topology.complete import complete_with_sense_of_direction
+        from repro.verification import (
+            ScheduleTrace, replay_trace, save_trace,
+        )
+
+        # record a complete clean run of the registered Protocol A by
+        # canonicalising a lenient replay of the empty tape
+        topology = complete_with_sense_of_direction(4)
+        seeded = ScheduleTrace.capture("A", topology, (0, 1, 2, 3), ())
+        outcome = replay_trace(seeded, strict=False)
+        assert outcome.quiescent
+        full = ScheduleTrace.capture(
+            "A", topology, (0, 1, 2, 3), outcome.choices_used
+        )
+        path = save_trace(full, tmp_path / "clean.json")
+        assert cli_main(["verify", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schedule replay of A" in out
+        assert "verdict: ok" in out
+
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs_clean(script, monkeypatch, capsys):

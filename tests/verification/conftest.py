@@ -1,0 +1,56 @@
+"""Shared fixtures: a protocol with a planted safety bug.
+
+``PrematureLeaderA`` is Protocol A with one deliberately wrong line: a
+candidate declares itself leader as soon as it reaches level 2, without
+running the election phase that arbitrates between surviving candidates.
+At N=6 with k=2 the capture windows of candidates 0 and 3 are disjoint
+({1,2} and {4,5}), so a schedule that wakes both and lets each capture its
+own window produces two leaders — but only under schedules where neither
+candidate's ``Capture`` reaches the other first.  That makes it a good
+target for the fuzzer (random delay sampling rarely lines this up) and a
+good shrinking subject (most of a violating schedule is irrelevant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import _REGISTRY
+from repro.protocols.capture_base import Role
+from repro.protocols.sense.protocol_a import ProtocolA, ProtocolANode
+
+
+class PrematureLeaderNode(ProtocolANode):
+    """Protocol A node that declares at level 2 instead of electing."""
+
+    def _handle_capture_accept(self, message):
+        super()._handle_capture_accept(message)
+        if self.role is Role.CANDIDATE and self.level >= 2:
+            self.ctx.declare_leader()  # the planted bug
+
+
+class PrematureLeaderA(ProtocolA):
+    """Protocol A (k=2) with the premature declaration planted."""
+
+    name = "buggy-premature-leader"
+
+    def __init__(self) -> None:
+        super().__init__(k=2)
+
+    def create_node(self, ctx):
+        return PrematureLeaderNode(ctx, 2, spread_wakeup=False)
+
+
+@pytest.fixture
+def buggy_protocol():
+    """A fresh planted-bug protocol instance (not registered)."""
+    return PrematureLeaderA()
+
+
+@pytest.fixture
+def buggy_registered():
+    """Register the planted-bug protocol for by-name reconstruction,
+    removing it again on teardown so the global registry stays clean."""
+    _REGISTRY[PrematureLeaderA.name] = PrematureLeaderA
+    yield PrematureLeaderA
+    _REGISTRY.pop(PrematureLeaderA.name, None)

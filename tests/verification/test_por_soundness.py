@@ -1,0 +1,71 @@
+"""Cross-validation: POR-pruned exploration loses no outcomes.
+
+Partial-order reduction is only worth anything if it is *sound*: every
+verdict the pruned search produces must be the verdict the unpruned search
+would have produced.  These tests run :func:`explore_protocol` twice on
+the same instance — ``por=True`` and ``por=False`` — for **every**
+registered protocol and assert the observable outcome sets are identical:
+
+* the set of quiescent outcomes ``(leader_id, messages_sent)``,
+* the set of possible leaders,
+* the number of distinct quiescent configurations.
+
+(The *state* and *transition* counts are exactly what POR is allowed to
+change, and the companion assertion is that it only ever shrinks them.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro  # noqa: F401  (imports register every protocol)
+from repro.core.protocol import registered_protocols
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification import explore_protocol
+
+#: Smallest interesting instance per protocol: N=3, except the tournament
+#: protocols B and C which require a power-of-two network.
+_POWER_OF_TWO_ONLY = {"B", "C"}
+
+
+def _instance(name, cls):
+    n = 4 if name in _POWER_OF_TWO_ONLY else 3
+    if cls.needs_sense_of_direction:
+        return cls(), complete_with_sense_of_direction(n)
+    return cls(), complete_without_sense(n, seed=0)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(registered_protocols()), ids=str
+)
+def test_por_preserves_all_outcomes(name):
+    protocol, topology = _instance(name, registered_protocols()[name])
+    pruned = explore_protocol(protocol, topology, por=True)
+    full = explore_protocol(protocol, topology, por=False)
+    assert pruned.complete and full.complete
+    assert pruned.quiescent_outcomes == full.quiescent_outcomes
+    assert pruned.leaders_seen == full.leaders_seen
+    assert pruned.terminal_states == full.terminal_states
+    # the reduction may only ever shrink the search
+    assert pruned.states_explored <= full.states_explored
+    assert pruned.transitions <= full.transitions
+
+
+def test_por_preserves_outcomes_with_partial_wakeups():
+    # base-node subsets exercise the stale-wake compression differently:
+    # passive nodes never have a pending wake to compress.
+    from repro.protocols.nosense.protocol_g import ProtocolG
+
+    topology = complete_without_sense(4, seed=0)
+    pruned = explore_protocol(
+        ProtocolG(k=2), topology, base_positions=(0, 1), por=True
+    )
+    full = explore_protocol(
+        ProtocolG(k=2), topology, base_positions=(0, 1), por=False
+    )
+    assert pruned.quiescent_outcomes == full.quiescent_outcomes
+    assert pruned.leaders_seen == full.leaders_seen
+    assert pruned.terminal_states == full.terminal_states

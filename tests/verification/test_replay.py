@@ -1,0 +1,210 @@
+"""Tests for deterministic schedule replay, trace files and shrinking.
+
+The contract under test: a trace replays **byte-for-byte** (same
+transitions, same violation, same step), survives a save/load round-trip,
+and shrinking preserves the violation class while never growing the
+schedule.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.topology.complete import complete_with_sense_of_direction
+from repro.verification import (
+    ScheduleTrace,
+    fuzz_protocol,
+    load_trace,
+    replay_trace,
+    save_trace,
+    shrink_trace,
+)
+
+
+@pytest.fixture
+def violating_trace(buggy_protocol):
+    report = fuzz_protocol(
+        buggy_protocol, complete_with_sense_of_direction(6),
+        schedules=200, seed=0,
+    )
+    assert not report.ok
+    return report.violations[0]
+
+
+class TestStrictReplay:
+    def test_reproduces_the_exact_violation(
+        self, buggy_protocol, violating_trace
+    ):
+        outcome = replay_trace(violating_trace.trace, buggy_protocol)
+        assert outcome.violation_kind == violating_trace.kind
+        assert outcome.violation == violating_trace.message
+        # byte-for-byte: the tape was consumed exactly as recorded
+        assert outcome.choices_used == violating_trace.trace.choices
+
+    def test_replay_is_deterministic(self, buggy_protocol, violating_trace):
+        a = replay_trace(violating_trace.trace, buggy_protocol)
+        b = replay_trace(violating_trace.trace, buggy_protocol)
+        assert (a.violation, a.steps, a.messages_sent) == (
+            b.violation, b.steps, b.messages_sent
+        )
+
+    def test_out_of_range_choice_raises(self):
+        trace = ScheduleTrace.capture(
+            "A", complete_with_sense_of_direction(3), (0, 1, 2), (99,),
+        )
+        with pytest.raises(ConfigurationError, match="out of range"):
+            replay_trace(trace, ProtocolA())
+
+    def test_lenient_replay_wraps_indices(self):
+        trace = ScheduleTrace.capture(
+            "A", complete_with_sense_of_direction(3), (0, 1, 2), (99,),
+        )
+        outcome = replay_trace(trace, ProtocolA(), strict=False)
+        assert outcome.ok
+        assert outcome.quiescent
+        assert outcome.leader_id is not None
+
+    def test_clean_replay_reports_leader(self):
+        topology = complete_with_sense_of_direction(4)
+        report = fuzz_protocol(ProtocolA(), topology, schedules=1, seed=0)
+        assert report.ok
+        # rebuild the clean run manually: empty tape + lenient completion
+        trace = ScheduleTrace.capture("A", topology, (0, 1, 2, 3), ())
+        outcome = replay_trace(trace, ProtocolA(), strict=False)
+        assert outcome.ok and outcome.quiescent
+        assert outcome.leader_id in {0, 1, 2, 3}
+
+    def test_record_log_narrates_steps(self, buggy_protocol, violating_trace):
+        outcome = replay_trace(
+            violating_trace.trace, buggy_protocol, record_log=True
+        )
+        text = "\n".join(outcome.log)
+        assert "wakes spontaneously" in text
+        assert "***" in text  # the violation is marked
+
+
+class TestTraceFiles:
+    def test_round_trip_is_identity(self, violating_trace, tmp_path):
+        path = save_trace(violating_trace.trace, tmp_path / "t.json")
+        assert load_trace(path) == violating_trace.trace
+
+    def test_replay_from_file_reproduces_by_name(
+        self, buggy_registered, buggy_protocol, violating_trace, tmp_path
+    ):
+        # no protocol argument: the trace names it, the registry builds it
+        path = save_trace(violating_trace.trace, tmp_path / "t.json")
+        outcome = replay_trace(load_trace(path))
+        assert outcome.violation == violating_trace.message
+
+    def test_wrong_format_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConfigurationError, match="trace file"):
+            load_trace(path)
+
+    def test_unknown_fields_are_rejected(self, violating_trace, tmp_path):
+        path = save_trace(violating_trace.trace, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        payload["surprise"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="unknown trace fields"):
+            load_trace(path)
+
+    def test_topology_is_self_contained(self, violating_trace):
+        # the trace snapshots the wiring: reconstructing it needs no seed
+        topology = violating_trace.trace.topology()
+        reference = complete_with_sense_of_direction(6)
+        for position in range(6):
+            for port in range(5):
+                assert topology.neighbor(position, port) == (
+                    reference.neighbor(position, port)
+                )
+
+
+class TestShrinking:
+    def test_shrunk_trace_still_violates(self, buggy_protocol, violating_trace):
+        shrunk = shrink_trace(violating_trace.trace, buggy_protocol)
+        outcome = replay_trace(shrunk, buggy_protocol)
+        assert outcome.violation_kind == "safety"
+        assert "two leaders" in outcome.violation
+
+    def test_shrunk_never_longer(self, buggy_protocol, violating_trace):
+        shrunk = shrink_trace(violating_trace.trace, buggy_protocol)
+        assert len(shrunk.choices) <= len(violating_trace.trace.choices)
+
+    def test_shrunk_trace_is_strict(self, buggy_protocol, violating_trace):
+        # canonicalisation: the shrunk tape replays without leniency
+        shrunk = shrink_trace(violating_trace.trace, buggy_protocol)
+        outcome = replay_trace(shrunk, buggy_protocol, strict=True)
+        assert outcome.choices_used == shrunk.choices
+
+    def test_shrunk_trace_round_trips(
+        self, buggy_protocol, violating_trace, tmp_path
+    ):
+        shrunk = shrink_trace(violating_trace.trace, buggy_protocol)
+        path = save_trace(shrunk, tmp_path / "shrunk.json")
+        outcome = replay_trace(load_trace(path), buggy_protocol)
+        assert outcome.violation == violating_trace.message
+
+    def test_clean_trace_refuses_to_shrink(self):
+        trace = ScheduleTrace.capture(
+            "A", complete_with_sense_of_direction(3), (0, 1, 2), (),
+        )
+        with pytest.raises(ConfigurationError, match="replays cleanly"):
+            shrink_trace(trace, ProtocolA())
+
+    def test_liveness_violation_shrinks(self):
+        from tests.verification.test_fuzz import _Silent
+        from repro.topology.complete import complete_without_sense
+
+        topology = complete_without_sense(3, seed=0)
+        report = fuzz_protocol(_Silent(), topology, schedules=1, seed=0)
+        trace = report.violations[0].trace
+        shrunk = shrink_trace(trace, _Silent())
+        outcome = replay_trace(shrunk, _Silent(), strict=False)
+        assert outcome.violation_kind == "liveness"
+        assert len(shrunk.choices) <= len(trace.choices)
+
+
+class TestCliIntegration:
+    """The full fuzz -> shrink -> save -> replay loop through the CLI."""
+
+    def test_verify_fuzz_finds_shrinks_and_saves(
+        self, buggy_registered, tmp_path, capsys
+    ):
+        from repro.__main__ import main as cli_main
+
+        trace_path = tmp_path / "bug.json"
+        code = cli_main([
+            "verify", "--protocol", buggy_registered.name, "--n", "6",
+            "--fuzz", "200", "--save-trace", str(trace_path),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "safety violation" in out
+        assert "shrunk from" in out
+        assert "two leaders" in out
+        assert trace_path.exists()
+
+        # and the saved (shrunk) trace replays from disk, by name
+        code = cli_main(["verify", "--replay", str(trace_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SAFETY violation" in out
+        assert "two leaders" in out
+
+    def test_verify_replay_shrink_flag(
+        self, buggy_registered, violating_trace, tmp_path, capsys
+    ):
+        from repro.__main__ import main as cli_main
+
+        path = save_trace(violating_trace.trace, tmp_path / "raw.json")
+        code = cli_main(["verify", "--replay", str(path), "--shrink"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "shrunk to" in out
+        assert "SAFETY violation" in out

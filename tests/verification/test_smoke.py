@@ -1,0 +1,52 @@
+"""CI smoke slice: ``pytest -m verify_smoke``.
+
+One bounded exploration plus a 50-schedule fuzz campaign per registered
+protocol — enough to catch a broken checker or a blatant protocol
+regression in well under a minute, cheap enough to run on every push.
+The exhaustive and property suites remain the real verdict; this marker
+exists so CI can gate quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro  # noqa: F401  (imports register every protocol)
+from repro.core.protocol import registered_protocols
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification import explore_protocol, fuzz_protocol
+
+_POWER_OF_TWO_ONLY = {"B", "C"}
+
+
+def _instance(name):
+    cls = registered_protocols()[name]
+    n = 4 if name in _POWER_OF_TWO_ONLY else 3
+    if cls.needs_sense_of_direction:
+        return cls(), complete_with_sense_of_direction(n)
+    return cls(), complete_without_sense(n, seed=0)
+
+
+@pytest.mark.verify_smoke
+@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+def test_bounded_explore_smoke(name):
+    protocol, topology = _instance(name)
+    # bounded: a truncated search is fine here, a violation is not
+    report = explore_protocol(protocol, topology, max_states=2_000)
+    if report.complete:
+        assert report.terminal_states > 0
+
+
+@pytest.mark.verify_smoke
+@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+def test_fuzz_smoke(name):
+    protocol, topology = _instance(name)
+    report = fuzz_protocol(protocol, topology, schedules=50, seed=0)
+    assert report.ok, (
+        f"{name}: {report.violations[0].kind} — "
+        f"{report.violations[0].message}"
+    )
+    assert report.runs == 50
