@@ -1,0 +1,104 @@
+"""Kernel throughput regression tracking.
+
+Measures raw simulator speed — events/sec and messages/sec through
+``Network.run()`` — on two fixed workloads, and writes the numbers to
+``BENCH_kernel.json`` at the repo root so perf regressions show up in
+review diffs.
+
+Methodology: topology construction is *excluded* (it is O(N) for the
+sense-of-direction wiring but O(N²) for explicit port maps and would
+swamp the kernel signal); only ``net.run()`` is timed with
+``time.perf_counter``; throughput is ``scheduler.events_processed / dt``.
+The baselines are what the seed kernel (commit e13e13e, pre tuple-heap
+rewrite) measured on this container; the tuple-based kernel is asserted
+to beat them by at least 2x, with the actual multiple (~3.5x for C@2048
+when measured in a fresh process) recorded in the JSON.  The floor is
+deliberately loose: CI machines vary, and a flaky perf gate is worse
+than none.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import Network
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
+
+#: events/sec the seed kernel sustained on these workloads (fresh process,
+#: this container).  Regenerate by checking out the seed and running
+#: benchmarks/test_kernel_speed.py::_measure on the same machine.
+SEED_BASELINE = {
+    "C@2048": 51_000.0,
+    "G@1024-k10": 58_700.0,
+}
+
+#: Loose regression floor: the rewrite measures ~3.5x on C@2048; anything
+#: under 2x on a quiet machine is a real regression, not noise.
+MIN_SPEEDUP = 2.0
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _measure(label: str, protocol, topology, seed: int = 0) -> dict[str, float]:
+    net = Network(protocol, topology, seed=seed)
+    start = time.perf_counter()
+    result = net.run()
+    dt = time.perf_counter() - start
+    events = net.scheduler.events_processed
+    stats = {
+        "run_seconds": round(dt, 4),
+        "events": events,
+        "events_per_sec": round(events / dt, 1),
+        "messages": result.messages_total,
+        "messages_per_sec": round(result.messages_total / dt, 1),
+        "seed_events_per_sec": SEED_BASELINE[label],
+        "speedup_vs_seed": round(events / dt / SEED_BASELINE[label], 2),
+    }
+    _RESULTS[label] = stats
+    return stats
+
+
+def _flush():
+    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=1, sort_keys=True) + "\n")
+
+
+def test_kernel_throughput_protocol_c_2048(benchmark):
+    topology = complete_with_sense_of_direction(2048)
+    stats = benchmark.pedantic(
+        _measure, args=("C@2048", ProtocolC(), topology), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(stats)
+    _flush()
+    assert stats["speedup_vs_seed"] >= MIN_SPEEDUP, (
+        f"kernel slowed down: {stats['events_per_sec']:.0f} ev/s is "
+        f"{stats['speedup_vs_seed']:.2f}x the seed baseline "
+        f"{SEED_BASELINE['C@2048']:.0f} (floor {MIN_SPEEDUP}x)"
+    )
+
+
+def test_kernel_throughput_protocol_g_1024(benchmark):
+    topology = complete_without_sense(1024, seed=5)
+    stats = benchmark.pedantic(
+        _measure,
+        args=("G@1024-k10", ProtocolG(k=10), topology, 5),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(stats)
+    _flush()
+    # 𝒢 is message-heavier per event and gains less than C; still require
+    # a clear win over the seed.
+    assert stats["speedup_vs_seed"] >= 1.5, (
+        f"kernel slowed down: {stats['events_per_sec']:.0f} ev/s is "
+        f"{stats['speedup_vs_seed']:.2f}x the seed baseline "
+        f"{SEED_BASELINE['G@1024-k10']:.0f} (floor 1.5x)"
+    )

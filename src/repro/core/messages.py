@@ -46,6 +46,21 @@ class Message:
         return type(self).__name__
 
 
+#: Per-type cache of field names: ``dataclasses.fields`` rebuilds its tuple
+#: on every call, which is measurable when the kernel audits every send.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+#: Per-``n`` cache of the O(log n) word width (the +1 is a sign/tag bit).
+_WORD_BITS: dict[int, int] = {}
+
+
+def _word_bits(n: int) -> int:
+    bits = _WORD_BITS.get(n)
+    if bits is None:
+        bits = _WORD_BITS[n] = max(1, math.ceil(math.log2(max(2, n)))) + 1
+    return bits
+
+
 def _field_bits(value: object, n: int) -> int:
     """Bits needed to encode one field value in a network of ``n`` nodes."""
     if value is None or isinstance(value, bool):
@@ -53,7 +68,7 @@ def _field_bits(value: object, n: int) -> int:
     if isinstance(value, int):
         # Identities, distances, levels and steps are all < n**2 in every
         # protocol here, so one O(log n) word each.
-        return max(1, math.ceil(math.log2(max(2, n)))) + 1
+        return _word_bits(n)
     if isinstance(value, tuple):
         return sum(_field_bits(item, n) for item in value)
     raise MessageSizeError(
@@ -69,16 +84,27 @@ def message_bits(message: Message, n: int) -> int:
     O(log N) model cannot encode, or more integer fields than
     :data:`MAX_INT_FIELDS`.
     """
-    fields = dataclasses.fields(message)
+    cls = type(message)
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = _FIELD_NAMES[cls] = tuple(
+            f.name for f in dataclasses.fields(message)
+        )
+    word = _word_bits(n)
     int_fields = 0
     total = TYPE_TAG_BITS
-    for field in fields:
-        value = getattr(message, field.name)
-        total += _field_bits(value, n)
-        if isinstance(value, int) and not isinstance(value, bool):
+    for name in names:
+        value = getattr(message, name)
+        if value is None or value is True or value is False:
+            total += 1
+        elif isinstance(value, int):
+            total += word
             int_fields += 1
         elif isinstance(value, tuple):
+            total += _field_bits(value, n)
             int_fields += len(value)
+        else:
+            total += _field_bits(value, n)  # raises MessageSizeError
     if int_fields > MAX_INT_FIELDS:
         raise MessageSizeError(
             f"{message.type_name} carries {int_fields} integer fields; "

@@ -8,6 +8,12 @@ benchmarks snappy; ``FULL`` feeds the EXPERIMENTS.md report.
 The paper has no empirical tables (it is a theory paper); the claims being
 regenerated are the complexity statements of Sections 3–5, inventoried in
 DESIGN.md §1.
+
+Execution goes through :func:`repro.harness.parallel.run_sweep`: each
+experiment stages its independent runs as a task list, the executor fans
+them across cores when that pays off, and the results come back in task
+order — so tables, checks, and verdicts are identical whether a sweep ran
+serially or in parallel (the determinism suite asserts exactly this).
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.analysis.complexity import boundedness_ratio, loglog_slope
 from repro.apps.broadcast import Broadcast
 from repro.apps.global_function import GlobalFunction
 from repro.apps.spanning_tree import SpanningTree
+from repro.harness.parallel import run_sweep
 from repro.harness.runner import ExperimentReport, messages_summary, time_summary
 from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
 from repro.protocols.nosense.protocol_d import ProtocolD
@@ -127,13 +134,18 @@ def e2_messages_sense(scale: Scale = QUICK) -> ExperimentReport:
         "(Section 3).  All nodes wake simultaneously; worst-case unit delays.",
     )
     series: dict[str, list[float]] = {name: [] for name, _ in SENSE_PROTOCOLS}
+    results = iter(run_sweep([
+        lambda n=n, cls=cls: run_election(
+            cls(), complete_with_sense_of_direction(n), delays=worst_case_unit()
+        )
+        for n in scale.ns
+        for _, cls in SENSE_PROTOCOLS
+    ]))
     rows = []
     for n in scale.ns:
         row: list[object] = [n]
-        for name, cls in SENSE_PROTOCOLS:
-            result = run_election(
-                cls(), complete_with_sense_of_direction(n), delays=worst_case_unit()
-            )
+        for name, _ in SENSE_PROTOCOLS:
+            result = next(results)
             series[name].append(result.messages_total)
             row.append(result.messages_total)
         rows.append(row)
@@ -187,16 +199,21 @@ def e3_time_sense(scale: Scale = QUICK) -> ExperimentReport:
     protocols = (("LMW86", LMW86), ("A", ProtocolA), ("A'", ProtocolAPrime),
                  ("C", ProtocolC))
     series: dict[str, list[float]] = {name: [] for name, _ in protocols}
+    results = iter(run_sweep([
+        lambda n=n, cls=cls: run_election(
+            cls(),
+            complete_with_sense_of_direction(n),
+            delays=worst_case_unit(),
+            wakeup=wakeup.staggered_chain(),
+        )
+        for n in scale.ns
+        for _, cls in protocols
+    ]))
     rows = []
     for n in scale.ns:
         row: list[object] = [n]
-        for name, cls in protocols:
-            result = run_election(
-                cls(),
-                complete_with_sense_of_direction(n),
-                delays=worst_case_unit(),
-                wakeup=wakeup.staggered_chain(),
-            )
+        for name, _ in protocols:
+            result = next(results)
             series[name].append(result.election_time)
             row.append(round(result.election_time, 2))
         rows.append(row)
@@ -251,18 +268,21 @@ def e4_k_tradeoff_a(scale: Scale = QUICK) -> ExperimentReport:
     msgs_by_k: list[float] = []
     time_by_k: list[float] = []
     ks = [k for k in scale.ks if k <= n - 1]
-    for k in ks:
-        # The adversarial wake-up that makes both terms of O(k + N/k) bite:
-        # a chain just *faster* than A''s awaken spread (which covers k
-        # positions per time unit), so every node is still a base node and
-        # the surviving candidate — the largest identity, at the far end —
-        # wakes only after ~0.9·N/k, then pays its O(k) capture phase.
-        result = run_election(
+    # The adversarial wake-up that makes both terms of O(k + N/k) bite:
+    # a chain just *faster* than A''s awaken spread (which covers k
+    # positions per time unit), so every node is still a base node and
+    # the surviving candidate — the largest identity, at the far end —
+    # wakes only after ~0.9·N/k, then pays its O(k) capture phase.
+    results = run_sweep([
+        lambda k=k: run_election(
             ProtocolAPrime(k=k),
             complete_with_sense_of_direction(n),
             delays=worst_case_unit(),
             wakeup=wakeup.staggered_uniform(n, spread=0.9 * n / k),
         )
+        for k in ks
+    ])
+    for k, result in zip(ks, results):
         msgs_by_k.append(result.messages_total)
         time_by_k.append(result.election_time)
         rows.append((k, result.messages_total, round(result.election_time, 2)))
@@ -306,19 +326,17 @@ def e5_d_and_e(scale: Scale = QUICK) -> ExperimentReport:
     )
     d_msgs, d_time, e_msgs, e_time = [], [], [], []
     rows = []
+    sweep = iter(run_sweep([
+        lambda cls=cls, n=n, seed=seed: run_election(
+            cls(), complete_without_sense(n, seed=seed), seed=seed
+        )
+        for n in scale.ns
+        for cls in (ProtocolD, ProtocolE)
+        for seed in scale.seeds
+    ]))
     for n in scale.ns:
-        rd = [
-            run_election(
-                ProtocolD(), complete_without_sense(n, seed=seed), seed=seed
-            )
-            for seed in scale.seeds
-        ]
-        re_ = [
-            run_election(
-                ProtocolE(), complete_without_sense(n, seed=seed), seed=seed
-            )
-            for seed in scale.seeds
-        ]
+        rd = [next(sweep) for _ in scale.seeds]
+        re_ = [next(sweep) for _ in scale.seeds]
         d_msgs.append(messages_summary(rd).mean)
         d_time.append(time_summary(rd).mean)
         e_msgs.append(messages_summary(re_).mean)
@@ -348,13 +366,20 @@ def e5_d_and_e(scale: Scale = QUICK) -> ExperimentReport:
 
     duel_rows = []
     ag_times, e_times = [], []
-    for n in scale.ns:
-        if n < 6:
-            continue
+    duel_ns = [n for n in scale.ns if n >= 6]
+
+    def duel_run(cls, n):
         topo, wake, delays = hotspot_scenario(n)
-        r_ag = Network(AfekGafni(), topo, delays=delays, wakeup=wake).run()
-        topo, wake, delays = hotspot_scenario(n)
-        r_e = Network(ProtocolE(), topo, delays=delays, wakeup=wake).run()
+        return Network(cls(), topo, delays=delays, wakeup=wake).run()
+
+    duel = iter(run_sweep([
+        lambda cls=cls, n=n: duel_run(cls, n)
+        for n in duel_ns
+        for cls in (AfekGafni, ProtocolE)
+    ]))
+    for n in duel_ns:
+        r_ag = next(duel)
+        r_e = next(duel)
         ag_times.append(r_ag.election_time)
         e_times.append(r_e.election_time)
         duel_rows.append(
@@ -401,21 +426,18 @@ def e6_fg_tradeoff(scale: Scale = QUICK) -> ExperimentReport:
     ks = [k for k in scale.ks if k <= n - 1]
     rows = []
     f_msgs, f_time, g_msgs, g_time = [], [], [], []
+    sweep = iter(run_sweep([
+        lambda cls=cls, k=k, seed=seed: run_election(
+            cls(k=k), complete_without_sense(n, seed=seed),
+            delays=worst_case_unit(), seed=seed,
+        )
+        for k in ks
+        for cls in (ProtocolF, ProtocolG)
+        for seed in scale.seeds
+    ]))
     for k in ks:
-        rf = [
-            run_election(
-                ProtocolF(k=k), complete_without_sense(n, seed=seed),
-                delays=worst_case_unit(), seed=seed,
-            )
-            for seed in scale.seeds
-        ]
-        rg = [
-            run_election(
-                ProtocolG(k=k), complete_without_sense(n, seed=seed),
-                delays=worst_case_unit(), seed=seed,
-            )
-            for seed in scale.seeds
-        ]
+        rf = [next(sweep) for _ in scale.seeds]
+        rg = [next(sweep) for _ in scale.seeds]
         f_msgs.append(messages_summary(rf).mean)
         f_time.append(time_summary(rf).mean)
         g_msgs.append(messages_summary(rg).mean)
@@ -442,14 +464,13 @@ def e6_fg_tradeoff(scale: Scale = QUICK) -> ExperimentReport:
 
     # Chain robustness: the wake pattern Lemma 4.1 excludes.
     k_mid = ks[min(1, len(ks) - 1)]
-    chain_f = run_election(
-        ProtocolF(k=k_mid), complete_without_sense(n, seed=7),
-        delays=worst_case_unit(), wakeup=wakeup.staggered_chain(), seed=7,
-    )
-    chain_g = run_election(
-        ProtocolG(k=k_mid), complete_without_sense(n, seed=7),
-        delays=worst_case_unit(), wakeup=wakeup.staggered_chain(), seed=7,
-    )
+    chain_f, chain_g = run_sweep([
+        lambda cls=cls: run_election(
+            cls(k=k_mid), complete_without_sense(n, seed=7),
+            delays=worst_case_unit(), wakeup=wakeup.staggered_chain(), seed=7,
+        )
+        for cls in (ProtocolF, ProtocolG)
+    ])
     report.find(
         f"chain wake-up at k={k_mid}",
         f"F time {chain_f.election_time:.1f}, G time {chain_g.election_time:.1f}",
@@ -479,8 +500,10 @@ def e7_lower_bound(scale: Scale = QUICK) -> ExperimentReport:
     )
     rows = []
     times, bounds = [], []
-    for n in scale.ns:
-        result = adversarial_run(ProtocolE(), n)
+    adversarial = run_sweep([
+        lambda n=n: adversarial_run(ProtocolE(), n) for n in scale.ns
+    ])
+    for n, result in zip(scale.ns, adversarial):
         floor = theorem_bound(n, result.messages_total)
         times.append(result.election_time)
         bounds.append(floor)
@@ -515,16 +538,21 @@ def e7_lower_bound(scale: Scale = QUICK) -> ExperimentReport:
 
     symmetry_rows = []
     centers = []
-    for n in scale.ns:
-        if n < 32:
-            # below ~32 nodes the "quarter deep" probe sits inside the
-            # extreme band itself and the geometry degenerates
-            continue
+    # below ~32 nodes the "quarter deep" probe sits inside the extreme
+    # band itself and the geometry degenerates
+    sym_ns = [n for n in scale.ns if n >= 32]
+
+    def traced_run(n):
         k = max(1, math.ceil(math.log2(n)))
         topology = complete_without_sense(n, port_strategy=UpDownPorts(k))
-        traced = Network(
+        return Network(
             ProtocolE(), topology, delays=worst_case_unit(), trace=True
         ).run()
+
+    for n, traced in zip(
+        sym_ns, run_sweep([lambda n=n: traced_run(n) for n in sym_ns])
+    ):
+        k = max(1, math.ceil(math.log2(n)))
         times = check_band_symmetry(traced, band_width=k)
         centers.append(times["center"])
         symmetry_rows.append(
@@ -556,11 +584,14 @@ def e7_lower_bound(scale: Scale = QUICK) -> ExperimentReport:
     ks = [k for k in scale.ks if k <= n - 1]
     product_rows = []
     products = []
-    for k in ks:
-        result = run_election(
+    product_results = run_sweep([
+        lambda k=k: run_election(
             ProtocolF(k=k), complete_without_sense(n, seed=11),
             delays=worst_case_unit(), seed=11,
         )
+        for k in ks
+    ])
+    for k, result in zip(ks, product_results):
         d = result.messages_total / n
         product = result.election_time * d
         products.append(product)
@@ -600,20 +631,25 @@ def e8_fault_tolerance(scale: Scale = QUICK) -> ExperimentReport:
     rows = []
     msgs_by_f = []
     fs = [f for f in scale.failure_counts if f < n / 2]
+
+    def faulty_run(f, seed):
+        rng = random_module.Random(seed * 1000 + f)
+        failed = set(rng.sample(range(1, n), f)) if f else set()
+        return run_election(
+            FaultTolerantElection(max_failures=max(f, 1)),
+            complete_without_sense(n, seed=seed),
+            failed_positions=failed,
+            delays=worst_case_unit(),
+            seed=seed,
+        )
+
+    sweep = iter(run_sweep([
+        lambda f=f, seed=seed: faulty_run(f, seed)
+        for f in fs
+        for seed in scale.seeds
+    ]))
     for f in fs:
-        results = []
-        for seed in scale.seeds:
-            rng = random_module.Random(seed * 1000 + f)
-            failed = set(rng.sample(range(1, n), f)) if f else set()
-            results.append(
-                run_election(
-                    FaultTolerantElection(max_failures=max(f, 1)),
-                    complete_without_sense(n, seed=seed),
-                    failed_positions=failed,
-                    delays=worst_case_unit(),
-                    seed=seed,
-                )
-            )
+        results = [next(sweep) for _ in scale.seeds]
         msgs = messages_summary(results)
         times = time_summary(results)
         msgs_by_f.append(msgs.mean)
@@ -665,21 +701,21 @@ def e9_base_nodes(scale: Scale = QUICK) -> ExperimentReport:
     rows = []
     g_times, r_times = [], []
     rs = [r for r in scale.base_counts if r <= n]
+    sweep = iter(run_sweep([
+        lambda cls=cls, r=r, seed=seed: run_election(
+            cls(k=k),
+            complete_without_sense(n, seed=seed),
+            delays=worst_case_unit(),
+            wakeup=wakeup.random_subset(r, seed_offset=seed),
+            seed=seed,
+        )
+        for r in rs
+        for cls in (ProtocolG, ProtocolR)
+        for seed in scale.seeds
+    ]))
     for r in rs:
-        def run_for(protocol_factory):
-            return [
-                run_election(
-                    protocol_factory(),
-                    complete_without_sense(n, seed=seed),
-                    delays=worst_case_unit(),
-                    wakeup=wakeup.random_subset(r, seed_offset=seed),
-                    seed=seed,
-                )
-                for seed in scale.seeds
-            ]
-
-        g_results = run_for(lambda: ProtocolG(k=k))
-        r_results = run_for(lambda: ProtocolR(k=k))
+        g_results = [next(sweep) for _ in scale.seeds]
+        r_results = [next(sweep) for _ in scale.seeds]
         g_summary, r_summary = time_summary(g_results), time_summary(r_results)
         g_times.append(g_summary.mean)
         r_times.append(r_summary.mean)
@@ -728,26 +764,24 @@ def e10_applications(scale: Scale = QUICK) -> ExperimentReport:
     )
     rows = []
     ok_overhead = True
+    factories = (
+        ("bare", ProtocolC),
+        ("tree", lambda: SpanningTree(ProtocolC())),
+        ("global-sum", lambda: GlobalFunction(ProtocolC(), fold="sum")),
+        ("broadcast", lambda: Broadcast(ProtocolC())),
+    )
+    sweep = iter(run_sweep([
+        lambda factory=factory, n=n: run_election(
+            factory(),
+            complete_with_sense_of_direction(n),
+            delays=worst_case_unit(),
+        )
+        for n in scale.ns
+        for _, factory in factories
+    ]))
     for n in scale.ns:
-        topology = complete_with_sense_of_direction(n)
-        bare = run_election(ProtocolC(), topology, delays=worst_case_unit())
-        apps = {
-            "tree": run_election(
-                SpanningTree(ProtocolC()),
-                complete_with_sense_of_direction(n),
-                delays=worst_case_unit(),
-            ),
-            "global-sum": run_election(
-                GlobalFunction(ProtocolC(), fold="sum"),
-                complete_with_sense_of_direction(n),
-                delays=worst_case_unit(),
-            ),
-            "broadcast": run_election(
-                Broadcast(ProtocolC()),
-                complete_with_sense_of_direction(n),
-                delays=worst_case_unit(),
-            ),
-        }
+        bare = next(sweep)
+        apps = {name: next(sweep) for name, _ in factories[1:]}
         row = [n, bare.messages_total]
         for name, result in apps.items():
             overhead = result.messages_total - bare.messages_total
@@ -807,9 +841,19 @@ def e11_asynchrony_penalty(scale: Scale = QUICK) -> ExperimentReport:
     rows = []
     sync_rounds, async_times, penalties = [], [], []
     ns = [n for n in scale.ns if n >= 8]
+    sweep = iter(run_sweep([
+        task
+        for n in ns
+        for task in (
+            lambda n=n: run_synchronous(
+                ProtocolB(), complete_with_sense_of_direction(n)
+            ),
+            lambda n=n: adversarial_run(ProtocolE(), n),
+        )
+    ]))
     for n in ns:
-        sync = run_synchronous(ProtocolB(), complete_with_sense_of_direction(n))
-        asyn = adversarial_run(ProtocolE(), n)
+        sync = next(sweep)
+        asyn = next(sweep)
         penalty = asyn.election_time / sync.rounds
         sync_rounds.append(sync.rounds)
         async_times.append(asyn.election_time)

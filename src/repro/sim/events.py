@@ -7,18 +7,38 @@ the same instant always fire in the order they were scheduled.  Determinism
 matters here because the benchmarks compare protocols run-for-run and the
 property tests shrink counterexamples; a nondeterministic kernel would make
 both useless.
+
+Heap entries are *tuples*, not objects: ``(time, tiebreak, seq, action,
+depth, *payload)``.  Tuple comparison stops at ``seq`` (unique), so the
+action is never compared, and ``heapq`` sifts entries with C-level tuple
+comparisons instead of calling a generated ``__lt__``.  :class:`Event` is a
+tuple subclass adding named read access for handlers and tests; the network
+fast path pushes plain tuples through :meth:`EventQueue.push_entry` and
+indexes them directly.
+
+Entry layout (index constants below)::
+
+    0 time      fire time (float)
+    1 tiebreak  class priority at equal times (deliveries 0, wakes -1, ...)
+    2 seq       global monotone counter -- makes the order total
+    3 action    callable invoked as ``action(entry)``
+    4 depth     causal depth (longest message chain leading here)
+    5+          optional payload slots (the delivery fast path packs
+                ``far, far_port, message, sender_id`` here)
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable
 
+#: Indexes into a heap entry (see module docstring).
+TIME, TIEBREAK, SEQ, ACTION, DEPTH = range(5)
 
-@dataclass(frozen=True, slots=True, order=True)
-class Event:
-    """A scheduled action.
+
+class Event(tuple):
+    """A scheduled action, as an ordered tuple with named read access.
 
     Ordering is by ``(time, tiebreak, seq)``.  ``tiebreak`` lets callers
     prioritise classes of simultaneous events (e.g. deliveries before wake
@@ -26,27 +46,45 @@ class Event:
     handlers can read the fire time and causal depth.
     """
 
-    time: float
-    tiebreak: int
-    seq: int
-    action: Callable[["Event"], None] = field(compare=False)
+    __slots__ = ()
+
+    def __new__(
+        cls,
+        time: float,
+        tiebreak: int,
+        seq: int,
+        action: Callable[["Event"], None],
+        depth: int = 0,
+    ) -> "Event":
+        return tuple.__new__(cls, (time, tiebreak, seq, action, depth))
+
+    time = property(itemgetter(TIME))
+    tiebreak = property(itemgetter(TIEBREAK))
+    seq = property(itemgetter(SEQ))
+    action = property(itemgetter(ACTION))
     #: Length of the longest message chain leading to this event.  Used to
     #: report the "ideal time" (causal depth) metric alongside simulated time.
-    depth: int = field(compare=False, default=0)
+    depth = property(itemgetter(DEPTH))
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of event entries.
+
+    ``heap`` is the raw underlying list; the scheduler's run loop pops from
+    it directly to keep the per-event cost at a few C calls.
+    """
+
+    __slots__ = ("heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self.heap: list[tuple] = []
         self._seq = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self.heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self.heap)
 
     def push(
         self,
@@ -59,13 +97,31 @@ class EventQueue:
         """Schedule ``action`` at ``time`` and return the created event."""
         event = Event(time, tiebreak, self._seq, action, depth)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self.heap, event)
         return event
+
+    def push_entry(
+        self,
+        time: float,
+        action: Callable[[tuple], None],
+        depth: int,
+        payload: tuple,
+    ) -> None:
+        """Kernel fast path: push a plain-tuple entry carrying ``payload``.
+
+        The payload rides in the entry itself (slots 5+), so the hot send
+        path allocates exactly one tuple per message -- no :class:`Event`
+        object and no per-message closure.
+        """
+        heapq.heappush(
+            self.heap, (time, 0, self._seq, action, depth) + payload
+        )
+        self._seq += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self.heap)
 
     def peek_time(self) -> float:
         """Time of the earliest pending event (queue must be non-empty)."""
-        return self._heap[0].time
+        return self.heap[0][TIME]

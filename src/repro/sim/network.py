@@ -25,6 +25,13 @@ crashes (a purely asynchronous network cannot detect them — the FLP
 boundary), so these runs are expected to hang candidates; the facility
 exists to *demonstrate* that boundary and to fuzz the protocols' state
 machines, not to model a tolerated fault.
+
+Hot-path design (see docs/performance.md): the send path performs no
+per-message closure or :class:`Event` allocation — deliveries ride the heap
+as plain tuples handled by one preallocated bound method; tracing is a
+single attribute test when disabled; and message/bit/depth counters
+accumulate in plain attributes that are folded into the
+:class:`~repro.sim.metrics.MetricsCollector` at quiescence.
 """
 
 from __future__ import annotations
@@ -79,9 +86,11 @@ class _BoundContext(NodeContext):
         self._network._on_leader_declared(self._position)
 
     def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
-        self._network.tracer.record(
-            self._network.scheduler.now, kind, self.node_id, **detail
-        )
+        network = self._network
+        if network._tracing:
+            network.tracer.record(
+                network.scheduler.now, kind, self.node_id, **detail
+            )
 
 
 class Network:
@@ -124,6 +133,32 @@ class Network:
         self._current_depth = 0
         self._ran = False
 
+        # Hot-path state: ids/num_ports as plain attributes, counters as
+        # local accumulators (flushed into ``self.metrics`` at quiescence),
+        # and the tracing flag tested once per send/delivery.
+        self._tracing = trace
+        self._ids = topology.ids
+        self._num_ports = topology.num_ports
+        self._n = topology.n
+        self._messages_total = 0
+        self._bits_total = 0
+        self._type_counts: dict[str, int] = {}
+        self._max_depth = 0
+        self._has_failures = bool(self.failed_positions) or bool(
+            self.crash_schedule
+        )
+        self._channel_of = self.channels.channel
+        self._schedule_payload = self.scheduler.schedule_payload
+        # Constant latency with the default zero gap needs no per-message
+        # delay-model dispatch (and consumes no randomness): the arrival is
+        # just the FIFO clamp of ``now + delay``.
+        self._const_latency = (
+            self.delays.delay
+            if type(self.delays) is ConstantDelay
+            and type(self.delays).gap is DelayModel.gap
+            else None
+        )
+
         self.nodes: list[Node] = [
             protocol.create_node(_BoundContext(self, position))
             for position in range(topology.n)
@@ -154,61 +189,82 @@ class Network:
 
     def _transmit(self, position: int, port: int, message: Message) -> None:
         """Node ``position`` sends ``message`` through ``port``."""
-        if not 0 <= port < self.topology.num_ports:
+        if not 0 <= port < self._num_ports:
             raise SimulationError(
-                f"node {self.topology.id_at(position)} used invalid port {port}"
+                f"node {self._ids[position]} used invalid port {port}"
             )
-        bits = message_bits(message, self.topology.n)
-        self.metrics.on_send(message.type_name, bits)
-        far = self.topology.neighbor(position, port)
-        far_port = self.topology.reverse_port(position, port)
-        self.tracer.record(
-            self.scheduler.now,
-            "send",
-            self.topology.id_at(position),
-            to=self.topology.id_at(far),
-            message=message.type_name,
-        )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        scheduler = self.scheduler
+        if self._tracing:
+            self.tracer.record(
+                scheduler.now,
+                "send",
+                sender_id,
+                to=self._ids[far],
+                message=type_name,
+            )
         # Channels are keyed (and delay models addressed) by identity, so
         # adversarial delay strategies can condition on the ids the paper's
         # constructions talk about.
-        channel = self.channels.channel(
-            self.topology.id_at(position), self.topology.id_at(far)
+        channel = self._channel_of(sender_id, self._ids[far])
+        latency = self._const_latency
+        if latency is not None:
+            arrival = scheduler.now + latency
+            if arrival < channel.last_arrival:
+                arrival = channel.last_arrival
+            channel.last_arrival = arrival
+            channel.messages_sent += 1
+        else:
+            arrival = channel.arrival_time(
+                message, scheduler.now, self.delays, self.rng
+            )
+        self._schedule_payload(
+            arrival,
+            self._deliver_entry,
+            self._current_depth + 1,
+            (far, far_port, message, sender_id),
         )
-        arrival = channel.arrival_time(
-            message, self.scheduler.now, self.delays, self.rng
-        )
-        depth = self._current_depth + 1
 
-        sender_id = self.topology.id_at(position)
+    def _deliver_entry(self, entry: tuple) -> None:
+        """Hand a message to its destination node (or drop it if failed).
 
-        def deliver(event: Event, far=far, far_port=far_port, message=message):
-            self._deliver(far, far_port, message, event.depth, sender_id)
-
-        self.scheduler.schedule_at(arrival, deliver, depth=depth)
-
-    def _deliver(
-        self, position: int, port: int, message: Message, depth: int, sender_id: int
-    ) -> None:
-        """Hand a message to its destination node (or drop it if failed)."""
-        self.metrics.on_delivery_depth(depth)
-        if position in self.failed_positions or position in self._crashed:
+        ``entry`` is the raw heap tuple; the payload packed by
+        :meth:`_transmit` sits at slots 5+ (see :mod:`repro.sim.events`).
+        """
+        depth = entry[4]
+        position = entry[5]
+        if depth > self._max_depth:
+            self._max_depth = depth
+        if self._has_failures and (
+            position in self.failed_positions or position in self._crashed
+        ):
             return
         node = self.nodes[position]
+        message = entry[7]
         was_asleep = not node.awake
         previous_depth = self._current_depth
         self._current_depth = depth
         try:
             if was_asleep:
                 self.metrics.on_wake(self.scheduler.now)
-            self.tracer.record(
-                self.scheduler.now,
-                "deliver",
-                self.topology.id_at(position),
-                message=message.type_name,
-                sender=sender_id,
-            )
-            node.receive(port, message)
+            if self._tracing:
+                self.tracer.record(
+                    self.scheduler.now,
+                    "deliver",
+                    self._ids[position],
+                    message=message.type_name,
+                    sender=entry[8],
+                )
+            node.receive(entry[6], message)
         finally:
             self._current_depth = previous_depth
 
@@ -223,6 +279,16 @@ class Network:
         if self._leader_position is None:
             self._leader_position = position
             self.metrics.on_leader(self.scheduler.now, self._current_depth)
+
+    def _flush_metrics(self) -> None:
+        """Fold the hot-path accumulators into the metrics collector."""
+        metrics = self.metrics
+        metrics.messages_total = self._messages_total
+        metrics.bits_total = self._bits_total
+        metrics.messages_by_type.clear()
+        metrics.messages_by_type.update(self._type_counts)
+        if self._max_depth > metrics.max_depth:
+            metrics.max_depth = self._max_depth
 
     # -- running ---------------------------------------------------------------
 
@@ -261,7 +327,10 @@ class Network:
             # adversary kills the node before it can act.
             self.scheduler.schedule_at(time, crash, tiebreak=-2)
 
-        self.scheduler.run(until=until)
+        try:
+            self.scheduler.run(until=until)
+        finally:
+            self._flush_metrics()
         self.metrics.quiescent_at = self.scheduler.now
 
         # A node scheduled to wake spontaneously may have been woken earlier
@@ -312,10 +381,32 @@ class Network:
 def run_election(
     protocol: ElectionProtocol,
     topology: CompleteTopology,
-    **kwargs: Any,
+    *,
+    delays: DelayModel | None = None,
+    wakeup: WakeupSchedule | WakeupFactory | None = None,
+    failed_positions: frozenset[int] | set[int] = frozenset(),
+    crash_schedule: Mapping[int, float] | None = None,
+    seed: int = 0,
+    trace: bool = False,
+    max_events: int = 5_000_000,
+    until: float | None = None,
+    require_leader: bool = True,
 ) -> ElectionResult:
-    """One-shot convenience wrapper: build a :class:`Network` and run it."""
-    until = kwargs.pop("until", None)
-    require_leader = kwargs.pop("require_leader", True)
-    network = Network(protocol, topology, **kwargs)
+    """One-shot convenience wrapper: build a :class:`Network` and run it.
+
+    The keyword signature mirrors :class:`Network` exactly (plus ``until``
+    and ``require_leader`` from :meth:`Network.run`), so a mistyped keyword
+    raises ``TypeError`` here instead of being silently forwarded.
+    """
+    network = Network(
+        protocol,
+        topology,
+        delays=delays,
+        wakeup=wakeup,
+        failed_positions=failed_positions,
+        crash_schedule=crash_schedule,
+        seed=seed,
+        trace=trace,
+        max_events=max_events,
+    )
     return network.run(until=until, require_leader=require_leader)

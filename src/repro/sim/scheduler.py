@@ -4,10 +4,16 @@ A thin, deterministic loop over :class:`~repro.sim.events.EventQueue` with a
 virtual clock and a hard event budget.  The budget turns protocol livelocks
 into loud :class:`~repro.core.errors.LivelockError` failures instead of hung
 test runs.
+
+The run loop is the kernel's single hottest frame: it binds the heap and the
+pop to locals, indexes entries positionally (see the entry layout in
+:mod:`repro.sim.events`), and keeps the event counter in a local that is
+flushed back on exit.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from repro.core.errors import LivelockError, SimulationError
@@ -75,8 +81,33 @@ class Scheduler:
             self._now + delay, action, tiebreak=tiebreak, depth=depth
         )
 
+    def schedule_payload(
+        self,
+        time: float,
+        action: Callable[[tuple], None],
+        depth: int,
+        payload: tuple,
+    ) -> None:
+        """Fast path: schedule ``action`` with ``payload`` packed in the entry.
+
+        Used by the network's send path; one tuple allocation per message,
+        no :class:`Event` wrapper, no closure.  ``action`` receives the raw
+        entry and reads the payload from slots 5+.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"attempt to schedule an event at t={time} in the past "
+                f"(now={self._now})"
+            )
+        self._queue.push_entry(time, action, depth, payload)
+
     def run(self, *, until: float | None = None) -> None:
         """Process events until the queue drains (or past ``until``).
+
+        When ``until`` is given and the simulation pauses early (later
+        events remain, or the queue drained before the horizon), the clock
+        advances to ``until`` so ``now`` reflects the full simulated window
+        rather than the last processed event.
 
         Raises :class:`LivelockError` when the event budget is exhausted,
         which in practice means a protocol is cycling messages forever.
@@ -84,18 +115,37 @@ class Scheduler:
         if self._running:
             raise SimulationError("scheduler re-entered while running")
         self._running = True
+        heap = self._queue.heap
+        heappop = heapq.heappop
+        max_events = self._max_events
+        processed = self._processed
         try:
-            while self._queue:
-                if until is not None and self._queue.peek_time() > until:
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                self._processed += 1
-                if self._processed > self._max_events:
-                    raise LivelockError(
-                        f"event budget of {self._max_events} exhausted at "
-                        f"t={self._now}; the protocol is livelocked"
-                    )
-                event.action(event)
+            if until is None:
+                while heap:
+                    entry = heappop(heap)
+                    self._now = entry[0]
+                    processed += 1
+                    if processed > max_events:
+                        raise LivelockError(
+                            f"event budget of {max_events} exhausted at "
+                            f"t={self._now}; the protocol is livelocked"
+                        )
+                    entry[3](entry)
+            else:
+                while heap and heap[0][0] <= until:
+                    entry = heappop(heap)
+                    self._now = entry[0]
+                    processed += 1
+                    if processed > max_events:
+                        raise LivelockError(
+                            f"event budget of {max_events} exhausted at "
+                            f"t={self._now}; the protocol is livelocked"
+                        )
+                    entry[3](entry)
         finally:
+            self._processed = processed
             self._running = False
+        if until is not None and self._now < until:
+            # The horizon was simulated in full: quiescence timestamps must
+            # read ``until`` even though no event fired exactly there.
+            self._now = min(until, heap[0][0]) if heap else until

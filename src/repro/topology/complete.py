@@ -12,11 +12,22 @@ A :class:`CompleteTopology` fixes everything static about a run:
 With sense of direction, port ``d-1`` of every node carries label ``d`` and
 leads to the node at cyclic distance ``d`` (Figure 1 of the paper).  Without
 it, a :class:`~repro.topology.ports.PortStrategy` chooses the hidden wiring.
+
+Storage is sized for the N≈10⁴ scaling benches:
+
+* The canonical cyclic wiring (every sense-of-direction network) is pure
+  arithmetic -- ``neighbor(p, q) = (p + q + 1) % n`` -- so no table is
+  materialised at all and construction is O(n) instead of O(n²).
+* Explicit wirings keep the forward table as compact ``array('i')`` rows
+  (4 bytes/entry instead of a pointer to a boxed int) and build each node's
+  inverse row (neighbour → port) lazily on first use, since most runs of a
+  message-optimal protocol never look at most nodes' reverse wiring.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from collections.abc import Sequence
 
 from repro.core.errors import ConfigurationError
@@ -30,7 +41,7 @@ class CompleteTopology:
         self,
         n: int,
         ids: Sequence[int],
-        port_neighbor: Sequence[Sequence[int]],
+        port_neighbor: Sequence[Sequence[int]] | None,
         *,
         sense_of_direction: bool,
     ) -> None:
@@ -38,18 +49,24 @@ class CompleteTopology:
             raise ConfigurationError(f"a complete network needs n >= 2, got {n}")
         if len(ids) != n or len(set(ids)) != n:
             raise ConfigurationError("ids must be n distinct integers")
-        if len(port_neighbor) != n:
-            raise ConfigurationError("port_neighbor must have one row per node")
-        for position, row in enumerate(port_neighbor):
-            validate_port_map(n, position, row)
         self.n = n
         self.ids = tuple(ids)
         self.sense_of_direction = sense_of_direction
-        self._port_neighbor = tuple(tuple(row) for row in port_neighbor)
-        self._port_of = tuple(
-            {neighbor: port for port, neighbor in enumerate(row)}
-            for row in self._port_neighbor
-        )
+        # ``port_neighbor=None`` selects the canonical cyclic wiring (port
+        # d-1 leads to the node at cyclic distance d): no tables, O(1) math.
+        self._cyclic = port_neighbor is None
+        if self._cyclic:
+            self._port_neighbor: tuple[array, ...] = ()
+            self._inverse_rows: list[array | None] = []
+        else:
+            if len(port_neighbor) != n:
+                raise ConfigurationError(
+                    "port_neighbor must have one row per node"
+                )
+            for position, row in enumerate(port_neighbor):
+                validate_port_map(n, position, row)
+            self._port_neighbor = tuple(array("i", row) for row in port_neighbor)
+            self._inverse_rows = [None] * n
         self._position_of_id = {identity: p for p, identity in enumerate(self.ids)}
 
     # -- structure ----------------------------------------------------------
@@ -61,19 +78,42 @@ class CompleteTopology:
 
     def neighbor(self, position: int, port: int) -> int:
         """Position reached from ``position`` through ``port``."""
+        if self._cyclic:
+            return (position + port + 1) % self.n
         return self._port_neighbor[position][port]
+
+    def _inverse_row(self, position: int) -> array:
+        """Neighbour-position → port row, built on first use."""
+        row = self._inverse_rows[position]
+        if row is None:
+            row = array("i", [0]) * self.n
+            for port, far in enumerate(self._port_neighbor[position]):
+                row[far] = port
+            self._inverse_rows[position] = row
+        return row
 
     def port_to(self, position: int, neighbor: int) -> int:
         """The port of ``position`` whose link leads to ``neighbor``."""
-        return self._port_of[position][neighbor]
+        if self._cyclic:
+            distance = (neighbor - position) % self.n
+            if distance == 0:
+                raise KeyError(neighbor)
+            return distance - 1
+        if neighbor == position or not 0 <= neighbor < self.n:
+            raise KeyError(neighbor)
+        return self._inverse_row(position)[neighbor]
 
     def reverse_port(self, position: int, port: int) -> int:
         """The far end's port for the link ``(position, port)``.
 
         Needed to tell a receiver which of *its* ports a message arrived on.
         """
-        far = self.neighbor(position, port)
-        return self.port_to(far, position)
+        if self._cyclic:
+            # Far end sits at distance d = port + 1; the way back is the
+            # complementary distance n - d, i.e. port n - d - 1.
+            return self.n - 2 - port
+        far = self._port_neighbor[position][port]
+        return self._inverse_row(far)[position]
 
     # -- identities ---------------------------------------------------------
 
@@ -113,15 +153,14 @@ def complete_with_sense_of_direction(
 
     Every node's port ``d-1`` leads to the node at distance ``d`` along the
     Hamiltonian cycle and is labeled ``d`` — the structure of the paper's
-    Figure 1.
+    Figure 1.  The wiring is represented arithmetically, so construction is
+    O(n) and the topology stays light even at N in the tens of thousands.
     """
     if ids is None:
         ids = list(range(n))
-    port_neighbor = [
-        [(position + distance) % n for distance in range(1, n)]
-        for position in range(n)
-    ]
-    return CompleteTopology(n, ids, port_neighbor, sense_of_direction=True)
+    if n < 2:
+        raise ConfigurationError(f"a complete network needs n >= 2, got {n}")
+    return CompleteTopology(n, ids, None, sense_of_direction=True)
 
 
 def complete_without_sense(

@@ -121,9 +121,22 @@ class HotspotPorts(PortStrategy):
 
 
 def validate_port_map(n: int, position: int, port_map: Sequence[int]) -> None:
-    """Assert that a port map is a permutation of the other positions."""
-    if sorted(port_map) != [p for p in range(n) if p != position]:
+    """Assert that a port map is a permutation of the other positions.
+
+    Runs in O(n) with a byte mask (not a sort): validation is on the
+    topology-construction path, which the scaling benches hit with n in the
+    thousands — n rows of n entries each.
+    """
+    if len(port_map) != n - 1:
         raise ValueError(
-            f"port map for position {position} is not a permutation of the "
-            f"remaining {n - 1} positions: {port_map!r}"
+            f"port map for position {position} has {len(port_map)} entries, "
+            f"expected {n - 1}: {port_map!r}"
         )
+    seen = bytearray(n)
+    for p in port_map:
+        if not 0 <= p < n or p == position or seen[p]:
+            raise ValueError(
+                f"port map for position {position} is not a permutation of "
+                f"the remaining {n - 1} positions: {port_map!r}"
+            )
+        seen[p] = 1

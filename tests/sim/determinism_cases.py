@@ -1,0 +1,164 @@
+"""Shared determinism cases: fixed (protocol, topology, seed) runs.
+
+The kernel's determinism contract is that a run is a pure function of its
+configuration: same protocol, same topology, same seed, same adversaries →
+identical :class:`~repro.core.results.ElectionResult` fields, across kernel
+rewrites and across serial/parallel sweep execution.  This module holds the
+canonical case list and the fingerprint function; the fixture file
+``tests/fixtures/determinism.json`` freezes what the seed kernel produced.
+
+Regenerate (only when a behaviour change is *intended*) with::
+
+    PYTHONPATH=src python -m tests.sim.determinism_cases --write
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.adversary import wakeup
+from repro.adversary.delays import congested_links, worst_case_unit
+from repro.core.results import ElectionResult
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import UniformDelay
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+FIXTURE_PATH = Path(__file__).parent.parent / "fixtures" / "determinism.json"
+
+
+def _case_c64() -> ElectionResult:
+    return run_election(ProtocolC(), complete_with_sense_of_direction(64))
+
+
+def _case_b32_unit() -> ElectionResult:
+    return run_election(
+        ProtocolB(),
+        complete_with_sense_of_direction(32),
+        delays=worst_case_unit(),
+    )
+
+
+def _case_c32_chain() -> ElectionResult:
+    return run_election(
+        ProtocolC(),
+        complete_with_sense_of_direction(32),
+        delays=worst_case_unit(),
+        wakeup=wakeup.staggered_chain(),
+    )
+
+
+def _case_d32() -> ElectionResult:
+    return run_election(ProtocolD(), complete_without_sense(32, seed=1), seed=1)
+
+
+def _case_e64_uniform() -> ElectionResult:
+    # UniformDelay consumes the run RNG per message: this case pins the
+    # exact RNG draw order of the send path, not just the event order.
+    return run_election(
+        ProtocolE(),
+        complete_without_sense(64, seed=2),
+        delays=UniformDelay(0.05, 1.0),
+        seed=2,
+    )
+
+
+def _case_g64_k8() -> ElectionResult:
+    return run_election(
+        ProtocolG(k=8),
+        complete_without_sense(64, seed=3),
+        delays=worst_case_unit(),
+        seed=3,
+    )
+
+
+def _case_r64_lone_base() -> ElectionResult:
+    return run_election(
+        ProtocolR(),
+        complete_without_sense(64, seed=5),
+        wakeup={0: 0.0},
+        seed=5,
+    )
+
+
+def _case_e32_congested() -> ElectionResult:
+    return run_election(
+        ProtocolE(),
+        complete_without_sense(32, seed=7),
+        delays=congested_links(),
+        seed=7,
+    )
+
+
+CASES: dict[str, Any] = {
+    "C@64": _case_c64,
+    "B@32-unit": _case_b32_unit,
+    "C@32-chain": _case_c32_chain,
+    "D@32": _case_d32,
+    "E@64-uniform": _case_e64_uniform,
+    "G@64-k8": _case_g64_k8,
+    "R@64-lone-base": _case_r64_lone_base,
+    "E@32-congested": _case_e32_congested,
+}
+
+
+def fingerprint(result: ElectionResult) -> dict[str, Any]:
+    """A JSON-stable digest of every deterministic result field."""
+    return {
+        "n": result.n,
+        "leader_id": result.leader_id,
+        "leader_position": result.leader_position,
+        "elected_at": result.elected_at,
+        "election_time": result.election_time,
+        "election_depth": result.election_depth,
+        "messages_total": result.messages_total,
+        "bits_total": result.bits_total,
+        "messages_by_type": dict(sorted(result.messages_by_type.items())),
+        "max_depth": result.max_depth,
+        "quiescent_at": result.quiescent_at,
+        "first_wake_time": result.first_wake_time,
+        "last_wake_time": result.last_wake_time,
+        "base_positions": list(result.base_positions),
+        "max_channel_load": result.max_channel_load,
+    }
+
+
+def fingerprint_bytes(result: ElectionResult) -> bytes:
+    """Byte-exact serialisation used by the determinism assertions."""
+    return json.dumps(fingerprint(result), sort_keys=True).encode()
+
+
+def run_all_cases() -> dict[str, dict[str, Any]]:
+    """Run every case and return its fingerprint, keyed by case name."""
+    return {name: fingerprint(run()) for name, run in CASES.items()}
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write", action="store_true", help="regenerate the fixture file"
+    )
+    args = parser.parse_args()
+    fingerprints = run_all_cases()
+    if args.write:
+        FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE_PATH.write_text(json.dumps(fingerprints, indent=1, sort_keys=True))
+        print(f"wrote {len(fingerprints)} fixtures to {FIXTURE_PATH}")
+    else:
+        print(json.dumps(fingerprints, indent=1, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Determinism suite: runs are pure functions of their configuration.
+
+Three layers of guarantee, each backed by an assertion here:
+
+1. **Across kernel rewrites** — every case in
+   :mod:`tests.sim.determinism_cases` must reproduce the fingerprint the
+   *seed* kernel recorded in ``tests/fixtures/determinism.json``.  A perf
+   refactor of the event loop, the topology tables, or the delivery path
+   that changes any observable field fails these tests.
+2. **Across repeated runs** — running the same case twice in one process
+   yields byte-identical fingerprints (no hidden global state, no
+   dict-order or id()-order leakage into results).
+3. **Across serial/parallel sweep execution** — ``run_sweep`` returns the
+   same results (in the same order) whether it runs the tasks in-process
+   or fans them over a fork pool.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.parallel import run_sweep
+from tests.sim.determinism_cases import (
+    CASES,
+    FIXTURE_PATH,
+    fingerprint,
+    fingerprint_bytes,
+)
+
+
+def _load_fixtures() -> dict:
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def test_fixture_file_covers_every_case():
+    assert set(_load_fixtures()) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_case_matches_seed_kernel_fixture(name):
+    expected = _load_fixtures()[name]
+    actual = fingerprint(CASES[name]())
+    assert actual == expected, (
+        f"{name} diverged from the seed kernel; if the change is intended, "
+        "regenerate with: PYTHONPATH=src python -m tests.sim.determinism_cases --write"
+    )
+
+
+@pytest.mark.parametrize("name", ["C@64", "E@64-uniform", "G@64-k8"])
+def test_repeated_runs_are_byte_identical(name):
+    run = CASES[name]
+    assert fingerprint_bytes(run()) == fingerprint_bytes(run())
+
+
+def test_serial_and_parallel_sweeps_agree():
+    tasks = [CASES[name] for name in sorted(CASES)]
+    serial = run_sweep(tasks, parallel=False)
+    parallel = run_sweep(tasks, parallel=True, processes=2)
+    assert [fingerprint_bytes(r) for r in serial] == [
+        fingerprint_bytes(r) for r in parallel
+    ]
+
+
+def test_run_sweep_preserves_task_order():
+    tasks = [lambda i=i: i * i for i in range(10)]
+    assert run_sweep(tasks, parallel=False) == [i * i for i in range(10)]
+    assert run_sweep(tasks, parallel=True, processes=3) == [
+        i * i for i in range(10)
+    ]
+
+
+def test_run_sweep_parallel_off_via_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+    tasks = [lambda i=i: i for i in range(6)]
+    assert run_sweep(tasks) == list(range(6))

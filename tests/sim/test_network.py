@@ -182,3 +182,23 @@ class TestMetrics:
         topo = complete_without_sense(4, seed=0)
         with pytest.raises(SimulationError, match="invalid port"):
             run_election(BadProtocol(), topo, require_leader=False)
+
+
+class TestRunElectionSignature:
+    """run_election takes explicit keywords: option typos must not pass
+    silently (the old **kwargs forwarding swallowed e.g. ``seeds=3``)."""
+
+    def test_misspelled_option_raises_type_error(self):
+        topo = complete_without_sense(4, seed=0)
+        with pytest.raises(TypeError, match="seeds"):
+            run_election(ProtocolD(), topo, seeds=3)
+
+    def test_options_are_keyword_only(self):
+        topo = complete_without_sense(4, seed=0)
+        with pytest.raises(TypeError):
+            run_election(ProtocolD(), topo, None, None)  # positional options
+
+    def test_explicit_keywords_accepted(self):
+        topo = complete_without_sense(4, seed=0)
+        result = run_election(ProtocolD(), topo, seed=3, trace=False)
+        assert result.leader_id is not None

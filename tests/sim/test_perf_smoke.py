@@ -1,0 +1,40 @@
+"""Kernel-throughput sanity check that rides in tier-1.
+
+Not a benchmark: the full perf tracking lives in
+``benchmarks/test_kernel_speed.py`` (which writes ``BENCH_kernel.json``).
+This is a tripwire — one small fixed workload, a conservative floor far
+below what the tuple-based kernel actually sustains (~170k events/sec on
+this workload vs ~75k for the seed kernel), so it only fires on a
+catastrophic regression (an accidental O(N) scan per event, tracing left
+enabled on the hot path, per-event allocation storms), never on machine
+noise.  Budget: well under 10 seconds wall clock including the floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.network import Network
+from repro.topology.complete import complete_with_sense_of_direction
+
+#: events/sec floor — the seed kernel already beat this comfortably.
+MIN_EVENTS_PER_SEC = 25_000.0
+
+
+@pytest.mark.perf_smoke
+def test_kernel_sustains_minimum_throughput():
+    topology = complete_with_sense_of_direction(512)
+    net = Network(ProtocolC(), topology)
+    start = time.perf_counter()
+    result = net.run()
+    dt = time.perf_counter() - start
+    events = net.scheduler.events_processed
+    assert result.leader_id is not None
+    assert dt < 10.0, f"C@512 took {dt:.1f}s; the kernel is pathologically slow"
+    assert events / dt >= MIN_EVENTS_PER_SEC, (
+        f"kernel throughput collapsed: {events / dt:.0f} events/sec on "
+        f"C@512 (floor {MIN_EVENTS_PER_SEC:.0f})"
+    )

@@ -99,6 +99,35 @@ class TestScheduler:
         assert seen == [1]
         assert scheduler.pending == 1
 
+    def test_run_until_advances_clock_to_the_horizon(self):
+        # Regression: run(until=...) used to leave ``now`` at the last
+        # *processed* event, so a subsequent schedule_at() inside the
+        # already-simulated window was silently accepted.
+        scheduler = Scheduler()
+        scheduler.schedule_at(1.0, lambda e: None)
+        scheduler.schedule_at(10.0, lambda e: None)
+        scheduler.run(until=5.0)
+        assert scheduler.now == 5.0
+        with pytest.raises(SimulationError, match="past"):
+            scheduler.schedule_at(3.0, lambda e: None)
+        scheduler.run(until=20.0)
+        assert scheduler.now == 20.0
+        assert scheduler.pending == 0
+
+    def test_run_until_with_drained_queue_still_reaches_the_horizon(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(1.0, lambda e: None)
+        scheduler.run(until=5.0)
+        assert scheduler.now == 5.0
+
+    def test_run_until_never_moves_the_clock_backwards(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(7.0, lambda e: None)
+        scheduler.run()
+        assert scheduler.now == 7.0
+        scheduler.run(until=5.0)  # horizon already in the past: no-op
+        assert scheduler.now == 7.0
+
     def test_depth_is_carried_on_events(self):
         scheduler = Scheduler()
         depths = []
