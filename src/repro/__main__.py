@@ -8,6 +8,7 @@ Subcommands::
     python -m repro scenario --protocol G --name chain --n 64
     python -m repro report [--quick] [--output EXPERIMENTS.md]
     python -m repro verify --protocol A --n 4 [--max-states M] [--no-por]
+    python -m repro verify --protocol A --n 6 --workers 4 [--symmetry census]
     python -m repro verify --protocol A --n 8 --fuzz 200 [--save-trace T.json]
     python -m repro verify --replay T.json [--shrink]
 
@@ -132,15 +133,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(render_schedule(trace, outcome))
         return 1
 
+    workers = args.workers
+    if workers is None:
+        from repro.harness.parallel import _configured_processes
+
+        workers = _configured_processes()  # REPRO_PARALLEL, like run_sweep
     try:
         report = explore_protocol(
             protocol, topology,
             max_states=args.max_states, por=not args.no_por,
+            symmetry=args.symmetry, workers=workers,
         )
     except ProtocolViolation as violation:
         print(f"VIOLATION: {violation}")
         return 1
     print(report)
+    if report.canonical_states is not None:
+        print(
+            f"{report.canonical_states} canonical states modulo the "
+            "topology's relabelling group"
+        )
     return 0
 
 
@@ -200,6 +212,18 @@ def main(argv: list[str] | None = None) -> int:
     verify_parser.add_argument(
         "--no-por", action="store_true",
         help="disable partial-order reduction (cross-validation mode)",
+    )
+    verify_parser.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="fan exhaustive exploration across K fork workers "
+        "(default: REPRO_PARALLEL, as for experiment sweeps; "
+        "0 or 1 = serial)",
+    )
+    verify_parser.add_argument(
+        "--symmetry", choices=("census", "prune"), default=None,
+        help="count states modulo the topology's relabelling group "
+        "(census) or memoise on orbit representatives (prune — a "
+        "bug-hunting mode, see docs/verification.md)",
     )
     verify_parser.add_argument(
         "--fuzz", type=int, default=0, metavar="K",

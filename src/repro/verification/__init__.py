@@ -6,7 +6,12 @@ driving the very ``Node`` classes the simulator runs:
 
 * :mod:`repro.verification.explore` — every interleaving of wake-ups and
   FIFO message deliveries a complete asynchronous network allows, for
-  small N, with partial-order reduction and incremental fingerprints;
+  small N, with partial-order reduction, inert-delivery compression, a
+  flat hash-compacted fingerprint store and optional parallel strata;
+* :mod:`repro.verification.symmetry` — node-relabelling permutation
+  groups, orbit canonicalisation, and the honest statement of where
+  symmetry reduction is (and is not) sound for id-comparing protocols;
+* :mod:`repro.verification.store` — the 8-byte-per-state visited table;
 * :mod:`repro.verification.fuzz` — seeded pseudo-random and adversarial
   schedule families (wake-last, starve-channel, PCT) for N beyond
   exhaustive reach, every run recorded as a replayable trace;
@@ -38,16 +43,33 @@ from repro.verification.replay import (
     save_trace,
     shrink_trace,
 )
-from repro.verification.world import Action, LockStepWorld, StepContext
+from repro.verification.store import FingerprintTable
+from repro.verification.symmetry import (
+    Permutation,
+    canonical_fingerprint,
+    canonical_state,
+    rotation_group,
+    symmetric_group,
+    symmetry_group,
+)
+from repro.verification.world import (
+    Action,
+    LockStepWorld,
+    StepContext,
+    freeze_value,
+    message_hash,
+)
 
 __all__ = [
     "Action",
     "DEFAULT_FAMILIES",
     "ExplorationReport",
+    "FingerprintTable",
     "FuzzReport",
     "FuzzViolation",
     "LockStepWorld",
     "PCTSchedule",
+    "Permutation",
     "ReplayOutcome",
     "ScheduleTrace",
     "SchedulePolicy",
@@ -55,11 +77,18 @@ __all__ = [
     "StepContext",
     "UniformSchedule",
     "WakeLastSchedule",
+    "canonical_fingerprint",
+    "canonical_state",
     "count_unpruned_interleavings",
     "explore_protocol",
+    "freeze_value",
     "fuzz_protocol",
     "load_trace",
+    "message_hash",
     "replay_trace",
+    "rotation_group",
     "save_trace",
     "shrink_trace",
+    "symmetric_group",
+    "symmetry_group",
 ]

@@ -233,10 +233,15 @@ def fuzz_protocol(
     line_up = families if families is not None else DEFAULT_FAMILIES
     protocol_name = type(protocol).name
     report = FuzzReport()
+    # Build the initial configuration once and branch a copy-on-write child
+    # per episode: the template is never stepped, so every branch starts
+    # from the pristine initial state and node construction (O(N) object
+    # graphs) is paid once per campaign instead of once per schedule.
+    template = LockStepWorld(protocol, topology, base_positions)
     for run in range(schedules):
         policy = line_up[run % len(line_up)]
         rng = random.Random(f"{seed}:{run}:{policy.family}")
-        world = LockStepWorld(protocol, topology, base_positions)
+        world = template.branch()
         policy.reset(world, rng)
         report.runs += 1
         report.runs_per_family[policy.family] = (

@@ -15,31 +15,53 @@ latencies are abstracted away, is exactly the set of *actions*:
   channel (FIFO fixes the order *within* a channel; Section 2 guarantees
   nothing *across* channels).
 
-Two things make the world cheap enough to explore at N=5:
+Three things make the world cheap enough to explore at N=6:
 
-**Copy-on-write branching.**  :meth:`LockStepWorld.branch` copies only the
-container skeleton (node list, queue dict, fingerprint caches); node
-objects and queued messages are shared between branches.  A node is
-deep-copied lazily, the first time a branch actually steps it
-(:meth:`LockStepWorld._own_node`), so branching costs O(N) pointer copies
-plus one node copy per transition instead of a whole-world ``pickle``
-round-trip.  Queued messages are frozen dataclasses and never mutated, so
-queues are stored as immutable tuples and shared freely.
+**Persistent nodes and memoised local transitions.**
+:meth:`LockStepWorld.branch` copies only the container skeleton (node
+list, queue dict, fingerprint caches); node objects and queued messages
+are shared between branches and treated as immutable values.  A node's
+``receive``/``wake`` is a pure function of its own structural state plus
+the arriving ``(port, message)``, so its effect — new state, sends,
+leader declarations — is memoised per ``(position, state hash, port,
+message hash)`` (:meth:`LockStepWorld._local_transition`).  The vast
+majority of transitions an exhaustive search takes are *repeats* of a
+local transition seen on another interleaving; those replace the actor's
+node entry with a shared representative object by pointer and replay the
+captured sends, running no protocol code, copying nothing and re-freezing
+nothing.  Only the first occurrence of each local transition pays for a
+node clone, the receive call and re-freezing — everything else is a dict
+hit.
 
-**Incremental hash-chained fingerprints.**  Each node and each non-empty
-channel carries a cached 16-byte BLAKE2b digest of its pickled state;
-applying an action invalidates only the digests it touched.  The world
-fingerprint chains the per-node digests, per-channel digests and the
-pending wake-up set into one digest, so a transition re-hashes one node
-and O(1) short queues instead of re-pickling the whole configuration.
+**Structural fingerprints, hash-compacted to one machine word.**  Node and
+message state is *frozen* into nested tuples of plain values
+(:func:`freeze_value`) and hashed with Python's tuple hash — no pickling
+anywhere on the hot path.  Each node and each non-empty channel carries a
+cached 64-bit hash; applying an action invalidates only the hashes it
+touched, and per-message hashes are memoised globally (messages are
+immutable and heavily shared between branches).  The world fingerprint is
+a single ``int`` that fits an 8-byte table slot (see
+:mod:`repro.verification.store`) instead of a 16-byte digest object plus a
+set entry.  Hash compaction trades a vanishing collision probability
+(Stern–Dill: ~``|S|²/2⁶⁴``, under 10⁻⁹ for the ~10⁶-state searches run
+here) for roughly 5× less resident memory per visited state.  Fork-started
+workers inherit the interpreter's hash seed, so fingerprints are
+comparable across the parallel explorer's worker pool.
+
+**A permutation-apply primitive.**  :meth:`LockStepWorld.state_tuple`
+returns the frozen structural state, optionally relabelled through a node
+permutation (positions, identities and — for hidden-wiring networks —
+per-node port renumberings).  :mod:`repro.verification.symmetry` builds
+automorphism-group candidates on top of it to canonicalise fingerprints
+modulo rotation (sense of direction) or arbitrary relabelling (no sense
+of direction).
 """
 
 from __future__ import annotations
 
 import copy
-import pickle
-from hashlib import blake2b
-from typing import Any
+import enum
+from typing import Any, Sequence
 
 from repro.core.errors import ProtocolViolation
 from repro.core.messages import Message, message_bits
@@ -49,8 +71,6 @@ from repro.topology.complete import CompleteTopology
 
 #: One adversary choice: ``("wake", position)`` or ``("deliver", (src, dst))``.
 Action = tuple[str, Any]
-
-_DIGEST_SIZE = 16
 
 
 def actor(action: Action) -> int:
@@ -74,6 +94,199 @@ def independent(a: Action, b: Action) -> bool:
     head of a non-empty FIFO queue.
     """
     return actor(a) != actor(b)
+
+
+# -- structural freezing -----------------------------------------------------
+#
+# ``freeze_value`` turns protocol state (node ``__dict__`` entries, message
+# fields, nested records) into nested tuples of hashable plain values.  The
+# encoding is canonical for the state machines in this repo: every node
+# attribute is created in ``__init__`` (so ``__dict__`` iteration order is
+# the class-definition order for all nodes of a type), and the only
+# history-order-sensitive containers — dicts keyed by token/port and sets —
+# are sorted.
+
+#: Field names whose ``int`` values are node *identities* (relabelled by a
+#: permutation's identity map).  ``node_id`` covers ``Strength.node_id``.
+ID_FIELDS = frozenset({"cand", "max_seen", "node_id"})
+
+#: Field names whose ``int`` values are *port numbers* of the holding node.
+PORT_FIELDS = frozenset({"owner_port", "reply_port", "_next_port"})
+
+#: Fields holding sequences of ports.
+PORT_SEQ_FIELDS = frozenset({"_fp_proceed_ports", "_check_queue"})
+
+#: Fields holding ``(port, payload)`` pairs (or one such pair).
+PORT_PAIR_FIELDS = frozenset({"_retry_ports", "_buffered"})
+
+#: Fields holding dicts keyed by port.
+PORT_KEYED_FIELDS = frozenset({"_in_flight"})
+
+
+class Relabeling:
+    """How one node's frozen state is rewritten under a permutation.
+
+    ``id_map[old_id] -> new_id`` relabels identity-valued fields;
+    ``port_map[old_port] -> new_port`` relabels port-valued fields of this
+    particular node (``None`` means ports keep their numbers, as they do
+    under rotations of the canonical cyclic wiring).  Values outside the
+    maps' domains (sentinels like ``-1``, exhausted port counters equal to
+    ``num_ports``) pass through unchanged.
+    """
+
+    __slots__ = ("id_map", "port_map")
+
+    def __init__(
+        self,
+        id_map: dict[int, int] | None,
+        port_map: Sequence[int] | None,
+    ) -> None:
+        self.id_map = id_map
+        self.port_map = port_map
+
+    def ident(self, value: int) -> int:
+        """Relabel an identity-valued field (out-of-map values pass through)."""
+        if self.id_map is None:
+            return value
+        return self.id_map.get(value, value)
+
+    def port(self, value: int) -> int:
+        """Relabel a port-valued field (out-of-range values pass through)."""
+        pm = self.port_map
+        if pm is None or not 0 <= value < len(pm):
+            return value
+        return pm[value]
+
+
+_IDENTITY = Relabeling(None, None)
+
+#: Types a copy-on-write node clone can share with the original outright.
+_SHAREABLE = (int, float, str, bytes, frozenset, enum.Enum)
+
+
+def _is_shareable(value: Any) -> bool:
+    return (
+        value is None
+        or isinstance(value, _SHAREABLE)
+        or (
+            isinstance(value, tuple)
+            and all(_is_shareable(item) for item in value)
+        )
+    )
+
+
+def _copy_state_value(value: Any) -> Any:
+    """An independent copy of one node attribute, sharing immutables.
+
+    The semantics of ``copy.deepcopy`` for the value shapes protocol state
+    actually uses — scalars, ``Strength`` tuples, enums, lists/dicts/sets
+    of those, and plain mutable records — at a fraction of the cost,
+    because immutable values (most fields) are shared, not copied.
+    Anything unrecognised falls back to ``deepcopy``.
+    """
+    if value is None or isinstance(value, _SHAREABLE):
+        return value
+    if isinstance(value, tuple):
+        if all(_is_shareable(item) for item in value):
+            return value
+        return copy.deepcopy(value)
+    if isinstance(value, list):
+        return [_copy_state_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _copy_state_value(item) for key, item in value.items()}
+    if isinstance(value, set):
+        return set(value)
+    clone_dict = getattr(value, "__dict__", None)
+    if clone_dict is not None:
+        clone = object.__new__(type(value))
+        clone.__dict__.update(
+            (key, _copy_state_value(item)) for key, item in clone_dict.items()
+        )
+        return clone
+    return copy.deepcopy(value)
+
+
+def freeze_value(value: Any, relabel: Relabeling = _IDENTITY, field: str = ""):
+    """A hashable structural encoding of one protocol-state value.
+
+    Handles the value shapes protocol nodes and messages actually use:
+    scalars, named tuples (``Strength``), frozen dataclasses (messages),
+    dicts, lists/tuples, sets and plain records with a ``__dict__``.
+    ``field`` is the attribute name the value was reached through; the
+    ``*_FIELDS`` registries use it to decide identity/port relabelling.
+    """
+    if value is None or value is True or value is False:
+        return value
+    if type(value) is int:
+        if field in ID_FIELDS:
+            return relabel.ident(value)
+        if field in PORT_FIELDS or field in PORT_SEQ_FIELDS:
+            return relabel.port(value)
+        return value
+    if type(value) is str or type(value) is float or type(value) is bytes:
+        return value
+    if isinstance(value, enum.Enum):
+        # Encode by name+value, not object identity.
+        return (type(value).__name__, value.value)
+    if isinstance(value, tuple) and hasattr(value, "_fields"):
+        # Named tuple (Strength): relabel field-wise, tag with the type.
+        return (type(value).__name__,) + tuple(
+            freeze_value(v, relabel, name)
+            for name, v in zip(value._fields, value)
+        )
+    if isinstance(value, (list, tuple)):
+        if field in PORT_PAIR_FIELDS and value and type(value[0]) is int:
+            # one (port, payload) pair, e.g. protocol E's ``_buffered``
+            return (relabel.port(value[0]),) + tuple(
+                freeze_value(v, relabel) for v in value[1:]
+            )
+        if field in PORT_PAIR_FIELDS:
+            return tuple(
+                freeze_value(v, relabel, field) for v in value
+            )
+        return tuple(freeze_value(v, relabel, field) for v in value)
+    if isinstance(value, dict):
+        if field in PORT_KEYED_FIELDS:
+            return tuple(
+                sorted(
+                    (relabel.port(k), freeze_value(v, relabel))
+                    for k, v in value.items()
+                )
+            )
+        return tuple(
+            sorted((k, freeze_value(v, relabel)) for k, v in value.items())
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze_value(v, relabel, field) for v in value))
+    if hasattr(value, "__dataclass_fields__"):
+        # Frozen message dataclasses; tag with the type so two message
+        # types with identical field values cannot collide structurally.
+        return (type(value).__name__,) + tuple(
+            freeze_value(getattr(value, name), relabel, name)
+            for name in value.__dataclass_fields__
+        )
+    if hasattr(value, "__dict__"):
+        # Plain record (e.g. a pending-challenge entry).
+        return (type(value).__name__,) + tuple(
+            (k, freeze_value(v, relabel, k))
+            for k, v in value.__dict__.items()
+        )
+    return value
+
+
+#: Global per-message structural-hash memo.  Messages are immutable frozen
+#: dataclasses shared across branches, so the memo hits constantly; keys
+#: compare by value *and* class (dataclass ``__eq__`` rejects other types),
+#: so distinct message types never alias.
+_MESSAGE_HASH: dict[Message, int] = {}
+
+
+def message_hash(message: Message) -> int:
+    """Memoised 64-bit structural hash of one (immutable) message."""
+    h = _MESSAGE_HASH.get(message)
+    if h is None:
+        h = _MESSAGE_HASH[message] = hash(freeze_value(message))
+    return h
 
 
 class StepContext(NodeContext):
@@ -108,6 +321,90 @@ class StepContext(NodeContext):
         pass  # the lock-step world keeps no traces; fingerprints carry state
 
 
+class _CaptureContext(NodeContext):
+    """Context for running one node transition in isolation.
+
+    Sends and leader declarations are captured instead of applied, so the
+    world can memoise the transition's effect (see
+    :meth:`LockStepWorld._local_transition`) and replay it — including the
+    audit and declaration ordering — without re-running the node code.
+    """
+
+    __slots__ = (
+        "node_id",
+        "n",
+        "num_ports",
+        "has_sense_of_direction",
+        "_topology",
+        "_position",
+        "sends",
+        "declared",
+    )
+
+    def __init__(self, topology: CompleteTopology, position: int) -> None:
+        self.node_id = topology.id_at(position)
+        self.n = topology.n
+        self.num_ports = topology.num_ports
+        self.has_sense_of_direction = topology.sense_of_direction
+        self._topology = topology
+        self._position = position
+        self.sends: list[tuple[int, Message]] = []
+        self.declared = 0
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        message_bits(message, self.n)  # audit at the same point as a live send
+        self.sends.append((port, message))
+
+    def port_label(self, port: int):  # noqa: D102
+        return self._topology.label(self._position, port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._topology.port_with_label(self._position, distance)
+
+    def now(self) -> float:  # noqa: D102
+        # No protocol reads the clock in its transition logic (they only
+        # pass it to traces, which the lock-step world drops); memoised
+        # transitions depend on (state, port, message) alone.
+        return 0.0
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self.declared += 1
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        pass
+
+
+def _clone_node(node: Node, ctx: NodeContext) -> Node:
+    """An independent copy of ``node`` wired to ``ctx``."""
+    clone = object.__new__(type(node))
+    clone_dict = clone.__dict__
+    for key, value in node.__dict__.items():
+        if key != "ctx":
+            clone_dict[key] = _copy_state_value(value)
+    clone.ctx = ctx
+    return clone
+
+
+def _freeze_node(node: Node, relabel: Relabeling = _IDENTITY):
+    """Frozen structural state of one node (type-tagged nested tuples).
+
+    Node attributes are created in ``__init__`` for every protocol in the
+    repo, so ``__dict__`` iteration order is class-definition order and
+    the values-only encoding is canonical without sorting or field names.
+    """
+    items: list = [type(node).__name__]
+    append = items.append
+    identity = relabel is _IDENTITY
+    for key, value in node.__dict__.items():
+        if key == "ctx":
+            continue
+        if identity and (type(value) is int or value is None):
+            append(value)
+        else:
+            append(freeze_value(value, relabel, key))
+    return tuple(items)
+
+
 class LockStepWorld:
     """One node-states + channel-queues configuration, branchable cheaply."""
 
@@ -130,19 +427,42 @@ class LockStepWorld:
         self.leaders: tuple[int, ...] = ()
         self.steps = 0
         self.messages_sent = 0
-        # Copy-on-write bookkeeping: positions whose node object belongs
-        # exclusively to this world (safe to mutate in place).
-        self._owned: set[int] = set(range(topology.n))
-        self._node_fp: list[bytes | None] = [None] * topology.n
-        self._queue_fp: dict[tuple[int, int], bytes] = {}
+        self._node_fp: list[int] = [
+            hash(self.node_state(p)) for p in range(topology.n)
+        ]
+        self._queue_fp: dict[tuple[int, int], int] = {}
+        # Local-transition memo and state-hash -> representative node map,
+        # shared by reference across every branch of this world (pure
+        # deterministic data; see ``_local_transition``).
+        self._trans: dict = {}
+        self._reps: dict[int, Node] = {
+            fp: node for fp, node in zip(self._node_fp, self.nodes)
+        }
+        # Zobrist-style incremental world fingerprint: the XOR of one
+        # salted hash per component (node state, channel content, pending
+        # wake-up).  Every mutation folds the old component out and the
+        # new one in, so ``fingerprint()`` is O(1) instead of rebuilding
+        # and sorting the whole configuration at every arrival.
+        fp = 0
+        for p, node_fp in enumerate(self._node_fp):
+            fp ^= hash((1, p, node_fp))
+        for p in self.pending_wakes:
+            fp ^= hash((3, p))
+        self._fp = fp
 
     # -- branching ----------------------------------------------------------
 
     def branch(self) -> "LockStepWorld":
         """A copy sharing node objects and queued messages with ``self``.
 
-        After branching, neither world owns any node exclusively; the first
-        transition a world applies to a node copies it (copy-on-write).
+        Node objects are treated as immutable values once installed (a
+        transition *replaces* its actor's entry in ``nodes`` with a shared
+        representative, never mutates in place), so a branch is O(N)
+        pointer copies — no copy-on-write bookkeeping is needed, and two
+        sibling branches can never observe each other's steps.  The
+        transition memo and representative map are shared by reference:
+        they are pure functions of (state, port, message), so every branch
+        of a campaign feeds the same caches.
         """
         child = object.__new__(LockStepWorld)
         child.topology = self.topology
@@ -152,25 +472,12 @@ class LockStepWorld:
         child.leaders = self.leaders
         child.steps = self.steps
         child.messages_sent = self.messages_sent
-        child._owned = set()
-        self._owned = set()  # our nodes are now shared with the child
         child._node_fp = list(self._node_fp)
         child._queue_fp = dict(self._queue_fp)
+        child._fp = self._fp
+        child._trans = self._trans
+        child._reps = self._reps
         return child
-
-    def _own_node(self, position: int) -> Node:
-        """The node at ``position``, deep-copied first if it is shared."""
-        node = self.nodes[position]
-        if position in self._owned:
-            return node
-        clone = object.__new__(type(node))
-        for key, value in node.__dict__.items():
-            if key != "ctx":
-                clone.__dict__[key] = copy.deepcopy(value)
-        clone.ctx = StepContext(self, position)
-        self.nodes[position] = clone
-        self._owned.add(position)
-        return clone
 
     # -- transitions ---------------------------------------------------------
 
@@ -181,9 +488,14 @@ class LockStepWorld:
         link = (position, far)
         queue = self.queues.get(link, ()) + (message,)
         self.queues[link] = queue
-        self._queue_fp[link] = blake2b(
-            pickle.dumps(queue, protocol=4), digest_size=_DIGEST_SIZE
-        ).digest()
+        # Chain the new message's memoised hash onto the old queue hash —
+        # O(1) per enqueue instead of re-serialising the whole queue.
+        old = self._queue_fp.get(link)
+        new = hash((old if old is not None else 0, message_hash(message)))
+        self._queue_fp[link] = new
+        if old is not None:
+            self._fp ^= hash((2, link, old))
+        self._fp ^= hash((2, link, new))
         self.messages_sent += 1
 
     def on_leader(self, position: int) -> None:
@@ -206,65 +518,189 @@ class LockStepWorld:
         """Head-of-line message of a channel (for narration; no mutation)."""
         return self.queues[link][0]
 
+    def _pop_queue(self, link: tuple[int, int]) -> Message:
+        queue = self.queues[link]
+        message, rest = queue[0], queue[1:]
+        self._fp ^= hash((2, link, self._queue_fp[link]))
+        if rest:
+            self.queues[link] = rest
+            # Head pops cannot be chained incrementally; rehash the (short)
+            # remainder from the memoised per-message hashes.
+            fp = 0
+            for m in rest:
+                fp = hash((fp, message_hash(m)))
+            self._queue_fp[link] = fp
+            self._fp ^= hash((2, link, fp))
+        else:
+            del self.queues[link]
+            del self._queue_fp[link]
+        return message
+
+    def pop_head(self, link: tuple[int, int]) -> None:
+        """Consume a channel head **without** running the receiver.
+
+        Only sound when the delivery is known to be inert — i.e. running
+        ``receive`` on the head message would change nothing but the queue
+        (see the compression layer in :mod:`repro.verification.explore`).
+        Counts as a step so logical time still advances per transition.
+        """
+        self.steps += 1
+        self._pop_queue(link)
+
+    def drop_wakes(self, positions) -> None:
+        """Clear pending wake-up flags without stepping the nodes.
+
+        Used by the explorer's stale-wake compression: the nodes are
+        already awake, so the flags are pure bookkeeping.  Each cleared
+        flag counts as a step (a transition happened, invisibly).
+        """
+        for position in positions:
+            self._fp ^= hash((3, position))
+        self.pending_wakes = self.pending_wakes - frozenset(positions)
+        self.steps += len(positions)
+
+    def _local_transition(
+        self, position: int, port: int, message: Message | None
+    ) -> tuple[int, tuple[tuple[int, Message], ...], int]:
+        """The memoised effect of one node transition.
+
+        A node's ``receive`` (and ``wake``) is a pure function of its own
+        structural state plus the arriving ``(port, message)`` — contexts
+        expose only constants, and no protocol reads the clock — so the
+        effect ``(new state hash, sends, leader declarations)`` is cached
+        per ``(position, state hash, port, message hash)`` and shared by
+        every branch of the campaign.  ``port < 0`` encodes a spontaneous
+        wake-up.  On a miss the transition runs once, in isolation, on a
+        clone wired to a :class:`_CaptureContext`; the clone then becomes
+        the shared representative object for its new state hash, so cache
+        hits replace the actor's node by pointer — no copy, no protocol
+        code, no re-freezing.
+        """
+        fp = self._node_fp[position]
+        key = (
+            (position, fp)
+            if port < 0
+            else (position, fp, port, message_hash(message))
+        )
+        entry = self._trans.get(key)
+        if entry is None:
+            ctx = _CaptureContext(self.topology, position)
+            clone = _clone_node(self.nodes[position], ctx)
+            if port < 0:
+                clone.wake(spontaneous=True)
+            else:
+                clone.receive(port, message)
+            new_fp = hash(_freeze_node(clone))
+            if new_fp not in self._reps:
+                self._reps[new_fp] = clone
+            entry = self._trans[key] = (new_fp, tuple(ctx.sends), ctx.declared)
+        return entry
+
+    def _install(
+        self,
+        position: int,
+        entry: tuple[int, tuple[tuple[int, Message], ...], int],
+    ) -> None:
+        """Apply a memoised transition effect to this world."""
+        new_fp, sends, declared = entry
+        old_fp = self._node_fp[position]
+        if new_fp != old_fp:
+            self.nodes[position] = self._reps[new_fp]
+            self._node_fp[position] = new_fp
+            self._fp ^= hash((1, position, old_fp)) ^ hash((1, position, new_fp))
+        for port, message in sends:
+            self.enqueue(position, port, message)
+        for _ in range(declared):
+            self.on_leader(position)
+
     def apply(self, action: Action) -> None:
         """Take one transition: fire a wake-up or deliver a channel head."""
         kind, arg = action
         self.steps += 1
         if kind == "wake":
+            self._fp ^= hash((3, arg))
             self.pending_wakes = self.pending_wakes - {arg}
-            node = self._own_node(arg)
-            self._node_fp[arg] = None
-            if not node.awake:
-                node.wake(spontaneous=True)
+            self._install(arg, self._local_transition(arg, -1, None))
             return
         src, dst = arg
-        queue = self.queues[arg]
-        message, rest = queue[0], queue[1:]
-        if rest:
-            self.queues[arg] = rest
-            self._queue_fp[arg] = blake2b(
-                pickle.dumps(rest, protocol=4), digest_size=_DIGEST_SIZE
-            ).digest()
-        else:
-            del self.queues[arg]
-            del self._queue_fp[arg]
+        message = self._pop_queue(arg)
         port = self.topology.port_to(dst, src)
-        node = self._own_node(dst)
-        self._node_fp[dst] = None
-        node.receive(port, message)
+        self._install(dst, self._local_transition(dst, port, message))
+
+    def peek_transition(
+        self, link: tuple[int, int]
+    ) -> tuple[int, tuple[tuple[int, Message], ...], int]:
+        """The effect delivering ``link``'s head would have, without taking
+        the step.  A delivery is *inert* exactly when the returned entry is
+        ``(current node hash, no sends, no declarations)`` — the test the
+        explorer's compression layer runs per channel head."""
+        src, dst = link
+        message = self.queues[link][0]
+        return self._local_transition(dst, self.topology.port_to(dst, src), message)
 
     # -- identity -------------------------------------------------------------
 
-    def _compute_node_fp(self, position: int) -> bytes:
-        node = self.nodes[position]
-        projection = sorted(
-            (key, value)
-            for key, value in node.__dict__.items()
-            if key != "ctx"
-        )
-        return blake2b(
-            pickle.dumps(projection, protocol=4), digest_size=_DIGEST_SIZE
-        ).digest()
+    def node_state(
+        self, position: int, relabel: Relabeling = _IDENTITY
+    ):
+        """Frozen structural state of one node (see :func:`_freeze_node`)."""
+        return _freeze_node(self.nodes[position], relabel)
 
-    def fingerprint(self) -> bytes:
-        """A canonical 16-byte identity of this configuration.
+    def node_hash(self, position: int) -> int:
+        """The maintained 64-bit structural hash of one node's state."""
+        return self._node_fp[position]
 
-        Chains the cached per-node digests, per-channel digests and the
-        pending wake-up set; only digests invalidated by the last action
-        are recomputed.  Node state is projected to ``__dict__`` minus the
-        context handle (every other field is protocol data: ints, enums,
-        strengths, pending-challenge records — all picklable and
-        value-compared).
+    def fingerprint(self) -> int:
+        """A 64-bit identity of this configuration (hash-compacted).
+
+        The Zobrist-style XOR of per-component hashes maintained
+        incrementally by every mutation, so reading it is O(1).
+        Collisions merge distinct states silently — the Stern–Dill risk
+        quantified in the module docstring — which every search here
+        accepts in exchange for an 8-byte flat-table entry.
         """
-        fps = self._node_fp
-        for position in range(len(fps)):
-            if fps[position] is None:
-                fps[position] = self._compute_node_fp(position)
-        chain = blake2b(digest_size=_DIGEST_SIZE)
-        for digest in fps:
-            chain.update(digest)  # type: ignore[arg-type]
-        for link in sorted(self._queue_fp):
-            chain.update(b"%d:%d" % link)
-            chain.update(self._queue_fp[link])
-        chain.update(repr(sorted(self.pending_wakes)).encode())
-        return chain.digest()
+        return self._fp
+
+    # -- permutation-apply primitive -----------------------------------------
+
+    def state_tuple(
+        self,
+        positions: Sequence[int] | None = None,
+        id_map: dict[int, int] | None = None,
+        port_maps: Sequence[Sequence[int] | None] | None = None,
+    ):
+        """The frozen structural world state, optionally permuted.
+
+        ``positions[p]`` is where the node at position ``p`` lands (``None``
+        = identity).  ``id_map`` relabels identity-valued fields and
+        ``port_maps[p]`` renumbers node ``p``'s ports — rotations of the
+        canonical cyclic wiring need neither, arbitrary relabellings of a
+        hidden wiring need both (see :mod:`repro.verification.symmetry`).
+
+        The encoding covers exactly what :meth:`fingerprint` covers — node
+        states, channel contents, pending wake-ups — so two worlds with
+        equal ``state_tuple()`` are behaviourally identical, and a world's
+        orbit under a group of permutations is the set of its permuted
+        tuples.
+        """
+        n = self.topology.n
+        if positions is None:
+            positions = range(n)
+        relabels = [
+            Relabeling(id_map, port_maps[p] if port_maps else None)
+            for p in range(n)
+        ]
+        nodes = [None] * n
+        for p in range(n):
+            nodes[positions[p]] = self.node_state(p, relabels[p])
+        queues = sorted(
+            (
+                (positions[src], positions[dst]),
+                tuple(
+                    freeze_value(m, relabels[src]) for m in queue
+                ),
+            )
+            for (src, dst), queue in self.queues.items()
+        )
+        wakes = tuple(sorted(positions[p] for p in self.pending_wakes))
+        return (tuple(nodes), tuple(queues), wakes)

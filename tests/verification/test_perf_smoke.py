@@ -1,0 +1,40 @@
+"""Explorer-throughput sanity check that rides in tier-1.
+
+Companion to ``tests/sim/test_perf_smoke.py``: one small fixed workload
+(exhaustive Protocol A at N=4, ~1k states), a conservative states/sec
+floor far below what the checker actually sustains (~25k/sec here vs the
+~17k/sec of the PR 1 explorer), so it fires only on a catastrophic
+regression — pickling sneaking back onto the hot path, the transition
+memo silently disabled, a freeze-encoding blow-up — never on machine
+noise.  Budget: well under 10 seconds wall clock including the floor.
+The full tracking lives in ``benchmarks/test_verify_speed.py`` (which
+writes ``BENCH_verify.json``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.topology.complete import complete_with_sense_of_direction
+from repro.verification import explore_protocol
+
+#: states/sec floor — the PR 1 explorer already beat this comfortably.
+MIN_STATES_PER_SEC = 3_000.0
+
+
+@pytest.mark.perf_smoke
+def test_explorer_sustains_minimum_throughput():
+    topology = complete_with_sense_of_direction(4)
+    start = time.perf_counter()
+    report = explore_protocol(ProtocolA(), topology)
+    dt = time.perf_counter() - start
+    assert report.complete
+    assert report.leaders_seen == {0, 1, 2, 3}
+    assert dt < 10.0, f"A@4 took {dt:.1f}s; the explorer is pathologically slow"
+    assert report.states_explored / dt >= MIN_STATES_PER_SEC, (
+        f"explorer throughput collapsed: {report.states_explored / dt:.0f} "
+        f"states/sec on A@4 (floor {MIN_STATES_PER_SEC:.0f})"
+    )

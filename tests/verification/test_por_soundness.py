@@ -1,17 +1,29 @@
-"""Cross-validation: POR-pruned exploration loses no outcomes.
+"""Cross-validation: reduced exploration loses no outcomes.
 
-Partial-order reduction is only worth anything if it is *sound*: every
-verdict the pruned search produces must be the verdict the unpruned search
-would have produced.  These tests run :func:`explore_protocol` twice on
-the same instance — ``por=True`` and ``por=False`` — for **every**
-registered protocol and assert the observable outcome sets are identical:
+A reduction is only worth anything if it is *sound*: every verdict the
+reduced search produces must be the verdict the unreduced search would
+have produced.  These tests cross-validate each reduction layer against
+its reference search for **every** registered protocol, asserting the
+observable outcome sets are identical:
 
 * the set of quiescent outcomes ``(leader_id, messages_sent)``,
 * the set of possible leaders,
 * the number of distinct quiescent configurations.
 
-(The *state* and *transition* counts are exactly what POR is allowed to
-change, and the companion assertion is that it only ever shrinks them.)
+(The *state* and *transition* counts are exactly what a reduction is
+allowed to change, and the companion assertion is that it only ever
+shrinks them.)  The layers, each against the one below it:
+
+* ``por=True`` vs ``por=False`` — sleep sets + stale-wake merging;
+* ``compress=True`` vs ``compress=False`` — inert-delivery compression,
+  whose stale-monotonicity assumption is exactly what this exhaustive
+  per-protocol comparison validates;
+* ``workers=K`` vs serial — the stratified parallel search (further
+  covered in ``test_parallel_explore.py``);
+* ``symmetry="census"`` vs off — the census must observe the search, not
+  change it.  (``symmetry="prune"`` is deliberately absent: it is a
+  bug-hunting mode that does *not* promise outcome completeness — the
+  boundary ``test_symmetry.py`` pins.)
 """
 
 from __future__ import annotations
@@ -52,6 +64,57 @@ def test_por_preserves_all_outcomes(name):
     # the reduction may only ever shrink the search
     assert pruned.states_explored <= full.states_explored
     assert pruned.transitions <= full.transitions
+
+
+@pytest.mark.parametrize(
+    "name", sorted(registered_protocols()), ids=str
+)
+def test_compression_preserves_all_outcomes(name):
+    """Inert-delivery compression vs the sleep-set-only reference.
+
+    ``compress=False`` is the PR 1 search; equality here is the
+    exhaustive validation of the stale-monotonicity assumption for this
+    protocol (see the compression notes in ``explore.py``).
+    """
+    protocol, topology = _instance(name, registered_protocols()[name])
+    compressed = explore_protocol(protocol, topology, compress=True)
+    reference = explore_protocol(protocol, topology, compress=False)
+    assert compressed.complete and reference.complete
+    assert compressed.quiescent_outcomes == reference.quiescent_outcomes
+    assert compressed.leaders_seen == reference.leaders_seen
+    assert compressed.terminal_states == reference.terminal_states
+    assert compressed.states_explored <= reference.states_explored
+    # compression actually fired (every protocol here has inert traffic
+    # or stale wake-ups at these sizes)
+    assert compressed.compressed_steps > 0
+
+
+@pytest.mark.parametrize(
+    "name", sorted(registered_protocols()), ids=str
+)
+def test_parallel_strata_preserve_all_outcomes(name):
+    protocol, topology = _instance(name, registered_protocols()[name])
+    serial = explore_protocol(protocol, topology)
+    parallel = explore_protocol(protocol, topology, workers=2)
+    assert parallel.complete
+    assert parallel.states_explored == serial.states_explored
+    assert parallel.quiescent_outcomes == serial.quiescent_outcomes
+    assert parallel.leaders_seen == serial.leaders_seen
+    assert parallel.terminal_states == serial.terminal_states
+
+
+@pytest.mark.parametrize(
+    "name", sorted(registered_protocols()), ids=str
+)
+def test_census_observes_without_changing_the_search(name):
+    protocol, topology = _instance(name, registered_protocols()[name])
+    plain = explore_protocol(protocol, topology)
+    census = explore_protocol(protocol, topology, symmetry="census")
+    assert census.states_explored == plain.states_explored
+    assert census.quiescent_outcomes == plain.quiescent_outcomes
+    assert census.terminal_states == plain.terminal_states
+    assert census.canonical_states is not None
+    assert 0 < census.canonical_states <= census.states_explored
 
 
 def test_por_preserves_outcomes_with_partial_wakeups():

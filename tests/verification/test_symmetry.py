@@ -1,0 +1,135 @@
+"""The permutation-apply primitive, its groups, and the soundness boundary.
+
+Two kinds of test live here.  The mechanical ones check that
+``state_tuple`` + ``Permutation`` actually implement a relabelling: the
+identity is a no-op, rotations of a sense-of-direction network map the
+"node p woke first" configuration onto the "node p+1 woke first" one
+(which exercises every ID_FIELDS/PORT_FIELDS registry entry that matters
+for protocol A's state and messages), and the fully symmetric initial
+configuration is a fixed point of the whole group.
+
+The boundary ones pin what ``docs/verification.md`` claims: orbit
+*pruning* is reachability-sound (every state visited is real) but **not**
+outcome-complete for these id-comparing protocols — at A@5 it provably
+loses a winner — which is exactly why the default explorer never quotients
+and ``symmetry`` is an opt-in census/bug-hunting mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro  # noqa: F401  (imports register every protocol)
+from repro.protocols.sense.protocol_a import ProtocolA
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification import (
+    Permutation,
+    canonical_fingerprint,
+    canonical_state,
+    explore_protocol,
+    rotation_group,
+    symmetric_group,
+    symmetry_group,
+)
+from repro.verification.world import LockStepWorld
+
+
+def _world_a(n: int) -> LockStepWorld:
+    return LockStepWorld(
+        ProtocolA(), complete_with_sense_of_direction(n), tuple(range(n))
+    )
+
+
+def test_identity_permutation_is_a_noop():
+    world = _world_a(4)
+    world.apply(("wake", 2))
+    identity = Permutation(tuple(range(4)), (), None)
+    assert identity.apply(world) == world.state_tuple()
+
+
+def test_group_sizes():
+    sense = complete_with_sense_of_direction(4)
+    hidden = complete_without_sense(4, seed=0)
+    assert len(rotation_group(sense)) == 4
+    assert len(symmetric_group(hidden)) == 24
+    assert len(symmetry_group(sense)) == 4
+    assert len(symmetry_group(hidden)) == 24
+
+
+def test_rotations_identify_rotated_wakeups():
+    # "Node p woke first" and "node p+1 woke first" are the same state
+    # modulo rotation: node states (cand, strengths, levels), queued
+    # Capture messages and the pending-wake set must all relabel
+    # consistently for the canonical forms to coincide.
+    n = 5
+    group = rotation_group(complete_with_sense_of_direction(n))
+    canon = []
+    for p in range(n):
+        world = _world_a(n)
+        world.apply(("wake", p))
+        canon.append(canonical_state(world, group))
+    assert len(set(map(repr, canon))) == 1
+    # ...and the canonicalisation does not collapse genuinely different
+    # states: the initial world is not in the woken world's orbit.
+    initial = _world_a(n)
+    assert canonical_fingerprint(initial, group) != hash(canon[0])
+
+
+def test_initial_configuration_is_a_group_fixed_point():
+    # All nodes identical, queues empty, every wake pending: each group
+    # member (including all 24 hidden-wiring relabellings with their port
+    # renumberings) must map the state to itself.
+    world = _world_a(4)
+    for perm in rotation_group(world.topology):
+        assert perm.apply(world) == world.state_tuple()
+
+    from repro.protocols.nosense.protocol_d import ProtocolD
+
+    hidden = complete_without_sense(4, seed=0)
+    world = LockStepWorld(ProtocolD(), hidden, tuple(range(4)))
+    for perm in symmetric_group(hidden):
+        assert perm.apply(world) == world.state_tuple()
+
+
+def test_census_counts_at_most_the_visited_states():
+    report = explore_protocol(
+        ProtocolA(), complete_with_sense_of_direction(4), symmetry="census"
+    )
+    assert report.canonical_states is not None
+    assert 0 < report.canonical_states <= report.states_explored
+
+
+def test_prune_mode_is_reachability_sound_but_not_outcome_complete():
+    # The documented boundary, pinned on a concrete instance: protocol A
+    # resolves contests by comparing identities with ``<``, so a rotation
+    # is *not* an automorphism of the checked system.  Orbit pruning
+    # therefore loses outcomes (here: a whole winner) even though every
+    # state it does visit is genuinely reachable.
+    topology = complete_with_sense_of_direction(5)
+    full = explore_protocol(ProtocolA(), topology)
+    pruned = explore_protocol(ProtocolA(), topology, symmetry="prune")
+    assert pruned.canonical_states == pruned.states_explored
+    assert pruned.states_explored < full.states_explored
+    assert pruned.leaders_seen <= full.leaders_seen  # reachability-sound
+    assert pruned.leaders_seen != full.leaders_seen  # NOT outcome-complete
+
+
+def test_symmetric_group_refused_past_n6():
+    from repro.protocols.nosense.protocol_d import ProtocolD
+
+    with pytest.raises(ValueError, match="infeasible"):
+        explore_protocol(
+            ProtocolD(), complete_without_sense(7, seed=0), symmetry="census"
+        )
+
+
+def test_unknown_symmetry_mode_rejected():
+    with pytest.raises(ValueError, match="unknown symmetry mode"):
+        explore_protocol(
+            ProtocolA(),
+            complete_with_sense_of_direction(3),
+            symmetry="quotient",
+        )

@@ -1,0 +1,104 @@
+"""Branch isolation: sibling branches can never observe each other.
+
+The world shares node objects, queue tuples and transition memos between
+branches (that sharing is what makes exhaustive search affordable), so
+the property that keeps the whole checker honest is *isolation*: after
+``branch()``, steps applied to one world are invisible to its parent and
+to every sibling.  Property-tested here with seeded random walks over
+every registered protocol — two siblings step divergently and each
+other's frozen state must stay byte-identical — plus the fuzzer's
+template pattern (many branches of one never-stepped template world).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro  # noqa: F401  (imports register every protocol)
+from repro.core.errors import ProtocolViolation
+from repro.core.protocol import registered_protocols
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification.world import LockStepWorld
+
+_POWER_OF_TWO_ONLY = {"B", "C"}
+
+
+def _instance(name):
+    cls = registered_protocols()[name]
+    n = 4 if name in _POWER_OF_TWO_ONLY else 3
+    if cls.needs_sense_of_direction:
+        return cls(), complete_with_sense_of_direction(n)
+    return cls(), complete_without_sense(n, seed=0)
+
+
+def _random_walk(world: LockStepWorld, rng: random.Random, steps: int) -> None:
+    for _ in range(steps):
+        actions = world.enabled_actions()
+        if not actions:
+            return
+        try:
+            world.apply(actions[rng.randrange(len(actions))])
+        except ProtocolViolation:  # pragma: no cover - no planted bugs here
+            return
+
+
+@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+def test_divergent_siblings_stay_isolated(name):
+    protocol, topology = _instance(name)
+    rng = random.Random(f"cow:{name}")
+    for round_ in range(5):
+        parent = LockStepWorld(protocol, topology, tuple(range(topology.n)))
+        _random_walk(parent, rng, rng.randrange(0, 8))
+        parent_before = parent.state_tuple()
+        left, right = parent.branch(), parent.branch()
+        assert left.state_tuple() == parent_before == right.state_tuple()
+
+        _random_walk(left, rng, rng.randrange(1, 10))
+        # neither the parent nor the sibling saw the left walk
+        assert parent.state_tuple() == parent_before
+        assert right.state_tuple() == parent_before
+        assert right.fingerprint() == parent.fingerprint()
+
+        left_after = left.state_tuple()
+        _random_walk(right, rng, rng.randrange(1, 10))
+        # ...and the right walk is invisible to the stepped left branch
+        assert left.state_tuple() == left_after
+        assert parent.state_tuple() == parent_before
+
+
+def test_template_branches_are_fresh_and_deterministic():
+    # The fuzzer's pattern: one template world, one branch per episode.
+    protocol, topology = _instance("A")
+    template = LockStepWorld(protocol, topology, tuple(range(topology.n)))
+    pristine = template.state_tuple()
+
+    def walk(seed: int):
+        world = template.branch()
+        _random_walk(world, random.Random(seed), 40)
+        return world.state_tuple()
+
+    first = walk(7)
+    second = walk(7)
+    assert first == second  # same seed, same branch, same trajectory
+    assert template.state_tuple() == pristine  # episodes never leak back
+    assert walk(8) != first  # and the walk actually moves
+
+
+def test_branch_shares_but_never_mutates_node_objects():
+    # Nodes are replaced, never mutated: after a transition the parent's
+    # object is still the pre-transition one (possibly shared), and the
+    # child holds a different object for the stepped position.
+    protocol, topology = _instance("A")
+    parent = LockStepWorld(protocol, topology, tuple(range(topology.n)))
+    child = parent.branch()
+    before = parent.nodes[0]
+    child.apply(("wake", 0))
+    assert parent.nodes[0] is before
+    assert child.nodes[0] is not before
+    assert not before.awake
+    assert child.nodes[0].awake
