@@ -11,6 +11,8 @@ Subcommands::
     python -m repro verify --protocol A --n 6 --workers 4 [--symmetry census]
     python -m repro verify --protocol A --n 8 --fuzz 200 [--save-trace T.json]
     python -m repro verify --replay T.json [--shrink]
+    python -m repro lint [--format json] [--select/--ignore RPL0xx] [paths]
+    python -m repro lint --capabilities
 
 Kept deliberately thin: each subcommand is a few lines over the public API,
 so it doubles as living documentation.
@@ -93,7 +95,7 @@ def _verify_topology(args: argparse.Namespace):
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.replay import render_schedule
-    from repro.core.errors import ProtocolViolation
+    from repro.core.errors import ConfigurationError, ProtocolViolation
     from repro.verification import (
         explore_protocol,
         fuzz_protocol,
@@ -147,6 +149,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     except ProtocolViolation as violation:
         print(f"VIOLATION: {violation}")
         return 1
+    except ConfigurationError as error:
+        print(f"refused: {error}", file=sys.stderr)
+        return 2
     print(report)
     if report.canonical_states is not None:
         print(
@@ -220,9 +225,12 @@ def main(argv: list[str] | None = None) -> int:
         "0 or 1 = serial)",
     )
     verify_parser.add_argument(
-        "--symmetry", choices=("census", "prune"), default=None,
+        "--symmetry", choices=("census", "prune", "prune-unsound"),
+        default=None,
         help="count states modulo the topology's relabelling group "
-        "(census) or memoise on orbit representatives (prune — a "
+        "(census), memoise on orbit representatives (prune — refused "
+        "unless the linter-derived capability table proves the protocol "
+        "equivariant), or memoise without the gate (prune-unsound — a "
         "bug-hunting mode, see docs/verification.md)",
     )
     verify_parser.add_argument(
@@ -242,7 +250,20 @@ def main(argv: list[str] | None = None) -> int:
         help="with --replay: shrink the trace before replaying",
     )
 
-    args = parser.parse_args(argv)
+    sub.add_parser(
+        "lint",
+        help="static protocol-contract checks (purity, message hygiene, "
+        "equivariance, accounting); see docs/lint.md",
+        add_help=False,
+    )
+
+    args, extra = parser.parse_known_args(argv)
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(extra)
+    if extra:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

@@ -1,0 +1,50 @@
+"""Static protocol-contract analysis (``python -m repro lint``).
+
+The optimisations in ``verification/`` are sound only under contracts the
+type system cannot express: handler purity (transition memoisation,
+deterministic replay), frozen message values (copy-on-write worlds),
+relabelling-equivariance (``--symmetry prune``), and single-choke-point
+sends (message-complexity accounting).  This package checks those
+contracts syntactically, with stable ``RPL0xx`` codes, source spans,
+inline ``# repro: lint-ok[RPL0xx] reason`` suppressions, and text/JSON
+reporters — and derives the per-protocol capability table that gates the
+symmetry optimisation (:mod:`repro.lint.capabilities`).
+
+Importing this package registers every rule family.
+"""
+
+from __future__ import annotations
+
+from . import accounting, equivariance, messages, purity  # noqa: F401
+from .capabilities import (
+    ProtocolCapability,
+    capability_for,
+    derive_capability_table,
+    load_packaged_table,
+    packaged_table_path,
+)
+from .core import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    RULES,
+    lint_paths,
+)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "ProtocolCapability",
+    "RULES",
+    "Rule",
+    "capability_for",
+    "derive_capability_table",
+    "lint_paths",
+    "load_packaged_table",
+    "packaged_table_path",
+    "render_json",
+    "render_text",
+]

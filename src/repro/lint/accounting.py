@@ -1,0 +1,134 @@
+"""Message-accounting rules (RPL040–RPL042).
+
+The paper's O(N)–O(N log N) claims are *message-complexity* bounds, and
+every measurement in ``harness/`` and ``verification/`` counts messages
+at exactly one choke point: ``NodeContext.send``.  A protocol that
+reaches around the context — importing the scheduler, poking a link, or
+touching private simulator attributes through ``ctx`` — produces traffic
+the meters never see, silently invalidating every reported bound.
+
+* **RPL040** — protocol/app modules must not import the simulator,
+  harness, verification, or adversary layers at all.
+* **RPL041** — the only ``.send(...)`` allowed is on a context
+  (``ctx.send`` / ``self.ctx.send``); anything else bypasses accounting.
+* **RPL042** — attribute access on a context is limited to the public
+  ``NodeContext`` API, so private simulator state cannot leak in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, ModuleContext, module_checker, rule, terminal_name
+
+RPL040 = rule(
+    "RPL040",
+    "layer-import",
+    "accounting",
+    "Protocol module imports a simulator/harness/verification layer",
+)
+RPL041 = rule(
+    "RPL041",
+    "send-bypass",
+    "accounting",
+    ".send() on something other than the node context",
+)
+RPL042 = rule(
+    "RPL042",
+    "context-api-escape",
+    "accounting",
+    "Attribute access on ctx outside the NodeContext API",
+)
+
+#: Layers whose import from protocol code means the protocol can reach
+#: the machinery that is supposed to be measuring it.
+FORBIDDEN_LAYERS = (
+    "repro.sim",
+    "repro.harness",
+    "repro.verification",
+    "repro.adversary",
+)
+
+#: The public ``NodeContext`` surface (see ``repro/core/node.py``).
+CONTEXT_API = {
+    "send",
+    "port_label",
+    "port_with_label",
+    "now",
+    "declare_leader",
+    "trace",
+    "node_id",
+    "n",
+    "num_ports",
+    "has_sense_of_direction",
+}
+
+
+def _is_ctx_receiver(node: ast.AST) -> bool:
+    """True for ``ctx`` or any ``*.ctx`` chain (e.g. ``self.ctx``)."""
+    name = terminal_name(node)
+    return name == "ctx"
+
+
+def _layer_import_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        modules: list[str] = []
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            modules = [node.module]
+        for module in modules:
+            for layer in FORBIDDEN_LAYERS:
+                if module == layer or module.startswith(layer + "."):
+                    yield ctx.finding(
+                        "RPL040",
+                        node,
+                        f"import of '{module}': protocol code must stay "
+                        "below the simulator/measurement boundary and "
+                        "interact with the world only through its "
+                        "NodeContext",
+                    )
+
+
+def _send_bypass_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "send"):
+            continue
+        if _is_ctx_receiver(func.value):
+            continue
+        receiver = terminal_name(func.value) or "<expr>"
+        yield ctx.finding(
+            "RPL041",
+            node,
+            f"'{receiver}.send(...)': all sends must go through ctx.send "
+            "so message-complexity accounting sees them",
+        )
+
+
+def _context_escape_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if not _is_ctx_receiver(node.value):
+            continue
+        if node.attr in CONTEXT_API:
+            continue
+        yield ctx.finding(
+            "RPL042",
+            node,
+            f"ctx.{node.attr}: not part of the NodeContext API "
+            f"({', '.join(sorted(CONTEXT_API))}); private simulator "
+            "state must not leak into protocol code",
+        )
+
+
+@module_checker
+def check_accounting(ctx: ModuleContext) -> Iterator[Finding]:
+    """Run the accounting family (RPL040–RPL042) over one module."""
+    yield from _layer_import_findings(ctx)
+    yield from _send_bypass_findings(ctx)
+    yield from _context_escape_findings(ctx)

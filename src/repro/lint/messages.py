@@ -1,0 +1,241 @@
+"""Message-hygiene rules (RPL010–RPL012).
+
+RPL010 is structural: every ``Message`` subclass must be declared
+``@dataclass(frozen=True, slots=True)`` — frozen so a queued message can
+never be mutated after sending (the checker's copy-on-write worlds and
+transition memo share message objects between branches), slotted so the
+per-message footprint stays flat at scale.
+
+RPL011/RPL012 are a whole-run flow analysis: a message *kind* that is
+constructed-and-sent but matched by no handler is dead protocol surface
+(usually a typo'd ``match`` arm), and a kind that handlers match but
+nothing ever sends is unreachable code.  Because protocols are layered —
+``capture_base`` constructs ``Challenge`` while the concrete protocol
+modules match it — sends and handles are unioned across *all* files in
+the run plus the transitive closure of their ``repro.*`` imports; only
+classes *defined in the target files* are reported, so the shared
+``core.messages`` kinds never false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from .core import (
+    Finding,
+    ModuleContext,
+    project_checker,
+    rule,
+    terminal_name,
+)
+
+RPL010 = rule(
+    "RPL010",
+    "message-not-frozen-slotted",
+    "messages",
+    "Message subclass is not a frozen slotted dataclass",
+)
+RPL011 = rule(
+    "RPL011",
+    "message-never-handled",
+    "messages",
+    "Message kind is sent but no handler matches it",
+)
+RPL012 = rule(
+    "RPL012",
+    "message-never-sent",
+    "messages",
+    "Message kind is handled but nothing sends it",
+)
+
+
+def message_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes whose base-name chain ends in ``Message``."""
+    result = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        for base in stmt.bases:
+            name = terminal_name(base)
+            if name is not None and name.endswith("Message"):
+                result.append(stmt)
+                break
+    return result
+
+
+def _is_frozen_slotted_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        if isinstance(deco, ast.Call):
+            if terminal_name(deco.func) != "dataclass":
+                continue
+            flags = {
+                kw.arg: (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                )
+                for kw in deco.keywords
+                if kw.arg is not None
+            }
+            if flags.get("frozen") and flags.get("slots"):
+                return True
+        elif terminal_name(deco) == "dataclass":
+            # bare @dataclass: neither frozen nor slotted
+            continue
+    return False
+
+
+def _sent_names(tree: ast.Module) -> set[str]:
+    """Class names constructed anywhere in the module.
+
+    A message that is constructed is treated as sent: in this codebase
+    messages are only ever built to be passed to ``ctx.send`` (directly
+    or via a local variable / helper), and tracking dataflow to the send
+    call would only add escape hatches.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name is not None and name[:1].isupper():
+                names.add(name)
+    return names
+
+
+def _handled_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.MatchClass):
+            name = terminal_name(node.cls)
+            if name is not None:
+                names.add(name)
+        elif isinstance(node, ast.Call):
+            if (
+                terminal_name(node.func) == "isinstance"
+                and len(node.args) == 2
+            ):
+                spec = node.args[1]
+                elts = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+                for elt in elts:
+                    name = terminal_name(elt)
+                    if name is not None:
+                        names.add(name)
+        elif isinstance(node, ast.Assign):
+            # App nodes declare the kinds they consume in an
+            # ``APP_MESSAGES = (Foo, Bar)`` class attribute.
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "APP_MESSAGES"
+                ):
+                    value = node.value
+                    elts = (
+                        value.elts
+                        if isinstance(value, (ast.Tuple, ast.List))
+                        else [value]
+                    )
+                    for elt in elts:
+                        name = terminal_name(elt)
+                        if name is not None:
+                            names.add(name)
+    return names
+
+
+def _repro_root() -> Path | None:
+    try:
+        import repro
+    except ImportError:  # pragma: no cover - repro is always importable here
+        return None
+    return Path(repro.__file__).resolve().parent
+
+
+def _imported_repro_files(
+    contexts: Sequence[ModuleContext],
+) -> list[ast.Module]:
+    """Parse the transitive ``repro.*`` import closure of the run's files.
+
+    Returns extra parsed trees (support modules) whose sends/handles join
+    the union; their classes are *not* checked.
+    """
+    root = _repro_root()
+    if root is None:
+        return []
+    seen = {ctx.path.resolve() for ctx in contexts}
+    queue: list[ast.Module] = [ctx.tree for ctx in contexts]
+    support: list[ast.Module] = []
+    while queue:
+        tree = queue.pop()
+        for node in ast.walk(tree):
+            modules: list[str] = []
+            if isinstance(node, ast.Import):
+                modules = [
+                    a.name for a in node.names if a.name.startswith("repro")
+                ]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    modules = [node.module]
+            for module in modules:
+                rel = module.split(".")[1:]
+                candidates = [
+                    root.joinpath(*rel).with_suffix(".py"),
+                    root.joinpath(*rel, "__init__.py"),
+                ]
+                for candidate in candidates:
+                    if candidate.exists():
+                        resolved = candidate.resolve()
+                        if resolved in seen:
+                            continue
+                        seen.add(resolved)
+                        try:
+                            parsed = ast.parse(
+                                resolved.read_text(), filename=str(resolved)
+                            )
+                        except SyntaxError:  # pragma: no cover
+                            continue
+                        support.append(parsed)
+                        queue.append(parsed)
+                        break
+    return support
+
+
+@project_checker
+def check_messages(contexts: Sequence[ModuleContext]) -> Iterator[Finding]:
+    """Run the message-hygiene family (RPL010–RPL012) over the run."""
+    defined: dict[str, tuple[ModuleContext, ast.ClassDef]] = {}
+    for ctx in contexts:
+        for cls in message_classes(ctx.tree):
+            defined[cls.name] = (ctx, cls)
+            if not _is_frozen_slotted_dataclass(cls):
+                yield ctx.finding(
+                    "RPL010",
+                    cls,
+                    f"message class {cls.name} must be declared "
+                    "@dataclass(frozen=True, slots=True)",
+                )
+
+    if not defined:
+        return
+
+    trees = [ctx.tree for ctx in contexts]
+    trees.extend(_imported_repro_files(contexts))
+    sent: set[str] = set()
+    handled: set[str] = set()
+    for tree in trees:
+        sent |= _sent_names(tree)
+        handled |= _handled_names(tree)
+
+    for name, (ctx, cls) in defined.items():
+        if name in sent and name not in handled:
+            yield ctx.finding(
+                "RPL011",
+                cls,
+                f"message {name} is sent but never handled (no match arm, "
+                "isinstance check, or APP_MESSAGES entry consumes it)",
+            )
+        elif name in handled and name not in sent:
+            yield ctx.finding(
+                "RPL012",
+                cls,
+                f"message {name} is handled but never sent "
+                "(dead protocol surface)",
+            )

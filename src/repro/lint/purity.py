@@ -1,0 +1,316 @@
+"""Purity/determinism rules (RPL001–RPL005).
+
+The checker's transition memo caches ``(node state, port, message) ->
+successor`` and deterministic replay re-runs a recorded schedule byte for
+byte; both are only sound if handlers are pure functions of their inputs.
+These rules reject the ways that contract is usually broken in Python:
+shared module- or class-level mutable state, wall clocks and entropy
+sources, and iteration over sets of objects whose ordering depends on
+``PYTHONHASHSEED`` or on ``id()``.
+
+Scoping: RPL001/RPL002 fire only inside methods of node classes (a class
+whose base-name chain ends in ``Node``) because that is where the purity
+contract binds; RPL003/RPL004/RPL005 fire module-wide because an impure
+helper called from a handler is just as fatal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .core import Finding, ModuleContext, module_checker, rule, terminal_name
+
+RPL001 = rule(
+    "RPL001",
+    "module-state-write",
+    "purity",
+    "Handler writes module-level mutable state",
+)
+RPL002 = rule(
+    "RPL002",
+    "class-state-write",
+    "purity",
+    "Handler writes class-level (shared) state",
+)
+RPL003 = rule(
+    "RPL003",
+    "forbidden-import",
+    "purity",
+    "Module imports an entropy/clock/OS source",
+)
+RPL004 = rule(
+    "RPL004",
+    "nondeterministic-call",
+    "purity",
+    "Call into an entropy/clock/OS source or id()",
+)
+RPL005 = rule(
+    "RPL005",
+    "set-iteration",
+    "purity",
+    "Iteration over a set of non-canonical objects",
+)
+
+#: Modules whose presence in protocol code breaks determinism.  ``math``
+#: is deliberately allowed; time must come from ``ctx.now()``.
+FORBIDDEN_MODULES = {
+    "random",
+    "secrets",
+    "uuid",
+    "time",
+    "datetime",
+    "os",
+    "threading",
+    "socket",
+}
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Names bound by top-level statements (candidates for shared state)."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+    return names
+
+
+def _class_names(tree: ast.Module) -> set[str]:
+    return {
+        stmt.name for stmt in tree.body if isinstance(stmt, ast.ClassDef)
+    }
+
+
+def node_classes(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes that look like ``Node`` subclasses (base name ends 'Node')."""
+    result = []
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        for base in stmt.bases:
+            name = terminal_name(base)
+            if name is not None and name.endswith("Node"):
+                result.append(stmt)
+                break
+    return result
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The leftmost name of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        # type(self).registry -> root is the type(self) call
+        func = terminal_name(node.func)
+        if func == "type":
+            return "type(self)"
+    return None
+
+
+def _iter_handler_bodies(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _check_shared_state(
+    ctx: ModuleContext,
+    method: ast.FunctionDef,
+    module_names: set[str],
+    class_names: set[str],
+) -> Iterator[Finding]:
+    class_roots = class_names | {"cls", "type(self)"}
+    for node in ast.walk(method):
+        if isinstance(node, ast.Global):
+            yield ctx.finding(
+                "RPL001",
+                node,
+                f"handler {method.name}() declares "
+                f"'global {', '.join(node.names)}': handlers must be pure "
+                "functions of (state, port, message)",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                    continue
+                root = _root_name(target)
+                if root in module_names:
+                    yield ctx.finding(
+                        "RPL001",
+                        node,
+                        f"handler {method.name}() writes module-level "
+                        f"state through '{root}'",
+                    )
+                elif root in class_roots:
+                    yield ctx.finding(
+                        "RPL002",
+                        node,
+                        f"handler {method.name}() writes class-level "
+                        f"state through '{root}'",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+            ):
+                root = _root_name(func.value)
+                if root in module_names:
+                    yield ctx.finding(
+                        "RPL001",
+                        node,
+                        f"handler {method.name}() mutates module-level "
+                        f"'{root}' via .{func.attr}()",
+                    )
+                elif root in class_roots:
+                    yield ctx.finding(
+                        "RPL002",
+                        node,
+                        f"handler {method.name}() mutates class-level "
+                        f"state via '{root}.{func.attr}()'",
+                    )
+
+
+def _forbidden_import_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in FORBIDDEN_MODULES:
+                    yield ctx.finding(
+                        "RPL003",
+                        node,
+                        f"import of '{alias.name}': protocol code must be "
+                        "deterministic (time comes from ctx.now(), "
+                        "randomness is not allowed)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if top in FORBIDDEN_MODULES:
+                yield ctx.finding(
+                    "RPL003",
+                    node,
+                    f"import from '{node.module}': protocol code must be "
+                    "deterministic",
+                )
+
+
+def _nondeterministic_aliases(tree: ast.Module) -> set[str]:
+    """Names bound by ``from random import randrange``-style imports."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if top in FORBIDDEN_MODULES:
+                for alias in node.names:
+                    aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in FORBIDDEN_MODULES:
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _nondeterministic_call_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    aliases = _nondeterministic_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                yield ctx.finding(
+                    "RPL004",
+                    node,
+                    "call to builtin id(): object identity varies between "
+                    "runs and breaks deterministic replay",
+                )
+            elif func.id in aliases:
+                yield ctx.finding(
+                    "RPL004",
+                    node,
+                    f"call to '{func.id}' imported from a nondeterministic "
+                    "module",
+                )
+        elif isinstance(func, ast.Attribute):
+            root = _root_name(func)
+            if root in FORBIDDEN_MODULES or root in aliases:
+                yield ctx.finding(
+                    "RPL004",
+                    node,
+                    f"call to nondeterministic '{root}.{func.attr}()'",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        return name in {"set", "frozenset"}
+    return False
+
+
+def _set_iteration_findings(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        iters: Iterable[ast.AST]
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters = [gen.iter for gen in node.generators]
+        else:
+            continue
+        for it in iters:
+            if _is_set_expr(it):
+                yield ctx.finding(
+                    "RPL005",
+                    it,
+                    "iteration over a set literal/constructor: set order "
+                    "depends on hashing and is not canonical; iterate a "
+                    "sorted sequence instead",
+                )
+
+
+@module_checker
+def check_purity(ctx: ModuleContext) -> Iterator[Finding]:
+    """Run the purity family (RPL001–RPL005) over one module."""
+    module_names = _module_level_names(ctx.tree)
+    class_names = _class_names(ctx.tree)
+    for cls in node_classes(ctx.tree):
+        for method in _iter_handler_bodies(cls):
+            yield from _check_shared_state(
+                ctx, method, module_names, class_names
+            )
+    yield from _forbidden_import_findings(ctx)
+    yield from _nondeterministic_call_findings(ctx)
+    yield from _set_iteration_findings(ctx)

@@ -1,0 +1,78 @@
+"""Text and JSON renderings of a :class:`~repro.lint.core.LintResult`.
+
+The JSON shape is a stable contract (golden-tested): ``version`` bumps on
+any schema change, findings are sorted by ``(path, line, col, code)``,
+columns are 1-based, and paths are POSIX-style relative to the working
+directory — so downstream tooling (and the capability-table generator)
+can parse it without sniffing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import Finding, LintResult, RULES
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Human-readable report: one ``path:line:col: CODE`` row per finding
+    plus a summary line; ``verbose`` also lists suppressed findings."""
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} [{RULES[finding.code].name}] {finding.message}"
+        )
+    if verbose:
+        for finding in result.suppressed:
+            reason = finding.suppression_reason or "(no reason given)"
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.code} suppressed: {reason}"
+            )
+    if result.findings:
+        total = len(result.findings)
+        noun = "finding" if total == 1 else "findings"
+        lines.append(
+            f"{total} {noun} in {result.files} file(s) "
+            f"({len(result.suppressed)} suppressed)"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files} file(s), "
+            f"{len(result.suppressed)} suppressed finding(s)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _finding_dict(finding: Finding) -> dict:
+    entry = {
+        "code": finding.code,
+        "rule": RULES[finding.code].name,
+        "family": RULES[finding.code].family,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "end_line": finding.end_line,
+        "end_col": finding.end_col,
+        "message": finding.message,
+    }
+    if finding.suppressed:
+        entry["suppressed"] = True
+        entry["suppression_reason"] = finding.suppression_reason
+    return entry
+
+
+def render_json(result: LintResult) -> str:
+    """The stable machine-readable report (see module docstring)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "checked_files": result.files,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+        "counts": result.counts,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -90,6 +90,9 @@ class ContestNode(Node):
         Returns True when the challenger wins; a losing incumbent must
         transition itself to :attr:`Role.STALLED` here.
         """
+        # repro: lint-ok[RPL020] the paper's contest rule: strengths are
+        # ordered lexicographically by (level, id), so capture protocols
+        # are inherently id-comparing and never prune-safe
         if challenger.outranks(self.current_strength()):
             if self.role is Role.CANDIDATE:
                 self.role = Role.STALLED

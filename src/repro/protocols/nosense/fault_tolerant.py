@@ -77,6 +77,8 @@ class FaultTolerantNode(SequentialCaptureNode):
                 return port
         if self._next_port < self.ctx.num_ports:
             port = self._next_port
+            # repro: lint-ok[RPL021] sequential capture order is the
+            # algorithm (any fixed order works; numeric is canonical)
             self._next_port += 1
             return port
         return None

@@ -65,6 +65,8 @@ class ProtocolDNode(Node):
     def on_message(self, port: int, message: Message) -> None:
         match message:
             case BroadcastElect():
+                # repro: lint-ok[RPL020] extinction by id order is the
+                # whole of protocol D
                 if self.role is Role.CANDIDATE and self.ctx.node_id > message.cand:
                     self.ctx.send(port, BroadcastReject())
                 else:

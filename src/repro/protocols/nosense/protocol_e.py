@@ -108,6 +108,7 @@ class SequentialCaptureNode(ContestNode):
         if self._next_port >= self.ctx.num_ports:
             return  # all ports claimed; on_level_reached decides what's next
         port = self._next_port
+        # repro: lint-ok[RPL021] sequential capture order is the algorithm
         self._next_port += 1
         self.ctx.send(port, SeqCapture(self.level, self.ctx.node_id))
 
@@ -129,6 +130,7 @@ class SequentialCaptureNode(ContestNode):
         incoming = Strength(message.level, message.cand)
         if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
             # An uncaptured node contests with its own (level, id).
+            # repro: lint-ok[RPL020] (level, id) contest per the paper
             if incoming.outranks(self.current_strength()):
                 if self.role is not Role.LEADER:
                     self.role = Role.CAPTURED
@@ -159,6 +161,7 @@ class SequentialCaptureNode(ContestNode):
             self._buffered = (port, incoming)
             return
         held_port, held = self._buffered
+        # repro: lint-ok[RPL020] (level, id) contest per the paper
         if incoming.outranks(held):
             self._buffered = (port, incoming)
             self.ctx.send(held_port, SeqReject())

@@ -95,6 +95,7 @@ class ProtocolFNode(ProtocolENode):
 
     def _handle_flood(self, port: int, message: FloodElect) -> None:
         incoming = Strength(message.level, message.cand)
+        # repro: lint-ok[RPL020] (level, id) contest per the paper
         if incoming.outranks(self._local_strongest()):
             if self.role is Role.CANDIDATE:
                 self.role = Role.STALLED  # the paper's "changes status to killed"

@@ -113,6 +113,8 @@ class ProtocolGNode(ProtocolFNode):
         self.role = Role.CANDIDATE
         self.stage = "first"
         self.ctx.trace("first_phase")
+        # repro: lint-ok[RPL021] the paper's two-phase trick: contact an
+        # arbitrary fixed subset of k ports first (numeric = arbitrary)
         for port in range(self.k):
             self.ctx.send(port, FirstPhase(self.ctx.node_id))
 

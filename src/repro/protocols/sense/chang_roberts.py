@@ -56,6 +56,8 @@ class ChangRobertsNode(Node):
             self.role = Role.LEADER
             self.become_leader()
             return
+        # repro: lint-ok[RPL020] extinction by id order is the whole of
+        # Chang–Roberts
         if message.cand > self.max_seen:
             self.max_seen = message.cand
             if self.role is Role.CANDIDATE:

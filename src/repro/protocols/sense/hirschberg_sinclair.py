@@ -114,6 +114,8 @@ class HirschbergSinclairNode(Node):
                 self.become_leader()
             return
         contender = self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER)
+        # repro: lint-ok[RPL020] probes are swallowed by larger ids: the
+        # id order drives HS's elimination rounds
         if message.cand < self.ctx.node_id and contender:
             # Only base nodes swallow: a passive bystander with a large
             # identity never stood for election (validity would break if it

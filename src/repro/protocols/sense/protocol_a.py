@@ -227,6 +227,7 @@ class ProtocolANode(ContestNode):
             self.ctx.send(port, CaptureReject())
             return
         # CANDIDATE or STALLED: contest on (level, id).
+        # repro: lint-ok[RPL020] (level, id) contest per the paper
         if incoming.outranks(self.current_strength()):
             surrendered = self.level
             self.role = Role.CAPTURED
@@ -257,6 +258,7 @@ class ProtocolANode(ContestNode):
         incoming = Strength(message.level, message.cand)
         if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
             # Direct contest with another candidate.
+            # repro: lint-ok[RPL020] (level, id) contest per the paper
             if incoming.outranks(self.current_strength()):
                 self.role = Role.CAPTURED
                 self.install_owner(port, incoming)

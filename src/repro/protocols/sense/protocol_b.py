@@ -129,6 +129,7 @@ class ProtocolBNode(ContestNode):
     def _handle_claim(self, port: int, message: StepCapture) -> None:
         incoming = Strength(message.step, message.cand)
         if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            # repro: lint-ok[RPL020] (step, id) contest per the paper
             if incoming.outranks(self.current_strength()):
                 self.role = Role.CAPTURED
                 self.install_owner(port, incoming)

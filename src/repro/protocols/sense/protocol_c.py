@@ -241,6 +241,7 @@ class ProtocolCNode(ContestNode):
         if self.role is Role.LEADER:
             self.ctx.send(port, LatticeReject())
             return
+        # repro: lint-ok[RPL020] (lattice level, id) contest per the paper
         if incoming.outranks(self.current_strength()):
             surrendered = self.lattice_level
             self.role = Role.CAPTURED
@@ -266,6 +267,7 @@ class ProtocolCNode(ContestNode):
     def _handle_sweep(self, port: int, message: Sweep) -> None:
         incoming = Strength(message.rank, message.cand)
         if self.role in (Role.CANDIDATE, Role.STALLED, Role.LEADER):
+            # repro: lint-ok[RPL020] (rank, id) contest per the paper
             if incoming.outranks(self.current_strength()):
                 self.role = Role.CAPTURED
                 self.install_owner(port, incoming)

@@ -48,6 +48,8 @@ from repro.verification.symmetry import (
     Permutation,
     canonical_fingerprint,
     canonical_state,
+    ensure_prune_sound,
+    prune_capability,
     rotation_group,
     symmetric_group,
     symmetry_group,
@@ -80,11 +82,13 @@ __all__ = [
     "canonical_fingerprint",
     "canonical_state",
     "count_unpruned_interleavings",
+    "ensure_prune_sound",
     "explore_protocol",
     "freeze_value",
     "fuzz_protocol",
     "load_trace",
     "message_hash",
+    "prune_capability",
     "replay_trace",
     "rotation_group",
     "save_trace",

@@ -69,8 +69,10 @@ strata across the :func:`repro.harness.parallel.run_sweep` fork pool
 (workers return their visited tables and the parent merges/deduplicates).
 ``symmetry="census"`` additionally counts distinct states modulo the
 topology's relabelling group, and ``symmetry="prune"`` memoises on the
-orbit representative outright — a bug-hunting mode whose soundness
-boundary :mod:`repro.verification.symmetry` spells out.
+orbit representative outright — gated by the linter-derived capability
+table (:func:`repro.verification.symmetry.ensure_prune_sound`), with
+``symmetry="prune-unsound"`` as the ungated bug-hunting escape hatch
+whose soundness boundary :mod:`repro.verification.symmetry` spells out.
 """
 
 from __future__ import annotations
@@ -87,6 +89,7 @@ from repro.verification.store import FingerprintTable
 from repro.verification.symmetry import (
     Permutation,
     canonical_state,
+    ensure_prune_sound,
     symmetry_group,
 )
 from repro.verification.world import Action, LockStepWorld, independent
@@ -344,10 +347,16 @@ def explore_protocol(
     inert-delivery compression (the PR 1 behaviour — used by the
     cross-validation tests as the reference search).  ``symmetry`` is
     ``None``/``False`` (off), ``"census"`` (count distinct states modulo
-    the topology's relabelling group, exploration unchanged) or
-    ``"prune"`` (memoise on orbit representatives — a bug-hunting mode;
-    see :mod:`repro.verification.symmetry` for why it does not promise
-    outcome completeness for these id-comparing protocols).  ``workers``
+    the topology's relabelling group, exploration unchanged),
+    ``"prune"`` (memoise on orbit representatives — gated: refused with
+    :class:`~repro.core.errors.ConfigurationError` unless the
+    linter-derived capability table proves the protocol equivariant
+    under the topology's group, see
+    :func:`repro.verification.symmetry.ensure_prune_sound`) or
+    ``"prune-unsound"`` (the ungated orbit memoisation — a bug-hunting
+    mode; see :mod:`repro.verification.symmetry` for why it does not
+    promise outcome completeness for id-comparing protocols).
+    ``workers``
     fans top-level strata across a fork pool; ``None`` or ``<= 1`` runs
     the serial search, byte-identical to previous releases, and pool
     degradation (no ``fork``, restricted sandbox, ``REPRO_PARALLEL=0``)
@@ -358,8 +367,10 @@ def explore_protocol(
         base_positions = tuple(range(topology.n))
     if symmetry is True:
         symmetry = "prune"
-    if symmetry not in (None, False, "census", "prune"):
+    if symmetry not in (None, False, "census", "prune", "prune-unsound"):
         raise ValueError(f"unknown symmetry mode: {symmetry!r}")
+    if symmetry == "prune":
+        ensure_prune_sound(protocol, topology)
     group = None
     if symmetry:
         if topology.n > 6 and not topology.sense_of_direction:
@@ -379,7 +390,7 @@ def explore_protocol(
         compress=por if compress is None else compress,
         max_states=max_states,
         group=group,
-        prune_symmetric=symmetry == "prune",
+        prune_symmetric=symmetry in ("prune", "prune-unsound"),
     )
 
     workers = int(workers) if workers else 1

@@ -24,12 +24,18 @@ to states the protocol can never reach with the original identity order
 No-sense protocols additionally scan their ports in numeric order
 (``_next_port``), breaking port-renumbering invariance the same way.
 
-Orbit exploration (``explore_protocol(..., symmetry=True)``) is therefore
-a **bug-hunting and census mode**, not a verification mode: it only ever
-prunes — every state it visits is concretely reachable, so any violation
-it raises is real — but a state whose orbit representative was visited
-earlier is skipped even though the protocol would behave differently
-there, so completeness of outcome sets is *not* implied.  The honest
+This boundary is no longer policed by hand: :func:`ensure_prune_sound`
+refuses ``symmetry="prune"`` unless the ``repro.lint`` equivariance
+analysis (RPL020/RPL021 site counts, snapshotted per protocol in
+``verification/capabilities.json``) proves the topology's group is an
+automorphism group of the checked system.  For the paper's protocols the
+gate always refuses; ``symmetry="prune-unsound"`` is the explicit escape
+hatch.  Ungated orbit exploration is a **bug-hunting and census mode**,
+not a verification mode: it only ever prunes — every state it visits is
+concretely reachable, so any violation it raises is real — but a state
+whose orbit representative was visited earlier is skipped even though
+the protocol would behave differently there, so completeness of outcome
+sets is *not* implied.  The honest
 exhaustive speedups live in the compression, store and parallel layers of
 :mod:`repro.verification.explore`; the orbit census (``canonical_states``)
 quantifies how much redundancy id-symmetry *would* remove for an
@@ -159,3 +165,77 @@ def canonical_fingerprint(
     """64-bit hash of the orbit representative (the memo key for orbit
     exploration)."""
     return hash(canonical_state(world, group))
+
+
+# -- the prune gate ---------------------------------------------------------------
+#
+# Which protocols may quotient which groups used to be a hand-maintained
+# classification (the prose above, applied by the person typing
+# ``--symmetry``).  It is now *derived*: ``repro.lint`` counts the
+# id-ordering (RPL020) and port-scan (RPL021) sites in each protocol's
+# implementation modules and the gate below refuses ``--symmetry prune``
+# for any protocol whose counts say the group is not an automorphism
+# group of the checked system.  A snapshot of the derivation is checked
+# in at ``verification/capabilities.json``; the live derivation is
+# cross-checked against it on every gate query so the table cannot
+# silently go stale (regenerate with ``python -m repro lint
+# --capabilities``).  ``symmetry="prune-unsound"`` bypasses the gate for
+# the census/bug-hunting workflows the prose describes.
+
+
+def prune_capability(protocol) -> "object":
+    """The linter-derived capability record for ``protocol`` (an
+    :class:`~repro.lint.capabilities.ProtocolCapability`)."""
+    from repro.lint.capabilities import capability_for
+
+    return capability_for(type(protocol))
+
+
+def ensure_prune_sound(protocol, topology: CompleteTopology) -> None:
+    """Refuse ``symmetry="prune"`` unless the linter proves it sound.
+
+    Raises :class:`~repro.core.errors.ConfigurationError` if the
+    protocol's implementation contains id-ordering sites (RPL020) — or,
+    under hidden wiring, port-order scans (RPL021) — and also if the
+    live derivation disagrees with the checked-in capability table
+    (stale table: code changed without regenerating the snapshot).
+    """
+    from repro.core.errors import ConfigurationError
+    from repro.lint.capabilities import load_packaged_table
+
+    capability = prune_capability(protocol)
+
+    table = load_packaged_table()
+    name = getattr(type(protocol), "name", None)
+    if table is not None and name in table.get("protocols", {}):
+        pinned = table["protocols"][name]
+        live = capability.to_dict()
+        for key in ("id_order_sites", "port_scan_sites",
+                    "rotation_equivariant", "relabelling_equivariant"):
+            if pinned.get(key) != live[key]:
+                raise ConfigurationError(
+                    f"symmetry capability table is stale for protocol "
+                    f"{name!r}: checked-in {key}={pinned.get(key)!r} but "
+                    f"the code derives {live[key]!r}; regenerate "
+                    "src/repro/verification/capabilities.json with "
+                    "`python -m repro lint --capabilities`"
+                )
+
+    if topology.sense_of_direction:
+        sound = capability.rotation_equivariant
+        group_name = "rotation group"
+    else:
+        sound = capability.relabelling_equivariant
+        group_name = "full relabelling group"
+    if not sound:
+        raise ConfigurationError(
+            f"symmetry='prune' is not outcome-sound for protocol "
+            f"{capability.protocol!r}: the linter found "
+            f"{capability.id_order_sites} id-ordering site(s) (RPL020) and "
+            f"{capability.port_scan_sites} port-scan site(s) (RPL021) in "
+            f"{', '.join(capability.modules)}, so the {group_name} is not "
+            "an automorphism group of the checked system. Use "
+            "symmetry='census' for a sound orbit count, or "
+            "symmetry='prune-unsound' for the reachability-only "
+            "bug-hunting mode (see docs/verification.md)."
+        )

@@ -1,0 +1,17 @@
+"""Planted accounting violations (RPL040–RPL042).
+
+Never imported by tests — only parsed by the linter.  One layer import,
+one send that bypasses the context, one reach into private simulator
+state through the context.  Exactly three findings: this file is also
+the golden-report fixture for the JSON reporter, so do not add or move
+violations without regenerating ``tests/fixtures/lint/golden_report.json``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network  # RPL040: layer import
+
+
+def smuggle(links, ctx) -> None:
+    links.send(0, object())  # RPL041: send bypasses ctx
+    ctx._network.push(1)  # RPL042: private simulator state via ctx

@@ -1,0 +1,34 @@
+"""Planted equivariance violations (RPL020–RPL021).
+
+Never imported by tests — only parsed by the linter.  Identifier
+arithmetic and an identifier order comparison (RPL020) plus a sequential
+port cursor (RPL021); everything else (messages, sends) is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node
+
+
+@dataclass(frozen=True, slots=True)
+class Parity(Message):
+    cand: int
+
+
+class ParityNode(Node):
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._next_port = 0
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if self.ctx.node_id % 2:  # RPL020: identifier arithmetic
+            self.ctx.send(0, Parity(self.ctx.node_id))
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Parity():
+                if message.cand > self.ctx.node_id:  # RPL020: id order
+                    self._next_port += 1  # RPL021: port cursor

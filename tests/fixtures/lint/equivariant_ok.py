@@ -1,0 +1,30 @@
+"""A deliberately id-oblivious fixture protocol: zero RPL020/RPL021 sites.
+
+Loaded (not just parsed) by the capability tests: the linter derives
+``relabelling_equivariant=True`` for it, so it is the one protocol the
+``--symmetry prune`` gate *allows* — proving the gate decides from the
+capability table rather than refusing unconditionally.  The protocol
+does nothing, so exploring it trips the no-leader check; the tests use
+that ProtocolViolation as evidence the gate let exploration start.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+
+
+class SilentNode(Node):
+    def on_wake(self, spontaneous: bool) -> None:
+        return None
+
+    def on_message(self, port: int, message: Message) -> None:
+        return None
+
+
+class SilentProtocol(ElectionProtocol):
+    name = "FIXTURE-SILENT"
+
+    def create_node(self, ctx: NodeContext) -> SilentNode:
+        return SilentNode(ctx)

@@ -1,0 +1,39 @@
+"""Planted message-hygiene violations (RPL010–RPL012).
+
+Never imported by tests — only parsed by the linter.  ``Mutable`` is a
+bare dataclass (RPL010), ``Orphan`` is constructed-and-sent but matched
+nowhere (RPL011), ``Ghost`` has a match arm but no constructor call ever
+produces one (RPL012).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+
+
+@dataclass
+class Mutable(Message):  # RPL010: not frozen, not slotted
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Orphan(Message):  # RPL011: sent below, handled nowhere
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Ghost(Message):  # RPL012: handled below, sent nowhere
+    pass
+
+
+def emit(ctx) -> None:
+    ctx.send(0, Orphan())
+
+
+def consume(message) -> bool:
+    match message:
+        case Ghost():
+            return True
+    return False

@@ -1,0 +1,39 @@
+"""Planted purity/determinism violations (RPL001–RPL005).
+
+Never imported by tests — only parsed by the linter.  Every violation is
+marked with the code it must produce; the message class is deliberately
+clean (frozen, slotted, sent and handled) so this fixture trips *only*
+the purity family.
+"""
+
+from __future__ import annotations
+
+import random  # RPL003: forbidden import
+import time  # RPL003: forbidden import
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node
+
+TALLY = {"wakes": 0}
+
+
+@dataclass(frozen=True, slots=True)
+class Ping(Message):
+    payload: int
+
+
+class ImpureNode(Node):
+    seen: list = []
+
+    def on_wake(self, spontaneous: bool) -> None:
+        TALLY["wakes"] += 1  # RPL001: writes module-level state
+        ImpureNode.seen.append(self.ctx.node_id)  # RPL002: class state
+        delay = time.time()  # RPL004: wall clock
+        self.ctx.send(random.randrange(2), Ping(int(delay)))  # RPL004
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Ping():
+                for item in {3, 1, 2}:  # RPL005: set iteration
+                    self.ctx.trace("saw", item=item)

@@ -1,0 +1,143 @@
+"""The linter-derived capability table and the ``--symmetry prune`` gate.
+
+Pins the two acceptance criteria: (1) the checked-in table agrees with
+the live derivation for every registered protocol, and the gate's
+allow/deny decisions match the previous hand-maintained classification
+(all fourteen of the paper's protocols compare identities, so prune was
+— and stays — denied for every one of them); (2) the gate actually
+*consults* the table rather than refusing unconditionally: an
+id-oblivious fixture protocol is allowed through, and a stale table is a
+hard conflict error.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro  # noqa: F401  (imports register every protocol)
+from repro.core.errors import ConfigurationError, ProtocolViolation
+from repro.core.protocol import registered_protocols
+from repro.lint.capabilities import (
+    capability_for,
+    derive_capability_table,
+    load_packaged_table,
+)
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from repro.verification import ensure_prune_sound, explore_protocol
+
+#: The hand-maintained classification this table replaced (PR 3's prose
+#: in ``verification/symmetry.py``): may ``--symmetry prune`` run?  Every
+#: protocol resolves contests by identifier order, so the answer was
+#: uniformly no.  Kept literal so a new protocol (or a refactor that
+#: accidentally drops an id comparison) must consciously update BOTH
+#: this dict and the regenerated capabilities.json.
+HAND_CLASSIFICATION = {
+    "A": False,
+    "A'": False,
+    "AG85": False,
+    "B": False,
+    "C": False,
+    "CR": False,
+    "D": False,
+    "E": False,
+    "F": False,
+    "FT": False,
+    "G": False,
+    "HS": False,
+    "LMW86": False,
+    "R": False,
+}
+
+FIXTURE = Path(__file__).resolve().parents[1] / "fixtures/lint/equivariant_ok.py"
+
+
+def _natural_topology(cls, n=4):
+    if cls.needs_sense_of_direction:
+        return complete_with_sense_of_direction(n)
+    return complete_without_sense(n, seed=0)
+
+
+def _load_fixture_protocol():
+    name = "lint_fixture_equivariant_ok"
+    if name in sys.modules:
+        return sys.modules[name].SilentProtocol
+    spec = importlib.util.spec_from_file_location(name, FIXTURE)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module.SilentProtocol
+
+
+def test_registry_has_the_papers_fourteen_protocols():
+    assert set(registered_protocols()) == set(HAND_CLASSIFICATION)
+
+
+def test_packaged_table_matches_live_derivation():
+    packaged = load_packaged_table()
+    assert packaged is not None, "capabilities.json missing from package"
+    assert packaged == derive_capability_table()
+
+
+def test_gate_decisions_match_the_hand_classification():
+    for name, cls in sorted(registered_protocols().items()):
+        protocol = cls()
+        try:
+            ensure_prune_sound(protocol, _natural_topology(cls))
+            allowed = True
+        except ConfigurationError:
+            allowed = False
+        assert allowed == HAND_CLASSIFICATION[name], name
+
+
+def test_every_registered_protocol_is_id_comparing():
+    # The structural reason behind the uniform deny: each protocol's
+    # implementation modules contain at least one RPL020 site, and
+    # no-sense protocols additionally scan ports numerically.
+    for name, cls in sorted(registered_protocols().items()):
+        capability = capability_for(cls)
+        assert capability.id_order_sites > 0, name
+        assert not capability.rotation_equivariant, name
+        assert not capability.relabelling_equivariant, name
+
+
+def test_stale_table_is_a_conflict_error(monkeypatch):
+    from repro.lint import capabilities as caps
+    from repro.protocols.sense.protocol_a import ProtocolA
+
+    stale = derive_capability_table()
+    stale["protocols"]["A"]["id_order_sites"] = 0
+    stale["protocols"]["A"]["rotation_equivariant"] = True
+    monkeypatch.setattr(caps, "load_packaged_table", lambda: stale)
+    with pytest.raises(ConfigurationError, match="stale"):
+        ensure_prune_sound(ProtocolA(), complete_with_sense_of_direction(4))
+
+
+def test_id_oblivious_protocol_passes_the_gate():
+    protocol_cls = _load_fixture_protocol()
+    capability = capability_for(protocol_cls)
+    assert capability.id_order_sites == 0
+    assert capability.port_scan_sites == 0
+    assert capability.relabelling_equivariant
+    # Not in the packaged table (unregistered), so the gate rides on the
+    # live derivation alone — and lets it through.
+    ensure_prune_sound(protocol_cls(), complete_with_sense_of_direction(3))
+
+
+def test_gate_allows_prune_exploration_for_equivariant_protocol():
+    # End to end: ``symmetry="prune"`` starts exploring (no
+    # ConfigurationError) and it is the *protocol* that fails — a silent
+    # protocol reaches quiescence with no leader.
+    protocol_cls = _load_fixture_protocol()
+    with pytest.raises(ProtocolViolation):
+        explore_protocol(
+            protocol_cls(),
+            complete_with_sense_of_direction(3),
+            symmetry="prune",
+        )

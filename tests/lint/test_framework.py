@@ -1,0 +1,134 @@
+"""The rule framework itself: spans, suppressions, select/ignore, sorting."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import ModuleContext, RULES, lint_paths
+from repro.lint.core import iter_python_files
+
+FIXTURES = "tests/fixtures/lint"
+
+
+def _write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def test_every_rule_code_is_stable_and_documented():
+    # The catalogue the docs and JSON schema promise: four families,
+    # each code of the form RPL0xx, each with a non-empty summary.
+    assert set(RULES) == {
+        "RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+        "RPL010", "RPL011", "RPL012",
+        "RPL020", "RPL021",
+        "RPL040", "RPL041", "RPL042",
+    }
+    assert {r.family for r in RULES.values()} == {
+        "purity", "messages", "equivariance", "accounting"
+    }
+    assert all(r.summary for r in RULES.values())
+
+
+def test_findings_carry_one_based_spans(tmp_path):
+    path = _write(
+        tmp_path,
+        "spans.py",
+        """\
+        import random
+        """,
+    )
+    result = lint_paths([path])
+    (finding,) = result.findings
+    assert finding.code == "RPL003"
+    assert (finding.line, finding.col) == (1, 1)
+    assert (finding.end_line, finding.end_col) == (1, 14)
+
+
+def test_same_line_suppression_silences_and_records_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "same_line.py",
+        """\
+        import random  # repro: lint-ok[RPL003] seeded off-path tooling
+        """,
+    )
+    result = lint_paths([path])
+    assert result.findings == []
+    (suppressed,) = result.suppressed
+    assert suppressed.code == "RPL003"
+    assert suppressed.suppression_reason == "seeded off-path tooling"
+
+
+def test_preceding_comment_block_suppression_covers_next_code_line(tmp_path):
+    path = _write(
+        tmp_path,
+        "block.py",
+        """\
+        # repro: lint-ok[RPL003] long justification that needs
+        # a second comment line before the statement
+        import random
+        """,
+    )
+    result = lint_paths([path])
+    assert result.findings == []
+    assert [f.code for f in result.suppressed] == ["RPL003"]
+
+
+def test_suppression_does_not_leak_past_intervening_code(tmp_path):
+    path = _write(
+        tmp_path,
+        "leak.py",
+        """\
+        import time  # repro: lint-ok[RPL003] acknowledged
+        x = 1
+        import random
+        """,
+    )
+    result = lint_paths([path])
+    # A code line between the comment and the second import cuts the
+    # coverage: the second violation stays loud.
+    assert [f.code for f in result.findings] == ["RPL003"]
+    assert result.findings[0].line == 3
+
+
+def test_suppression_is_code_specific(tmp_path):
+    path = _write(
+        tmp_path,
+        "wrong_code.py",
+        """\
+        import random  # repro: lint-ok[RPL004] wrong code listed
+        """,
+    )
+    result = lint_paths([path])
+    assert [f.code for f in result.findings] == ["RPL003"]
+
+
+def test_select_and_ignore_filter_codes():
+    target = f"{FIXTURES}/purity_bad.py"
+    everything = lint_paths([target])
+    assert len(everything.findings) > 1
+    only_imports = lint_paths([target], select=["RPL003"])
+    assert {f.code for f in only_imports.findings} == {"RPL003"}
+    without = lint_paths([target], ignore=["RPL003", "RPL004"])
+    assert "RPL003" not in {f.code for f in without.findings}
+    assert "RPL004" not in {f.code for f in without.findings}
+
+
+def test_unknown_codes_are_rejected():
+    with pytest.raises(ValueError, match="RPL999"):
+        lint_paths([f"{FIXTURES}/purity_bad.py"], select=["RPL999"])
+
+
+def test_findings_are_sorted_by_path_line_col_code():
+    result = lint_paths([FIXTURES])
+    keys = [f.sort_key for f in result.findings]
+    assert keys == sorted(keys)
+
+
+def test_iter_python_files_rejects_missing_paths(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files([tmp_path / "nope.txt"])

@@ -1,0 +1,57 @@
+"""The JSON reporter is a stable contract: byte-for-byte golden test.
+
+``tests/fixtures/lint/golden_report.json`` is the checked-in output of
+``python -m repro lint --format json tests/fixtures/lint/accounting_bad.py``
+run from the repository root.  Ordering, schema keys, 1-based columns
+and POSIX relative paths are all part of the contract; bump
+``JSON_SCHEMA_VERSION`` and regenerate the golden on any change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths, render_json
+from repro.lint.reporters import JSON_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = "tests/fixtures/lint/accounting_bad.py"
+GOLDEN = REPO_ROOT / "tests/fixtures/lint/golden_report.json"
+
+
+def _render(monkeypatch) -> str:
+    monkeypatch.chdir(REPO_ROOT)
+    return render_json(lint_paths([FIXTURE]))
+
+
+def test_json_report_matches_golden_byte_for_byte(monkeypatch):
+    assert _render(monkeypatch) == GOLDEN.read_text()
+
+
+def test_json_schema_shape(monkeypatch):
+    payload = json.loads(_render(monkeypatch))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["checked_files"] == 1
+    assert [f["code"] for f in payload["findings"]] == [
+        "RPL040", "RPL041", "RPL042",
+    ]
+    for finding in payload["findings"]:
+        assert set(finding) == {
+            "code", "rule", "family", "path", "line", "col",
+            "end_line", "end_col", "message",
+        }
+        assert finding["path"] == FIXTURE  # POSIX, repo-root-relative
+        assert finding["line"] >= 1 and finding["col"] >= 1
+    assert payload["counts"] == {"RPL040": 1, "RPL041": 1, "RPL042": 1}
+    assert payload["suppressed"] == []
+
+
+def test_findings_sorted_within_json(monkeypatch):
+    payload = json.loads(_render(monkeypatch))
+    keys = [
+        (f["path"], f["line"], f["col"], f["code"])
+        for f in payload["findings"]
+    ]
+    assert keys == sorted(keys)

@@ -1,0 +1,78 @@
+"""Each rule family against its planted-violation fixture.
+
+These pin the contract the acceptance criteria name: every family
+catches its fixture with the documented codes, at the planted lines, and
+no family bleeds into another family's fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = "tests/fixtures/lint"
+
+#: fixture stem -> exact multiset of expected codes.
+EXPECTED = {
+    "purity_bad": [
+        "RPL001", "RPL002", "RPL003", "RPL003", "RPL004", "RPL004", "RPL005",
+    ],
+    "messages_bad": ["RPL010", "RPL011", "RPL012"],
+    "equivariance_bad": ["RPL020", "RPL020", "RPL021"],
+    "accounting_bad": ["RPL040", "RPL041", "RPL042"],
+}
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED))
+def test_fixture_trips_exactly_its_family(stem):
+    result = lint_paths([f"{FIXTURES}/{stem}.py"])
+    assert sorted(f.code for f in result.findings) == sorted(EXPECTED[stem])
+    assert not result.suppressed
+
+
+def test_fixture_findings_sit_on_the_marked_lines():
+    result = lint_paths([f"{FIXTURES}/accounting_bad.py"])
+    by_code = {f.code: f for f in result.findings}
+    source = open(f"{FIXTURES}/accounting_bad.py").read().splitlines()
+    for code, finding in by_code.items():
+        assert code in source[finding.line - 1], (code, finding.line)
+
+
+def test_equivariant_fixture_is_clean():
+    result = lint_paths([f"{FIXTURES}/equivariant_ok.py"])
+    assert result.ok
+    assert not result.suppressed
+
+
+def test_whole_fixture_directory_unions_flow_graph():
+    # Linting the directory at once must not create cross-fixture
+    # false positives (the send/handle union is run-wide by design).
+    result = lint_paths([FIXTURES])
+    expected = sorted(sum(EXPECTED.values(), []))
+    assert sorted(f.code for f in result.findings) == expected
+
+
+def test_sent_in_one_module_handled_in_another_is_clean(tmp_path):
+    # The layering that motivated the run-wide union: capture_base
+    # constructs a message that only concrete protocol modules match.
+    (tmp_path / "base.py").write_text(
+        "from dataclasses import dataclass\n"
+        "from repro.core.messages import Message\n\n\n"
+        "@dataclass(frozen=True, slots=True)\n"
+        "class Probe(Message):\n"
+        "    pass\n\n\n"
+        "def fire(ctx):\n"
+        "    ctx.send(0, Probe())\n"
+    )
+    (tmp_path / "concrete.py").write_text(
+        "def absorb(message):\n"
+        "    match message:\n"
+        "        case Probe():\n"
+        "            return True\n"
+        "    return False\n"
+    )
+    both = lint_paths([tmp_path])
+    assert both.ok
+    alone = lint_paths([tmp_path / "base.py"])
+    assert [f.code for f in alone.findings] == ["RPL011"]

@@ -1,0 +1,96 @@
+"""Tier-1 ``lint_smoke`` slice: the repo self-hosts its own linter.
+
+``python -m repro lint`` must exit 0 over the shipped protocol and app
+layers (every remaining finding is consciously suppressed with a
+reason), and exit non-zero with the documented codes on each planted
+fixture.  One test goes through a real subprocess so the module
+entry-point wiring is covered too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+pytestmark = pytest.mark.lint_smoke
+
+
+def test_self_hosted_lint_is_clean(capsys):
+    assert cli_main(
+        ["lint",
+         str(REPO_ROOT / "src" / "repro" / "protocols"),
+         str(REPO_ROOT / "src" / "repro" / "apps")]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("clean:")
+
+
+def test_self_hosted_suppressions_all_carry_reasons():
+    from repro.lint import lint_paths
+
+    result = lint_paths(
+        [REPO_ROOT / "src/repro/protocols", REPO_ROOT / "src/repro/apps"]
+    )
+    assert result.ok
+    assert result.suppressed, "the paper's protocols have acknowledged sites"
+    for finding in result.suppressed:
+        assert finding.suppression_reason, finding
+
+
+@pytest.mark.parametrize(
+    ("stem", "codes"),
+    [
+        ("purity_bad", {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}),
+        ("messages_bad", {"RPL010", "RPL011", "RPL012"}),
+        ("equivariance_bad", {"RPL020", "RPL021"}),
+        ("accounting_bad", {"RPL040", "RPL041", "RPL042"}),
+    ],
+)
+def test_planted_fixture_fails_with_expected_codes(stem, codes, capsys):
+    rc = cli_main(
+        ["lint", "--format", "json", str(FIXTURES / f"{stem}.py")]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert {f["code"] for f in payload["findings"]} == codes
+
+
+def test_module_entry_point_subprocess():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint",
+         "src/repro/protocols", "src/repro/apps"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean:" in proc.stdout
+
+
+def test_capabilities_flag_emits_the_table(capsys):
+    assert cli_main(["lint", "--capabilities"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["protocols"]) == 14
+
+
+def test_list_rules_names_every_family(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for family in ("purity", "messages", "equivariance", "accounting"):
+        assert family in out

@@ -110,11 +110,25 @@ def test_prune_mode_is_reachability_sound_but_not_outcome_complete():
     # state it does visit is genuinely reachable.
     topology = complete_with_sense_of_direction(5)
     full = explore_protocol(ProtocolA(), topology)
-    pruned = explore_protocol(ProtocolA(), topology, symmetry="prune")
+    pruned = explore_protocol(ProtocolA(), topology, symmetry="prune-unsound")
     assert pruned.canonical_states == pruned.states_explored
     assert pruned.states_explored < full.states_explored
     assert pruned.leaders_seen <= full.leaders_seen  # reachability-sound
     assert pruned.leaders_seen != full.leaders_seen  # NOT outcome-complete
+
+
+def test_prune_mode_is_gated_by_the_capability_table():
+    # ``symmetry="prune"`` now means "prove it": the linter-derived
+    # capability table says protocol A orders identities, so the gate
+    # refuses and points at census / prune-unsound instead.
+    from repro.core.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="not outcome-sound"):
+        explore_protocol(
+            ProtocolA(),
+            complete_with_sense_of_direction(4),
+            symmetry="prune",
+        )
 
 
 def test_symmetric_group_refused_past_n6():
