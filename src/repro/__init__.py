@@ -32,8 +32,10 @@ from repro.core.protocol import (
     protocol_class,
     registered_protocols,
 )
+from repro.core.reliable import ReliableDelivery
 from repro.core.results import ElectionResult
 from repro.sim.delays import ConstantDelay, DelayModel, HookDelay, UniformDelay
+from repro.sim.faults import FaultPlan, LinkFaults, Partition, isolate
 from repro.sim.network import Network, run_election
 from repro.topology.chordal_ring import ChordalRingTopology
 from repro.topology.complete import (
@@ -91,6 +93,12 @@ __all__ = [
     "ConstantDelay",
     "UniformDelay",
     "HookDelay",
+    # fault injection & recovery
+    "FaultPlan",
+    "LinkFaults",
+    "Partition",
+    "isolate",
+    "ReliableDelivery",
     # protocols
     "ElectionProtocol",
     "protocol_class",

@@ -117,7 +117,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     protocol, topology = _verify_topology(args)
     if args.fuzz:
         report = fuzz_protocol(
-            protocol, topology, schedules=args.fuzz, seed=args.seed
+            protocol, topology, schedules=args.fuzz, seed=args.seed,
+            fault_budget=args.fault_budget,
         )
         print(report)
         if report.ok:
@@ -236,6 +237,12 @@ def main(argv: list[str] | None = None) -> int:
     verify_parser.add_argument(
         "--fuzz", type=int, default=0, metavar="K",
         help="fuzz K adversarial schedules instead of exploring exhaustively",
+    )
+    verify_parser.add_argument(
+        "--fault-budget", type=int, default=0, metavar="K",
+        help="with --fuzz: also cycle the message-loss adversary families, "
+        "each allowed K drops per schedule (safety/validity still checked; "
+        "lossy runs owe no liveness)",
     )
     verify_parser.add_argument(
         "--save-trace", default=None, metavar="PATH",

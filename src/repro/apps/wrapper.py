@@ -55,6 +55,12 @@ class _InterceptedContext(NodeContext):
     def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
         self._real.trace(kind, **detail)
 
+    def set_timer(self, delay: float, callback) -> None:  # noqa: D102
+        self._real.set_timer(delay, callback)
+
+    def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
+        self._real.count(metric, delta)
+
 
 class AppNode(Node):
     """A node running an election protocol plus an app epilogue.

@@ -36,8 +36,10 @@ class Message:
     """Base class for all protocol messages.
 
     Subclasses add frozen fields.  Field values must be ``int``, ``bool``,
-    ``None`` or (rarely) a short tuple of ints; anything else breaks the
-    O(log N)-bit accounting and raises :class:`MessageSizeError` when sent.
+    ``None``, (rarely) a short tuple of ints, or a nested :class:`Message`
+    (overlay envelopes — charged at the payload's full audited size);
+    anything else breaks the O(log N)-bit accounting and raises
+    :class:`MessageSizeError` when sent.
     """
 
     @property
@@ -71,6 +73,11 @@ def _field_bits(value: object, n: int) -> int:
         return _word_bits(n)
     if isinstance(value, tuple):
         return sum(_field_bits(item, n) for item in value)
+    if isinstance(value, Message):
+        # A nested message (the reliable-delivery overlay's Packet wraps the
+        # protocol's own message) is charged at its full audited size, so
+        # wrapping never hides bits from the O(log N) model.
+        return message_bits(value, n)
     raise MessageSizeError(
         f"message field of type {type(value).__name__} is not encodable "
         "in the O(log N)-bit message model"
@@ -103,6 +110,10 @@ def message_bits(message: Message, n: int) -> int:
         elif isinstance(value, tuple):
             total += _field_bits(value, n)
             int_fields += len(value)
+        elif isinstance(value, Message):
+            # Nested payloads are audited recursively against their own
+            # field budget; the wrapper is charged their full bit size.
+            total += message_bits(value, n)
         else:
             total += _field_bits(value, n)  # raises MessageSizeError
     if int_fields > MAX_INT_FIELDS:

@@ -20,8 +20,9 @@ information model the paper assumes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any
+from typing import Any, Callable
 
+from repro.core.errors import SimulationError
 from repro.core.messages import Message
 
 
@@ -56,6 +57,32 @@ class NodeContext(ABC):
     @abstractmethod
     def trace(self, kind: str, **detail: Any) -> None:
         """Record a trace event attributed to this node."""
+
+    # -- optional capabilities (concrete defaults, not abstract: the
+    # lock-step verification world, white-box test contexts and app
+    # wrappers implement NodeContext too, and most have no clock) ---------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Arm a one-shot timer firing ``callback`` after ``delay``.
+
+        Paper-model protocols must NOT use timers — the asynchronous model
+        has no timeouts (that is the whole point of Section 4's redundancy
+        window).  The hook exists for infrastructure layered *under* a
+        protocol, like the reliable-delivery overlay's retransmission
+        timers.  Contexts without a clock refuse it loudly.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not support timers; "
+            "set_timer is only available under the timed simulator"
+        )
+
+    def count(self, metric: str, delta: int = 1) -> None:
+        """Bump a runtime metric counter (no-op outside the simulator).
+
+        Used by overlays for bookkeeping (retransmissions, suppressed
+        duplicates) that should surface in :class:`MetricsCollector`
+        without being protocol messages.
+        """
 
 
 class Node(ABC):

@@ -39,13 +39,24 @@ class ElectionResult:
     failed_positions: tuple[int, ...]
     node_snapshots: tuple[dict[str, Any], ...]
     trace: Tracer = field(repr=False, default_factory=Tracer)
-    #: nodes killed mid-run by the crash schedule (empty in paper-model
-    #: runs; see Network's crash_schedule docs — mid-run crashes are a
-    #: boundary demonstration, not a tolerated fault).
+    #: nodes killed mid-run by the crash schedule or a FaultPlan (empty in
+    #: paper-model runs; see Network's crash docs — mid-run crashes are a
+    #: boundary demonstration, not a tolerated fault).  Disjoint from
+    #: ``failed_positions``: a node crashed at t=0.0 still *existed* (its
+    #: links accepted messages until the crash fired), unlike an initially
+    #: failed node, and the two are reported separately.
     crashed_positions: tuple[int, ...] = ()
     #: messages carried by the busiest directed link — the Section 4
     #: congestion measure (Θ(N) for AG85 on a hotspot, O(1)-ish for ℰ).
     max_channel_load: int = 0
+    # -- fault layer (all zero unless a FaultPlan was installed) ------------
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_jittered: int = 0
+    # -- reliable-delivery overlay (zero unless the protocol was wrapped) ---
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    packets_abandoned: int = 0
 
     @property
     def num_base_nodes(self) -> int:
@@ -57,10 +68,29 @@ class ElectionResult:
         """Messages normalised by network size — flat iff O(N) total."""
         return self.messages_total / self.n
 
+    @property
+    def leader_crashed(self) -> bool:
+        """True when the declared leader was later killed by a crash."""
+        return (
+            self.leader_position is not None
+            and self.leader_position in self.crashed_positions
+        )
+
+    @property
+    def faults_injected(self) -> bool:
+        """True when the fault layer touched at least one message."""
+        return bool(
+            self.messages_dropped
+            or self.messages_duplicated
+            or self.messages_jittered
+        )
+
     def verify(self) -> None:
         """Assert the three election correctness properties.
 
-        * **liveness** — a leader was elected;
+        * **liveness** — a leader was elected *and survived*: a run whose
+          only leader crashed has no leader among the survivors and must not
+          report success;
         * **safety** — exactly one node believes it is the leader;
         * **validity** — the leader is a base node (woke spontaneously).
 
@@ -79,6 +109,11 @@ class ElectionResult:
         if not leaders[0]["is_base"]:
             raise ProtocolViolation(
                 f"{self.protocol}: leader {leaders[0]['id']} is not a base node"
+            )
+        if self.leader_crashed:
+            raise ProtocolViolation(
+                f"{self.protocol}: leader {leaders[0]['id']} crashed after "
+                "declaring; no leader survives among the live nodes"
             )
 
     def summary(self) -> str:

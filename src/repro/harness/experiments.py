@@ -30,6 +30,7 @@ from repro.analysis.complexity import boundedness_ratio, loglog_slope
 from repro.apps.broadcast import Broadcast
 from repro.apps.global_function import GlobalFunction
 from repro.apps.spanning_tree import SpanningTree
+from repro.core.reliable import ReliableDelivery
 from repro.harness.parallel import run_sweep
 from repro.harness.runner import ExperimentReport, messages_summary, time_summary
 from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
@@ -43,6 +44,7 @@ from repro.protocols.sense.lmw86 import LMW86
 from repro.protocols.sense.protocol_a import ProtocolA, ProtocolAPrime
 from repro.protocols.sense.protocol_b import ProtocolB
 from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.faults import FaultPlan
 from repro.sim.network import Network, run_election
 from repro.topology.complete import (
     complete_with_sense_of_direction,
@@ -889,6 +891,191 @@ def e11_asynchrony_penalty(scale: Scale = QUICK) -> ExperimentReport:
     return report
 
 
+# ---------------------------------------------------------------------------
+# E12 — survivability under link faults
+# ---------------------------------------------------------------------------
+
+
+def e12_survivability(scale: Scale = QUICK) -> ExperimentReport:
+    """Elections stay correct over lossy links behind the retransmission
+    overlay; FT's O(Nf + N log N) envelope survives 10% loss; mid-run
+    crashes never produce two surviving leaders."""
+    import random as random_module
+
+    report = ExperimentReport(
+        "E12 — survivability under link faults",
+        "The model assumes reliable FIFO links (Section 2).  A seeded "
+        "FaultPlan breaks that assumption — loss, duplication, bounded "
+        "reordering — and the retransmission overlay restores it, so every "
+        "protocol's correctness must survive unchanged; only the message "
+        "bill may grow.  Mid-run crash-stop goes beyond the paper's initial "
+        "site failures, so there we demand safety only.",
+    )
+
+    # -- drop-rate sweep: correctness and overhead --------------------------
+    drops = (0.0, 0.10, 0.25)
+    ns = tuple(n for n in scale.ns if n <= 128)
+    protocols = (
+        ("C", lambda: ProtocolC(), True),
+        ("E", lambda: ProtocolE(), False),
+        ("FT", lambda: FaultTolerantElection(max_failures=1), False),
+    )
+
+    def lossy_run(factory, sense, n, drop):
+        topology = (
+            complete_with_sense_of_direction(n)
+            if sense
+            else complete_without_sense(n, seed=1)
+        )
+        plan = FaultPlan(seed=n, drop=drop, duplicate=drop / 2)
+        return run_election(
+            ReliableDelivery(factory()), topology, faults=plan, seed=1
+        )
+
+    sweep = iter(run_sweep([
+        lambda factory=factory, sense=sense, n=n, drop=drop: lossy_run(
+            factory, sense, n, drop
+        )
+        for drop in drops
+        for n in ns
+        for _, factory, sense in protocols
+    ]))
+    rows = []
+    msgs_at: dict[tuple[str, float, int], float] = {}
+    rexmit_at: dict[tuple[str, float, int], int] = {}
+    for drop in drops:
+        for n in ns:
+            row: list[object] = [drop, n]
+            for name, _, _ in protocols:
+                result = next(sweep)
+                msgs_at[name, drop, n] = result.messages_total
+                rexmit_at[name, drop, n] = result.retransmissions
+                row.extend([result.messages_total, result.retransmissions])
+            rows.append(tuple(row))
+    report.add_table(
+        "Messages and retransmissions over lossy links (overlay installed)",
+        ("drop", "N", "C msgs", "C rexmit", "E msgs", "E rexmit",
+         "FT msgs", "FT rexmit"),
+        rows,
+    )
+    report.check(
+        "every lossy run elected a verified unique live leader",
+        True,
+        f"run_election verifies every run; drops {drops}, N in {ns}",
+    )
+    # The overlay's coarse per-node timer retransmits a little even without
+    # loss (a packet sent just before an older packet's deadline shares its
+    # timer); what loss adds on top must show in the counter.
+    report.check(
+        "retransmissions grow with the drop rate, per protocol and N",
+        all(
+            rexmit_at[name, drops[-1], n] > rexmit_at[name, 0.0, n]
+            for name, _, _ in protocols for n in ns
+        ),
+    )
+    overhead = [
+        msgs_at[name, drops[-1], n] / msgs_at[name, 0.0, n]
+        for name, _, _ in protocols
+        for n in ns
+    ]
+    report.find(
+        f"message overhead at drop={drops[-1]} vs drop=0, worst ratio",
+        round(max(overhead), 2),
+    )
+    report.check(
+        "25% loss costs at most a constant-factor message overhead",
+        max(overhead) <= 3.0,
+        f"worst ratio {max(overhead):.2f}",
+    )
+
+    # -- FT's envelope under loss -------------------------------------------
+    n = scale.n_fixed // 2
+    fs = [f for f in scale.failure_counts if f < n / 2]
+    drop = 0.10
+
+    def ft_lossy_run(f, seed):
+        rng = random_module.Random(seed * 1000 + f)
+        failed = set(rng.sample(range(1, n), f)) if f else set()
+        plan = FaultPlan(seed=seed, drop=drop, duplicate=drop / 2)
+        return run_election(
+            ReliableDelivery(FaultTolerantElection(max_failures=max(f, 1))),
+            complete_without_sense(n, seed=seed),
+            failed_positions=failed,
+            faults=plan,
+            seed=seed,
+        )
+
+    ft_results = run_sweep([
+        lambda f=f: ft_lossy_run(f, seed=scale.seeds[0]) for f in fs
+    ])
+    ft_rows = []
+    envelope = []
+    for f, result in zip(fs, ft_results):
+        bound = n * f + n * math.log2(n)
+        envelope.append(result.messages_total / bound)
+        ft_rows.append(
+            (f, result.messages_total, result.retransmissions,
+             round(result.messages_total / bound, 2))
+        )
+    report.add_table(
+        f"FT at N={n} under drop={drop}: messages vs the N·f + N·log N bound",
+        ("f", "messages", "rexmit", "constant"),
+        ft_rows,
+    )
+    report.check(
+        "FT's messages stay O(N·f + N·log N) even over lossy links "
+        "(overlay envelopes and acks included)",
+        max(envelope) <= 24.0,
+        f"worst constant {max(envelope):.2f}",
+    )
+
+    # -- mid-run crash-stop: safety only ------------------------------------
+    crash_n = 32
+    crash_rows = []
+    safety_ok = True
+
+    def crash_run(seed):
+        rng = random_module.Random(seed)
+        victims = rng.sample(range(crash_n), 3)
+        plan = FaultPlan(
+            seed=seed,
+            drop=0.05,
+            crashes={v: rng.uniform(0.0, 3.0) for v in victims},
+        )
+        return run_election(
+            ReliableDelivery(ProtocolE()),
+            complete_without_sense(crash_n, seed=seed),
+            faults=plan,
+            seed=seed,
+            require_leader=False,
+        )
+
+    for seed, result in zip(
+        scale.seeds, run_sweep([lambda s=s: crash_run(s) for s in scale.seeds])
+    ):
+        live_leaders = [
+            s for position, s in enumerate(result.node_snapshots)
+            if s["is_leader"] and position not in result.crashed_positions
+        ]
+        if len(live_leaders) > 1:
+            safety_ok = False
+        crash_rows.append(
+            (seed, result.crashed_positions, len(live_leaders),
+             result.leader_crashed)
+        )
+    report.add_table(
+        f"3 mid-run crashes at N={crash_n} (drop=0.05, overlay installed)",
+        ("seed", "crashed", "live leaders", "leader crashed"),
+        crash_rows,
+    )
+    report.check(
+        "mid-run crashes never leave two surviving leaders (safety)",
+        safety_ok,
+        f"{len(crash_rows)} crash schedules",
+    )
+    return report
+
+
 ALL_EXPERIMENTS = (
     e1_figure1,
     e2_messages_sense,
@@ -901,6 +1088,7 @@ ALL_EXPERIMENTS = (
     e9_base_nodes,
     e10_applications,
     e11_asynchrony_penalty,
+    e12_survivability,
 )
 
 

@@ -17,8 +17,10 @@ from repro.adversary import wakeup
 from repro.adversary.delays import band_freeze, congested_links, worst_case_unit
 from repro.core.errors import ConfigurationError
 from repro.core.protocol import ElectionProtocol
+from repro.core.reliable import ReliableDelivery
 from repro.core.results import ElectionResult
 from repro.sim.delays import UniformDelay
+from repro.sim.faults import FaultPlan, isolate
 from repro.sim.network import Network
 from repro.topology.complete import (
     complete_with_sense_of_direction,
@@ -29,11 +31,18 @@ from repro.topology.ports import UpDownPorts
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named (topology, delays, wake-up) combination."""
+    """A named (topology, delays, wake-up, faults) combination.
+
+    ``reliable`` scenarios violate the paper's reliable-FIFO link model
+    (they install a :class:`~repro.sim.faults.FaultPlan`), so
+    :func:`run_scenario` wraps the protocol in the retransmission overlay
+    (:class:`~repro.core.reliable.ReliableDelivery`) before running it.
+    """
 
     name: str
     description: str
     build: Callable[[int, int, bool], tuple[Any, dict[str, Any]]]
+    reliable: bool = False
 
 
 def _benign(n: int, seed: int, sense: bool):
@@ -90,6 +99,32 @@ def _frozen_middle(n: int, seed: int, sense: bool):
     return topo, {"delays": band_freeze(n)}
 
 
+def _lossy(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    plan = FaultPlan(seed=seed, drop=0.10, duplicate=0.05, jitter=0.25)
+    return topo, {"delays": UniformDelay(0.05, 1.0), "faults": plan}
+
+
+def _partitioned(n: int, seed: int, sense: bool):
+    topo = (
+        complete_with_sense_of_direction(n)
+        if sense
+        else complete_without_sense(n, seed=seed)
+    )
+    # Cut the eventual winner (the largest identity) off from everyone for
+    # a while mid-election; the overlay must carry the election across the
+    # healed partition.
+    victim = max(topo.ids)
+    plan = FaultPlan(
+        seed=seed, partitions=isolate(victim, topo.ids, start=1.0, end=6.0)
+    )
+    return topo, {"delays": UniformDelay(0.05, 1.0), "faults": plan}
+
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -104,6 +139,12 @@ SCENARIOS: dict[str, Scenario] = {
         Scenario("frozen_middle",
                  "Section 5 band stretching: the middle identities crawl",
                  _frozen_middle),
+        Scenario("lossy",
+                 "10% loss + 5% duplication + jitter, retransmission overlay",
+                 _lossy, reliable=True),
+        Scenario("partitioned",
+                 "the top identity is cut off for t in [1, 6), then healed",
+                 _partitioned, reliable=True),
     )
 }
 
@@ -126,4 +167,6 @@ def run_scenario(
         ) from None
     topology, kwargs = spec.build(n, seed, protocol.needs_sense_of_direction)
     kwargs.update(overrides)
+    if spec.reliable:
+        protocol = ReliableDelivery(protocol)
     return Network(protocol, topology, seed=seed, trace=trace, **kwargs).run()

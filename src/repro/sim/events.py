@@ -8,22 +8,30 @@ matters here because the benchmarks compare protocols run-for-run and the
 property tests shrink counterexamples; a nondeterministic kernel would make
 both useless.
 
-Heap entries are *tuples*, not objects: ``(time, tiebreak, seq, action,
-depth, *payload)``.  Tuple comparison stops at ``seq`` (unique), so the
-action is never compared, and ``heapq`` sifts entries with C-level tuple
-comparisons instead of calling a generated ``__lt__``.  :class:`Event` is a
-tuple subclass adding named read access for handlers and tests; the network
-fast path pushes plain tuples through :meth:`EventQueue.push_entry` and
-indexes them directly.
+Heap entries are *tuples*, not objects: ``(time, key, action, depth,
+*payload)``.  Tuple comparison stops at ``key`` (unique), so the action is
+never compared, and ``heapq`` sifts entries with C-level tuple comparisons
+instead of calling a generated ``__lt__``.  :class:`Event` is a tuple
+subclass adding named read access for handlers and tests; the network fast
+path pushes plain tuples through :meth:`EventQueue.push_entry` and indexes
+them directly.
+
+``key`` packs the ``(tiebreak, seq)`` pair into one integer —
+``seq + (tiebreak << 48)`` — so prioritised event classes (timers 1, wake
+nudges -1, crashes -2) order ahead of or behind same-instant deliveries
+without widening the entry or adding a comparison level to the heap sifts.
+The encoding is exact while ``seq`` stays below 2**48 (the event budget caps
+it around 5M), and the common case (tiebreak 0) keeps ``key == seq``, a
+small int.  Deliveries dominate the heap, so the hot comparisons are the
+same float-then-small-int pair the layout always had.
 
 Entry layout (index constants below)::
 
     0 time      fire time (float)
-    1 tiebreak  class priority at equal times (deliveries 0, wakes -1, ...)
-    2 seq       global monotone counter -- makes the order total
-    3 action    callable invoked as ``action(entry)``
-    4 depth     causal depth (longest message chain leading here)
-    5+          optional payload slots (the delivery fast path packs
+    1 key       seq + (tiebreak << 48); orders (tiebreak, seq), total
+    2 action    callable invoked as ``action(entry)``
+    3 depth     causal depth (longest message chain leading here)
+    4+          optional payload slots (the delivery fast path packs
                 ``far, far_port, message, sender_id`` here)
 """
 
@@ -34,16 +42,23 @@ from operator import itemgetter
 from typing import Callable
 
 #: Indexes into a heap entry (see module docstring).
-TIME, TIEBREAK, SEQ, ACTION, DEPTH = range(5)
+TIME, KEY, ACTION, DEPTH = range(4)
+
+#: Bit position of ``tiebreak`` inside the packed ordering key.  ``seq``
+#: occupies the low 48 bits; the kernel's event budget keeps it far below
+#: 2**48, so the packing is exact.
+TIEBREAK_SHIFT = 48
+_SEQ_MASK = (1 << TIEBREAK_SHIFT) - 1
 
 
 class Event(tuple):
     """A scheduled action, as an ordered tuple with named read access.
 
-    Ordering is by ``(time, tiebreak, seq)``.  ``tiebreak`` lets callers
-    prioritise classes of simultaneous events (e.g. deliveries before wake
-    nudges); most callers leave it 0.  ``action`` takes the event itself so
-    handlers can read the fire time and causal depth.
+    Ordering is by ``(time, tiebreak, seq)`` via the packed key (see the
+    module docstring).  ``tiebreak`` lets callers prioritise classes of
+    simultaneous events (e.g. deliveries before wake nudges); most callers
+    leave it 0.  ``action`` takes the event itself so handlers can read the
+    fire time and causal depth.
     """
 
     __slots__ = ()
@@ -56,15 +71,27 @@ class Event(tuple):
         action: Callable[["Event"], None],
         depth: int = 0,
     ) -> "Event":
-        return tuple.__new__(cls, (time, tiebreak, seq, action, depth))
+        if tiebreak:
+            seq += tiebreak << TIEBREAK_SHIFT
+        return tuple.__new__(cls, (time, seq, action, depth))
 
     time = property(itemgetter(TIME))
-    tiebreak = property(itemgetter(TIEBREAK))
-    seq = property(itemgetter(SEQ))
+    #: The packed ordering key; :attr:`seq` and :attr:`tiebreak` unpack it.
+    key = property(itemgetter(KEY))
     action = property(itemgetter(ACTION))
     #: Length of the longest message chain leading to this event.  Used to
     #: report the "ideal time" (causal depth) metric alongside simulated time.
     depth = property(itemgetter(DEPTH))
+
+    @property
+    def seq(self) -> int:
+        """Scheduling order (the low bits of the packed key)."""
+        return self[KEY] & _SEQ_MASK
+
+    @property
+    def tiebreak(self) -> int:
+        """Class priority at equal times (the high bits of the packed key)."""
+        return self[KEY] >> TIEBREAK_SHIFT
 
 
 class EventQueue:
@@ -106,17 +133,21 @@ class EventQueue:
         action: Callable[[tuple], None],
         depth: int,
         payload: tuple,
+        tiebreak: int = 0,
     ) -> None:
         """Kernel fast path: push a plain-tuple entry carrying ``payload``.
 
-        The payload rides in the entry itself (slots 5+), so the hot send
+        The payload rides in the entry itself (slots 4+), so the hot send
         path allocates exactly one tuple per message -- no :class:`Event`
-        object and no per-message closure.
+        object and no per-message closure.  ``tiebreak`` is positional-after
+        -payload so the hot call sites stay four-argument; timers pass 1 so
+        that same-instant deliveries (and their acks) beat timeouts.
         """
-        heapq.heappush(
-            self.heap, (time, 0, self._seq, action, depth) + payload
-        )
-        self._seq += 1
+        key = self._seq
+        self._seq = key + 1
+        if tiebreak:
+            key += tiebreak << TIEBREAK_SHIFT
+        heapq.heappush(self.heap, (time, key, action, depth) + payload)
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""

@@ -1,0 +1,268 @@
+"""Deterministic link-fault injection.
+
+The paper's model (Section 2) assumes reliable FIFO links; Section 4 relaxes
+only *initial site failures*.  Everything beyond that — message loss,
+duplication, reordering, transient partitions, mid-run crash-stop — is the
+adversary this module lets you script.  A :class:`FaultPlan` is a pure,
+seeded *specification*; the network binds it per run, so the same plan plus
+the same seed reproduces the same faults byte for byte (the determinism
+contract of ``docs/faults.md``).
+
+Design constraints, in order:
+
+* **Determinism.**  Each directed link owns a dedicated RNG stream seeded as
+  ``f"{seed}:{src}:{dst}"`` (the same process-stable idiom the fuzzer uses),
+  and the per-send draw order is fixed regardless of outcome.  Fault draws
+  never touch the network's delay RNG, so installing a plan with all rates
+  zero leaves an election byte-identical to a fault-free run.
+
+* **Zero cost when off.**  The network tests ``self._faults is not None``
+  once per send — the same discipline as tracing.  No plan, no overhead.
+
+* **FIFO stays the baseline.**  Drops and duplicates are decided *after* the
+  FIFO arrival is computed, and jitter is added on top of it without
+  advancing the channel's FIFO clock; so jitter yields *bounded* reordering
+  (at most ``jitter`` time units past the in-order arrival), the only kind a
+  retransmission overlay can mask with finite buffers.
+
+Crash-stop scheduling (``FaultPlan.crashes``) generalises the network's
+older ``crash_schedule`` argument: both feed the same mechanism, and the
+plan's entries win on conflicts being rejected loudly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+#: ``judge`` verdict reasons for a dropped message (trace detail).
+DROP_LOSS = "loss"
+DROP_PARTITION = "partition"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Fault rates for one directed link (or the plan-wide default).
+
+    * ``drop`` — probability a message vanishes in flight;
+    * ``duplicate`` — probability the link delivers one extra copy;
+    * ``jitter`` — maximum extra delay, uniform in ``[0, jitter]``, added
+      *after* the FIFO arrival is fixed: messages may overtake each other by
+      at most ``jitter`` time units (bounded reordering).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    jitter: float = 0.0
+
+    def validate(self) -> None:
+        """Reject rates outside the model; ``drop=1.0`` is disallowed
+        because a link that loses everything is a partition — say so."""
+        if not 0.0 <= self.drop < 1.0:
+            raise SimulationError(
+                f"drop rate must be in [0, 1), got {self.drop} "
+                "(use a Partition for a dead link)"
+            )
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise SimulationError(
+                f"duplicate rate must be in [0, 1], got {self.duplicate}"
+            )
+        if self.jitter < 0.0:
+            raise SimulationError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def quiet(self) -> bool:
+        """True when this spec injects nothing."""
+        return not (self.drop or self.duplicate or self.jitter)
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A transient one-way cut: ``src -> dst`` drops everything sent during
+    ``[start, end)``.  Keyed by node *identities* (like channels and delay
+    models), not positions.  For a symmetric cut add both directions, or use
+    :func:`isolate`."""
+
+    src: int
+    dst: int
+    start: float
+    end: float
+
+    def validate(self) -> None:
+        """Reject empty or negative-time windows."""
+        if self.start < 0 or self.end <= self.start:
+            raise SimulationError(
+                f"partition window [{self.start}, {self.end}) is empty "
+                "or starts before t=0"
+            )
+
+
+def isolate(
+    victim: int, peers: Iterable[int], start: float, end: float
+) -> tuple[Partition, ...]:
+    """Partitions cutting ``victim`` off from ``peers`` in both directions."""
+    cuts: list[Partition] = []
+    for peer in peers:
+        if peer == victim:
+            continue
+        cuts.append(Partition(victim, peer, start, end))
+        cuts.append(Partition(peer, victim, start, end))
+    return tuple(cuts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, per-link specification of link faults and crashes.
+
+    ``drop``/``duplicate``/``jitter`` are the plan-wide default rates;
+    ``per_link`` overrides them for specific directed links (keyed by
+    ``(src_id, dst_id)``).  ``partitions`` are transient one-way cuts and
+    ``crashes`` maps node *positions* to crash-stop times (the generalised
+    form of the network's ``crash_schedule``).
+
+    The plan itself is immutable and reusable; each run binds it with
+    :meth:`bind`, which owns the RNG streams, so two runs from one plan see
+    identical fault sequences.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    jitter: float = 0.0
+    per_link: Mapping[tuple[int, int], LinkFaults] = field(default_factory=dict)
+    partitions: tuple[Partition, ...] = ()
+    crashes: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.default_faults.validate()
+        for key, faults in self.per_link.items():
+            if len(key) != 2:
+                raise SimulationError(f"per_link key {key!r} is not (src, dst)")
+            faults.validate()
+        for cut in self.partitions:
+            cut.validate()
+        for position, time in self.crashes.items():
+            if time < 0:
+                raise SimulationError(
+                    f"crash time for position {position} is negative: {time}"
+                )
+
+    @property
+    def default_faults(self) -> LinkFaults:
+        """The plan-wide rates as a :class:`LinkFaults`."""
+        return LinkFaults(self.drop, self.duplicate, self.jitter)
+
+    def bind(self) -> "ActiveFaultPlan":
+        """Fresh per-run runtime state (RNG streams start from scratch)."""
+        return ActiveFaultPlan(self)
+
+    def describe(self) -> str:
+        """One-line summary naming only the active dials."""
+        parts = [f"seed={self.seed}"]
+        if self.drop:
+            parts.append(f"drop={self.drop}")
+        if self.duplicate:
+            parts.append(f"dup={self.duplicate}")
+        if self.jitter:
+            parts.append(f"jitter={self.jitter}")
+        if self.per_link:
+            parts.append(f"links={len(self.per_link)}")
+        if self.partitions:
+            parts.append(f"cuts={len(self.partitions)}")
+        if self.crashes:
+            parts.append(f"crashes={len(self.crashes)}")
+        return f"FaultPlan({', '.join(parts)})"
+
+
+class _LinkState:
+    """Runtime fault state for one directed link."""
+
+    __slots__ = ("rng", "drop", "duplicate", "jitter", "windows")
+
+    def __init__(
+        self,
+        seed: int,
+        src: int,
+        dst: int,
+        faults: LinkFaults,
+        windows: tuple[tuple[float, float], ...],
+    ) -> None:
+        self.rng = random.Random(f"{seed}:{src}:{dst}")
+        self.drop = faults.drop
+        self.duplicate = faults.duplicate
+        self.jitter = faults.jitter
+        self.windows = windows
+
+
+class ActiveFaultPlan:
+    """One run's view of a :class:`FaultPlan`: owns the per-link RNGs.
+
+    The network calls :meth:`judge` once per send; the verdict says whether
+    the message survives, how many duplicate copies to schedule, and how much
+    jitter to add to each arrival.
+    """
+
+    __slots__ = ("plan", "_links", "_windows_by_link")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._links: dict[tuple[int, int], _LinkState] = {}
+        windows: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        for cut in plan.partitions:
+            windows.setdefault((cut.src, cut.dst), []).append(
+                (cut.start, cut.end)
+            )
+        self._windows_by_link = {
+            key: tuple(sorted(spans)) for key, spans in windows.items()
+        }
+
+    def _link(self, src: int, dst: int) -> _LinkState:
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            plan = self.plan
+            faults = plan.per_link.get(key) or plan.default_faults
+            state = _LinkState(
+                plan.seed, src, dst, faults,
+                self._windows_by_link.get(key, ()),
+            )
+            self._links[key] = state
+        return state
+
+    def judge(
+        self, src: int, dst: int, now: float
+    ) -> tuple[int, float, float, str | None]:
+        """Decide the fate of one message on ``src -> dst`` sent at ``now``.
+
+        Returns ``(copies, jitter, dup_jitter, reason)``:
+
+        * ``copies`` — 0 (dropped), 1 (delivered) or 2 (duplicated);
+        * ``jitter`` — extra delay for the primary copy;
+        * ``dup_jitter`` — extra delay for the duplicate (when ``copies=2``);
+        * ``reason`` — ``None`` unless dropped ("loss" or "partition").
+
+        Partition checks are time-based and consume no randomness; the RNG
+        draw order for the rates is fixed (drop, duplicate, jitter, then the
+        duplicate's jitter) so every link stream is reproducible
+        independently of outcomes.
+        """
+        state = self._link(src, dst)
+        for start, end in state.windows:
+            if start <= now < end:
+                return 0, 0.0, 0.0, DROP_PARTITION
+        rng = state.rng
+        dropped = state.drop > 0.0 and rng.random() < state.drop
+        copies = 1
+        if state.duplicate > 0.0 and rng.random() < state.duplicate:
+            copies = 2
+        jitter = dup_jitter = 0.0
+        if state.jitter > 0.0:
+            jitter = rng.random() * state.jitter
+            if copies == 2:
+                dup_jitter = rng.random() * state.jitter
+        if dropped:
+            return 0, 0.0, 0.0, DROP_LOSS
+        return copies, jitter, dup_jitter, None

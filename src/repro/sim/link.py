@@ -25,6 +25,11 @@ class Channel:
     receiver: int
     last_arrival: float = field(default=0.0)
     messages_sent: int = field(default=0)
+    #: Fault-layer tallies (always zero without an installed FaultPlan).
+    #: ``messages_sent`` counts sends, so a dropped message is still "sent"
+    #: — the drop is the delta between sent and delivered.
+    messages_dropped: int = field(default=0)
+    messages_duplicated: int = field(default=0)
 
     def arrival_time(
         self,

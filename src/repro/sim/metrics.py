@@ -30,6 +30,14 @@ class MetricsCollector:
     leader_declared_at: float | None = None
     leader_declared_depth: int | None = None
     quiescent_at: float = 0.0
+    # -- fault layer (all zero unless a FaultPlan is installed) -------------
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_jittered: int = 0
+    # -- reliable-delivery overlay (bumped via ``NodeContext.count``) -------
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    packets_abandoned: int = 0
 
     def on_send(self, type_name: str, bits: int) -> None:
         """Record one message leaving a node."""
@@ -48,6 +56,20 @@ class MetricsCollector:
             self.first_wake_time = time
         if self.last_wake_time is None or time > self.last_wake_time:
             self.last_wake_time = time
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the integer counter ``name``.
+
+        The generic hook behind :meth:`NodeContext.count`: overlays and apps
+        account their bookkeeping (retransmissions, suppressed duplicates)
+        without the collector having to know about them ahead of time.  The
+        counter must be an existing integer field — a typo raises rather
+        than minting untracked state.
+        """
+        value = getattr(self, name)
+        if not isinstance(value, int):
+            raise TypeError(f"metric {name!r} is not an integer counter")
+        setattr(self, name, value + delta)
 
     def on_leader(self, time: float, depth: int) -> None:
         """Record the leader's declaration instant."""

@@ -24,7 +24,17 @@ it attempts raises.  The paper's protocols make no promises about mid-run
 crashes (a purely asynchronous network cannot detect them — the FLP
 boundary), so these runs are expected to hang candidates; the facility
 exists to *demonstrate* that boundary and to fuzz the protocols' state
-machines, not to model a tolerated fault.
+machines, not to model a tolerated fault.  A crash at t=0.0 is *not* the
+same as an initial failure — the crashed node's links exist and its crash
+is reported in ``crashed_positions``, so the two stay distinguishable (and
+listing a position in both is rejected as a configuration error).
+
+Link faults: passing a :class:`~repro.sim.faults.FaultPlan` as ``faults``
+installs seeded per-link drop/duplication/jitter/partition injection (and
+generalised crash-stop via ``FaultPlan.crashes``, which merges into the
+crash schedule).  See :mod:`repro.sim.faults` and docs/faults.md; with no
+plan installed the send path pays a single attribute test, the same
+zero-cost-off discipline as tracing.
 
 Hot-path design (see docs/performance.md): the send path performs no
 per-message closure or :class:`Event` allocation — deliveries ride the heap
@@ -47,6 +57,7 @@ from repro.core.protocol import ElectionProtocol
 from repro.core.results import ElectionResult
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.events import Event
+from repro.sim.faults import FaultPlan
 from repro.sim.link import ChannelTable
 from repro.sim.metrics import MetricsCollector
 from repro.sim.scheduler import Scheduler
@@ -85,6 +96,13 @@ class _BoundContext(NodeContext):
     def declare_leader(self) -> None:  # noqa: D102
         self._network._on_leader_declared(self._position)
 
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Arm a one-shot timer; see :meth:`NodeContext.set_timer`."""
+        self._network._schedule_timer(self._position, delay, callback)
+
+    def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
+        self._network.metrics.bump(metric, delta)
+
     def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
         network = self._network
         if network._tracing:
@@ -105,6 +123,7 @@ class Network:
         wakeup: WakeupSchedule | WakeupFactory | None = None,
         failed_positions: frozenset[int] | set[int] = frozenset(),
         crash_schedule: Mapping[int, float] | None = None,
+        faults: FaultPlan | None = None,
         seed: int = 0,
         trace: bool = False,
         max_events: int = 5_000_000,
@@ -123,10 +142,34 @@ class Network:
         if bad:
             raise SimulationError(f"failed positions out of range: {bad}")
         self.crash_schedule = dict(crash_schedule or {})
+        if faults is not None:
+            for position, time in faults.crashes.items():
+                existing = self.crash_schedule.get(position)
+                if existing is not None and existing != time:
+                    raise SimulationError(
+                        f"position {position} has conflicting crash times: "
+                        f"{existing} (crash_schedule) vs {time} (fault plan)"
+                    )
+                self.crash_schedule[position] = time
         bad = [p for p in self.crash_schedule if not 0 <= p < topology.n]
         if bad:
             raise SimulationError(f"crash positions out of range: {bad}")
+        bad = [p for p, t in sorted(self.crash_schedule.items()) if t < 0]
+        if bad:
+            raise SimulationError(f"negative crash times for positions: {bad}")
+        overlap = sorted(self.failed_positions & self.crash_schedule.keys())
+        if overlap:
+            raise SimulationError(
+                f"positions {overlap} are both initially failed and scheduled "
+                "to crash; an initially-failed node never existed at runtime, "
+                "so crashing it is contradictory (a crash at t=0.0 is the "
+                "distinguishable alternative)"
+            )
         self._crashed: set[int] = set()
+        #: Per-run fault state; ``None`` keeps the send path on the fast
+        #: branch (one attribute test, zero overhead).
+        self._faults = faults.bind() if faults is not None else None
+        self.fault_plan = faults
 
         self._wakeup_spec = wakeup
         self._leader_position: int | None = None
@@ -144,6 +187,9 @@ class Network:
         self._bits_total = 0
         self._type_counts: dict[str, int] = {}
         self._max_depth = 0
+        self._dropped = 0
+        self._duplicated = 0
+        self._jittered = 0
         self._has_failures = bool(self.failed_positions) or bool(
             self.crash_schedule
         )
@@ -189,6 +235,9 @@ class Network:
 
     def _transmit(self, position: int, port: int, message: Message) -> None:
         """Node ``position`` sends ``message`` through ``port``."""
+        if self._faults is not None:
+            self._transmit_faulty(position, port, message)
+            return
         if not 0 <= port < self._num_ports:
             raise SimulationError(
                 f"node {self._ids[position]} used invalid port {port}"
@@ -234,14 +283,121 @@ class Network:
             (far, far_port, message, sender_id),
         )
 
+    def _transmit_faulty(self, position: int, port: int, message: Message) -> None:
+        """The send path with a :class:`FaultPlan` installed.
+
+        Mirrors :meth:`_transmit`'s accounting (a dropped message still
+        *counts* as sent — loss is the gap between sent and delivered), then
+        asks the plan's per-link verdict.  The FIFO arrival is computed
+        first and jitter added on top without advancing the channel's FIFO
+        clock, so reordering stays bounded by the plan's ``jitter``.
+        """
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        receiver_id = self._ids[far]
+        scheduler = self.scheduler
+        if self._tracing:
+            self.tracer.record(
+                scheduler.now, "send", sender_id, to=receiver_id,
+                message=type_name,
+            )
+        channel = self._channel_of(sender_id, receiver_id)
+        # The generic arrival path computes the same times as the const
+        # fast path for ConstantDelay (latency fixed, gap zero, no RNG
+        # draw), so a plan with all rates zero is byte-identical to no plan.
+        arrival = channel.arrival_time(
+            message, scheduler.now, self.delays, self.rng
+        )
+        copies, jitter, dup_jitter, reason = self._faults.judge(
+            sender_id, receiver_id, scheduler.now
+        )
+        if copies == 0:
+            self._dropped += 1
+            channel.messages_dropped += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "drop", sender_id, to=receiver_id,
+                    message=type_name, reason=reason,
+                )
+            return
+        payload = (far, far_port, message, sender_id)
+        depth = self._current_depth + 1
+        if jitter > 0.0:
+            self._jittered += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "jitter", sender_id, to=receiver_id,
+                    message=type_name, delay=jitter,
+                )
+        self._schedule_payload(
+            arrival + jitter, self._deliver_entry, depth, payload
+        )
+        if copies == 2:
+            self._duplicated += 1
+            channel.messages_duplicated += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "duplicate", sender_id, to=receiver_id,
+                    message=type_name,
+                )
+            self._schedule_payload(
+                arrival + dup_jitter, self._deliver_entry, depth, payload
+            )
+
+    def _schedule_timer(
+        self, position: int, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Arm a one-shot timer for ``position`` (``NodeContext.set_timer``).
+
+        Timers ride the same payload fast path as deliveries but with
+        tiebreak 1, so a delivery (or ack) landing at the exact timeout
+        instant is processed first and a retransmission overlay never
+        retransmits something already acknowledged "now".
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        self._schedule_payload(
+            self.scheduler.now + delay,
+            self._timer_entry,
+            self._current_depth,
+            (position, callback),
+            1,
+        )
+
+    def _timer_entry(self, entry: tuple) -> None:
+        """Fire a timer callback unless its owner has failed or crashed."""
+        position = entry[4]
+        if self._has_failures and (
+            position in self.failed_positions or position in self._crashed
+        ):
+            return
+        previous_depth = self._current_depth
+        self._current_depth = entry[3]
+        try:
+            entry[5]()
+        finally:
+            self._current_depth = previous_depth
+
     def _deliver_entry(self, entry: tuple) -> None:
         """Hand a message to its destination node (or drop it if failed).
 
         ``entry`` is the raw heap tuple; the payload packed by
-        :meth:`_transmit` sits at slots 5+ (see :mod:`repro.sim.events`).
+        :meth:`_transmit` sits at slots 4+ (see :mod:`repro.sim.events`).
         """
-        depth = entry[4]
-        position = entry[5]
+        depth = entry[3]
+        position = entry[4]
         if depth > self._max_depth:
             self._max_depth = depth
         if self._has_failures and (
@@ -249,7 +405,7 @@ class Network:
         ):
             return
         node = self.nodes[position]
-        message = entry[7]
+        message = entry[6]
         was_asleep = not node.awake
         previous_depth = self._current_depth
         self._current_depth = depth
@@ -262,9 +418,9 @@ class Network:
                     "deliver",
                     self._ids[position],
                     message=message.type_name,
-                    sender=entry[8],
+                    sender=entry[7],
                 )
-            node.receive(entry[6], message)
+            node.receive(entry[5], message)
         finally:
             self._current_depth = previous_depth
 
@@ -289,6 +445,9 @@ class Network:
         metrics.messages_by_type.update(self._type_counts)
         if self._max_depth > metrics.max_depth:
             metrics.max_depth = self._max_depth
+        metrics.messages_dropped = self._dropped
+        metrics.messages_duplicated = self._duplicated
+        metrics.messages_jittered = self._jittered
 
     # -- running ---------------------------------------------------------------
 
@@ -375,6 +534,12 @@ class Network:
             trace=self.tracer,
             crashed_positions=tuple(sorted(self._crashed)),
             max_channel_load=self.channels.max_load,
+            messages_dropped=metrics.messages_dropped,
+            messages_duplicated=metrics.messages_duplicated,
+            messages_jittered=metrics.messages_jittered,
+            retransmissions=metrics.retransmissions,
+            duplicates_suppressed=metrics.duplicates_suppressed,
+            packets_abandoned=metrics.packets_abandoned,
         )
 
 
@@ -386,6 +551,7 @@ def run_election(
     wakeup: WakeupSchedule | WakeupFactory | None = None,
     failed_positions: frozenset[int] | set[int] = frozenset(),
     crash_schedule: Mapping[int, float] | None = None,
+    faults: FaultPlan | None = None,
     seed: int = 0,
     trace: bool = False,
     max_events: int = 5_000_000,
@@ -405,6 +571,7 @@ def run_election(
         wakeup=wakeup,
         failed_positions=failed_positions,
         crash_schedule=crash_schedule,
+        faults=faults,
         seed=seed,
         trace=trace,
         max_events=max_events,

@@ -87,19 +87,20 @@ class Scheduler:
         action: Callable[[tuple], None],
         depth: int,
         payload: tuple,
+        tiebreak: int = 0,
     ) -> None:
         """Fast path: schedule ``action`` with ``payload`` packed in the entry.
 
         Used by the network's send path; one tuple allocation per message,
         no :class:`Event` wrapper, no closure.  ``action`` receives the raw
-        entry and reads the payload from slots 5+.
+        entry and reads the payload from slots 4+.
         """
         if time < self._now:
             raise SimulationError(
                 f"attempt to schedule an event at t={time} in the past "
                 f"(now={self._now})"
             )
-        self._queue.push_entry(time, action, depth, payload)
+        self._queue.push_entry(time, action, depth, payload, tiebreak)
 
     def run(self, *, until: float | None = None) -> None:
         """Process events until the queue drains (or past ``until``).
@@ -130,7 +131,7 @@ class Scheduler:
                             f"event budget of {max_events} exhausted at "
                             f"t={self._now}; the protocol is livelocked"
                         )
-                    entry[3](entry)
+                    entry[2](entry)
             else:
                 while heap and heap[0][0] <= until:
                     entry = heappop(heap)
@@ -141,7 +142,7 @@ class Scheduler:
                             f"event budget of {max_events} exhausted at "
                             f"t={self._now}; the protocol is livelocked"
                         )
-                    entry[3](entry)
+                    entry[2](entry)
         finally:
             self._processed = processed
             self._running = False

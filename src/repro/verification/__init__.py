@@ -26,11 +26,14 @@ from repro.verification.explore import (
 )
 from repro.verification.fuzz import (
     DEFAULT_FAMILIES,
+    FAULT_FAMILIES,
     FuzzReport,
     FuzzViolation,
+    MessageLossSchedule,
     PCTSchedule,
     SchedulePolicy,
     StarveChannelSchedule,
+    TargetedLossSchedule,
     UniformSchedule,
     WakeLastSchedule,
     fuzz_protocol,
@@ -66,10 +69,12 @@ __all__ = [
     "Action",
     "DEFAULT_FAMILIES",
     "ExplorationReport",
+    "FAULT_FAMILIES",
     "FingerprintTable",
     "FuzzReport",
     "FuzzViolation",
     "LockStepWorld",
+    "MessageLossSchedule",
     "PCTSchedule",
     "Permutation",
     "ReplayOutcome",
@@ -77,6 +82,7 @@ __all__ = [
     "SchedulePolicy",
     "StarveChannelSchedule",
     "StepContext",
+    "TargetedLossSchedule",
     "UniformSchedule",
     "WakeLastSchedule",
     "canonical_fingerprint",

@@ -17,6 +17,21 @@ a family of adversaries:
   priority-change points per run inject the "d critical reorderings" that
   uniform sampling almost never hits.
 
+Fault families (opt-in — :data:`FAULT_FAMILIES`, or ``fault_budget`` on
+:func:`fuzz_protocol`) additionally give the adversary a budget of
+``("drop", link)`` actions that destroy channel heads, the lock-step
+analogue of a :class:`~repro.sim.faults.FaultPlan`:
+
+* ``msg-loss`` — uniform over all actions including drops: background
+  loss anywhere the schedule wanders;
+* ``targeted-loss`` — picks one victim node per run and preferentially
+  destroys messages addressed to it while the budget lasts — a transient
+  partition aimed at whichever node the protocol most depends on.
+
+Safety and validity are still enforced verbatim under faults; liveness is
+only owed when no message was destroyed (a lossy run may legitimately end
+leaderless — that is what the reliable-delivery overlay exists for).
+
 Every choice an adversary makes is recorded as an index into the world's
 canonical ``enabled_actions()`` list, so any run — in particular any
 *violating* run — is a compact :class:`~repro.verification.replay.ScheduleTrace`
@@ -43,6 +58,10 @@ class SchedulePolicy(ABC):
 
     #: Family name recorded into traces and per-family tallies.
     family: ClassVar[str] = "?"
+
+    #: ``("drop", link)`` actions this adversary may take per episode
+    #: (installed into the world before the run; 0 = reliable links).
+    fault_budget: int = 0
 
     def reset(self, world: LockStepWorld, rng: random.Random) -> None:
         """Per-run initialisation (victim picks, priorities, ...)."""
@@ -157,12 +176,64 @@ class PCTSchedule(SchedulePolicy):
         return rng.choice(candidates)
 
 
+class MessageLossSchedule(SchedulePolicy):
+    """Uniform schedule with a budget of message drops anywhere.
+
+    The lock-step analogue of a plan-wide drop rate: drops compete with
+    every other enabled action, so loss lands wherever the schedule
+    happens to be — the unbiased fault baseline.
+    """
+
+    family = "msg-loss"
+
+    def __init__(self, fault_budget: int = 3) -> None:
+        self.fault_budget = fault_budget
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        return rng.randrange(len(actions))
+
+
+class TargetedLossSchedule(SchedulePolicy):
+    """Destroy messages addressed to one chosen victim while budget lasts.
+
+    The lock-step analogue of a transient partition isolating one node:
+    the run's victim stops hearing from the network for ``fault_budget``
+    messages, then the cut heals.
+    """
+
+    family = "targeted-loss"
+
+    def __init__(self, fault_budget: int = 3) -> None:
+        self.fault_budget = fault_budget
+        self._victim: int | None = None
+
+    def reset(self, world, rng):  # noqa: D102
+        self._victim = rng.randrange(world.topology.n)
+
+    def choose(self, world, actions, rng):  # noqa: D102
+        targeted = [
+            index for index, (kind, arg) in enumerate(actions)
+            if kind == "drop" and arg[1] == self._victim
+        ]
+        if targeted:
+            return rng.choice(targeted)
+        return rng.randrange(len(actions))
+
+
 #: The default adversary line-up, cycled over the requested schedules.
 DEFAULT_FAMILIES: tuple[SchedulePolicy, ...] = (
     UniformSchedule(),
     WakeLastSchedule(),
     StarveChannelSchedule(),
     PCTSchedule(),
+)
+
+#: The fault-injecting families (opt-in: lossy runs owe no liveness, so
+#: mixing them in dilutes liveness coverage — see ``fuzz_protocol``'s
+#: ``fault_budget`` shortcut).
+FAULT_FAMILIES: tuple[SchedulePolicy, ...] = (
+    MessageLossSchedule(),
+    TargetedLossSchedule(),
 )
 
 
@@ -215,22 +286,34 @@ def fuzz_protocol(
     families: tuple[SchedulePolicy, ...] | None = None,
     max_steps: int = 20_000,
     stop_at_first: bool = True,
+    fault_budget: int = 0,
 ) -> FuzzReport:
     """Drive ``schedules`` seeded adversarial schedules and check each run.
 
-    Each run cycles through ``families`` (default: all four), derives its
-    own RNG from ``(seed, run, family)``, and checks safety on every step
-    plus liveness and validity at quiescence.  Violations are collected as
-    replayable :class:`FuzzViolation` traces (``stop_at_first=True`` stops
-    the campaign at the first one).  The report never raises: the caller
-    inspects ``report.ok`` / ``report.violations`` — a found bug with its
-    trace in hand is the fuzzer's *successful* outcome.
+    Each run cycles through ``families`` (default: the four reliable-link
+    adversaries; ``fault_budget > 0`` appends the fault families with that
+    budget), derives its own RNG from ``(seed, run, family)``, and checks
+    safety on every step plus liveness and validity at quiescence —
+    except that a run whose messages were destroyed owes no liveness.
+    Violations are collected as replayable :class:`FuzzViolation` traces
+    (``stop_at_first=True`` stops the campaign at the first one).  The
+    report never raises: the caller inspects ``report.ok`` /
+    ``report.violations`` — a found bug with its trace in hand is the
+    fuzzer's *successful* outcome.
     """
     if base_positions is None:
         base_positions = tuple(range(topology.n))
     else:
         base_positions = tuple(base_positions)
-    line_up = families if families is not None else DEFAULT_FAMILIES
+    if families is not None:
+        line_up = families
+    elif fault_budget > 0:
+        line_up = DEFAULT_FAMILIES + (
+            MessageLossSchedule(fault_budget),
+            TargetedLossSchedule(fault_budget),
+        )
+    else:
+        line_up = DEFAULT_FAMILIES
     protocol_name = type(protocol).name
     report = FuzzReport()
     # Build the initial configuration once and branch a copy-on-write child
@@ -242,6 +325,7 @@ def fuzz_protocol(
         policy = line_up[run % len(line_up)]
         rng = random.Random(f"{seed}:{run}:{policy.family}")
         world = template.branch()
+        world.fault_budget = policy.fault_budget
         policy.reset(world, rng)
         report.runs += 1
         report.runs_per_family[policy.family] = (
@@ -269,7 +353,8 @@ def fuzz_protocol(
         if violation is None and quiescent:
             leaders = set(world.leaders)
             if not leaders:
-                violation = ("liveness", "quiescent with no leader")
+                if world.dropped == 0:  # lossy runs owe no liveness
+                    violation = ("liveness", "quiescent with no leader")
             else:
                 (leader,) = leaders  # safety enforced at declaration
                 leader_id = world.topology.id_at(leader)
@@ -289,6 +374,7 @@ def fuzz_protocol(
                 tuple(choices),
                 family=policy.family,
                 seed=seed,
+                fault_budget=policy.fault_budget,
             )
             report.violations.append(FuzzViolation(kind, message, trace))
             if stop_at_first:

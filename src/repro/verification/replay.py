@@ -60,6 +60,9 @@ class ScheduleTrace:
     #: Schedule family that produced the trace (``manual`` for hand-built).
     family: str = "manual"
     seed: int = 0
+    #: ``("drop", link)`` actions the adversary was allowed (0 = the
+    #: paper's reliable-link model; old trace files default to it).
+    fault_budget: int = 0
 
     def topology(self) -> CompleteTopology:
         """Reconstruct the exact topology the trace was recorded on."""
@@ -79,6 +82,7 @@ class ScheduleTrace:
         *,
         family: str = "manual",
         seed: int = 0,
+        fault_budget: int = 0,
     ) -> "ScheduleTrace":
         """Build a trace snapshotting ``topology``'s full wiring."""
         port_neighbor = tuple(
@@ -98,6 +102,7 @@ class ScheduleTrace:
             choices=tuple(choices),
             family=family,
             seed=seed,
+            fault_budget=fault_budget,
         )
 
 
@@ -133,8 +138,9 @@ def _describe_action(world: LockStepWorld, action, step: int) -> str:
         return f"step {step:4d}  node {topology.id_at(arg)} wakes spontaneously"
     src, dst = arg
     message = world.peek_message(arg)
+    verb = "-/->" if kind == "drop" else "->"
     return (
-        f"step {step:4d}  {topology.id_at(src)} -> {topology.id_at(dst)}: "
+        f"step {step:4d}  {topology.id_at(src)} {verb} {topology.id_at(dst)}: "
         f"{message.type_name}"
     )
 
@@ -163,7 +169,10 @@ def replay_trace(
     """
     if protocol is None:
         protocol = protocol_class(trace.protocol)()
-    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    world = LockStepWorld(
+        protocol, trace.topology(), trace.base_positions,
+        fault_budget=trace.fault_budget,
+    )
     outcome = ReplayOutcome()
     log: list[str] = []
     used: list[int] = []
@@ -203,8 +212,11 @@ def replay_trace(
     if outcome.quiescent and outcome.violation_kind is None:
         leaders = set(world.leaders)
         if not leaders:
-            outcome.violation_kind = "liveness"
-            outcome.violation = "quiescent with no leader"
+            # A run whose messages were destroyed may legitimately end
+            # leaderless — liveness is only owed under reliable links.
+            if world.dropped == 0:
+                outcome.violation_kind = "liveness"
+                outcome.violation = "quiescent with no leader"
         else:
             (leader,) = leaders  # safety enforced at declaration time
             leader_id = world.topology.id_at(leader)
@@ -246,7 +258,10 @@ def _run_actions(
     ``complete=True`` the run is then driven to quiescence with
     first-enabled choices, so liveness/validity can be judged.
     """
-    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    world = LockStepWorld(
+        protocol, trace.topology(), trace.base_positions,
+        fault_budget=trace.fault_budget,
+    )
     run = _ActionRun(violation_kind=None, applied=[], choices=[])
 
     def apply_one(action, enabled) -> bool:
@@ -278,7 +293,8 @@ def _run_actions(
     if not world.enabled_actions():
         leaders = set(world.leaders)
         if not leaders:
-            run.violation_kind = "liveness"
+            if world.dropped == 0:  # lossy runs owe no liveness
+                run.violation_kind = "liveness"
         else:
             (leader,) = leaders
             if not world.nodes[leader].is_base:
@@ -356,7 +372,10 @@ def _resolve_actions(
     max_steps: int,
 ) -> list:
     """The concrete actions a trace's choice tape executes (leniently)."""
-    world = LockStepWorld(protocol, trace.topology(), trace.base_positions)
+    world = LockStepWorld(
+        protocol, trace.topology(), trace.base_positions,
+        fault_budget=trace.fault_budget,
+    )
     actions = []
     for choice in trace.choices:
         if len(actions) >= max_steps:

@@ -69,14 +69,16 @@ from repro.core.node import Node, NodeContext
 from repro.core.protocol import ElectionProtocol
 from repro.topology.complete import CompleteTopology
 
-#: One adversary choice: ``("wake", position)`` or ``("deliver", (src, dst))``.
+#: One adversary choice: ``("wake", position)``, ``("deliver", (src, dst))``
+#: or — in fault-budgeted fuzzing worlds only — ``("drop", (src, dst))``.
 Action = tuple[str, Any]
 
 
 def actor(action: Action) -> int:
     """The position whose node an action steps.
 
-    ``wake p`` steps node ``p``; ``deliver (src, dst)`` steps node ``dst``.
+    ``wake p`` steps node ``p``; ``deliver (src, dst)`` steps node ``dst``;
+    ``drop (src, dst)`` is attributed to ``dst`` too (the deprived node).
     This is the key to the independence relation: actions with different
     actors commute (see :func:`independent`).
     """
@@ -413,9 +415,19 @@ class LockStepWorld:
         protocol: ElectionProtocol,
         topology: CompleteTopology,
         base_positions: tuple[int, ...],
+        fault_budget: int = 0,
     ) -> None:
         protocol.validate(topology)
         self.topology = topology
+        #: Remaining ``("drop", link)`` actions the adversary may still
+        #: take.  Zero (the default, and the explorer's only mode) keeps
+        #: the action set at the paper's reliable-link model; the fuzzer's
+        #: fault families set it per episode.  Budget and drop count are
+        #: deliberately NOT folded into the incremental fingerprint: fault
+        #: worlds are for fuzzing, where no state deduplication happens.
+        self.fault_budget = fault_budget
+        #: Messages destroyed by ``("drop", ...)`` actions so far.
+        self.dropped = 0
         self.nodes: list[Node] = [
             protocol.create_node(StepContext(self, position))
             for position in range(topology.n)
@@ -466,6 +478,8 @@ class LockStepWorld:
         """
         child = object.__new__(LockStepWorld)
         child.topology = self.topology
+        child.fault_budget = self.fault_budget
+        child.dropped = self.dropped
         child.nodes = list(self.nodes)
         child.queues = dict(self.queues)
         child.pending_wakes = self.pending_wakes
@@ -507,11 +521,15 @@ class LockStepWorld:
 
     def enabled_actions(self) -> list[Action]:
         """Every choice the adversary has in this configuration, in a
-        canonical deterministic order (wake-ups first, then channels)."""
+        canonical deterministic order (wake-ups, then channel deliveries,
+        then — while the fault budget lasts — channel-head drops)."""
         actions: list[Action] = [
             ("wake", position) for position in sorted(self.pending_wakes)
         ]
-        actions.extend(("deliver", link) for link in sorted(self.queues))
+        links = sorted(self.queues)
+        actions.extend(("deliver", link) for link in links)
+        if self.fault_budget > 0:
+            actions.extend(("drop", link) for link in links)
         return actions
 
     def peek_message(self, link: tuple[int, int]) -> Message:
@@ -614,13 +632,19 @@ class LockStepWorld:
             self.on_leader(position)
 
     def apply(self, action: Action) -> None:
-        """Take one transition: fire a wake-up or deliver a channel head."""
+        """Take one transition: fire a wake-up, deliver a channel head, or
+        (fault-budgeted worlds) destroy a channel head."""
         kind, arg = action
         self.steps += 1
         if kind == "wake":
             self._fp ^= hash((3, arg))
             self.pending_wakes = self.pending_wakes - {arg}
             self._install(arg, self._local_transition(arg, -1, None))
+            return
+        if kind == "drop":
+            self._pop_queue(arg)
+            self.dropped += 1
+            self.fault_budget -= 1
             return
         src, dst = arg
         message = self._pop_queue(arg)

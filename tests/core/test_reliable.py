@@ -1,0 +1,177 @@
+"""Tests for the reliable-delivery overlay (`repro.core.reliable`).
+
+The headline property (the issue's acceptance bar): under *any* seeded
+fault plan with drop-rate < 1.0, the payload sequence each inner node
+observes per link equals the fault-free FIFO sequence — no loss, no
+duplicates, order preserved.  Plus: configuration validation, metadata
+delegation, duplicate/ack bookkeeping, port abandonment at the liveness
+boundary, and the fourteen-protocol N=64 election over lossy links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol, registered_protocols
+from repro.core.reliable import ReliableDelivery
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.faults import FaultPlan
+from repro.sim.network import run_election
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token(Message):
+    """Numbered test payload."""
+
+    value: int
+
+
+class _StreamNode(Node):
+    """Sends ``count`` numbered tokens down every port; records arrivals."""
+
+    def __init__(self, ctx: NodeContext, count: int) -> None:
+        super().__init__(ctx)
+        self.received: list[tuple[int, int]] = []
+        self._count = count
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if spontaneous:
+            for value in range(1, self._count + 1):
+                for port in range(self.ctx.num_ports):
+                    self.ctx.send(port, Token(value))
+
+    def on_message(self, port: int, message: Message) -> None:
+        assert isinstance(message, Token)
+        self.received.append((port, message.value))
+
+
+class StreamProtocol(ElectionProtocol):
+    """Not an election: a deterministic per-link payload stream."""
+
+    name = "STREAM"
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.nodes: list[_StreamNode] = []
+
+    def create_node(self, ctx: NodeContext) -> _StreamNode:
+        node = _StreamNode(ctx, self.count)
+        self.nodes.append(node)
+        return node
+
+
+class TestConfiguration:
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="rto must be positive"):
+            ReliableDelivery(ProtocolE(), rto=0.0)
+        with pytest.raises(ConfigurationError, match="below rto"):
+            ReliableDelivery(ProtocolE(), rto=2.0, rto_cap=1.0)
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            ReliableDelivery(ProtocolE(), max_retries=0)
+
+    def test_metadata_delegates_to_the_inner_protocol(self):
+        wrapped = ReliableDelivery(ProtocolC())
+        assert wrapped.needs_sense_of_direction
+        assert wrapped.describe() == "REL[C]"
+        assert not ReliableDelivery(ProtocolE()).needs_sense_of_direction
+
+    def test_validate_delegates(self):
+        with pytest.raises(ConfigurationError):
+            ReliableDelivery(ProtocolC()).validate(
+                complete_without_sense(8, seed=1)
+            )
+
+
+class TestFifoRestoration:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.6),
+        duplicate=st.floats(min_value=0.0, max_value=1.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_plan_below_total_loss_yields_the_fault_free_sequence(
+        self, drop, duplicate, jitter, seed
+    ):
+        count = 5
+        stream = StreamProtocol(count)
+        run_election(
+            ReliableDelivery(stream, max_retries=200),
+            complete_without_sense(3, seed=seed),
+            faults=FaultPlan(
+                seed=seed, drop=drop, duplicate=duplicate, jitter=jitter
+            ),
+            seed=seed,
+            require_leader=False,
+        )
+        expected = list(range(1, count + 1))
+        assert len(stream.nodes) == 3
+        for node in stream.nodes:
+            for port in range(2):
+                arrived = [v for p, v in node.received if p == port]
+                assert arrived == expected
+
+    def test_lossy_election_bookkeeping_is_consistent(self):
+        result = run_election(
+            ReliableDelivery(ProtocolE()),
+            complete_without_sense(16, seed=3),
+            faults=FaultPlan(seed=3, drop=0.2, duplicate=0.1),
+            seed=3,
+        )
+        result.verify()
+        assert result.messages_dropped > 0
+        assert result.retransmissions > 0
+        assert result.duplicates_suppressed > 0
+        assert result.packets_abandoned == 0
+
+    def test_abandonment_bounds_pursuit_of_a_crashed_peer(self):
+        # Crash one node immediately: its peers' retransmissions must stop
+        # (ports abandoned) instead of livelocking, and the election still
+        # reaches quiescence.
+        result = run_election(
+            ReliableDelivery(ProtocolE(), rto=0.5, rto_cap=1.0, max_retries=3),
+            complete_without_sense(8, seed=5),
+            faults=FaultPlan(seed=5, crashes={2: 0.5}),
+            seed=5,
+            require_leader=False,
+        )
+        assert result.crashed_positions == (2,)
+        assert result.packets_abandoned > 0
+        abandoned = [
+            s["abandoned_ports"] for s in result.node_snapshots
+            if s.get("abandoned_ports")
+        ]
+        assert abandoned
+
+
+class TestAllProtocolsSurviveLoss:
+    @pytest.mark.parametrize("name", sorted(registered_protocols()))
+    def test_unique_leader_at_n64_under_ten_percent_drop(self, name):
+        cls = registered_protocols()[name]
+        protocol = ReliableDelivery(cls())
+        topology = (
+            complete_with_sense_of_direction(64)
+            if cls.needs_sense_of_direction
+            else complete_without_sense(64, seed=1)
+        )
+        result = run_election(
+            protocol,
+            topology,
+            faults=FaultPlan(seed=11, drop=0.10, duplicate=0.05),
+            seed=1,
+        )
+        result.verify()
+        assert result.messages_dropped > 0
+        assert result.protocol == f"REL[{cls().describe()}]"

@@ -15,7 +15,7 @@ class TestCatalogue:
     def test_expected_scenarios_exist(self):
         assert set(SCENARIOS) == {
             "benign", "worst_case", "chain", "adversarial_ports",
-            "congested", "frozen_middle",
+            "congested", "frozen_middle", "lossy", "partitioned",
         }
 
     def test_every_scenario_has_a_description(self):
@@ -49,6 +49,19 @@ class TestRunScenario:
             ProtocolE(), "worst_case", 12, seed=2, wakeup={3: 0.0}
         )
         assert result.leader_position == 3
+
+    def test_lossy_scenario_injects_faults_and_recovers(self):
+        result = run_scenario(ProtocolE(), "lossy", 16, seed=3)
+        result.verify()
+        assert result.faults_injected
+        assert result.messages_dropped > 0
+        assert result.retransmissions > 0
+        assert result.protocol.startswith("REL[")
+
+    def test_partitioned_scenario_heals_and_elects_the_top_id(self):
+        result = run_scenario(ProtocolG(k=4), "partitioned", 16, seed=1)
+        result.verify()
+        assert result.messages_dropped > 0
 
     def test_port_adversary_pins_e_to_linear_time(self):
         from repro.adversary.lower_bound import theorem_bound

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.adversary import wakeup
 from repro.adversary.delays import congested_links, worst_case_unit
+from repro.core.reliable import ReliableDelivery
 from repro.core.results import ElectionResult
 from repro.protocols.nosense.protocol_d import ProtocolD
 from repro.protocols.nosense.protocol_e import ProtocolE
@@ -28,6 +29,7 @@ from repro.protocols.nosense.protocol_r import ProtocolR
 from repro.protocols.sense.protocol_b import ProtocolB
 from repro.protocols.sense.protocol_c import ProtocolC
 from repro.sim.delays import UniformDelay
+from repro.sim.faults import FaultPlan, isolate
 from repro.sim.network import run_election
 from repro.topology.complete import (
     complete_with_sense_of_direction,
@@ -100,6 +102,45 @@ def _case_e32_congested() -> ElectionResult:
     )
 
 
+def _case_e32_lossy_rel() -> ElectionResult:
+    # The full fault stack: drop + duplication + jitter, masked by the
+    # retransmission overlay.  Pins the fault RNG streams, the overlay's
+    # timer schedule, and every new counter.
+    return run_election(
+        ReliableDelivery(ProtocolE()),
+        complete_without_sense(32, seed=9),
+        faults=FaultPlan(seed=9, drop=0.10, duplicate=0.05, jitter=0.25),
+        seed=9,
+    )
+
+
+def _case_g32_partition_rel() -> ElectionResult:
+    topology = complete_without_sense(32, seed=4)
+    victim = max(topology.ids)
+    return run_election(
+        ReliableDelivery(ProtocolG(k=4)),
+        topology,
+        faults=FaultPlan(
+            seed=4, drop=0.05,
+            partitions=isolate(victim, topology.ids, 1.0, 4.0),
+        ),
+        seed=4,
+    )
+
+
+def _case_e16_crash() -> ElectionResult:
+    # Mid-run crash-stop via the plan (no overlay): the run may or may not
+    # elect — the digest pins whatever the kernel does, including the
+    # crashed-positions report.
+    return run_election(
+        ProtocolE(),
+        complete_without_sense(16, seed=6),
+        faults=FaultPlan(seed=6, crashes={3: 1.0, 11: 2.5}),
+        seed=6,
+        require_leader=False,
+    )
+
+
 CASES: dict[str, Any] = {
     "C@64": _case_c64,
     "B@32-unit": _case_b32_unit,
@@ -109,12 +150,15 @@ CASES: dict[str, Any] = {
     "G@64-k8": _case_g64_k8,
     "R@64-lone-base": _case_r64_lone_base,
     "E@32-congested": _case_e32_congested,
+    "E@32-lossy-rel": _case_e32_lossy_rel,
+    "G@32-partition-rel": _case_g32_partition_rel,
+    "E@16-crash": _case_e16_crash,
 }
 
 
 def fingerprint(result: ElectionResult) -> dict[str, Any]:
     """A JSON-stable digest of every deterministic result field."""
-    return {
+    digest: dict[str, Any] = {
         "n": result.n,
         "leader_id": result.leader_id,
         "leader_position": result.leader_position,
@@ -131,6 +175,18 @@ def fingerprint(result: ElectionResult) -> dict[str, Any]:
         "base_positions": list(result.base_positions),
         "max_channel_load": result.max_channel_load,
     }
+    # Fault-layer and overlay fields join the digest only when active, so
+    # fixtures frozen before the fault layer existed stay byte-identical.
+    for name in (
+        "messages_dropped", "messages_duplicated", "messages_jittered",
+        "retransmissions", "duplicates_suppressed", "packets_abandoned",
+    ):
+        value = getattr(result, name)
+        if value:
+            digest[name] = value
+    if result.crashed_positions:
+        digest["crashed_positions"] = list(result.crashed_positions)
+    return digest
 
 
 def fingerprint_bytes(result: ElectionResult) -> bytes:

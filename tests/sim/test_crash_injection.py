@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.invariants import audit
-from repro.core.errors import SimulationError
+from repro.core.errors import ProtocolViolation, SimulationError
 from repro.protocols.nosense.fault_tolerant import FaultTolerantElection
 from repro.protocols.nosense.protocol_d import ProtocolD
 from repro.protocols.nosense.protocol_e import ProtocolE
@@ -42,15 +42,53 @@ class TestCrashSemantics:
         snap = result.node_snapshots[5]
         assert not snap["awake"]
 
-    def test_crash_after_declaration_keeps_the_leader(self):
-        """A leader that crashes after declaring still counts: election is
-        a one-shot event, not a lease."""
+    def test_crash_after_declaration_is_not_a_successful_election(self):
+        """A leader that crashes after declaring leaves no leader among the
+        survivors: the run records who declared, but must not verify."""
         topo = complete_without_sense(6, seed=0)
         result = run_election(
             ProtocolD(), topo, crash_schedule={5: 10.0},
+            require_leader=False,
         )
+        # The declaration itself is still on the record...
         assert result.leader_id == 5
         assert result.crashed_positions == (5,)
+        assert result.leader_crashed
+        # ...but the election did not succeed: no survivor is leader.
+        with pytest.raises(ProtocolViolation, match="crashed after"):
+            result.verify()
+        with pytest.raises(ProtocolViolation):
+            run_election(ProtocolD(), topo, crash_schedule={5: 10.0})
+
+    def test_crash_at_time_zero_is_distinguishable_from_initial_failure(self):
+        """A node crashed at t=0.0 existed (and is reported as crashed);
+        an initially-failed node never did.  The runtime keeps the two
+        populations disjoint and rejects a position listed in both."""
+        topo = complete_without_sense(6, seed=0)
+        crashed = run_election(
+            ProtocolD(), topo, crash_schedule={3: 0.0}, require_leader=False
+        )
+        failed = run_election(
+            ProtocolD(), topo, failed_positions={3}, require_leader=False
+        )
+        assert crashed.crashed_positions == (3,)
+        assert crashed.failed_positions == ()
+        assert failed.failed_positions == (3,)
+        assert failed.crashed_positions == ()
+        # Both kill the victim before it can act...
+        assert not crashed.node_snapshots[3]["awake"]
+        assert not failed.node_snapshots[3]["awake"]
+        # ...but only the crash is an event with a position on the record.
+        with pytest.raises(SimulationError, match="both initially failed"):
+            Network(
+                ProtocolD(), topo,
+                failed_positions={3}, crash_schedule={3: 0.0},
+            )
+
+    def test_negative_crash_time_rejected_at_construction(self):
+        topo = complete_without_sense(4, seed=0)
+        with pytest.raises(SimulationError, match="negative crash time"):
+            Network(ProtocolD(), topo, crash_schedule={1: -0.5})
 
     def test_out_of_range_crash_rejected(self):
         topo = complete_without_sense(4, seed=0)
