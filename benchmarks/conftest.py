@@ -5,9 +5,20 @@ Each experiment benchmark runs its full sweep exactly once inside
 dozens of times would only slow the suite), asserts every paper-shape
 check, and attaches the headline findings to the benchmark's ``extra_info``
 so they appear in ``pytest benchmarks/ --benchmark-only`` output.
+
+The BENCH snapshot writers share one serialisation
+(:func:`canonical_bench_text` / :func:`write_bench`): committed
+``BENCH_*.json`` files must be byte-stable for a given payload, because
+the CI trend gate (``python -m repro trends``) diffs them against their
+merge-base versions and review diffs should only ever show real metric
+movement.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
 
 
 def run_experiment(benchmark, experiment, scale):
@@ -17,3 +28,13 @@ def run_experiment(benchmark, experiment, scale):
         benchmark.extra_info[key] = str(value)[:120]
     report.raise_if_failed()
     return report
+
+
+def canonical_bench_text(payload: dict[str, Any]) -> str:
+    """The one true BENCH serialisation (stable keys, trailing newline)."""
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def write_bench(path: Path, payload: dict[str, Any]) -> None:
+    """Write one BENCH snapshot in the canonical serialisation."""
+    path.write_text(canonical_bench_text(payload))

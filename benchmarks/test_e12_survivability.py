@@ -9,27 +9,15 @@ the same role ``BENCH_kernel.json`` plays for raw kernel speed.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.harness.experiments import QUICK, e12_survivability
 
-from conftest import run_experiment
+from conftest import run_experiment, write_bench
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_faults.json"
 
 
 def test_e12_survivability(benchmark):
     report = run_experiment(benchmark, e12_survivability, QUICK)
-    title, header, rows = report.tables[0]
-    payload = {
-        "experiment": report.experiment,
-        "findings": dict(report.findings),
-        "checks": {check.name: check.passed for check in report.checks},
-        "lossy_sweep": {
-            "title": title,
-            "header": list(header),
-            "rows": [list(row) for row in rows],
-        },
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    write_bench(BENCH_PATH, report.to_payload(tables={"lossy_sweep": 0}))

@@ -23,7 +23,6 @@ than none.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -34,6 +33,8 @@ from repro.topology.complete import (
     complete_with_sense_of_direction,
     complete_without_sense,
 )
+
+from conftest import write_bench
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 
@@ -83,7 +84,7 @@ def _measure(
 
 
 def _flush():
-    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=1, sort_keys=True) + "\n")
+    write_bench(BENCH_PATH, _RESULTS)
 
 
 def test_kernel_throughput_protocol_c_2048(benchmark):

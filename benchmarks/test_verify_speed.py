@@ -34,7 +34,6 @@ a flaky perf gate is worse than none.
 
 from __future__ import annotations
 
-import json
 import resource
 import time
 from pathlib import Path
@@ -48,6 +47,8 @@ from repro.topology.complete import (
     complete_without_sense,
 )
 from repro.verification import count_unpruned_interleavings, explore_protocol
+
+from conftest import write_bench
 
 BENCH_PATH = Path(__file__).parent.parent / "BENCH_verify.json"
 
@@ -90,7 +91,7 @@ def _measure(label: str, protocol, topology, **kwargs):
 
 def _flush() -> None:
     _RESULTS["pr1_baseline_B@4"] = dict(PR1_BASELINE)
-    BENCH_PATH.write_text(json.dumps(_RESULTS, indent=1, sort_keys=True) + "\n")
+    write_bench(BENCH_PATH, _RESULTS)
 
 
 def test_b4_reference_search_beats_pr1_engine(benchmark):

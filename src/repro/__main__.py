@@ -13,6 +13,9 @@ Subcommands::
     python -m repro verify --replay T.json [--shrink]
     python -m repro lint [--format json] [--select/--ignore RPL0xx] [paths]
     python -m repro lint --capabilities
+    python -m repro matrix --spec specs.toml [--outdir OUT] [--strict]
+    python -m repro check --all [--quick] [--outdir OUT] [--spec FILE]
+    python -m repro trends --baseline ci_baseline/ --current .
 
 Kept deliberately thin: each subcommand is a few lines over the public API,
 so it doubles as living documentation.
@@ -162,6 +165,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.core.errors import ConfigurationError
+    from repro.matrix import load_specs, run_matrix
+    from repro.matrix.spec import curated_specs, expand_specs
+
+    try:
+        specs = load_specs(args.spec) if args.spec else curated_specs()
+        if args.strict:
+            expand_specs(specs, filter=False)  # raise on any illegal cell
+    except ConfigurationError as error:
+        print(f"refused: {error}", file=sys.stderr)
+        return 2
+    report = run_matrix(specs, outdir=args.outdir)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.errors import ConfigurationError
+    from repro.matrix import check_all, load_specs
+
+    if not args.all:
+        print("nothing to check: pass --all", file=sys.stderr)
+        return 2
+    try:
+        specs = load_specs(args.spec) if args.spec else None
+        report = check_all(specs, quick=args.quick, outdir=args.outdir)
+    except ConfigurationError as error:
+        print(f"refused: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -264,11 +301,59 @@ def main(argv: list[str] | None = None) -> int:
         add_help=False,
     )
 
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="expand and sweep a declarative scenario-spec file "
+        "(see docs/matrix.md)",
+    )
+    matrix_parser.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="spec file (.toml or .csv; default: the curated slice)",
+    )
+    matrix_parser.add_argument(
+        "--outdir", default=None, metavar="DIR",
+        help="write per-cell config_used.json/result.json and the "
+        "aggregate report under DIR",
+    )
+    matrix_parser.add_argument(
+        "--strict", action="store_true",
+        help="error on any structurally-illegal cell instead of "
+        "filtering it",
+    )
+
+    check_parser = sub.add_parser(
+        "check",
+        help="cross-check the curated matrix against the exhaustive "
+        "checker, the schedule fuzzer, and the reliable-delivery "
+        "contract (see docs/matrix.md)",
+    )
+    check_parser.add_argument(
+        "--all", action="store_true",
+        help="run every phase (required; reserved for future slices)",
+    )
+    check_parser.add_argument(
+        "--quick", action="store_true",
+        help="trim sizes and schedule counts, keep every row",
+    )
+    check_parser.add_argument("--spec", default=None, metavar="FILE")
+    check_parser.add_argument("--outdir", default=None, metavar="DIR")
+
+    sub.add_parser(
+        "trends",
+        help="compare committed BENCH snapshots against a baseline "
+        "(the CI regression gate; see docs/matrix.md)",
+        add_help=False,
+    )
+
     args, extra = parser.parse_known_args(argv)
     if args.command == "lint":
         from repro.lint.cli import main as lint_main
 
         return lint_main(extra)
+    if args.command == "trends":
+        from repro.matrix.trends import main as trends_main
+
+        return trends_main(extra)
     if extra:
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
     if args.command == "list":
@@ -281,6 +366,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "matrix":
+        return _cmd_matrix(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "report":
         from repro.harness.report import main as report_main
 

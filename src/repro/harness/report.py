@@ -29,7 +29,9 @@ reports none — but every "who wins / how it scales / where it crosses"
 statement is checked mechanically.
 
 Regenerate with `python -m repro.harness.report` (append `--quick` for the
-benchmark-sized sweeps).
+benchmark-sized sweeps).  For the engineering complement — the declarative
+(protocol x scenario x N) sweep matrix and the one-command claim check
+`python -m repro check --all` — see docs/matrix.md.
 
 """
 

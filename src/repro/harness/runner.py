@@ -87,6 +87,39 @@ class ExperimentReport:
             details = "; ".join(f"{c.name} ({c.detail})" for c in failed)
             raise AssertionError(f"{self.experiment}: failed checks: {details}")
 
+    def to_payload(
+        self, *, tables: dict[str, int] | None = None
+    ) -> dict[str, Any]:
+        """JSON-able snapshot: findings + check verdicts (+ named tables).
+
+        This is the shape the committed ``BENCH_*.json`` snapshots use
+        (and what the trend gate walks): ``findings`` as a mapping,
+        ``checks`` as name → bool.  ``tables`` selects report tables to
+        embed, as ``{json_key: table_index}``.
+        """
+        payload: dict[str, Any] = {
+            "experiment": self.experiment,
+            "findings": dict(self.findings),
+            "checks": {check.name: check.passed for check in self.checks},
+        }
+        for key, index in (tables or {}).items():
+            title, headers, rows = self.tables[index]
+            payload[key] = {
+                "title": title,
+                "header": list(headers),
+                "rows": [list(row) for row in rows],
+            }
+        return payload
+
+
+def report_digest(payload: dict[str, Any]) -> str:
+    """SHA-256 over a payload's canonical JSON serialisation."""
+    import hashlib
+    import json
+
+    canonical = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()
+
 
 def repeat(
     run: Callable[[int], ElectionResult], seeds: Iterable[int]

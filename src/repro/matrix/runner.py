@@ -1,0 +1,340 @@
+"""The matrix sweep runner: expanded cells → fork pool → aggregate report.
+
+:func:`run_matrix` takes validated spec rows, expands and filters them
+(:mod:`repro.matrix.spec`), executes every legal cell over
+:func:`repro.harness.parallel.run_sweep`'s fork pool, and aggregates the
+per-cell result fingerprints into a :class:`MatrixReport` carrying:
+
+* every cell's slim, JSON-able result fingerprint (the deterministic
+  :class:`~repro.core.results.ElectionResult` fields, fault counters only
+  when active — the same convention as the determinism fixtures);
+* the cells the capability/structure filter dropped, with reasons;
+* cross-cell **checks**: every cell elected and verified, message counts
+  non-decreasing in N within each (tag, protocol, scenario, k, seed)
+  group (up to a small tolerance band — randomized-port scenarios are not
+  exactly monotone run-to-run), and the FT message envelope from E8
+  (``messages ≤ C·(N·f + N·log₂N)``, C = 8 on reliable links, 24 under
+  the lossy overlay, f = 0 here);
+* **baseline deltas** when a previous aggregate report is supplied.
+
+When ``outdir`` is given the runner also writes the Snippet-1 style
+layout: ``cells/<cell_id>/config_used.json`` + ``result.json`` per cell
+and ``matrix_report.json`` / ``matrix_report.md`` at the top.
+
+The report digest (:meth:`MatrixReport.digest`) hashes the canonical
+payload, which contains **no wall-clock times and no worker counts** —
+serial and ``REPRO_PARALLEL`` runs of the same specs must produce
+byte-identical digests (pinned by ``tests/sim/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.harness.parallel import run_sweep
+from repro.harness.runner import Check
+from repro.harness.scenarios import SCENARIOS, run_scenario
+from repro.matrix.spec import (
+    MatrixCell,
+    ScenarioSpec,
+    build_protocol,
+    expand_specs,
+)
+
+#: Messages may dip by this fraction as N grows before the monotonicity
+#: check calls it a violation (hidden-wiring scenarios re-randomise the
+#: port maps per N, so counts wobble slightly around the trend).
+MONOTONICITY_TOLERANCE = 0.05
+
+#: FT envelope constants from E8/E12: messages ≤ C·(N·f + N·log₂N).
+FT_ENVELOPE_RELIABLE = 8.0
+FT_ENVELOPE_LOSSY = 24.0
+
+
+def cell_fingerprint(result: Any) -> dict[str, Any]:
+    """Slim JSON-able digest of one cell's deterministic result fields."""
+    digest: dict[str, Any] = {
+        "n": result.n,
+        "leader_id": result.leader_id,
+        "leader_position": result.leader_position,
+        "elected_at": result.elected_at,
+        "election_time": result.election_time,
+        "messages_total": result.messages_total,
+        "bits_total": result.bits_total,
+        "messages_by_type": dict(sorted(result.messages_by_type.items())),
+        "max_channel_load": result.max_channel_load,
+    }
+    # Fault/overlay counters join only when active, mirroring the
+    # determinism-fixture convention.
+    for name in (
+        "messages_dropped", "messages_duplicated", "messages_jittered",
+        "retransmissions", "duplicates_suppressed", "packets_abandoned",
+    ):
+        value = getattr(result, name)
+        if value:
+            digest[name] = value
+    return digest
+
+
+def run_cell(cell: MatrixCell) -> dict[str, Any]:
+    """Execute one cell (election + result verification) → fingerprint."""
+    result = run_scenario(
+        build_protocol(cell), cell.scenario, cell.n, seed=cell.seed
+    )
+    result.verify()
+    return cell_fingerprint(result)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell with its result fingerprint."""
+
+    cell: MatrixCell
+    fingerprint: dict[str, Any]
+
+
+@dataclass
+class MatrixReport:
+    """Aggregate of one matrix sweep."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    rejected: list[tuple[MatrixCell, str]] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+    baseline_deltas: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every cross-cell check held."""
+        return all(check.passed for check in self.checks)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one named aggregate-check verdict."""
+        self.checks.append(Check(name, bool(passed), detail))
+
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON payload — deterministic across serial/parallel.
+
+        Deliberately excludes anything machine- or schedule-dependent
+        (wall times, worker counts); the digest is a hash of exactly this.
+        """
+        return {
+            "cells": {
+                f"{r.cell.tag}/{r.cell.cell_id}": r.fingerprint
+                for r in self.cells
+            },
+            "rejected": {
+                f"{cell.tag}/{cell.cell_id}": reason
+                for cell, reason in self.rejected
+            },
+            "checks": {
+                check.name: {"passed": check.passed, "detail": check.detail}
+                for check in self.checks
+            },
+            "baseline_deltas": self.baseline_deltas,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical payload serialisation."""
+        canonical = json.dumps(self.payload(), sort_keys=True).encode()
+        return hashlib.sha256(canonical).hexdigest()
+
+    def render(self) -> str:
+        """Plain-text summary (written as ``matrix_report.md``)."""
+        lines = [
+            "# Matrix sweep report",
+            "",
+            f"- cells run: {len(self.cells)}",
+            f"- cells filtered: {len(self.rejected)}",
+            f"- digest: `{self.digest()}`",
+            "",
+        ]
+        if self.rejected:
+            lines.append("## Filtered cells")
+            lines.append("")
+            for cell, reason in self.rejected:
+                lines.append(f"- `{cell.tag}/{cell.cell_id}`: {reason}")
+            lines.append("")
+        lines.append("## Checks")
+        lines.append("")
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            suffix = f" — {check.detail}" if check.detail else ""
+            lines.append(f"- [{mark}] {check.name}{suffix}")
+        lines.append("")
+        if self.baseline_deltas:
+            lines.append("## Baseline deltas")
+            lines.append("")
+            for delta in self.baseline_deltas:
+                lines.append(
+                    f"- `{delta['cell']}` {delta['metric']}: "
+                    f"{delta['baseline']} → {delta['current']} "
+                    f"({delta['delta_pct']:+.1f}%)"
+                )
+            lines.append("")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Assert every aggregate check passed; raise with details if not."""
+        failed = [c for c in self.checks if not c.passed]
+        if failed:
+            details = "; ".join(f"{c.name} ({c.detail})" for c in failed)
+            raise AssertionError(f"matrix sweep: failed checks: {details}")
+
+
+def _check_all_elected(report: MatrixReport) -> None:
+    leaderless = [
+        f"{r.cell.tag}/{r.cell.cell_id}"
+        for r in report.cells
+        if r.fingerprint["leader_id"] is None
+    ]
+    report.check(
+        "every cell elected a unique verified leader",
+        not leaderless,
+        f"{len(report.cells)} cells"
+        + (f"; leaderless: {leaderless}" if leaderless else ""),
+    )
+
+
+def _check_monotonicity(report: MatrixReport) -> None:
+    """Messages non-decreasing in N within each fixed-everything-else group."""
+    groups: dict[tuple, list[tuple[int, int]]] = {}
+    for r in report.cells:
+        key = (r.cell.tag, r.cell.protocol, r.cell.scenario, r.cell.k,
+               r.cell.seed)
+        groups.setdefault(key, []).append(
+            (r.cell.n, r.fingerprint["messages_total"])
+        )
+    violations = []
+    checked = 0
+    for key, points in groups.items():
+        points.sort()
+        if len(points) < 2:
+            continue
+        checked += 1
+        for (n_lo, m_lo), (n_hi, m_hi) in zip(points, points[1:]):
+            if m_hi < m_lo * (1 - MONOTONICITY_TOLERANCE):
+                tag, protocol, scenario, k, seed = key
+                violations.append(
+                    f"{tag}/{protocol}-{scenario}: "
+                    f"N={n_lo}→{n_hi} messages {m_lo}→{m_hi}"
+                )
+    report.check(
+        "messages non-decreasing in N (5% band)",
+        not violations,
+        f"{checked} group(s) with an N axis"
+        + (f"; violations: {violations}" if violations else ""),
+    )
+
+
+def _check_ft_envelope(report: MatrixReport) -> None:
+    """E8's envelope for every FT cell: messages ≤ C·N·log₂N (f = 0)."""
+    worst = 0.0
+    cells = 0
+    violations = []
+    for r in report.cells:
+        if r.cell.protocol != "FT":
+            continue
+        cells += 1
+        limit = (
+            FT_ENVELOPE_LOSSY
+            if SCENARIOS[r.cell.scenario].reliable
+            else FT_ENVELOPE_RELIABLE
+        )
+        ratio = r.fingerprint["messages_total"] / (
+            r.cell.n * math.log2(r.cell.n)
+        )
+        worst = max(worst, ratio)
+        if ratio > limit:
+            violations.append(
+                f"{r.cell.tag}/{r.cell.cell_id}: "
+                f"constant {ratio:.2f} > {limit}"
+            )
+    if not cells:
+        return
+    report.check(
+        "FT message envelope: messages ≤ C·N·log₂N (C=8, 24 under loss)",
+        not violations,
+        f"{cells} FT cell(s), worst constant {worst:.2f}"
+        + (f"; violations: {violations}" if violations else ""),
+    )
+
+
+def _baseline_deltas(
+    report: MatrixReport, baseline: dict[str, Any]
+) -> None:
+    """Per-cell metric deltas against a previous report's payload."""
+    previous = baseline.get("cells", {})
+    current = {
+        f"{r.cell.tag}/{r.cell.cell_id}": r.fingerprint for r in report.cells
+    }
+    for cell_key in sorted(set(previous) & set(current)):
+        for metric in ("messages_total", "bits_total", "election_time"):
+            old = previous[cell_key].get(metric)
+            new = current[cell_key].get(metric)
+            if old in (None, 0) or new is None or old == new:
+                continue
+            report.baseline_deltas.append(
+                {
+                    "cell": cell_key,
+                    "metric": metric,
+                    "baseline": old,
+                    "current": new,
+                    "delta_pct": 100.0 * (new - old) / old,
+                }
+            )
+
+
+def _write_layout(report: MatrixReport, outdir: Path) -> None:
+    """The per-cell output layout plus the aggregate report files."""
+    cells_dir = outdir / "cells"
+    for r in report.cells:
+        cell_dir = cells_dir / r.cell.tag / r.cell.cell_id
+        cell_dir.mkdir(parents=True, exist_ok=True)
+        (cell_dir / "config_used.json").write_text(
+            json.dumps(r.cell.config(), indent=1, sort_keys=True) + "\n"
+        )
+        (cell_dir / "result.json").write_text(
+            json.dumps(r.fingerprint, indent=1, sort_keys=True) + "\n"
+        )
+    outdir.mkdir(parents=True, exist_ok=True)
+    (outdir / "matrix_report.json").write_text(
+        json.dumps(report.payload(), indent=1, sort_keys=True) + "\n"
+    )
+    (outdir / "matrix_report.md").write_text(report.render())
+
+
+def run_matrix(
+    specs: list[ScenarioSpec],
+    *,
+    outdir: str | Path | None = None,
+    parallel: bool | None = None,
+    processes: int | None = None,
+    baseline: dict[str, Any] | None = None,
+) -> MatrixReport:
+    """Expand, filter, execute, and aggregate the given spec rows."""
+    cells, rejected = expand_specs(specs, filter=True)
+    fingerprints = run_sweep(
+        [lambda cell=cell: run_cell(cell) for cell in cells],
+        parallel=parallel,
+        processes=processes,
+    )
+    report = MatrixReport(
+        cells=[
+            CellResult(cell, fingerprint)
+            for cell, fingerprint in zip(cells, fingerprints)
+        ],
+        rejected=rejected,
+    )
+    _check_all_elected(report)
+    _check_monotonicity(report)
+    _check_ft_envelope(report)
+    if baseline is not None:
+        _baseline_deltas(report, baseline)
+    if outdir is not None:
+        _write_layout(report, Path(outdir))
+    return report

@@ -20,10 +20,10 @@ from repro.core.errors import ConfigurationError
 from repro.core.messages import Message
 from repro.core.node import Node, NodeContext
 from repro.core.protocol import ElectionProtocol, registered_protocols
-from repro.core.reliable import ReliableDelivery
+from repro.core.reliable import Ack, Packet, ReliableDelivery, ReliableNode
 from repro.protocols.nosense.protocol_e import ProtocolE
 from repro.protocols.sense.protocol_c import ProtocolC
-from repro.sim.faults import FaultPlan
+from repro.sim.faults import FaultPlan, Partition
 from repro.sim.network import run_election
 from repro.topology.complete import (
     complete_with_sense_of_direction,
@@ -154,6 +154,203 @@ class TestFifoRestoration:
             if s.get("abandoned_ports")
         ]
         assert abandoned
+
+
+class _ArqProbe(NodeContext):
+    """White-box context: records sends, hands out timers to fire by hand."""
+
+    def __init__(self, num_ports: int = 2) -> None:
+        self.node_id = 0
+        self.n = num_ports + 1
+        self.num_ports = num_ports
+        self.has_sense_of_direction = False
+        self.sent: list[tuple[int, Message]] = []
+        self.counters: dict[str, int] = {}
+        self.timers: list = []
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self.sent.append((port, message))
+
+    def set_timer(self, delay, callback) -> None:  # noqa: D102
+        self.timers.append(callback)
+
+    def fire_timer(self) -> None:
+        """Fire the oldest armed timer (the overlay arms one at a time)."""
+        self.timers.pop(0)()
+
+    def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
+        self.counters[metric] = self.counters.get(metric, 0) + delta
+
+    def port_label(self, port: int):  # noqa: D102
+        return None
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        raise AssertionError("no sense of direction in this probe")
+
+    def now(self) -> float:  # noqa: D102
+        return 0.0
+
+    def declare_leader(self) -> None:  # noqa: D102
+        pass
+
+    def trace(self, kind: str, **detail) -> None:  # noqa: D102
+        pass
+
+
+def _arq_node(max_retries: int = 3, num_ports: int = 2):
+    """A ReliableNode over a 1-token stream, plus its probe context."""
+    ctx = _ArqProbe(num_ports)
+    node = ReliableNode(ctx, StreamProtocol(1), ReliableDelivery(
+        ProtocolE(), max_retries=max_retries
+    ))
+    return node, ctx
+
+
+class TestAbandonmentEdgeCases:
+    """The liveness boundary, exercised packet by packet."""
+
+    def test_retry_cap_abandons_the_port_and_stops_pursuit(self):
+        node, ctx = _arq_node(max_retries=3)
+        node.send_reliable(0, Token(1))
+        # Original transmission went out and a timer is armed.
+        assert [p for p, _ in ctx.sent] == [0]
+        for _ in range(3):
+            ctx.fire_timer()
+        assert ctx.counters.get("retransmissions") == 3
+        assert ctx.counters.get("packets_abandoned") is None
+        # The cap-breaking firing abandons instead of retransmitting:
+        # all still-buffered packets are counted, the buffer is cleared,
+        # and no further timer is armed for the port.
+        ctx.fire_timer()
+        assert ctx.counters["packets_abandoned"] == 1
+        assert ctx.counters["retransmissions"] == 3
+        assert node._unacked[0] == {}
+        assert 0 in node._dead_ports
+        assert not ctx.timers
+
+    def test_abandonment_counts_every_buffered_packet(self):
+        node, ctx = _arq_node(max_retries=1)
+        for value in (1, 2, 3):
+            node.send_reliable(0, Token(value))
+        ctx.fire_timer()  # one retransmission of the oldest
+        ctx.fire_timer()  # cap broken: all three pending packets abandoned
+        assert ctx.counters["packets_abandoned"] == 3
+
+    def test_healthy_ports_keep_retransmitting_past_a_dead_one(self):
+        node, ctx = _arq_node(max_retries=1)
+        node.send_reliable(0, Token(1))
+        node.send_reliable(1, Token(1))
+        ctx.fire_timer()  # retry both
+        ctx.fire_timer()  # both hit the cap together here
+        assert node._dead_ports == {0, 1}
+        # A port acked in time never dies: redo with one responsive peer.
+        node, ctx = _arq_node(max_retries=1)
+        node.send_reliable(0, Token(1))
+        node.send_reliable(1, Token(1))
+        node.receive(1, Ack(1))  # port 1's peer answers
+        ctx.fire_timer()
+        ctx.fire_timer()
+        assert node._dead_ports == {0}
+        assert node._unacked[1] == {}
+
+
+class TestResequencingBuffer:
+    """Out-of-order arrivals wait in the reorder buffer until the gap fills
+    — the unit view of a partition closing mid-flight."""
+
+    def test_buffered_packets_drain_in_order_when_the_gap_fills(self):
+        node, ctx = _arq_node()
+        stream = node.inner
+        # Seqs 2 and 3 race ahead of seq 1 (cut, then healed+retransmitted).
+        node.receive(0, Packet(2, Token(2)))
+        node.receive(0, Packet(3, Token(3)))
+        assert stream.received == []
+        assert set(node._reorder[0]) == {2, 3}
+        # Acks still flow while the gap is open, at the old high-water mark.
+        assert [m.ack for _, m in ctx.sent if isinstance(m, Ack)] == [0, 0]
+        node.receive(0, Packet(1, Token(1)))
+        assert stream.received == [(0, 1), (0, 2), (0, 3)]
+        assert node._reorder[0] == {}
+        assert [m.ack for _, m in ctx.sent if isinstance(m, Ack)][-1] == 3
+
+    def test_duplicate_of_a_buffered_packet_is_suppressed(self):
+        node, ctx = _arq_node()
+        node.receive(0, Packet(2, Token(2)))
+        node.receive(0, Packet(2, Token(2)))  # retransmission overshoot
+        assert ctx.counters["duplicates_suppressed"] == 1
+        assert node._reorder[0] == {2: Token(2)}
+
+    def test_partition_closing_mid_flight_restores_fifo(self):
+        # Simulator view: a one-way cut 1->0 while node 1's stream is in
+        # flight.  Everything sent into the cut is dropped; after it heals
+        # the retransmissions interleave with younger packets, so the
+        # reorder buffer must resequence.  The inner protocol still sees
+        # the exact fault-free FIFO stream.
+        count = 6
+        stream = StreamProtocol(count)
+        result = run_election(
+            ReliableDelivery(stream, rto=0.5, max_retries=200),
+            complete_without_sense(3, seed=7),
+            faults=FaultPlan(
+                seed=7, jitter=0.8,
+                partitions=(Partition(1, 0, 0.0, 4.0),),
+            ),
+            seed=7,
+            require_leader=False,
+        )
+        expected = list(range(1, count + 1))
+        for node in stream.nodes:
+            for port in range(2):
+                assert [v for p, v in node.received if p == port] == expected
+        assert result.messages_dropped > 0
+        assert result.retransmissions > 0
+        assert result.packets_abandoned == 0
+
+
+class TestAcksOnAbandonedPorts:
+    """A late ack from a peer already written off must be harmless."""
+
+    def test_late_ack_after_abandonment_does_not_resurrect_the_port(self):
+        node, ctx = _arq_node(max_retries=1)
+        node.send_reliable(0, Token(1))
+        ctx.fire_timer()
+        ctx.fire_timer()
+        assert 0 in node._dead_ports
+        sends_before = len(ctx.sent)
+        # The peer was only slow, not dead: its cumulative ack limps in.
+        node.receive(0, Ack(1))
+        # No crash, no retransmission, no new timer — the port stays dead.
+        assert len(ctx.sent) == sends_before
+        assert not ctx.timers
+        assert 0 in node._dead_ports
+
+    def test_sends_after_abandonment_are_not_pursued(self):
+        node, ctx = _arq_node(max_retries=1)
+        node.send_reliable(0, Token(1))
+        ctx.fire_timer()
+        ctx.fire_timer()
+        assert 0 in node._dead_ports
+        # The inner protocol, oblivious, keeps talking into the black hole.
+        node.send_reliable(0, Token(2))
+        assert any(
+            isinstance(m, Packet) and m.seq == 2 for _, m in ctx.sent
+        )
+        while ctx.timers:  # drain whatever ladder the send armed
+            ctx.fire_timer()
+        # Dead ports are skipped: no retransmission, no abandonment double
+        # count for the new packet beyond its own buffer entry.
+        assert ctx.counters["retransmissions"] == 1
+
+    def test_stale_ack_is_ignored_without_touching_backoff(self):
+        node, ctx = _arq_node(max_retries=5)
+        node.send_reliable(0, Token(1))
+        node.send_reliable(0, Token(2))
+        node.receive(0, Ack(2))
+        assert node._unacked[0] == {}
+        ctx.fire_timer()  # nothing pending: ladder resets quietly
+        node.receive(0, Ack(1))  # reordered stale cumulative ack
+        assert node._acked[0] == 2
+        assert not ctx.timers
 
 
 class TestAllProtocolsSurviveLoss:

@@ -1,0 +1,51 @@
+"""Tier-1 cross-product smoke: every curated (protocol × scenario) cell.
+
+One parametrised, matrix-driven test replaces the old scattered
+per-protocol scenario smoke tests: every *legal* cell of the curated
+slice small enough for tier-1 (N ≤ 8) runs one election and elects a
+verified unique leader.  Coverage therefore tracks the curated spec file
+— adding a protocol or scenario to the slice automatically extends this
+test, and a cell the capability filter rejects is asserted to be
+rejected for a *known* reason rather than silently skipped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.scenarios import run_scenario
+from repro.matrix.spec import build_protocol, curated_specs, expand_specs
+
+_LEGAL, _REJECTED = expand_specs(curated_specs())
+SMOKE_CELLS = [cell for cell in _LEGAL if cell.n <= 8]
+
+
+def _cell_id(cell) -> str:
+    return f"{cell.tag}/{cell.cell_id}"
+
+
+def test_the_smoke_slice_is_substantial():
+    """The curated slice must keep giving tier-1 real cross-product cover."""
+    assert len(SMOKE_CELLS) >= 80
+    protocols = {cell.protocol for cell in SMOKE_CELLS}
+    scenarios = {cell.scenario for cell in SMOKE_CELLS}
+    assert len(protocols) == 14
+    assert len(scenarios) == 8
+
+
+@pytest.mark.parametrize("cell", SMOKE_CELLS, ids=_cell_id)
+def test_cell_elects_a_unique_verified_leader(cell):
+    result = run_scenario(
+        build_protocol(cell), cell.scenario, cell.n, seed=cell.seed
+    )
+    result.verify()
+    assert result.leader_id is not None
+
+
+@pytest.mark.parametrize(
+    "cell,reason", _REJECTED, ids=[_cell_id(c) for c, _ in _REJECTED]
+)
+def test_rejected_cells_have_a_known_reason(cell, reason):
+    known = ("unlabeled", "too small", "no k parameter", "exceeds",
+             "power of two")
+    assert any(marker in reason for marker in known), reason

@@ -1,0 +1,167 @@
+"""Tests for the matrix sweep runner and its aggregate report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.matrix.runner import (
+    FT_ENVELOPE_RELIABLE,
+    MatrixReport,
+    CellResult,
+    run_matrix,
+)
+from repro.matrix.spec import MatrixCell, ScenarioSpec
+
+
+def small_specs() -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            tag="unit",
+            protocols=("E", "G"),
+            scenarios=("worst_case",),
+            ns=(8, 16),
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_matrix(small_specs(), parallel=False)
+
+
+class TestRunMatrix:
+    def test_runs_every_legal_cell(self, report):
+        assert len(report.cells) == 4
+        assert not report.rejected
+
+    def test_every_check_passes_on_the_small_sweep(self, report):
+        assert report.passed
+        names = [c.name for c in report.checks]
+        assert any("elected" in n for n in names)
+        assert any("non-decreasing" in n for n in names)
+
+    def test_results_arrive_in_cell_order(self, report):
+        keys = [(r.cell.protocol, r.cell.n) for r in report.cells]
+        assert keys == [("E", 8), ("E", 16), ("G", 8), ("G", 16)]
+
+    def test_digest_is_stable_across_calls(self, report):
+        again = run_matrix(small_specs(), parallel=False)
+        assert report.digest() == again.digest()
+
+    def test_raise_if_failed_is_silent_on_success(self, report):
+        report.raise_if_failed()
+
+
+class TestOutputLayout:
+    def test_snippet_layout_is_written(self, tmp_path):
+        report = run_matrix(small_specs(), outdir=tmp_path, parallel=False)
+        cell = report.cells[0].cell
+        cell_dir = tmp_path / "cells" / cell.tag / cell.cell_id
+        config = json.loads((cell_dir / "config_used.json").read_text())
+        assert config["protocol"] == cell.protocol
+        assert config["n"] == cell.n
+        result = json.loads((cell_dir / "result.json").read_text())
+        assert result == report.cells[0].fingerprint
+        aggregate = json.loads((tmp_path / "matrix_report.json").read_text())
+        assert aggregate == report.payload()
+        assert (tmp_path / "matrix_report.md").read_text().startswith(
+            "# Matrix sweep report"
+        )
+
+
+class TestChecks:
+    def _fake_report(self, points):
+        """A report with synthetic (n, messages) cells in one group."""
+        report = MatrixReport(
+            cells=[
+                CellResult(
+                    MatrixCell("t", "E", "benign", n, 0),
+                    {
+                        "n": n, "leader_id": n - 1, "leader_position": 0,
+                        "elected_at": 1.0, "election_time": 1.0,
+                        "messages_total": messages, "bits_total": 0,
+                        "messages_by_type": {}, "max_channel_load": 1,
+                    },
+                )
+                for n, messages in points
+            ]
+        )
+        return report
+
+    def test_monotonicity_violation_fails_the_check(self):
+        from repro.matrix.runner import _check_monotonicity
+
+        report = self._fake_report([(8, 100), (16, 50)])
+        _check_monotonicity(report)
+        (check,) = report.checks
+        assert not check.passed
+        assert "N=8→16" in check.detail
+
+    def test_small_dips_stay_inside_the_band(self):
+        from repro.matrix.runner import _check_monotonicity
+
+        report = self._fake_report([(8, 100), (16, 97)])
+        _check_monotonicity(report)
+        assert report.checks[0].passed
+
+    def test_ft_envelope_flags_a_blown_constant(self):
+        from repro.matrix.runner import _check_ft_envelope
+
+        n = 16
+        blown = int(FT_ENVELOPE_RELIABLE * n * 4 * 10)
+        report = MatrixReport(
+            cells=[
+                CellResult(
+                    MatrixCell("t", "FT", "benign", n, 0),
+                    {
+                        "n": n, "leader_id": 1, "leader_position": 0,
+                        "elected_at": 1.0, "election_time": 1.0,
+                        "messages_total": blown, "bits_total": 0,
+                        "messages_by_type": {}, "max_channel_load": 1,
+                    },
+                )
+            ]
+        )
+        _check_ft_envelope(report)
+        (check,) = report.checks
+        assert not check.passed
+
+    def test_failed_checks_raise_with_details(self):
+        report = self._fake_report([(8, 100), (16, 50)])
+        from repro.matrix.runner import _check_monotonicity
+
+        _check_monotonicity(report)
+        with pytest.raises(AssertionError, match="failed checks"):
+            report.raise_if_failed()
+
+
+class TestBaselineDeltas:
+    def test_deltas_against_a_previous_payload(self):
+        baseline = run_matrix(small_specs(), parallel=False)
+        payload = baseline.payload()
+        # Synthetically inflate one metric in the baseline copy.
+        key = next(iter(payload["cells"]))
+        payload["cells"][key]["messages_total"] += 40
+        report = run_matrix(
+            small_specs(), parallel=False, baseline=payload
+        )
+        deltas = [
+            d for d in report.baseline_deltas
+            if d["cell"] == key and d["metric"] == "messages_total"
+        ]
+        assert len(deltas) == 1
+        assert deltas[0]["delta_pct"] < 0
+
+    def test_no_deltas_against_an_identical_baseline(self):
+        baseline = run_matrix(small_specs(), parallel=False)
+        report = run_matrix(
+            small_specs(), parallel=False, baseline=baseline.payload()
+        )
+        assert report.baseline_deltas == []
+
+    def test_deltas_do_not_perturb_the_check_verdict(self):
+        baseline = run_matrix(small_specs(), parallel=False).payload()
+        report = run_matrix(small_specs(), parallel=False, baseline=baseline)
+        assert report.passed

@@ -194,6 +194,26 @@ def fingerprint_bytes(result: ElectionResult) -> bytes:
     return json.dumps(fingerprint(result), sort_keys=True).encode()
 
 
+def assert_digest_stable(build: Any, *, label: str = "digest") -> Any:
+    """Assert ``build(parallel)`` digests agree across execution modes.
+
+    ``build`` is invoked once with ``False`` (serial) and once with
+    ``True`` (fork pool) and must return a comparable digest — bytes, a
+    hex string, or a JSON-able structure.  This is the shared form of
+    the serial-vs-parallel assertion the determinism suite and the
+    matrix runner both owe; returns the serial digest for further
+    pinning.
+    """
+    serial = build(False)
+    parallel = build(True)
+    assert serial == parallel, (
+        f"{label} diverged between serial and parallel execution:\n"
+        f"  serial:   {serial!r}\n"
+        f"  parallel: {parallel!r}"
+    )
+    return serial
+
+
 def run_all_cases() -> dict[str, dict[str, Any]]:
     """Run every case and return its fingerprint, keyed by case name."""
     return {name: fingerprint(run()) for name, run in CASES.items()}

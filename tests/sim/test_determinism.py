@@ -12,7 +12,8 @@ Three layers of guarantee, each backed by an assertion here:
    dict-order or id()-order leakage into results).
 3. **Across serial/parallel sweep execution** — ``run_sweep`` returns the
    same results (in the same order) whether it runs the tasks in-process
-   or fans them over a fork pool.
+   or fans them over a fork pool; the matrix runner's aggregate report
+   digest inherits the same guarantee.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.harness.parallel import run_sweep
 from tests.sim.determinism_cases import (
     CASES,
     FIXTURE_PATH,
+    assert_digest_stable,
     fingerprint,
     fingerprint_bytes,
 )
@@ -56,11 +58,35 @@ def test_repeated_runs_are_byte_identical(name):
 
 def test_serial_and_parallel_sweeps_agree():
     tasks = [CASES[name] for name in sorted(CASES)]
-    serial = run_sweep(tasks, parallel=False)
-    parallel = run_sweep(tasks, parallel=True, processes=2)
-    assert [fingerprint_bytes(r) for r in serial] == [
-        fingerprint_bytes(r) for r in parallel
-    ]
+    assert_digest_stable(
+        lambda parallel: [
+            fingerprint_bytes(r)
+            for r in run_sweep(tasks, parallel=parallel, processes=2)
+        ],
+        label="sweep fingerprints",
+    )
+
+
+def test_matrix_runner_digest_is_execution_mode_independent():
+    """The matrix aggregate report digests identically serial vs forked."""
+    from repro.matrix import parse_toml, run_matrix
+
+    specs = parse_toml(
+        """
+        [[spec]]
+        tag = "det"
+        protocols = ["C", "E", "G"]
+        scenarios = ["worst_case", "lossy"]
+        ns = [8, 16]
+        """
+    )
+    digest = assert_digest_stable(
+        lambda parallel: run_matrix(
+            specs, parallel=parallel, processes=2
+        ).digest(),
+        label="matrix report digest",
+    )
+    assert len(digest) == 64  # sha256 hex
 
 
 def test_run_sweep_preserves_task_order():

@@ -4,8 +4,9 @@
 equivalent gate the acceptance criteria ask for: the workflow must parse,
 every job must be well-formed (runner, steps, pinned actions), and the
 commands CI runs must be the exact commands the repo documents — the
-tier-1 invocation, the self-hosted linter, and the three smoke markers
-from ``pyproject.toml``.  Skips cleanly when PyYAML is absent.
+tier-1 invocation, the self-hosted linter, the smoke markers from
+``pyproject.toml``, the curated matrix cross-check, and the merge-base
+BENCH trend gate.  Skips cleanly when PyYAML is absent.
 """
 
 from __future__ import annotations
@@ -53,7 +54,9 @@ class TestWorkflowShape:
         assert triggers["push"]["branches"] == ["main"]
 
     def test_expected_jobs_exist(self, jobs):
-        assert set(jobs) == {"tests", "lint", "smoke"}
+        assert set(jobs) == {
+            "tests", "lint", "smoke", "matrix", "bench-trends",
+        }
 
     def test_every_job_has_a_runner_and_steps(self, jobs):
         for name, job in jobs.items():
@@ -130,3 +133,38 @@ class TestCommands:
         assert matrix == registered
         lines = list(_run_lines(jobs["smoke"]))
         assert any("-m ${{ matrix.marker }}" in line for line in lines)
+
+    def test_matrix_job_runs_the_quick_curated_cross_check(self, jobs):
+        lines = [line.strip() for line in _run_lines(jobs["matrix"])]
+        assert (
+            "python -m repro check --all --quick --outdir matrix_out"
+            in lines
+        )
+
+    def test_matrix_failure_uploads_the_aggregate_report(self, jobs):
+        uploads = [
+            s for s in _steps(jobs["matrix"])
+            if s.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["if"] == "failure()"
+        assert uploads[0]["with"]["path"] == "matrix_out"
+
+    def test_bench_gate_compares_merge_base_snapshots(self, jobs):
+        job = jobs["bench-trends"]
+        checkouts = [
+            s for s in _steps(job)
+            if s.get("uses", "").startswith("actions/checkout@")
+        ]
+        # The merge-base extraction needs history, not a shallow clone.
+        assert checkouts[0]["with"]["fetch-depth"] == 0
+        lines = [line.strip() for line in _run_lines(job)]
+        assert any("git merge-base" in line for line in lines)
+        for name in (
+            "BENCH_kernel.json", "BENCH_verify.json", "BENCH_faults.json"
+        ):
+            assert any(name in line for line in lines), name
+        assert (
+            "python -m repro trends --baseline ci_baseline --current ."
+            in lines
+        )
