@@ -26,9 +26,11 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
+from repro.matrix.check import _result_fields
 from repro.protocols.nosense.protocol_g import ProtocolG
 from repro.protocols.sense.protocol_c import ProtocolC
 from repro.sim.network import Network
+from repro.sim.shard import ShardedNetwork
 from repro.topology.complete import (
     complete_with_sense_of_direction,
     complete_without_sense,
@@ -101,6 +103,55 @@ def test_kernel_throughput_protocol_c_2048(benchmark):
     )
 
 
+#: Shard count for the large sharded workload: enough to show the
+#: window-synchronised kernel's aggregate capacity without making the
+#: coordinator the bottleneck at this N.
+SHARDS = 16
+
+#: Aggregate-capacity floor for the sharded workload.  The ratio is
+#: structural, not wall-clock: ``aggregate_events_per_sec`` sums the
+#: per-shard busy-time rates (the throughput ``SHARDS`` cores would
+#: sustain), so on any machine it lands near ``SHARDS`` x the per-shard
+#: dispatch efficiency (~1.2x serial per shard at this N) and 10x leaves
+#: a wide noise margin.
+MIN_SHARDED_SPEEDUP = 10.0
+
+
+def _measure_sharded(label: str, n: int, shards: int) -> dict[str, float]:
+    serial = Network(ProtocolC(), complete_with_sense_of_direction(n))
+    start = time.perf_counter()
+    serial_result = serial.run()
+    serial_dt = time.perf_counter() - start
+    serial_rate = serial.scheduler.events_processed / serial_dt
+
+    sharded = ShardedNetwork(
+        ProtocolC(), complete_with_sense_of_direction(n),
+        shards=shards, workers=0,
+    )
+    start = time.perf_counter()
+    sharded_result = sharded.run()
+    sharded_dt = time.perf_counter() - start
+
+    aggregate = sharded.aggregate_events_per_sec
+    stats = {
+        "shards": shards,
+        "events": sharded.stats["events_total"],
+        "windows": sharded.stats["windows"],
+        "run_seconds": round(sharded_dt, 4),
+        "serial_run_seconds": round(serial_dt, 4),
+        "serial_events_per_sec": round(serial_rate, 1),
+        "aggregate_events_per_sec": round(aggregate, 1),
+        "sharded_speedup_vs_serial": round(aggregate / serial_rate, 2),
+        "checks": {
+            "digest_matches_serial": (
+                _result_fields(serial_result) == _result_fields(sharded_result)
+            ),
+        },
+    }
+    _RESULTS[label] = stats
+    return stats
+
+
 def test_kernel_throughput_protocol_g_1024(benchmark):
     topology = complete_without_sense(1024, seed=5)
     stats = benchmark.pedantic(
@@ -117,4 +168,29 @@ def test_kernel_throughput_protocol_g_1024(benchmark):
         f"kernel slowed down: {stats['events_per_sec']:.0f} ev/s is "
         f"{stats['speedup_vs_seed']:.2f}x the seed baseline "
         f"{SEED_BASELINE['G@1024-k10']:.0f} (floor 1.5x)"
+    )
+
+
+def test_sharded_kernel_aggregate_throughput_c_131072(benchmark):
+    """ISSUE 7 headline: C at N=131072 (2^17, the smallest power-of-two
+    >= 100k that Protocol C accepts), 16 shards, digest-checked against
+    the serial run it is compared to."""
+    stats = benchmark.pedantic(
+        _measure_sharded,
+        args=("C@131072-sharded16", 131072, SHARDS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {k: v for k, v in stats.items() if k != "checks"}
+    )
+    _flush()
+    assert stats["checks"]["digest_matches_serial"], (
+        "sharded C@131072 diverged from the serial kernel — the speedup "
+        "number is meaningless if the digest contract is broken"
+    )
+    assert stats["sharded_speedup_vs_serial"] >= MIN_SHARDED_SPEEDUP, (
+        f"sharded aggregate capacity fell to "
+        f"{stats['sharded_speedup_vs_serial']:.1f}x serial "
+        f"(floor {MIN_SHARDED_SPEEDUP}x)"
     )

@@ -17,6 +17,7 @@ from repro.protocols.nosense.protocol_g import ProtocolG
 from repro.protocols.nosense.protocol_r import ProtocolR
 from repro.protocols.sense.protocol_c import ProtocolC
 from repro.sim.network import run_election
+from repro.sim.shard import ShardedNetwork
 from repro.topology.complete import (
     complete_with_sense_of_direction,
     complete_without_sense,
@@ -32,6 +33,42 @@ def test_protocol_c_at_8192(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["messages"] = result.messages_total
     benchmark.extra_info["virtual_time"] = result.election_time
+    assert result.messages_per_node <= 10  # O(N) messages, flat per node
+    assert result.election_time <= 8 * math.log2(n)  # O(log N) time
+
+
+def test_protocol_c_at_one_million_sharded(benchmark):
+    """The million-node election (ISSUE 7): C at N = 1048576 (2^20) on
+    the sharded kernel.
+
+    The serial kernel cannot hold this run: a single heap over ~9M
+    events plus per-node snapshot objects pushes past practical memory
+    and takes the better part of an hour.  Sixteen window-synchronised
+    shards with snapshots disabled complete it in ~2 minutes inside
+    ~2.4 GB.  Snapshots off means ``result.verify()`` has nothing to
+    check, so the assertions here are the aggregate ones: a leader was
+    elected and the per-node message budget stayed flat — the O(N)
+    claim three orders of magnitude above the unit-test sizes.
+    """
+    n = 1 << 20
+
+    def run():
+        network = ShardedNetwork(
+            ProtocolC(), complete_with_sense_of_direction(n),
+            shards=16, workers=0,
+            max_events=20_000_000, collect_snapshots=False,
+        )
+        return network, network.run()
+
+    network, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["messages"] = result.messages_total
+    benchmark.extra_info["virtual_time"] = result.election_time
+    benchmark.extra_info["events"] = network.stats["events_total"]
+    benchmark.extra_info["windows"] = network.stats["windows"]
+    benchmark.extra_info["aggregate_events_per_sec"] = round(
+        network.aggregate_events_per_sec, 1
+    )
+    assert result.leader_id is not None
     assert result.messages_per_node <= 10  # O(N) messages, flat per node
     assert result.election_time <= 8 * math.log2(n)  # O(log N) time
 

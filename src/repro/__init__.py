@@ -37,6 +37,7 @@ from repro.core.results import ElectionResult
 from repro.sim.delays import ConstantDelay, DelayModel, HookDelay, UniformDelay
 from repro.sim.faults import FaultPlan, LinkFaults, Partition, isolate
 from repro.sim.network import Network, run_election
+from repro.sim.shard import ShardedNetwork, run_sharded_election
 from repro.topology.chordal_ring import ChordalRingTopology
 from repro.topology.complete import (
     CompleteTopology,
@@ -76,6 +77,8 @@ __all__ = [
     # runtime
     "Network",
     "run_election",
+    "ShardedNetwork",
+    "run_sharded_election",
     "ElectionResult",
     # topologies
     "CompleteTopology",

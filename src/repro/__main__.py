@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro list
     python -m repro run --protocol C --n 64 [--no-sense] [--seed 7]
+    python -m repro run --protocol C --n 4096 --shards 8 [--shard-workers 0]
     python -m repro replay --protocol A --n 8 [--messages]
     python -m repro scenario --protocol G --name chain --n 64
     python -m repro report [--quick] [--output EXPERIMENTS.md]
@@ -52,7 +53,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         topology = complete_with_sense_of_direction(args.n)
     else:
         topology = complete_without_sense(args.n, seed=args.seed)
-    result = run_election(cls(), topology, seed=args.seed)
+    if args.shards:
+        from repro.sim.shard import run_sharded_election
+
+        result = run_sharded_election(
+            cls(), topology, seed=args.seed,
+            shards=args.shards, workers=args.shard_workers,
+        )
+    else:
+        result = run_election(cls(), topology, seed=args.seed)
     print(result.summary())
     rows = sorted(result.messages_by_type.items())
     print(render_table(("message type", "count"), rows))
@@ -141,9 +150,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     workers = args.workers
     if workers is None:
-        from repro.harness.parallel import _configured_processes
+        from repro.harness.parallel import configured_processes
 
-        workers = _configured_processes()  # REPRO_PARALLEL, like run_sweep
+        workers = configured_processes()  # REPRO_PARALLEL, like run_sweep
     try:
         report = explore_protocol(
             protocol, topology,
@@ -212,6 +221,17 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--no-sense", action="store_true",
         help="run on an unlabeled network (protocols that allow it)",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=0, metavar="K",
+        help="run on the sharded kernel with K shards (digest-identical "
+        "to serial; see docs/performance.md); 0 = the serial kernel",
+    )
+    run_parser.add_argument(
+        "--shard-workers", type=int, default=None, metavar="W",
+        help="with --shards: 0 forces in-process shards, any positive "
+        "value forces one forked worker per shard (default: auto, "
+        "honouring REPRO_PARALLEL)",
     )
 
     replay_parser = sub.add_parser(

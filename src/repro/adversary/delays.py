@@ -39,6 +39,7 @@ def congested_links(latency: float = 0.05) -> DelayModel:
     return HookDelay(
         lambda sender, receiver, message, send_time: latency,
         gap_fn=lambda sender, receiver, message, send_time: 1.0,
+        min_latency=latency,
     )
 
 
@@ -59,4 +60,4 @@ def band_freeze(n: int, epsilon: float = 0.1) -> DelayModel:
             return 1.0
         return epsilon
 
-    return HookDelay(latency)
+    return HookDelay(latency, min_latency=min(epsilon, 1.0))

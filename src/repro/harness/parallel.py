@@ -59,8 +59,13 @@ def _run_indexed_task(index: int) -> Any:
     return _TASKS[index]()
 
 
-def _configured_processes() -> int | None:
-    """Worker count from ``REPRO_PARALLEL``, or None when unset/invalid."""
+def configured_processes() -> int | None:
+    """Worker count from ``REPRO_PARALLEL``, or None when unset/invalid.
+
+    Public: the sharded kernel (:mod:`repro.sim.shard`) honours the same
+    variable for its shard worker pool, so one knob governs every form of
+    process-level parallelism in the repo.
+    """
     raw = os.environ.get("REPRO_PARALLEL", "").strip().lower()
     if not raw:
         return None
@@ -72,11 +77,21 @@ def _configured_processes() -> int | None:
         return None
 
 
-def _fork_context() -> multiprocessing.context.BaseContext | None:
+def fork_context() -> multiprocessing.context.BaseContext | None:
+    """The ``fork`` multiprocessing context, or None where unavailable.
+
+    Fork-only by design: tasks and shard configurations are inherited
+    through the forked address space, never pickled.
+    """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:
         return None
+
+
+# Backwards-compatible private aliases (pre-shard callers import these).
+_configured_processes = configured_processes
+_fork_context = fork_context
 
 
 def run_sweep(

@@ -1,7 +1,7 @@
 """``python -m repro check --all``: the one-command full cross-check.
 
 Runs the curated matrix slice (:func:`repro.matrix.spec.curated_specs`)
-through four phases and folds every verdict into a single
+through five phases and folds every verdict into a single
 :class:`CheckReport`:
 
 1. **Matrix sweep** — every legal (protocol × scenario × N × k × seed)
@@ -22,6 +22,12 @@ through four phases and folds every verdict into a single
    verified leader at N=16 behind the retransmission overlay under the
    ``lossy`` scenario (10% drop, 5% duplication, jitter), with no port
    abandoned: the PR 5 overlay masks the faults completely.
+5. **Sharded-kernel digest contract** — a fixed set of small cells
+   (benign and lossy) runs on both the serial kernel and the sharded
+   kernel (:mod:`repro.sim.shard`) at two shard counts, and every
+   deterministic result field must agree exactly.  This is the
+   sharded/serial equivalence promise of docs/performance.md, enforced
+   on every ``check --all``.
 
 Digest determinism: :meth:`CheckReport.digest` hashes a canonical payload
 with **no wall-clock times and no worker counts**, and every phase fans
@@ -66,6 +72,7 @@ class CheckReport:
     verify: dict[str, dict[str, Any]] = field(default_factory=dict)
     fuzz: dict[str, dict[str, Any]] = field(default_factory=dict)
     contract: dict[str, dict[str, Any]] = field(default_factory=dict)
+    shard: dict[str, dict[str, Any]] = field(default_factory=dict)
     checks: list[Check] = field(default_factory=list)
 
     @property
@@ -83,6 +90,7 @@ class CheckReport:
             "verify": self.verify,
             "fuzz": self.fuzz,
             "contract": self.contract,
+            "shard": self.shard,
             "checks": {
                 check.name: {"passed": check.passed, "detail": check.detail}
                 for check in self.checks
@@ -106,6 +114,7 @@ class CheckReport:
             f"- exhaustive instances: {len(self.verify)}",
             f"- fuzz campaigns: {len(self.fuzz)}",
             f"- overlay contract runs: {len(self.contract)}",
+            f"- sharded digest cells: {len(self.shard)}",
             f"- digest: `{self.digest()}`",
             "",
             "## Matrix checks",
@@ -220,6 +229,92 @@ def _contract_task(protocol_name: str):
     }
 
 
+#: Phase-5 cells: (protocol, n, shard count, lossy?).  Small on purpose —
+#: the exhaustive digest matrix lives in tests/sim/test_shard.py; this is
+#: the always-on cross-runtime smoke.
+SHARD_CELLS: tuple[tuple[str, int, int, bool], ...] = (
+    ("C", 64, 2, False),
+    ("C", 64, 3, False),
+    ("B", 32, 2, False),
+    ("G", 32, 4, False),
+    ("E", 32, 2, True),
+)
+
+
+def _result_fields(result) -> tuple:
+    """Every deterministic ElectionResult field, in a comparable shape.
+
+    The same field set as ``tests/sim/determinism_cases.fingerprint``
+    (kept in sync by tests/sim/test_shard.py); the sharded kernel owes
+    exact equality on all of them.
+    """
+    return (
+        result.n,
+        result.leader_id,
+        result.leader_position,
+        result.elected_at,
+        result.election_time,
+        result.election_depth,
+        result.messages_total,
+        result.bits_total,
+        tuple(sorted(result.messages_by_type.items())),
+        result.max_depth,
+        result.quiescent_at,
+        result.first_wake_time,
+        result.last_wake_time,
+        result.base_positions,
+        result.max_channel_load,
+        result.messages_dropped,
+        result.messages_duplicated,
+        result.messages_jittered,
+        result.retransmissions,
+        result.duplicates_suppressed,
+        result.packets_abandoned,
+        result.crashed_positions,
+    )
+
+
+def _shard_task(protocol_name: str, n: int, shards: int, lossy: bool):
+    """One serial-vs-sharded digest comparison (runs inside the fork pool)."""
+    from repro.core.protocol import protocol_class
+    from repro.core.reliable import ReliableDelivery
+    from repro.sim.faults import FaultPlan
+    from repro.sim.network import run_election
+    from repro.sim.shard import run_sharded_election
+    from repro.topology.complete import (
+        complete_with_sense_of_direction,
+        complete_without_sense,
+    )
+
+    cls = protocol_class(protocol_name)
+
+    def config():
+        protocol = ReliableDelivery(cls()) if lossy else cls()
+        topology = (
+            complete_with_sense_of_direction(n)
+            if protocol.needs_sense_of_direction
+            else complete_without_sense(n, seed=0)
+        )
+        kwargs: dict[str, Any] = {"seed": 0}
+        if lossy:
+            kwargs["faults"] = FaultPlan(
+                seed=0, drop=0.10, duplicate=0.05, jitter=0.25
+            )
+        return protocol, topology, kwargs
+
+    protocol, topology, kwargs = config()
+    serial = run_election(protocol, topology, **kwargs)
+    protocol, topology, kwargs = config()
+    sharded = run_sharded_election(
+        protocol, topology, shards=shards, workers=0, **kwargs
+    )
+    return {
+        "equal": _result_fields(serial) == _result_fields(sharded),
+        "leader_id": serial.leader_id,
+        "messages_total": serial.messages_total,
+    }
+
+
 def check_all(
     specs: list[ScenarioSpec] | None = None,
     *,
@@ -330,6 +425,29 @@ def check_all(
         not abandoned,
         f"{len(protocol_names)} protocols at N={CONTRACT_N}"
         + (f"; failing: {abandoned}" if abandoned else ""),
+    )
+
+    # -- phase 5: the sharded-kernel digest contract -----------------------
+    shard_results = run_sweep(
+        [
+            lambda p=p, n=n, k=k, f=f: _shard_task(p, n, k, f)
+            for p, n, k, f in SHARD_CELLS
+        ],
+        parallel=parallel,
+    )
+    for (protocol, n, shards, lossy), outcome in zip(
+        SHARD_CELLS, shard_results
+    ):
+        label = f"{protocol}@{n}/shards{shards}" + ("+lossy" if lossy else "")
+        report.shard[label] = outcome
+    diverged = [
+        label for label, r in report.shard.items() if not r["equal"]
+    ]
+    report.check(
+        "sharded kernel matches the serial digest on every cell",
+        not diverged,
+        f"{len(SHARD_CELLS)} cells"
+        + (f"; diverged: {diverged}" if diverged else ""),
     )
 
     if outdir is not None:

@@ -25,7 +25,26 @@ from repro.core.messages import Message
 
 
 class DelayModel(ABC):
-    """Chooses per-message latency (and per-link spacing) in ``(0, 1]``."""
+    """Chooses per-message latency (and per-link spacing) in ``(0, 1]``.
+
+    Two class-level attributes describe the model to the sharded kernel
+    (:mod:`repro.sim.shard`), which needs a *conservative lookahead* — a
+    strictly positive lower bound on every latency the model can return —
+    and a guarantee that the model never consumes the shared run RNG
+    (per-shard execution cannot reproduce a global draw order):
+
+    * ``min_latency`` — a float lower-bounding :meth:`latency` for every
+      message, or ``None`` when no bound is declared.  Models with a
+      ``None`` (or non-positive) bound cannot be sharded.
+    * ``uses_run_rng`` — ``True`` when :meth:`latency`/:meth:`gap` may
+      draw from the ``rng`` argument.  Subclasses that ignore it set this
+      ``False`` to become shardable.
+    """
+
+    #: Lower bound on every latency the model returns (None: unbounded).
+    min_latency: float | None = None
+    #: Whether latency()/gap() may consume the shared run RNG.
+    uses_run_rng: bool = True
 
     @abstractmethod
     def latency(
@@ -67,8 +86,11 @@ class ConstantDelay(DelayModel):
     paper's time-complexity definition measures against.
     """
 
+    uses_run_rng = False
+
     def __init__(self, delay: float = 1.0) -> None:
         self._delay = _check_unit_interval(delay, "delay")
+        self.min_latency = self._delay
 
     @property
     def delay(self) -> float:
@@ -86,6 +108,9 @@ class UniformDelay(DelayModel):
         self._high = _check_unit_interval(high, "high")
         if low > high:
             raise ConfigurationError(f"low={low} exceeds high={high}")
+        # The bound is declared for completeness, but the per-message draw
+        # from the shared run RNG keeps this model serial-only.
+        self.min_latency = self._low
 
     def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
         return rng.uniform(self._low, self._high)
@@ -99,11 +124,24 @@ class HookDelay(DelayModel):
     the rest of the network fast.  ``latency_fn`` (and optional ``gap_fn``)
     receive ``(sender, receiver, message, send_time)`` and must return a
     value in ``(0, 1]`` (gap in ``[0, 1]``).
+
+    Hooks never see the run RNG, so a hook model is shardable as soon as
+    the caller declares ``min_latency`` — a positive lower bound on every
+    value ``latency_fn`` can return (left ``None``, the model stays
+    serial-only; the bound is a promise the caller makes, not something
+    the kernel can derive from an opaque callable).
     """
 
-    def __init__(self, latency_fn, gap_fn=None) -> None:
+    uses_run_rng = False
+
+    def __init__(self, latency_fn, gap_fn=None, *, min_latency=None) -> None:
         self._latency_fn = latency_fn
         self._gap_fn = gap_fn
+        if min_latency is not None and min_latency <= 0.0:
+            raise ConfigurationError(
+                f"min_latency must be positive, got {min_latency}"
+            )
+        self.min_latency = min_latency
 
     def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
         return _check_unit_interval(

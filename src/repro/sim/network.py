@@ -69,6 +69,83 @@ WakeupSchedule = Mapping[int, float]
 WakeupFactory = Callable[[CompleteTopology, random.Random], WakeupSchedule]
 
 
+def resolve_wakeup(
+    spec: WakeupSchedule | WakeupFactory | None,
+    topology: CompleteTopology,
+    failed_positions: frozenset[int],
+    rng: random.Random,
+) -> dict[int, float]:
+    """Materialise a wake-up schedule (default: everyone at t=0).
+
+    Shared by :class:`Network` and the sharded kernel so both resolve the
+    same spec to the same schedule — factories draw from ``rng`` *before*
+    any other consumer, which is what keeps factory-produced schedules
+    identical between serial and sharded runs of the same seed.
+    """
+    if spec is None:
+        schedule = {p: 0.0 for p in range(topology.n)}
+    elif callable(spec):
+        schedule = dict(spec(topology, rng))
+    else:
+        schedule = dict(spec)
+    schedule = {p: t for p, t in schedule.items() if p not in failed_positions}
+    if not schedule:
+        raise SimulationError("wake-up schedule contains no live base node")
+    for position, time in schedule.items():
+        if not 0 <= position < topology.n:
+            raise SimulationError(f"wake position {position} out of range")
+        if time < 0:
+            raise SimulationError(f"negative wake time {time}")
+    return schedule
+
+
+def merge_crash_schedule(
+    crash_schedule: Mapping[int, float] | None, faults: FaultPlan | None
+) -> dict[int, float]:
+    """Fold a fault plan's crashes into an explicit crash schedule."""
+    merged = dict(crash_schedule or {})
+    if faults is not None:
+        for position, time in faults.crashes.items():
+            existing = merged.get(position)
+            if existing is not None and existing != time:
+                raise SimulationError(
+                    f"position {position} has conflicting crash times: "
+                    f"{existing} (crash_schedule) vs {time} (fault plan)"
+                )
+            merged[position] = time
+    return merged
+
+
+def validate_failure_config(
+    n: int,
+    failed_positions: frozenset[int],
+    crash_schedule: Mapping[int, float],
+) -> None:
+    """Reject out-of-range/contradictory failure configurations.
+
+    One validation path for every runtime (serial network, sharded
+    kernel), so misconfiguration errors are identical wherever a run is
+    executed.
+    """
+    bad = [p for p in failed_positions if not 0 <= p < n]
+    if bad:
+        raise SimulationError(f"failed positions out of range: {bad}")
+    bad = [p for p in crash_schedule if not 0 <= p < n]
+    if bad:
+        raise SimulationError(f"crash positions out of range: {bad}")
+    bad = [p for p, t in sorted(crash_schedule.items()) if t < 0]
+    if bad:
+        raise SimulationError(f"negative crash times for positions: {bad}")
+    overlap = sorted(failed_positions & crash_schedule.keys())
+    if overlap:
+        raise SimulationError(
+            f"positions {overlap} are both initially failed and scheduled "
+            "to crash; an initially-failed node never existed at runtime, "
+            "so crashing it is contradictory (a crash at t=0.0 is the "
+            "distinguishable alternative)"
+        )
+
+
 class _BoundContext(NodeContext):
     """The capability handle handed to one node."""
 
@@ -138,33 +215,10 @@ class Network:
         self.metrics = MetricsCollector()
         self.channels = ChannelTable()
         self.failed_positions = frozenset(failed_positions)
-        bad = [p for p in self.failed_positions if not 0 <= p < topology.n]
-        if bad:
-            raise SimulationError(f"failed positions out of range: {bad}")
-        self.crash_schedule = dict(crash_schedule or {})
-        if faults is not None:
-            for position, time in faults.crashes.items():
-                existing = self.crash_schedule.get(position)
-                if existing is not None and existing != time:
-                    raise SimulationError(
-                        f"position {position} has conflicting crash times: "
-                        f"{existing} (crash_schedule) vs {time} (fault plan)"
-                    )
-                self.crash_schedule[position] = time
-        bad = [p for p in self.crash_schedule if not 0 <= p < topology.n]
-        if bad:
-            raise SimulationError(f"crash positions out of range: {bad}")
-        bad = [p for p, t in sorted(self.crash_schedule.items()) if t < 0]
-        if bad:
-            raise SimulationError(f"negative crash times for positions: {bad}")
-        overlap = sorted(self.failed_positions & self.crash_schedule.keys())
-        if overlap:
-            raise SimulationError(
-                f"positions {overlap} are both initially failed and scheduled "
-                "to crash; an initially-failed node never existed at runtime, "
-                "so crashing it is contradictory (a crash at t=0.0 is the "
-                "distinguishable alternative)"
-            )
+        self.crash_schedule = merge_crash_schedule(crash_schedule, faults)
+        validate_failure_config(
+            topology.n, self.failed_positions, self.crash_schedule
+        )
         self._crashed: set[int] = set()
         #: Per-run fault state; ``None`` keeps the send path on the fast
         #: branch (one attribute test, zero overhead).
@@ -214,24 +268,9 @@ class Network:
 
     def _resolve_wakeup(self) -> dict[int, float]:
         """Materialise the wake-up schedule (default: everyone at t=0)."""
-        spec = self._wakeup_spec
-        if spec is None:
-            schedule = {p: 0.0 for p in range(self.topology.n)}
-        elif callable(spec):
-            schedule = dict(spec(self.topology, self.rng))
-        else:
-            schedule = dict(spec)
-        schedule = {
-            p: t for p, t in schedule.items() if p not in self.failed_positions
-        }
-        if not schedule:
-            raise SimulationError("wake-up schedule contains no live base node")
-        for position, time in schedule.items():
-            if not 0 <= position < self.topology.n:
-                raise SimulationError(f"wake position {position} out of range")
-            if time < 0:
-                raise SimulationError(f"negative wake time {time}")
-        return schedule
+        return resolve_wakeup(
+            self._wakeup_spec, self.topology, self.failed_positions, self.rng
+        )
 
     def _transmit(self, position: int, port: int, message: Message) -> None:
         """Node ``position`` sends ``message`` through ``port``."""

@@ -50,6 +50,57 @@ class Scheduler:
         """Number of events still queued."""
         return len(self._queue)
 
+    @property
+    def max_events(self) -> int:
+        """The current event budget (see :meth:`set_max_events`)."""
+        return self._max_events
+
+    def set_max_events(self, budget: int) -> None:
+        """Re-arm the livelock budget mid-run.
+
+        Multi-scheduler runs (the sharded kernel) share ONE global budget:
+        before each synchronization window the coordinator grants every
+        shard ``events_processed + remaining_global``, so no single shard
+        can burn more than the whole run has left.  Without this, k shards
+        each carrying the full budget could overrun the serial limit k×
+        before any of them raised.
+        """
+        if budget < self._processed:
+            raise SimulationError(
+                f"event budget {budget} is below the {self._processed} "
+                "events already processed"
+            )
+        self._max_events = budget
+
+    def advance_clock(self, time: float) -> None:
+        """Move the virtual clock forward (window dispatch path).
+
+        The sharded kernel dispatches window events from a sorted list
+        rather than through :meth:`run`; it still owns this scheduler for
+        timers and the clock, so the clock must follow dispatch.  Moving
+        backwards is the same kernel bug it is everywhere else.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"attempt to move the clock backwards to t={time} "
+                f"(now={self._now})"
+            )
+        self._now = time
+
+    def consume_budget(self, count: int) -> None:
+        """Account ``count`` externally dispatched events against the budget.
+
+        Raises :class:`LivelockError` exactly like :meth:`run` does when
+        the budget is exhausted; used by the sharded window loop to keep
+        ``events_processed`` truthful for events it dispatched itself.
+        """
+        self._processed += count
+        if self._processed > self._max_events:
+            raise LivelockError(
+                f"event budget of {self._max_events} exhausted at "
+                f"t={self._now}; the protocol is livelocked"
+            )
+
     def schedule_at(
         self,
         time: float,

@@ -1,0 +1,1231 @@
+"""Sharded simulation kernel: conservative time-window synchronization.
+
+The serial kernel (:mod:`repro.sim.network`) interprets one global event
+heap; beyond ~10⁵ nodes that single loop is the bottleneck.  This module
+partitions the node set across *shards* — each with its own
+:class:`~repro.sim.scheduler.Scheduler`, channel table and metrics — and
+runs them under **conservative time-window synchronization**:
+
+* The *lookahead* ``L`` is the delay model's declared ``min_latency``.
+  Every message sent at time ``t`` arrives no earlier than ``t + L``
+  (the FIFO clamp and fault jitter only push arrivals later), so events
+  inside a window ``[T, T + L)`` can never affect that same window.
+* Each shard therefore executes its window events independently, buffering
+  every send — intra- and inter-shard alike — instead of scheduling it.
+* At the window barrier the coordinator globally orders the buffered
+  sends, assigns each a global sequence key, and routes the batches to the
+  destination shards as **packed integer/float arrays** (the fast lane;
+  nested or tuple-carrying messages ride a pickled slow lane).
+
+**Digest contract.**  A sharded run must be indistinguishable from the
+serial run in every deterministic result field
+(``tests/sim/determinism_cases.fingerprint``).  The serial kernel's total
+event order is ``(time, tiebreak, seq)`` where ``seq`` is the global
+scheduling order; the coordinator reconstructs exactly that order from
+per-send *merge keys*:
+
+* an event dispatched from a globally-keyed entry has rank
+  ``(time, key)``;
+* a timer fired at ``t`` set by an event of rank ``R`` as its ``i``-th
+  timer has rank ``(t, TIMER_MARK, R, i)`` — ``TIMER_MARK`` exceeds every
+  delivery key and is negative for none, so ranks of any two *distinct*
+  events always compare without reaching ragged positions;
+* the ``j``-th send of an event of rank ``R`` carries merge key
+  ``R + (j,)``.
+
+Sorting one window's sends by merge key reproduces the serial scheduling
+order of those sends; assigning consecutive global keys in that order (the
+counter persists across windows) reproduces the serial delivery order at
+every destination.  Wake nudges and crashes get their global keys up
+front, in the same plane order as the serial kernel (crashes < wakes <
+deliveries < timers at equal times).
+
+What is *not* supported sharded: delay models that consume the shared run
+RNG (``UniformDelay`` — a global draw order cannot be reproduced
+per-shard), models with no declared positive ``min_latency``, tracing, and
+``until`` horizons.  Fault plans work unchanged: their per-directed-link
+RNG streams are keyed by ``(seed, src, dst)`` and every link is owned by
+exactly one (sender-side) shard, so draws are independent of execution
+order by construction.
+
+The livelock budget is **global**: before each window every shard is
+granted only what remains of the whole run's ``max_events``, and the
+coordinator re-checks the aggregate at each barrier — k shards can never
+overrun the serial budget k×.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import random
+from array import array
+from collections import Counter
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, fields as _dataclass_fields
+from time import perf_counter
+from typing import Any
+
+from repro.core import errors as _errors
+from repro.core.errors import (
+    ConfigurationError,
+    LivelockError,
+    ProtocolViolation,
+    SimulationError,
+)
+from repro.core.messages import Message, message_bits
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+from repro.core.results import ElectionResult
+from repro.harness.parallel import configured_processes, fork_context
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.events import TIEBREAK_SHIFT
+from repro.sim.faults import FaultPlan
+from repro.sim.link import ChannelTable
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import (
+    WakeupFactory,
+    WakeupSchedule,
+    merge_crash_schedule,
+    resolve_wakeup,
+    validate_failure_config,
+)
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import Tracer
+from repro.topology.complete import CompleteTopology
+
+#: Rank marker for timer-sourced events; above every delivery key (< 2**48).
+TIMER_MARK = 1 << TIEBREAK_SHIFT
+#: Global key planes for the setup entries, mirroring the serial kernel's
+#: tiebreaks (wake -1, crash -2).
+_WAKE_BASE = -(1 << TIEBREAK_SHIFT)
+_CRASH_BASE = -(2 << TIEBREAK_SHIFT)
+
+#: 2-bit field tags in the packed fast lane.
+_TAG_INT, _TAG_TRUE, _TAG_FALSE, _TAG_NONE = 0, 1, 2, 3
+#: Fast-lane integer-array slots per record before the message fields.
+_REC_HEAD = 9
+#: Largest magnitude packed verbatim; wider ints take the slow lane.
+_INT_LIMIT = 1 << 62
+
+
+# ---------------------------------------------------------------------------
+# The packed-array message codec (the inter-shard fast lane).
+# ---------------------------------------------------------------------------
+
+
+class MessageCodec:
+    """Packs flat protocol messages into integer lanes.
+
+    A message is *flat* when every dataclass field is an ``int`` (not
+    ``bool``), ``True``, ``False`` or ``None`` — which covers every hot
+    protocol message in the library.  Flat messages cross shard boundaries
+    as ``(type_id, tagword, int fields...)`` inside one ``array('q')``;
+    everything else (overlay envelopes with nested messages, tuple fields)
+    is relayed object-wise on the slow lane with identical semantics.
+
+    The registry is built once in the coordinator **before** forking, so
+    every worker inherits the same ``type_id`` assignment; ids are an
+    encoding detail and never influence results.
+    """
+
+    def __init__(self) -> None:
+        classes: list[type] = []
+        seen: set[type] = set()
+        stack: list[type] = [Message]
+        while stack:
+            for sub in stack.pop().__subclasses__():
+                if sub not in seen:
+                    seen.add(sub)
+                    classes.append(sub)
+                    stack.append(sub)
+        classes.sort(key=lambda cls: (cls.__module__, cls.__qualname__))
+        self._classes = classes
+        self._type_ids = {cls: i for i, cls in enumerate(classes)}
+        self._field_names = [
+            tuple(f.name for f in _dataclass_fields(cls)) for cls in classes
+        ]
+        self._cache: dict[tuple, Message] = {}
+
+    def pack(self, message: Message) -> tuple[int, int, list[int]] | None:
+        """``(type_id, tagword, int fields)``, or None for the slow lane."""
+        type_id = self._type_ids.get(type(message))
+        if type_id is None:
+            return None
+        names = self._field_names[type_id]
+        if len(names) > 30:  # tagword is 2 bits per field in one int
+            return None
+        tags = 0
+        ints: list[int] = []
+        shift = 0
+        for name in names:
+            value = getattr(message, name)
+            if value is None:
+                tags |= _TAG_NONE << shift
+            elif value is True:
+                tags |= _TAG_TRUE << shift
+            elif value is False:
+                tags |= _TAG_FALSE << shift
+            elif type(value) is int and -_INT_LIMIT < value < _INT_LIMIT:
+                ints.append(value)
+            else:
+                return None
+            shift += 2
+        return type_id, tags, ints
+
+    def unpack(self, type_id: int, tags: int, ints: tuple[int, ...]) -> Message:
+        """Rebuild (and memoise) the message for a packed record.
+
+        Messages are immutable values, so destinations may share one
+        instance across deliveries — the serial kernel already delivers
+        the sender's single object to every recipient of a broadcast.
+        """
+        key = (type_id, tags, ints)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        names = self._field_names[type_id]
+        values: list[Any] = []
+        next_int = iter(ints).__next__
+        shift = 0
+        for _ in names:
+            tag = (tags >> shift) & 3
+            if tag == _TAG_INT:
+                values.append(next_int())
+            elif tag == _TAG_TRUE:
+                values.append(True)
+            elif tag == _TAG_FALSE:
+                values.append(False)
+            else:
+                values.append(None)
+            shift += 2
+        message = self._classes[type_id](*values)
+        if len(self._cache) < 4096:
+            self._cache[key] = message
+        return message
+
+
+class _OutBuffer:
+    """One window's buffered sends from one shard to one destination shard."""
+
+    __slots__ = ("times", "ints", "slow")
+
+    def __init__(self) -> None:
+        #: Fast lane, two doubles per record: (source time, arrival time).
+        self.times = array("d")
+        #: Fast lane, variable stride: ``src_key, send_idx, dest_pos,
+        #: far_port, depth, sender_id, type_id, tagword, nfields, fields...``
+        self.ints = array("q")
+        #: Slow lane: ``(merge_key, arrival, dest_pos, far_port, depth,
+        #: sender_id, message)`` tuples.
+        self.slow: list[tuple] = []
+
+
+# ---------------------------------------------------------------------------
+# The run configuration (inherited by forked workers, never pickled).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RunConfig:
+    protocol: ElectionProtocol
+    topology: CompleteTopology
+    delays: DelayModel
+    failed_positions: frozenset[int]
+    crash_schedule: dict[int, float]
+    faults: FaultPlan | None
+    seed: int
+    max_events: int
+    shards: int
+    collect_snapshots: bool
+    codec: MessageCodec
+    #: Per-shard initial entries: ``(time, global_key, position)``.
+    wakes: list[list[tuple[float, int, int]]]
+    crashes: list[list[tuple[float, int, int]]]
+
+
+def _shard_bounds(n: int, shards: int, index: int) -> tuple[int, int]:
+    """Positions owned by shard ``index``: ``shard_of(p) = p * shards // n``."""
+    lo = (index * n + shards - 1) // shards
+    hi = ((index + 1) * n + shards - 1) // shards
+    return lo, hi
+
+
+class _ShardContext(NodeContext):
+    """The capability handle handed to one node of one shard.
+
+    Mirrors the serial ``_BoundContext`` exactly, except that sends are
+    buffered at the window barrier instead of scheduled, and tracing is a
+    no-op (sharded runs refuse ``trace=True`` up front).
+    """
+
+    def __init__(self, shard: "_Shard", position: int) -> None:
+        topology = shard.topology
+        self._shard = shard
+        self._position = position
+        self.node_id = topology.id_at(position)
+        self.n = topology.n
+        self.num_ports = topology.num_ports
+        self.has_sense_of_direction = topology.sense_of_direction
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        self._shard._transmit(self._position, port, message)
+
+    def port_label(self, port: int) -> int | None:  # noqa: D102
+        return self._shard.topology.label(self._position, port)
+
+    def port_with_label(self, distance: int) -> int:  # noqa: D102
+        return self._shard.topology.port_with_label(self._position, distance)
+
+    def now(self) -> float:  # noqa: D102
+        return self._shard.scheduler.now
+
+    def declare_leader(self) -> None:  # noqa: D102
+        self._shard._on_leader_declared(self._position)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Arm a one-shot timer; see :meth:`NodeContext.set_timer`."""
+        self._shard._schedule_timer(self._position, delay, callback)
+
+    def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
+        self._shard.metrics.bump(metric, delta)
+
+    def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
+        pass
+
+
+class _Shard:
+    """One shard's runtime: nodes, scheduler (timers), channels, metrics."""
+
+    def __init__(self, cfg: _RunConfig, index: int) -> None:
+        self.cfg = cfg
+        self.index = index
+        self.topology = cfg.topology
+        self.scheduler = Scheduler(max_events=cfg.max_events)
+        self.metrics = MetricsCollector()
+        self.channels = ChannelTable()
+        self.codec = cfg.codec
+        self.failed_positions = cfg.failed_positions
+        self._crashed: set[int] = set()
+        self._has_failures = bool(cfg.failed_positions) or bool(
+            cfg.crash_schedule
+        )
+        self._faults = cfg.faults.bind() if cfg.faults is not None else None
+        # Never consumed: shardable delay models ignore the rng argument.
+        self._rng = random.Random(0)
+        self._ids = cfg.topology.ids
+        self._num_ports = cfg.topology.num_ports
+        self._n = cfg.topology.n
+        self._shards = cfg.shards
+        self._messages_total = 0
+        self._bits_total = 0
+        self._type_counts: dict[str, int] = {}
+        self._max_depth = 0
+        self._dropped = 0
+        self._duplicated = 0
+        self._jittered = 0
+        self._channel_of = self.channels.channel
+        self._const_latency = (
+            cfg.delays.delay
+            if type(cfg.delays) is ConstantDelay
+            and type(cfg.delays).gap is DelayModel.gap
+            else None
+        )
+        self._current_depth = 0
+        self._current_rank: tuple = (0.0, 0)
+        self._send_seq = 0
+        self._timer_seq = 0
+        self._leader: tuple[int, float, int] | None = None
+        self._last_time = 0.0
+        self._busy = 0.0
+        self._out: dict[int, _OutBuffer] = {}
+
+        self.lo, self.hi = _shard_bounds(self._n, cfg.shards, index)
+        protocol = cfg.protocol
+        self.nodes: dict[int, Node] = {
+            position: protocol.create_node(_ShardContext(self, position))
+            for position in range(self.lo, self.hi)
+        }
+        #: Globally-keyed entries waiting for their window, serial layout:
+        #: ``(time, key, action, depth, *payload)``.
+        self.future: list[tuple] = [
+            (time, key, self._wake_entry, 0, position)
+            for time, key, position in cfg.wakes[index]
+        ] + [
+            (time, key, self._crash_entry, 0, position)
+            for time, key, position in cfg.crashes[index]
+        ]
+
+    # -- the send path (mirrors Network._transmit, buffered) ---------------
+
+    def _emit(
+        self,
+        arrival: float,
+        dest_pos: int,
+        far_port: int,
+        message: Message,
+        sender_id: int,
+    ) -> None:
+        depth = self._current_depth + 1
+        rank = self._current_rank
+        idx = self._send_seq
+        self._send_seq = idx + 1
+        dest_shard = dest_pos * self._shards // self._n
+        buf = self._out.get(dest_shard)
+        if buf is None:
+            buf = self._out[dest_shard] = _OutBuffer()
+        packed = self.codec.pack(message) if len(rank) == 2 else None
+        if packed is not None:
+            type_id, tags, field_ints = packed
+            buf.times.append(rank[0])
+            buf.times.append(arrival)
+            buf.ints.extend(
+                (
+                    rank[1],
+                    idx,
+                    dest_pos,
+                    far_port,
+                    depth,
+                    sender_id,
+                    type_id,
+                    tags,
+                    len(field_ints),
+                )
+            )
+            if field_ints:
+                buf.ints.extend(field_ints)
+        else:
+            buf.slow.append(
+                (
+                    rank + (idx,),
+                    arrival,
+                    dest_pos,
+                    far_port,
+                    depth,
+                    sender_id,
+                    message,
+                )
+            )
+
+    def _transmit(self, position: int, port: int, message: Message) -> None:
+        if self._faults is not None:
+            self._transmit_faulty(position, port, message)
+            return
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        now = self.scheduler.now
+        channel = self._channel_of(sender_id, self._ids[far])
+        latency = self._const_latency
+        if latency is not None:
+            arrival = now + latency
+            if arrival < channel.last_arrival:
+                arrival = channel.last_arrival
+            channel.last_arrival = arrival
+            channel.messages_sent += 1
+        else:
+            arrival = channel.arrival_time(
+                message, now, self.cfg.delays, self._rng
+            )
+        self._emit(arrival, far, far_port, message, sender_id)
+
+    def _transmit_faulty(
+        self, position: int, port: int, message: Message
+    ) -> None:
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        receiver_id = self._ids[far]
+        now = self.scheduler.now
+        channel = self._channel_of(sender_id, receiver_id)
+        arrival = channel.arrival_time(message, now, self.cfg.delays, self._rng)
+        copies, jitter, dup_jitter, _reason = self._faults.judge(
+            sender_id, receiver_id, now
+        )
+        if copies == 0:
+            self._dropped += 1
+            channel.messages_dropped += 1
+            return
+        if jitter > 0.0:
+            self._jittered += 1
+        self._emit(arrival + jitter, far, far_port, message, sender_id)
+        if copies == 2:
+            self._duplicated += 1
+            channel.messages_duplicated += 1
+            self._emit(arrival + dup_jitter, far, far_port, message, sender_id)
+
+    def _schedule_timer(
+        self, position: int, delay: float, callback: Callable[[], None]
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        fire = self.scheduler.now + delay
+        rank = (fire, TIMER_MARK, self._current_rank, self._timer_seq)
+        self._timer_seq += 1
+        self.scheduler.schedule_payload(
+            fire,
+            self._timer_entry,
+            self._current_depth,
+            (position, callback, rank),
+            1,
+        )
+
+    # -- dispatch handlers (mirror the serial kernel's) --------------------
+
+    def _wake_entry(self, entry: tuple) -> None:
+        position = entry[4]
+        node = self.nodes[position]
+        if position not in self._crashed and not node.awake:
+            self.metrics.on_wake(self.scheduler.now)
+            node.wake(spontaneous=True)
+
+    def _crash_entry(self, entry: tuple) -> None:
+        self._crashed.add(entry[4])
+
+    def _timer_entry(self, entry: tuple) -> None:
+        position = entry[4]
+        if self._has_failures and (
+            position in self.failed_positions or position in self._crashed
+        ):
+            return
+        self._current_depth = entry[3]
+        self._current_rank = entry[6]
+        entry[5]()
+
+    def _deliver_entry(self, entry: tuple) -> None:
+        depth = entry[3]
+        position = entry[4]
+        if depth > self._max_depth:
+            self._max_depth = depth
+        if self._has_failures and (
+            position in self.failed_positions or position in self._crashed
+        ):
+            return
+        node = self.nodes[position]
+        if not node.awake:
+            self.metrics.on_wake(self.scheduler.now)
+        self._current_depth = depth
+        node.receive(entry[5], entry[6])
+
+    def _on_leader_declared(self, position: int) -> None:
+        if self._leader is not None and self._leader[0] != position:
+            first = self.topology.id_at(self._leader[0])
+            second = self.topology.id_at(position)
+            raise ProtocolViolation(
+                f"{self.cfg.protocol.name}: node {second} declared leader at "
+                f"t={self.scheduler.now} but node {first} already had"
+            )
+        if self._leader is None:
+            self._leader = (
+                position,
+                self.scheduler.now,
+                self._current_depth,
+            )
+
+    # -- the window loop ---------------------------------------------------
+
+    def _decode_incoming(self, incoming: list[tuple | None]) -> None:
+        future = self.future
+        deliver = self._deliver_entry
+        unpack = self.codec.unpack
+        for batch in incoming:
+            if batch is None:
+                continue
+            times, ints, fast_keys, slow, slow_keys = batch
+            offset = 0
+            for r, key in enumerate(fast_keys):
+                nfields = ints[offset + 8]
+                message = unpack(
+                    ints[offset + 6],
+                    ints[offset + 7],
+                    tuple(ints[offset + _REC_HEAD : offset + _REC_HEAD + nfields]),
+                )
+                future.append(
+                    (
+                        times[2 * r + 1],
+                        key,
+                        deliver,
+                        ints[offset + 4],
+                        ints[offset + 2],
+                        ints[offset + 3],
+                        message,
+                        ints[offset + 5],
+                    )
+                )
+                offset += _REC_HEAD + nfields
+            for record, key in zip(slow, slow_keys):
+                future.append(
+                    (
+                        record[1],
+                        key,
+                        deliver,
+                        record[4],
+                        record[2],
+                        record[3],
+                        record[6],
+                        record[5],
+                    )
+                )
+
+    def run_window(
+        self,
+        start: float,
+        end: float,
+        budget: int,
+        incoming: list[tuple | None],
+    ) -> tuple[dict[int, tuple], dict[str, Any]]:
+        """Execute every owned event with time in ``[start, end)``.
+
+        ``budget`` is the whole run's remaining event allowance — the
+        global livelock budget, not a per-shard one.  Returns the buffered
+        outgoing sends (keyed by destination shard) and window stats.
+        """
+        t0 = perf_counter()
+        self._decode_incoming(incoming)
+        scheduler = self.scheduler
+        scheduler.set_max_events(scheduler.events_processed + budget)
+        future = self.future
+        if future:
+            due = [e for e in future if e[0] < end]
+            if len(due) == len(future):
+                self.future = []
+            elif due:
+                self.future = [e for e in future if e[0] >= end]
+            due.sort()
+        else:
+            due = []
+        self._out = {}
+        heap = scheduler._queue.heap  # timers only; deliveries stay in lists
+        heappop = heapq.heappop
+        processed = 0
+        i = 0
+        ndue = len(due)
+        while True:
+            if i < ndue:
+                entry = due[i]
+                if heap and heap[0][0] < end and heap[0] < entry:
+                    entry = heappop(heap)
+                else:
+                    i += 1
+            elif heap and heap[0][0] < end:
+                entry = heappop(heap)
+            else:
+                break
+            scheduler._now = entry[0]
+            processed += 1
+            if processed > budget:
+                raise LivelockError(
+                    f"event budget of {self.cfg.max_events} exhausted at "
+                    f"t={entry[0]}; the protocol is livelocked"
+                )
+            self._send_seq = 0
+            self._timer_seq = 0
+            self._current_rank = (entry[0], entry[1])
+            self._current_depth = 0
+            entry[2](entry)
+        if processed:
+            self._last_time = scheduler.now
+            scheduler.consume_budget(processed)
+        self._busy += perf_counter() - t0
+        next_time = None
+        if self.future:
+            next_time = min(e[0] for e in self.future)
+        if heap and (next_time is None or heap[0][0] < next_time):
+            next_time = heap[0][0]
+        out = {
+            dest: (buf.times, buf.ints, buf.slow)
+            for dest, buf in self._out.items()
+        }
+        self._out = {}
+        stats = {
+            "processed": processed,
+            "next_time": next_time,
+            "last_time": self._last_time,
+            "leader": self._leader,
+        }
+        return out, stats
+
+    def finish(self) -> dict[str, Any]:
+        """Final fold of this shard's accounting, for the coordinator."""
+        metrics = self.metrics
+        return {
+            "messages_total": self._messages_total,
+            "bits_total": self._bits_total,
+            "type_counts": self._type_counts,
+            "max_depth": self._max_depth,
+            "dropped": self._dropped,
+            "duplicated": self._duplicated,
+            "jittered": self._jittered,
+            "retransmissions": metrics.retransmissions,
+            "duplicates_suppressed": metrics.duplicates_suppressed,
+            "packets_abandoned": metrics.packets_abandoned,
+            "first_wake": metrics.first_wake_time,
+            "last_wake": metrics.last_wake_time,
+            "leader": self._leader,
+            "processed": self.scheduler.events_processed,
+            "busy": self._busy,
+            "last_time": self._last_time,
+            "max_channel_load": self.channels.max_load,
+            "base_positions": [
+                position
+                for position in range(self.lo, self.hi)
+                if self.nodes[position].is_base
+            ],
+            "crashed": sorted(self._crashed),
+            "snapshots": (
+                [
+                    (position, self.nodes[position].snapshot())
+                    for position in range(self.lo, self.hi)
+                ]
+                if self.cfg.collect_snapshots
+                else None
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker transport: in-process handles and forked pipe workers.
+# ---------------------------------------------------------------------------
+
+
+class _LocalHandle:
+    """Drives one shard in-process (the REPRO_PARALLEL=0 / 1-CPU mode)."""
+
+    def __init__(self, cfg: _RunConfig, index: int) -> None:
+        self._shard = _Shard(cfg, index)
+
+    def window(self, start, end, budget, incoming) -> None:
+        self._reply = self._shard.run_window(start, end, budget, incoming)
+
+    def collect(self):
+        return self._reply
+
+    def finish(self) -> dict[str, Any]:
+        return self._shard.finish()
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, cfg: _RunConfig, index: int) -> None:
+    """Forked worker loop: build the shard post-fork, serve window ops."""
+    try:
+        shard = _Shard(cfg, index)
+        while True:
+            op = conn.recv()
+            if op[0] == "window":
+                conn.send(("done",) + shard.run_window(op[1], op[2], op[3], op[4]))
+            elif op[0] == "finish":
+                conn.send(("result", shard.finish()))
+                return
+            else:
+                return
+    except BaseException as exc:  # relayed and re-raised by the parent
+        import traceback
+
+        try:
+            conn.send(
+                ("error", type(exc).__name__, str(exc), traceback.format_exc())
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _ForkHandle:
+    """Drives one shard in a forked worker over a pipe."""
+
+    def __init__(self, context, cfg: _RunConfig, index: int) -> None:
+        self._conn, child = context.Pipe()
+        self._process = context.Process(
+            target=_worker_main, args=(child, cfg, index), daemon=True
+        )
+        self._process.start()
+        child.close()
+
+    def _recv(self):
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise SimulationError(
+                "shard worker exited unexpectedly (killed or crashed hard)"
+            ) from None
+        if reply[0] == "error":
+            _, name, message, tb = reply
+            exc_type = getattr(_errors, name, None)
+            if exc_type is None or not (
+                isinstance(exc_type, type) and issubclass(exc_type, BaseException)
+            ):
+                raise SimulationError(f"shard worker failed: {message}\n{tb}")
+            raise exc_type(message)
+        return reply
+
+    def window(self, start, end, budget, incoming) -> None:
+        self._conn.send(("window", start, end, budget, incoming))
+
+    def collect(self):
+        reply = self._recv()
+        return reply[1], reply[2]
+
+    def finish(self) -> dict[str, Any]:
+        self._conn.send(("finish",))
+        return self._recv()[1]
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator.
+# ---------------------------------------------------------------------------
+
+
+class ShardedNetwork:
+    """One runnable sharded election (digest-identical to :class:`Network`).
+
+    ``workers=None`` auto-selects: forked shard workers when
+    ``REPRO_PARALLEL`` permits, ``fork`` is available and the host has
+    more than one CPU; in-process shards otherwise.  ``workers=0`` forces
+    in-process execution, any positive value forces one forked worker per
+    shard.  Both modes run the identical window/merge pipeline, so their
+    results are equal by construction.
+
+    After :meth:`run`, :attr:`stats` holds the kernel-level numbers the
+    benchmarks publish (per-shard busy seconds and event counts, window
+    count, wall time).
+    """
+
+    def __init__(
+        self,
+        protocol: ElectionProtocol,
+        topology: CompleteTopology,
+        *,
+        shards: int,
+        workers: int | None = None,
+        delays: DelayModel | None = None,
+        wakeup: WakeupSchedule | WakeupFactory | None = None,
+        failed_positions: frozenset[int] | set[int] = frozenset(),
+        crash_schedule: Mapping[int, float] | None = None,
+        faults: FaultPlan | None = None,
+        seed: int = 0,
+        max_events: int = 5_000_000,
+        collect_snapshots: bool = True,
+    ) -> None:
+        protocol.validate(topology)
+        if not isinstance(shards, int) or not 1 <= shards <= topology.n:
+            raise ConfigurationError(
+                f"shards must be an integer in [1, n={topology.n}], "
+                f"got {shards!r}"
+            )
+        delays = delays if delays is not None else ConstantDelay(1.0)
+        if delays.uses_run_rng:
+            raise ConfigurationError(
+                f"{type(delays).__name__} consumes the shared run RNG; "
+                "sharded execution cannot reproduce a global draw order "
+                "(use ConstantDelay or a HookDelay with min_latency)"
+            )
+        lookahead = delays.min_latency
+        if lookahead is None or lookahead <= 0.0:
+            raise ConfigurationError(
+                f"{type(delays).__name__} declares no positive min_latency; "
+                "conservative windows need a strictly positive lookahead"
+            )
+        self.protocol = protocol
+        self.topology = topology
+        self.lookahead = float(lookahead)
+        self.shards = shards
+        self.max_events = max_events
+        failed = frozenset(failed_positions)
+        crashes = merge_crash_schedule(crash_schedule, faults)
+        validate_failure_config(topology.n, failed, crashes)
+
+        rng = random.Random(seed)
+        schedule = resolve_wakeup(wakeup, topology, failed, rng)
+        n = topology.n
+        wakes: list[list[tuple[float, int, int]]] = [[] for _ in range(shards)]
+        for i, (position, time) in enumerate(schedule.items()):
+            wakes[position * shards // n].append((time, _WAKE_BASE + i, position))
+        crash_entries: list[list[tuple[float, int, int]]] = [
+            [] for _ in range(shards)
+        ]
+        for j, (position, time) in enumerate(crashes.items()):
+            crash_entries[position * shards // n].append(
+                (time, _CRASH_BASE + j, position)
+            )
+        self._initial_min = min(
+            min((t for t, _k, _p in entries), default=float("inf"))
+            for entries in (
+                [w + c for w, c in zip(wakes, crash_entries)]
+            )
+        )
+        self._cfg = _RunConfig(
+            protocol=protocol,
+            topology=topology,
+            delays=delays,
+            failed_positions=failed,
+            crash_schedule=crashes,
+            faults=faults,
+            seed=seed,
+            max_events=max_events,
+            shards=shards,
+            collect_snapshots=collect_snapshots,
+            codec=MessageCodec(),
+            wakes=wakes,
+            crashes=crash_entries,
+        )
+        if workers is None:
+            env = configured_processes()
+            forked = (
+                env != 0
+                and (env or os.cpu_count() or 1) > 1
+                and fork_context() is not None
+            )
+        else:
+            forked = workers > 0 and fork_context() is not None
+        self._forked = forked
+        self._ran = False
+        self.stats: dict[str, Any] = {}
+
+    # -- the barrier loop --------------------------------------------------
+
+    def run(self, *, require_leader: bool = True) -> ElectionResult:
+        """Drive every shard window-by-window to global quiescence."""
+        if self._ran:
+            raise SimulationError(
+                "a ShardedNetwork instance can only run once"
+            )
+        self._ran = True
+        wall0 = perf_counter()
+        k = self.shards
+        cfg = self._cfg
+        if self._forked:
+            context = fork_context()
+            handles: list[Any] = [
+                _ForkHandle(context, cfg, i) for i in range(k)
+            ]
+        else:
+            handles = [_LocalHandle(cfg, i) for i in range(k)]
+        try:
+            finals = self._drive(handles)
+        finally:
+            for handle in handles:
+                handle.close()
+        result = self._build_result(finals)
+        self.stats["wall_seconds"] = perf_counter() - wall0
+        if require_leader:
+            if cfg.collect_snapshots:
+                result.verify()
+            elif result.leader_id is None:
+                raise SimulationError(
+                    "no leader elected (snapshots were not collected, so "
+                    "only the leader check ran)"
+                )
+        return result
+
+    def _drive(self, handles: list[Any]) -> list[dict[str, Any]]:
+        k = self.shards
+        lookahead = self.lookahead
+        max_events = self.max_events
+        global_seq = 0
+        total_processed = 0
+        windows = 0
+        leader: tuple[int, float, int] | None = None
+        leader_shard = -1
+        #: pending_in[dest][src]: batch routed but not yet delivered.
+        pending_in: list[list[tuple | None]] = [
+            [None] * k for _ in range(k)
+        ]
+        next_times: list[float | None] = [
+            self._initial_min if self._initial_min != float("inf") else None
+        ] * k
+        incoming_min = float("inf")
+
+        while True:
+            start = incoming_min
+            for t in next_times:
+                if t is not None and t < start:
+                    start = t
+            if start == float("inf"):
+                break
+            end = start + lookahead
+            budget = max_events - total_processed
+            windows += 1
+            for index, handle in enumerate(handles):
+                handle.window(start, end, budget, pending_in[index])
+            pending_in = [[None] * k for _ in range(k)]
+            outs: list[dict[int, tuple]] = []
+            for index, handle in enumerate(handles):
+                out, stats = handle.collect()
+                outs.append(out)
+                total_processed += stats["processed"]
+                next_times[index] = stats["next_time"]
+                reported = stats["leader"]
+                if reported is not None:
+                    if leader is None:
+                        leader, leader_shard = reported, index
+                    elif leader_shard != index:
+                        self._raise_leader_conflict(leader, reported)
+            if total_processed > max_events:
+                raise LivelockError(
+                    f"event budget of {max_events} exhausted at t={start}; "
+                    f"the protocol is livelocked (aggregate across "
+                    f"{k} shard schedulers)"
+                )
+            incoming_min, global_seq = self._route(
+                outs, pending_in, global_seq
+            )
+
+        finals = [handle.finish() for handle in handles]
+        self.stats.update(
+            {
+                "shards": k,
+                "forked": self._forked,
+                "windows": windows,
+                "events_total": total_processed,
+                "events_per_shard": [f["processed"] for f in finals],
+                "busy_per_shard": [f["busy"] for f in finals],
+            }
+        )
+        return finals
+
+    def _route(
+        self,
+        outs: list[dict[int, tuple]],
+        pending_in: list[list[tuple | None]],
+        global_seq: int,
+    ) -> tuple[float, int]:
+        """Globally order one window's sends and route them to their shards.
+
+        Returns the earliest routed arrival time and the advanced global
+        sequence counter.  The sort key is each record's merge key (see the
+        module docstring); assigning consecutive keys in sorted order
+        reproduces the serial kernel's scheduling order for these sends.
+        """
+        items: list[tuple] = []
+        routed: dict[tuple[int, int], tuple] = {}
+        incoming_min = float("inf")
+        for src, out in enumerate(outs):
+            for dest, (times, ints, slow) in out.items():
+                n_fast = len(times) // 2
+                fast_keys = [0] * n_fast
+                slow_keys = [0] * len(slow)
+                routed[(src, dest)] = (times, ints, slow, fast_keys, slow_keys)
+                offset = 0
+                for r in range(n_fast):
+                    items.append(
+                        (
+                            (times[2 * r], ints[offset], ints[offset + 1]),
+                            src,
+                            dest,
+                            0,
+                            r,
+                        )
+                    )
+                    arrival = times[2 * r + 1]
+                    if arrival < incoming_min:
+                        incoming_min = arrival
+                    offset += _REC_HEAD + ints[offset + 8]
+                for r, record in enumerate(slow):
+                    items.append((record[0], src, dest, 1, r))
+                    if record[1] < incoming_min:
+                        incoming_min = record[1]
+        items.sort()
+        for _mkey, src, dest, lane, r in items:
+            batch = routed[(src, dest)]
+            (batch[3] if lane == 0 else batch[4])[r] = global_seq
+            global_seq += 1
+        for (src, dest), batch in routed.items():
+            times, ints, slow, fast_keys, slow_keys = batch
+            pending_in[dest][src] = (
+                times,
+                ints,
+                array("q", fast_keys),
+                slow,
+                slow_keys,
+            )
+        return incoming_min, global_seq
+
+    def _raise_leader_conflict(
+        self, first: tuple[int, float, int], second: tuple[int, float, int]
+    ) -> None:
+        if first[1] > second[1]:
+            first, second = second, first
+        first_id = self.topology.id_at(first[0])
+        second_id = self.topology.id_at(second[0])
+        raise ProtocolViolation(
+            f"{self.protocol.name}: node {second_id} declared leader at "
+            f"t={second[1]} but node {first_id} already had"
+        )
+
+    # -- result assembly ---------------------------------------------------
+
+    def _build_result(self, finals: list[dict[str, Any]]) -> ElectionResult:
+        by_type: Counter = Counter()
+        for final in finals:
+            by_type.update(final["type_counts"])
+        first_wakes = [
+            f["first_wake"] for f in finals if f["first_wake"] is not None
+        ]
+        last_wakes = [
+            f["last_wake"] for f in finals if f["last_wake"] is not None
+        ]
+        first_wake = min(first_wakes) if first_wakes else None
+        last_wake = max(last_wakes) if last_wakes else None
+        leaders = [f["leader"] for f in finals if f["leader"] is not None]
+        if len(leaders) > 1:
+            self._raise_leader_conflict(leaders[0], leaders[1])
+        leader = leaders[0] if leaders else None
+        leader_position = leader[0] if leader else None
+        elected_at = leader[1] if leader else None
+        election_depth = leader[2] if leader else None
+        election_time = (
+            elected_at - first_wake
+            if elected_at is not None and first_wake is not None
+            else float("inf")
+        )
+        base_positions = tuple(
+            position for final in finals for position in final["base_positions"]
+        )
+        snapshots: tuple = ()
+        if self._cfg.collect_snapshots:
+            snapshots = tuple(
+                snapshot
+                for final in finals
+                for _position, snapshot in final["snapshots"]
+            )
+        quiescent_at = max(final["last_time"] for final in finals)
+        crashed = sorted(
+            position for final in finals for position in final["crashed"]
+        )
+        metrics_sums = {
+            name: sum(final[name] for final in finals)
+            for name in (
+                "messages_total",
+                "bits_total",
+                "dropped",
+                "duplicated",
+                "jittered",
+                "retransmissions",
+                "duplicates_suppressed",
+                "packets_abandoned",
+            )
+        }
+        return ElectionResult(
+            n=self.topology.n,
+            protocol=self.protocol.describe(),
+            leader_id=(
+                self.topology.id_at(leader_position)
+                if leader_position is not None
+                else None
+            ),
+            leader_position=leader_position,
+            elected_at=elected_at,
+            election_time=election_time,
+            election_depth=election_depth,
+            messages_total=metrics_sums["messages_total"],
+            bits_total=metrics_sums["bits_total"],
+            messages_by_type=dict(by_type),
+            max_depth=max(final["max_depth"] for final in finals),
+            quiescent_at=quiescent_at,
+            first_wake_time=first_wake,
+            last_wake_time=last_wake,
+            base_positions=base_positions,
+            failed_positions=tuple(sorted(self._cfg.failed_positions)),
+            node_snapshots=snapshots,
+            trace=Tracer(enabled=False),
+            crashed_positions=tuple(crashed),
+            max_channel_load=max(
+                final["max_channel_load"] for final in finals
+            ),
+            messages_dropped=metrics_sums["dropped"],
+            messages_duplicated=metrics_sums["duplicated"],
+            messages_jittered=metrics_sums["jittered"],
+            retransmissions=metrics_sums["retransmissions"],
+            duplicates_suppressed=metrics_sums["duplicates_suppressed"],
+            packets_abandoned=metrics_sums["packets_abandoned"],
+        )
+
+    @property
+    def aggregate_events_per_sec(self) -> float:
+        """Sum of per-shard busy-time event rates (see docs/performance.md).
+
+        The capacity metric BENCH_kernel.json publishes: each shard's
+        events divided by the wall seconds it spent *processing* (window
+        barriers and coordinator time excluded), summed over shards.  On a
+        multi-core host this is the deliverable aggregate rate; on a
+        single-core container it is the projected one (shards time-slice,
+        so per-shard busy rates are unaffected by contention).
+        """
+        events = self.stats.get("events_per_shard") or []
+        busy = self.stats.get("busy_per_shard") or []
+        return sum(
+            e / b for e, b in zip(events, busy) if b > 0.0
+        )
+
+
+def run_sharded_election(
+    protocol: ElectionProtocol,
+    topology: CompleteTopology,
+    *,
+    shards: int,
+    workers: int | None = None,
+    delays: DelayModel | None = None,
+    wakeup: WakeupSchedule | WakeupFactory | None = None,
+    failed_positions: frozenset[int] | set[int] = frozenset(),
+    crash_schedule: Mapping[int, float] | None = None,
+    faults: FaultPlan | None = None,
+    seed: int = 0,
+    max_events: int = 5_000_000,
+    collect_snapshots: bool = True,
+    require_leader: bool = True,
+) -> ElectionResult:
+    """One-shot convenience wrapper: build a :class:`ShardedNetwork`, run it.
+
+    The keyword signature mirrors :func:`repro.sim.network.run_election`
+    minus the serial-only options (``trace``, ``until``) and plus the
+    sharding controls.
+    """
+    network = ShardedNetwork(
+        protocol,
+        topology,
+        shards=shards,
+        workers=workers,
+        delays=delays,
+        wakeup=wakeup,
+        failed_positions=failed_positions,
+        crash_schedule=crash_schedule,
+        faults=faults,
+        seed=seed,
+        max_events=max_events,
+        collect_snapshots=collect_snapshots,
+    )
+    return network.run(require_leader=require_leader)

@@ -30,13 +30,23 @@ def mini_report():
 
 
 class TestPhases:
-    def test_all_four_phases_ran(self, mini_report):
+    def test_all_five_phases_ran(self, mini_report):
         assert mini_report.matrix.cells
         assert set(mini_report.verify) == {"E@4+census", "C@4+census"}
         assert set(mini_report.fuzz) == {
             "E@8x12+faults1", "C@8x12+faults1"
         }
         assert len(mini_report.contract) == 14
+        assert mini_report.shard
+
+    def test_sharded_digest_phase_matches_serial_on_every_cell(
+        self, mini_report
+    ):
+        assert "C@64/shards2" in mini_report.shard
+        assert any("+lossy" in label for label in mini_report.shard)
+        for label, outcome in mini_report.shard.items():
+            assert outcome["equal"], label
+            assert outcome["leader_id"] is not None, label
 
     def test_the_campaign_passes(self, mini_report):
         assert mini_report.passed

@@ -1,0 +1,496 @@
+"""Sharded-kernel tests: the digest contract, budgets, gating, transport.
+
+The sharded kernel's one hard promise (docs/performance.md, "Sharded
+execution") is **digest equality**: for any shardable configuration, a
+sharded run must agree with the serial kernel on every deterministic
+result field — the same fingerprint the determinism suite pins — at any
+shard count, in-process or forked, faults included.  These tests enforce
+that promise against the committed seed fixtures, plus the global
+livelock budget, the configuration gates, and the packed-array codec.
+
+The ``shard_smoke`` marker is the CI smoke leg: small-N, two shards,
+digest-checked against the frozen fixture file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import wakeup as adversary_wakeup
+from repro.adversary.delays import congested_links, worst_case_unit
+from repro.core.errors import ConfigurationError, LivelockError
+from repro.core.reliable import ReliableDelivery
+from repro.protocols.nosense.protocol_d import ProtocolD
+from repro.protocols.nosense.protocol_e import ProtocolE
+from repro.protocols.nosense.protocol_g import ProtocolG
+from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.sense.protocol_b import ProtocolB
+from repro.protocols.sense.protocol_c import ProtocolC
+from repro.sim.delays import ConstantDelay, HookDelay, UniformDelay
+from repro.sim.faults import FaultPlan, isolate
+from repro.sim.network import run_election
+from repro.sim.scheduler import Scheduler
+from repro.sim.shard import (
+    MessageCodec,
+    ShardedNetwork,
+    run_sharded_election,
+)
+from repro.topology.complete import (
+    complete_with_sense_of_direction,
+    complete_without_sense,
+)
+from tests.sim.determinism_cases import FIXTURE_PATH, fingerprint
+
+# ---------------------------------------------------------------------------
+# Shardable mirrors of the determinism cases: same configuration as
+# tests/sim/determinism_cases.CASES, parameterised by the runner, so the
+# sharded fingerprints can be compared against the frozen seed fixtures.
+# E@64-uniform is deliberately absent: UniformDelay consumes the shared
+# run RNG and is serial-only (see test_uniform_delay_is_refused).
+# ---------------------------------------------------------------------------
+
+
+def _g32_partition_config():
+    topology = complete_without_sense(32, seed=4)
+    return {
+        "protocol": ReliableDelivery(ProtocolG(k=4)),
+        "topology": topology,
+        "faults": FaultPlan(
+            seed=4, drop=0.05,
+            partitions=isolate(max(topology.ids), topology.ids, 1.0, 4.0),
+        ),
+        "seed": 4,
+    }
+
+
+SHARDABLE_CASES = {
+    "C@64": lambda: {
+        "protocol": ProtocolC(),
+        "topology": complete_with_sense_of_direction(64),
+    },
+    "B@32-unit": lambda: {
+        "protocol": ProtocolB(),
+        "topology": complete_with_sense_of_direction(32),
+        "delays": worst_case_unit(),
+    },
+    "C@32-chain": lambda: {
+        "protocol": ProtocolC(),
+        "topology": complete_with_sense_of_direction(32),
+        "delays": worst_case_unit(),
+        "wakeup": adversary_wakeup.staggered_chain(),
+    },
+    "D@32": lambda: {
+        "protocol": ProtocolD(),
+        "topology": complete_without_sense(32, seed=1),
+        "seed": 1,
+    },
+    "G@64-k8": lambda: {
+        "protocol": ProtocolG(k=8),
+        "topology": complete_without_sense(64, seed=3),
+        "delays": worst_case_unit(),
+        "seed": 3,
+    },
+    "R@64-lone-base": lambda: {
+        "protocol": ProtocolR(),
+        "topology": complete_without_sense(64, seed=5),
+        "wakeup": {0: 0.0},
+        "seed": 5,
+    },
+    "E@32-congested": lambda: {
+        "protocol": ProtocolE(),
+        "topology": complete_without_sense(32, seed=7),
+        "delays": congested_links(),
+        "seed": 7,
+    },
+    "E@32-lossy-rel": lambda: {
+        "protocol": ReliableDelivery(ProtocolE()),
+        "topology": complete_without_sense(32, seed=9),
+        "faults": FaultPlan(seed=9, drop=0.10, duplicate=0.05, jitter=0.25),
+        "seed": 9,
+    },
+    "G@32-partition-rel": _g32_partition_config,
+    "E@16-crash": lambda: {
+        "protocol": ProtocolE(),
+        "topology": complete_without_sense(16, seed=6),
+        "faults": FaultPlan(seed=6, crashes={3: 1.0, 11: 2.5}),
+        "seed": 6,
+        "require_leader": False,
+    },
+}
+
+#: The exhaustive digest matrix (fixture equality at two shard counts);
+#: the smoke slice runs a subset at shards=2 only.
+FULL_MATRIX_CASES = sorted(SHARDABLE_CASES)
+SMOKE_CASES = ("C@64", "B@32-unit", "G@64-k8", "E@32-lossy-rel")
+
+
+def _run_sharded(name: str, shards: int, workers: int | None = 0):
+    config = SHARDABLE_CASES[name]()
+    protocol = config.pop("protocol")
+    topology = config.pop("topology")
+    return run_sharded_election(
+        protocol, topology, shards=shards, workers=workers, **config
+    )
+
+
+def _fixture(name: str) -> dict:
+    return json.loads(FIXTURE_PATH.read_text())[name]
+
+
+# ---------------------------------------------------------------------------
+# The digest contract (satellite: fixtures at two shard counts + lossy).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.shard_smoke
+@pytest.mark.parametrize("name", SMOKE_CASES)
+def test_sharded_digest_matches_seed_fixture_smoke(name):
+    """The CI smoke leg: 2 shards, digest-checked against the fixture."""
+    assert fingerprint(_run_sharded(name, shards=2)) == _fixture(name)
+
+
+@pytest.mark.parametrize("name", FULL_MATRIX_CASES)
+@pytest.mark.parametrize("shards", (2, 3))
+def test_sharded_digest_matches_seed_fixture(name, shards):
+    actual = fingerprint(_run_sharded(name, shards=shards))
+    assert actual == _fixture(name), (
+        f"{name} at {shards} shards diverged from the serial seed "
+        "fixture: the sharded kernel broke the digest contract"
+    )
+
+
+def test_lossy_overlay_case_is_exact_under_sharding():
+    """The full fault stack (drop/dup/jitter + retransmission overlay)
+    reproduces every overlay counter, not just the election outcome."""
+    sharded = fingerprint(_run_sharded("E@32-lossy-rel", shards=3))
+    fixture = _fixture("E@32-lossy-rel")
+    for key in (
+        "messages_dropped", "messages_duplicated", "messages_jittered",
+        "retransmissions", "duplicates_suppressed",
+    ):
+        assert sharded[key] == fixture[key], key
+
+
+@pytest.mark.parametrize(
+    "make_config",
+    [
+        lambda: (ProtocolC(), complete_with_sense_of_direction(64), {}),
+        lambda: (
+            ProtocolG(k=8),
+            complete_without_sense(64, seed=3),
+            {"delays": worst_case_unit(), "seed": 3},
+        ),
+        lambda: (
+            ReliableDelivery(ProtocolE()),
+            complete_without_sense(32, seed=9),
+            {
+                "faults": FaultPlan(
+                    seed=9, drop=0.10, duplicate=0.05, jitter=0.25
+                ),
+                "seed": 9,
+            },
+        ),
+    ],
+    ids=["C@64", "G@64-k8", "E@32-lossy-rel"],
+)
+def test_resharding_never_changes_leader_or_message_counts(make_config):
+    """Re-sharding property: 1, 2 and 4 shards agree on every field."""
+    prints = []
+    for shards in (1, 2, 4):
+        protocol, topology, kwargs = make_config()
+        prints.append(
+            fingerprint(
+                run_sharded_election(
+                    protocol, topology, shards=shards, workers=0, **kwargs
+                )
+            )
+        )
+    assert prints[0] == prints[1] == prints[2]
+    serial_protocol, serial_topology, serial_kwargs = make_config()
+    serial = fingerprint(
+        run_election(serial_protocol, serial_topology, **serial_kwargs)
+    )
+    assert prints[0] == serial
+
+
+@pytest.mark.shard_smoke
+def test_forked_workers_match_in_process_shards():
+    """The fork transport is a pure transport: same digest either way."""
+    in_process = fingerprint(_run_sharded("C@64", shards=2, workers=0))
+    forked = fingerprint(_run_sharded("C@64", shards=2, workers=2))
+    assert in_process == forked == _fixture("C@64")
+
+
+def test_worker_exceptions_are_relayed_with_their_type():
+    with pytest.raises(LivelockError):
+        run_sharded_election(
+            ProtocolC(),
+            complete_with_sense_of_direction(64),
+            shards=2,
+            workers=2,
+            max_events=50,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The global livelock budget (satellite: multi-scheduler accounting).
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalBudget:
+    def test_budget_is_global_across_shards_not_per_shard(self):
+        """A budget the serial kernel exhausts must also trip sharded —
+        k shards may not spend k× the serial allowance."""
+        with pytest.raises(LivelockError):
+            run_election(
+                ProtocolC(), complete_with_sense_of_direction(64),
+                max_events=100,
+            )
+        for shards in (2, 4):
+            with pytest.raises(LivelockError):
+                run_sharded_election(
+                    ProtocolC(), complete_with_sense_of_direction(64),
+                    shards=shards, workers=0, max_events=100,
+                )
+
+    def test_budget_sufficient_for_serial_is_sufficient_sharded(self):
+        serial_net_events = 0
+        from repro.sim.network import Network
+
+        net = Network(ProtocolC(), complete_with_sense_of_direction(32))
+        net.run()
+        serial_net_events = net.scheduler.events_processed
+        result = run_sharded_election(
+            ProtocolC(), complete_with_sense_of_direction(32),
+            shards=4, workers=0, max_events=serial_net_events,
+        )
+        assert result.leader_id is not None
+
+    def test_scheduler_set_max_events_rejects_past_budgets(self):
+        scheduler = Scheduler(max_events=10)
+        scheduler.schedule_at(1.0, lambda event: None)
+        scheduler.run()
+        assert scheduler.events_processed == 1
+        with pytest.raises(Exception, match="below the 1 events"):
+            scheduler.set_max_events(0)
+        scheduler.set_max_events(1)
+        assert scheduler.max_events == 1
+
+    def test_scheduler_consume_budget_raises_like_run(self):
+        scheduler = Scheduler(max_events=3)
+        scheduler.consume_budget(3)
+        assert scheduler.events_processed == 3
+        with pytest.raises(LivelockError, match="event budget of 3"):
+            scheduler.consume_budget(1)
+
+    def test_scheduler_advance_clock_is_monotone(self):
+        from repro.core.errors import SimulationError
+
+        scheduler = Scheduler()
+        scheduler.advance_clock(5.0)
+        assert scheduler.now == 5.0
+        with pytest.raises(SimulationError, match="backwards"):
+            scheduler.advance_clock(4.0)
+
+
+# ---------------------------------------------------------------------------
+# Configuration gating: what the sharded kernel refuses, loudly.
+# ---------------------------------------------------------------------------
+
+
+class TestGating:
+    def test_uniform_delay_is_refused(self):
+        with pytest.raises(ConfigurationError, match="run RNG"):
+            ShardedNetwork(
+                ProtocolE(), complete_without_sense(16, seed=0),
+                shards=2, delays=UniformDelay(0.1, 1.0),
+            )
+
+    def test_hook_delay_without_min_latency_is_refused(self):
+        with pytest.raises(ConfigurationError, match="min_latency"):
+            ShardedNetwork(
+                ProtocolE(), complete_without_sense(16, seed=0),
+                shards=2, delays=HookDelay(lambda *a: 0.5),
+            )
+
+    def test_hook_delay_with_declared_bound_is_accepted(self):
+        result = run_sharded_election(
+            ProtocolE(), complete_without_sense(16, seed=0),
+            shards=2, workers=0,
+            delays=HookDelay(lambda *a: 0.5, min_latency=0.5),
+        )
+        assert result.leader_id is not None
+
+    def test_hook_delay_rejects_non_positive_bound_at_construction(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            HookDelay(lambda *a: 0.5, min_latency=0.0)
+
+    def test_shard_count_must_be_in_range(self):
+        topology = complete_without_sense(16, seed=0)
+        for bad in (0, -1, 17):
+            with pytest.raises(ConfigurationError, match="shards"):
+                ShardedNetwork(ProtocolE(), topology, shards=bad)
+
+    def test_lookahead_is_the_delay_models_min_latency(self):
+        network = ShardedNetwork(
+            ProtocolC(), complete_with_sense_of_direction(32),
+            shards=2, delays=ConstantDelay(0.25),
+        )
+        assert network.lookahead == 0.25
+
+    def test_a_sharded_network_runs_once(self):
+        from repro.core.errors import SimulationError
+
+        network = ShardedNetwork(
+            ProtocolC(), complete_with_sense_of_direction(32),
+            shards=2, workers=0,
+        )
+        network.run()
+        with pytest.raises(SimulationError, match="once"):
+            network.run()
+
+
+# ---------------------------------------------------------------------------
+# The packed-array codec.
+# ---------------------------------------------------------------------------
+
+
+class TestMessageCodec:
+    def test_flat_messages_round_trip(self):
+        from repro.protocols.sense.protocol_c import LatticeCapture
+
+        codec = MessageCodec()
+        message = LatticeCapture(rank=41, cand=3)
+        packed = codec.pack(message)
+        assert packed is not None
+        type_id, tags, ints = packed
+        assert codec.unpack(type_id, tags, tuple(ints)) == message
+
+    def test_bool_and_none_fields_ride_the_tagword(self):
+        import dataclasses
+
+        from repro.core.messages import Message
+
+        codec = MessageCodec()
+        flat = None
+        for cls in codec._classes:
+            values = []
+            for f in dataclasses.fields(cls):
+                values.append(True if f.type == "bool" else 7)
+            try:
+                candidate = cls(*values)
+            except Exception:
+                continue
+            if codec.pack(candidate) is not None:
+                flat = candidate
+                break
+        assert flat is not None, "no packable message type found"
+        type_id, tags, ints = codec.pack(flat)
+        assert codec.unpack(type_id, tags, tuple(ints)) == flat
+
+    def test_nested_messages_take_the_slow_lane(self):
+        from repro.core.reliable import Packet
+        from repro.protocols.sense.protocol_c import LatticeCapture
+
+        codec = MessageCodec()
+        packet = Packet(seq=1, payload=LatticeCapture(rank=3, cand=1))
+        assert codec.pack(packet) is None
+
+    def test_registry_is_deterministic_across_instances(self):
+        first = MessageCodec()
+        second = MessageCodec()
+        assert [c.__qualname__ for c in first._classes] == [
+            c.__qualname__ for c in second._classes
+        ]
+
+    def test_unpack_memoises_identical_records(self):
+        from repro.protocols.sense.protocol_c import LatticeCapture
+
+        codec = MessageCodec()
+        type_id, tags, ints = codec.pack(LatticeCapture(rank=5, cand=2))
+        once = codec.unpack(type_id, tags, tuple(ints))
+        again = codec.unpack(type_id, tags, tuple(ints))
+        assert once is again
+
+
+# ---------------------------------------------------------------------------
+# Odd shard geometries and runtime stats.
+# ---------------------------------------------------------------------------
+
+
+class TestGeometryAndStats:
+    def test_shards_equal_to_n_still_agree_with_serial(self):
+        topology = complete_without_sense(8, seed=0)
+        sharded = fingerprint(
+            run_sharded_election(
+                ProtocolE(), topology, shards=8, workers=0, seed=0
+            )
+        )
+        serial = fingerprint(
+            run_election(ProtocolE(), complete_without_sense(8, seed=0), seed=0)
+        )
+        assert sharded == serial
+
+    def test_uneven_shard_sizes_agree_with_serial(self):
+        """n=50 over 7 shards: ceil-boundary ranges, none empty."""
+        topology = complete_without_sense(50, seed=2)
+        sharded = fingerprint(
+            run_sharded_election(
+                ProtocolE(), topology, shards=7, workers=0, seed=2
+            )
+        )
+        serial = fingerprint(
+            run_election(
+                ProtocolE(), complete_without_sense(50, seed=2), seed=2
+            )
+        )
+        assert sharded == serial
+
+    def test_run_stats_account_every_event(self):
+        from repro.sim.network import Network
+
+        net = Network(ProtocolC(), complete_with_sense_of_direction(64))
+        net.run()
+        sharded = ShardedNetwork(
+            ProtocolC(), complete_with_sense_of_direction(64),
+            shards=4, workers=0,
+        )
+        sharded.run()
+        stats = sharded.stats
+        assert stats["events_total"] == net.scheduler.events_processed
+        assert sum(stats["events_per_shard"]) == stats["events_total"]
+        assert stats["shards"] == 4
+        assert stats["windows"] > 0
+        assert sharded.aggregate_events_per_sec > 0
+
+    def test_snapshots_can_be_skipped_for_scale_runs(self):
+        result = run_sharded_election(
+            ProtocolC(), complete_with_sense_of_direction(32),
+            shards=2, workers=0, collect_snapshots=False,
+        )
+        assert result.leader_id is not None
+        assert result.node_snapshots == ()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.shard_smoke
+def test_cli_run_with_shards_matches_serial_summary(capsys):
+    from repro.__main__ import main
+
+    assert main(["run", "--protocol", "C", "--n", "64"]) == 0
+    serial_out = capsys.readouterr().out
+    assert (
+        main(
+            ["run", "--protocol", "C", "--n", "64", "--shards", "2",
+             "--shard-workers", "0"]
+        )
+        == 0
+    )
+    sharded_out = capsys.readouterr().out
+    assert sharded_out == serial_out

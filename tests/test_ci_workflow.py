@@ -134,6 +134,16 @@ class TestCommands:
         lines = list(_run_lines(jobs["smoke"]))
         assert any("-m ${{ matrix.marker }}" in line for line in lines)
 
+    def test_shard_smoke_leg_is_pinned_in_the_smoke_matrix(self, jobs):
+        """The sharded-kernel digest check must stay a named CI leg.
+
+        The marker-equality test above would also catch its removal, but
+        only indirectly (by failing on pyproject).  This pin makes the
+        intent explicit: dropping ``shard_smoke`` from the smoke matrix
+        is dropping the serial-equivalence gate, not a cleanup.
+        """
+        assert "shard_smoke" in jobs["smoke"]["strategy"]["matrix"]["marker"]
+
     def test_matrix_job_runs_the_quick_curated_cross_check(self, jobs):
         lines = [line.strip() for line in _run_lines(jobs["matrix"])]
         assert (
