@@ -12,7 +12,13 @@ swamp the kernel signal); only ``net.run()`` is timed with
 Each workload is run three times on fresh ``Network`` instances and the
 *fastest* run is recorded — every run processes the identical event
 sequence (the kernel is deterministic), so the minimum wall time is the
-best estimate of true kernel speed under noisy-neighbour CPU steal.
+best estimate of true kernel speed under noisy-neighbour CPU steal.  The
+sharded workloads apply the same best-of-three to both sides of the
+serial-vs-sharded comparison (fastest serial run, highest aggregate
+sharded run) and record the process's ``peak_rss_mb`` alongside the
+rates; the vector-engine entry additionally measures the interp engine
+in the same process so ``vector_speedup_vs_interp`` compares like with
+like.
 The baselines are what the seed kernel (commit e13e13e, pre tuple-heap
 rewrite) measured on this container; the tuple-based kernel is asserted
 to beat them by at least 2x, with the actual multiple (~3.5x for C@2048
@@ -23,6 +29,7 @@ than none.
 
 from __future__ import annotations
 
+import resource
 import time
 from pathlib import Path
 
@@ -116,39 +123,114 @@ SHARDS = 16
 #: a wide noise margin.
 MIN_SHARDED_SPEEDUP = 10.0
 
+#: The frozen interp-engine record for C@131072-sharded16 (the committed
+#: BENCH_kernel.json value at the time the vector engine landed).  The
+#: vector engine's acceptance floor is an absolute multiple of this
+#: number, not of the same-session interp measurement, so a slow machine
+#: cannot "pass" by dragging the baseline down with it.
+INTERP_RECORD_AGGREGATE = 1_845_902.6
 
-def _measure_sharded(label: str, n: int, shards: int) -> dict[str, float]:
-    serial = Network(ProtocolC(), complete_with_sense_of_direction(n))
-    start = time.perf_counter()
-    serial_result = serial.run()
-    serial_dt = time.perf_counter() - start
-    serial_rate = serial.scheduler.events_processed / serial_dt
+#: Absolute floor for the vector engine: at least 1.5x the frozen record.
+MIN_VECTOR_VS_RECORD = 1.5
 
-    sharded = ShardedNetwork(
-        ProtocolC(), complete_with_sense_of_direction(n),
-        shards=shards, workers=0,
-    )
-    start = time.perf_counter()
-    sharded_result = sharded.run()
-    sharded_dt = time.perf_counter() - start
+#: Sanity floor on the same-process vector/interp ratio.  The measured
+#: ratio on this container is ~1.4-1.6 (single core, noisy); the gate
+#: only needs to catch "vector stopped being faster at all".
+MIN_VECTOR_VS_INTERP = 1.1
 
-    aggregate = sharded.aggregate_events_per_sec
+
+def _peak_rss_mb() -> float:
+    """The process's peak resident set, in MB (Linux ru_maxrss is KB)."""
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1)
+
+
+#: Serial baseline cache: n -> (result fields, best rate, best seconds).
+#: Both sharded entries compare against the same best-of-ROUNDS serial
+#: run, measured once per process.
+_SERIAL: dict[int, tuple[tuple, float, float]] = {}
+
+
+def _serial_baseline(n: int) -> tuple[tuple, float, float]:
+    cached = _SERIAL.get(n)
+    if cached is not None:
+        return cached
+    best_dt = float("inf")
+    for _ in range(ROUNDS):
+        serial = Network(ProtocolC(), complete_with_sense_of_direction(n))
+        start = time.perf_counter()
+        result = serial.run()
+        dt = time.perf_counter() - start
+        if dt < best_dt:
+            best_dt = dt
+            fields = _result_fields(result)
+            rate = serial.scheduler.events_processed / dt
+    _SERIAL[n] = (fields, rate, best_dt)
+    return _SERIAL[n]
+
+
+def _measure_sharded(
+    label: str, n: int, shards: int, engine: str
+) -> dict[str, float]:
+    serial_fields, serial_rate, serial_dt = _serial_baseline(n)
+
+    best_aggregate = 0.0
+    for _ in range(ROUNDS):
+        sharded = ShardedNetwork(
+            ProtocolC(), complete_with_sense_of_direction(n),
+            shards=shards, workers=0, engine=engine,
+        )
+        start = time.perf_counter()
+        result = sharded.run()
+        dt = time.perf_counter() - start
+        aggregate = sharded.aggregate_events_per_sec
+        if aggregate > best_aggregate:
+            best_aggregate = aggregate
+            best = sharded
+            best_dt = dt
+            digest_ok = serial_fields == _result_fields(result)
+
     stats = {
+        "engine": engine,
         "shards": shards,
-        "events": sharded.stats["events_total"],
-        "windows": sharded.stats["windows"],
-        "run_seconds": round(sharded_dt, 4),
+        "events": best.stats["events_total"],
+        "windows": best.stats["windows"],
+        "run_seconds": round(best_dt, 4),
         "serial_run_seconds": round(serial_dt, 4),
         "serial_events_per_sec": round(serial_rate, 1),
-        "aggregate_events_per_sec": round(aggregate, 1),
-        "sharded_speedup_vs_serial": round(aggregate / serial_rate, 2),
-        "checks": {
-            "digest_matches_serial": (
-                _result_fields(serial_result) == _result_fields(sharded_result)
-            ),
-        },
+        "aggregate_events_per_sec": round(best_aggregate, 1),
+        "sharded_speedup_vs_serial": round(best_aggregate / serial_rate, 2),
+        "peak_rss_mb": _peak_rss_mb(),
+        "checks": {"digest_matches_serial": digest_ok},
     }
     _RESULTS[label] = stats
+    return stats
+
+
+def _measure_sharded_vector(label: str, n: int, shards: int) -> dict:
+    """The vector entry: interp measured in the same process, then vector.
+
+    ``vector_speedup_vs_interp`` is a same-process, same-workload ratio —
+    the only way the two engines' busy-time rates are comparable on a
+    noisy machine.  The interp side reuses the interp entry's measurement
+    when that test already ran in this process (it did, in a full bench
+    run) and measures it otherwise.
+    """
+    interp_label = f"C@{n}-sharded{shards}"
+    interp = _RESULTS.get(interp_label)
+    if interp is None:
+        interp = _measure_sharded(interp_label, n, shards, "interp")
+    stats = _measure_sharded(label, n, shards, "vector")
+    stats["interp_aggregate_events_per_sec"] = interp[
+        "aggregate_events_per_sec"
+    ]
+    stats["vector_speedup_vs_interp"] = round(
+        stats["aggregate_events_per_sec"]
+        / interp["aggregate_events_per_sec"],
+        2,
+    )
+    stats["vector_speedup_vs_record"] = round(
+        stats["aggregate_events_per_sec"] / INTERP_RECORD_AGGREGATE, 2
+    )
     return stats
 
 
@@ -177,7 +259,7 @@ def test_sharded_kernel_aggregate_throughput_c_131072(benchmark):
     the serial run it is compared to."""
     stats = benchmark.pedantic(
         _measure_sharded,
-        args=("C@131072-sharded16", 131072, SHARDS),
+        args=("C@131072-sharded16", 131072, SHARDS, "interp"),
         rounds=1,
         iterations=1,
     )
@@ -193,4 +275,35 @@ def test_sharded_kernel_aggregate_throughput_c_131072(benchmark):
         f"sharded aggregate capacity fell to "
         f"{stats['sharded_speedup_vs_serial']:.1f}x serial "
         f"(floor {MIN_SHARDED_SPEEDUP}x)"
+    )
+
+
+def test_sharded_vector_engine_throughput_c_131072(benchmark):
+    """ISSUE 8 headline: the vectorized delivery engine on the same
+    workload, digest-checked, with both the same-process interp ratio and
+    the absolute multiple of the frozen interp record asserted."""
+    stats = benchmark.pedantic(
+        _measure_sharded_vector,
+        args=("C@131072-sharded16-vector", 131072, SHARDS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {k: v for k, v in stats.items() if k != "checks"}
+    )
+    _flush()
+    assert stats["checks"]["digest_matches_serial"], (
+        "vector-engine C@131072 diverged from the serial kernel — the "
+        "speedup number is meaningless if the digest contract is broken"
+    )
+    assert stats["vector_speedup_vs_record"] >= MIN_VECTOR_VS_RECORD, (
+        f"vector engine reached only "
+        f"{stats['aggregate_events_per_sec']:.0f} ev/s aggregate = "
+        f"{stats['vector_speedup_vs_record']:.2f}x the frozen interp "
+        f"record {INTERP_RECORD_AGGREGATE:.0f} "
+        f"(floor {MIN_VECTOR_VS_RECORD}x)"
+    )
+    assert stats["vector_speedup_vs_interp"] >= MIN_VECTOR_VS_INTERP, (
+        f"vector engine is only {stats['vector_speedup_vs_interp']:.2f}x "
+        f"same-process interp (floor {MIN_VECTOR_VS_INTERP}x)"
     )

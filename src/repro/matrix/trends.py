@@ -22,9 +22,12 @@ What counts as a regression:
 * a tracked metric or workload present in the baseline but **missing**
   from the current file (deleting the evidence is not a fix).
 
-Raw counts (events, states, messages), wall seconds, and RSS are *not*
-gated: they legitimately move when workloads change; the normalised
-throughputs and ratios are the regression signal.
+Raw counts (events, states, messages) and wall seconds are *not* gated:
+they legitimately move when workloads change; the normalised throughputs
+and ratios are the regression signal.  ``peak_rss_mb`` *is* gated
+(lower-is-better) but with a doubled band: memory high-water marks are
+process-wide and wobble with allocator behaviour, so only a clear bloat
+trips the gate.
 
 CLI (``python -m repro trends``)::
 
@@ -59,15 +62,25 @@ _HIGHER_BETTER_NAMES = frozenset(
         "wall_speedup_vs_pr1",
         "store_reduction_vs_pr1",
         "sharded_speedup_vs_serial",
+        "vector_speedup_vs_interp",
+        "vector_speedup_vs_record",
     }
 )
+
+#: Named lower-is-better metrics (beyond the ``overhead`` substring rule).
+_LOWER_BETTER_NAMES = frozenset({"peak_rss_mb"})
+
+#: Per-metric widening of the tolerance band.  ``peak_rss_mb`` is a
+#: process-wide high-water mark (allocator- and import-order-sensitive),
+#: so it gets twice the normal room before tripping the gate.
+_TOLERANCE_SCALE = {"peak_rss_mb": 2.0}
 
 
 def metric_direction(key: str) -> str | None:
     """'up' (higher better), 'down' (lower better), or None (untracked)."""
     if key.endswith("_per_sec") or key in _HIGHER_BETTER_NAMES:
         return "up"
-    if "overhead" in key:
+    if "overhead" in key or key in _LOWER_BETTER_NAMES:
         return "down"
     return None
 
@@ -205,7 +218,7 @@ def _walk(
                 )
                 _compare_value(
                     file, child_path, direction, base_value, cur_number,
-                    tolerance, findings,
+                    tolerance * _TOLERANCE_SCALE.get(key, 1.0), findings,
                 )
 
 

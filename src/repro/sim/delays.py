@@ -101,19 +101,64 @@ class ConstantDelay(DelayModel):
 
 
 class UniformDelay(DelayModel):
-    """Latency drawn uniformly from ``[low, high] ⊆ (0, 1]`` per message."""
+    """Latency drawn uniformly from ``[low, high] ⊆ (0, 1]`` per message.
 
-    def __init__(self, low: float = 0.1, high: float = 1.0) -> None:
+    By default each draw consumes the shared run RNG, which keeps the
+    model serial-only: per-shard execution cannot reproduce a single
+    global draw order.  Declaring ``min_latency=`` opts into sharded
+    execution by switching the draws to *per-directed-link* streams,
+    each lazily seeded from ``(stream_seed, sender, receiver)``.  A
+    link's draws then happen in that link's FIFO send order — an order
+    the sharded kernel's digest contract already reproduces exactly —
+    so serial and sharded runs see identical latencies no matter how
+    links interleave globally.  The declared bound must satisfy
+    ``0 < min_latency <= low`` (the kernel uses it as the conservative
+    window lookahead, so it may not exceed any latency the model can
+    actually return).
+
+    Note the two modes are *different random processes*: the same
+    ``(low, high)`` model produces different delays with and without
+    ``min_latency=``, so frozen fixtures pin one mode or the other.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.1,
+        high: float = 1.0,
+        *,
+        min_latency: float | None = None,
+        stream_seed: int = 0,
+    ) -> None:
         self._low = _check_unit_interval(low, "low")
         self._high = _check_unit_interval(high, "high")
         if low > high:
             raise ConfigurationError(f"low={low} exceeds high={high}")
-        # The bound is declared for completeness, but the per-message draw
-        # from the shared run RNG keeps this model serial-only.
-        self.min_latency = self._low
+        if min_latency is None:
+            # The bound is declared for completeness, but the per-message
+            # draw from the shared run RNG keeps this model serial-only.
+            self.min_latency = self._low
+        else:
+            if not 0.0 < min_latency <= self._low:
+                raise ConfigurationError(
+                    f"min_latency must lie in (0, low={self._low}], "
+                    f"got {min_latency}"
+                )
+            self.min_latency = min_latency
+            self.uses_run_rng = False
+            self._streams: dict[tuple[int, int], random.Random] = {}
+            self._stream_seed = stream_seed
 
     def latency(self, sender, receiver, message, send_time, rng):  # noqa: D102
-        return rng.uniform(self._low, self._high)
+        if self.uses_run_rng:
+            return rng.uniform(self._low, self._high)
+        streams = self._streams
+        stream = streams.get((sender, receiver))
+        if stream is None:
+            stream = streams[(sender, receiver)] = random.Random(
+                (self._stream_seed << 40)
+                ^ (sender * 1_000_003 + receiver)
+            )
+        return stream.uniform(self._low, self._high)
 
 
 class HookDelay(DelayModel):

@@ -153,6 +153,27 @@ class EventQueue:
         """Remove and return the earliest event."""
         return heapq.heappop(self.heap)
 
+    def pop_until(self, horizon: float) -> list[tuple]:
+        """Batch-pop every entry with ``time < horizon``, in fire order.
+
+        The sharded kernel's window loop drains all currently-due entries
+        in one call instead of interleaving per-event heap peeks with its
+        sorted delivery list; entries pushed *after* the drain (a handler
+        arming a timer inside the window) still sit on the heap and are
+        picked up by the loop's per-event check.  Returns ``[]`` without
+        touching the heap when nothing is due — the common case for
+        protocols that never set timers.
+        """
+        heap = self.heap
+        if not heap or heap[0][0] >= horizon:
+            return []
+        heappop = heapq.heappop
+        due: list[tuple] = []
+        append = due.append
+        while heap and heap[0][0] < horizon:
+            append(heappop(heap))
+        return due
+
     def peek_time(self) -> float:
         """Time of the earliest pending event (queue must be non-empty)."""
         return self.heap[0][TIME]

@@ -146,6 +146,156 @@ def validate_failure_config(
         )
 
 
+class SendPath:
+    """The send path shared by every runtime (serial network, shards).
+
+    One implementation of the per-send pipeline — port validation, bit
+    audit, per-type tally, FIFO arrival (with the const-latency fast
+    path), and the zero-cost-off fault hook — ending in a single
+    :meth:`_dispatch_send` call that each runtime binds to its own
+    delivery machinery: the serial :class:`Network` schedules a heap
+    entry, the sharded kernel buffers a packed record at the window
+    barrier, and the vectorized engine appends to its columnar batch.
+    Deduplicating the pipeline here is what keeps the runtimes
+    byte-identical: there is exactly one definition of what a send does.
+
+    Host requirements (all plain attributes, so the hot path stays free
+    of descriptor lookups): ``scheduler``, ``topology``, ``delays``,
+    ``rng``, ``_faults``, ``_channel_of``, ``_const_latency``, ``_ids``,
+    ``_num_ports``, ``_n``, and the accounting accumulators.  Hosts
+    without tracing leave the class-level ``_tracing = False`` in place
+    and never touch ``tracer``.
+    """
+
+    _tracing = False
+
+    def _dispatch_send(
+        self,
+        arrival: float,
+        far: int,
+        far_port: int,
+        message: Message,
+        sender_id: int,
+    ) -> None:
+        raise NotImplementedError
+
+    def _transmit(self, position: int, port: int, message: Message) -> None:
+        """Node ``position`` sends ``message`` through ``port``."""
+        if self._faults is not None:
+            self._transmit_faulty(position, port, message)
+            return
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        scheduler = self.scheduler
+        if self._tracing:
+            self.tracer.record(
+                scheduler.now,
+                "send",
+                sender_id,
+                to=self._ids[far],
+                message=type_name,
+            )
+        # Channels are keyed (and delay models addressed) by identity, so
+        # adversarial delay strategies can condition on the ids the paper's
+        # constructions talk about.
+        channel = self._channel_of(sender_id, self._ids[far])
+        latency = self._const_latency
+        if latency is not None:
+            arrival = scheduler.now + latency
+            if arrival < channel.last_arrival:
+                arrival = channel.last_arrival
+            channel.last_arrival = arrival
+            channel.messages_sent += 1
+        else:
+            arrival = channel.arrival_time(
+                message, scheduler.now, self.delays, self.rng
+            )
+        self._dispatch_send(arrival, far, far_port, message, sender_id)
+
+    def _transmit_faulty(
+        self, position: int, port: int, message: Message
+    ) -> None:
+        """The send path with a :class:`FaultPlan` installed.
+
+        Mirrors :meth:`_transmit`'s accounting (a dropped message still
+        *counts* as sent — loss is the gap between sent and delivered), then
+        asks the plan's per-link verdict.  The FIFO arrival is computed
+        first and jitter added on top without advancing the channel's FIFO
+        clock, so reordering stays bounded by the plan's ``jitter``.
+        """
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        bits = message_bits(message, self._n)
+        self._messages_total += 1
+        self._bits_total += bits
+        type_name = message.type_name
+        counts = self._type_counts
+        counts[type_name] = counts.get(type_name, 0) + 1
+        topology = self.topology
+        far = topology.neighbor(position, port)
+        far_port = topology.reverse_port(position, port)
+        sender_id = self._ids[position]
+        receiver_id = self._ids[far]
+        scheduler = self.scheduler
+        if self._tracing:
+            self.tracer.record(
+                scheduler.now, "send", sender_id, to=receiver_id,
+                message=type_name,
+            )
+        channel = self._channel_of(sender_id, receiver_id)
+        # The generic arrival path computes the same times as the const
+        # fast path for ConstantDelay (latency fixed, gap zero, no RNG
+        # draw), so a plan with all rates zero is byte-identical to no plan.
+        arrival = channel.arrival_time(
+            message, scheduler.now, self.delays, self.rng
+        )
+        copies, jitter, dup_jitter, reason = self._faults.judge(
+            sender_id, receiver_id, scheduler.now
+        )
+        if copies == 0:
+            self._dropped += 1
+            channel.messages_dropped += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "drop", sender_id, to=receiver_id,
+                    message=type_name, reason=reason,
+                )
+            return
+        if jitter > 0.0:
+            self._jittered += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "jitter", sender_id, to=receiver_id,
+                    message=type_name, delay=jitter,
+                )
+        self._dispatch_send(arrival + jitter, far, far_port, message, sender_id)
+        if copies == 2:
+            self._duplicated += 1
+            channel.messages_duplicated += 1
+            if self._tracing:
+                self.tracer.record(
+                    scheduler.now, "duplicate", sender_id, to=receiver_id,
+                    message=type_name,
+                )
+            self._dispatch_send(
+                arrival + dup_jitter, far, far_port, message, sender_id
+            )
+
+
 class _BoundContext(NodeContext):
     """The capability handle handed to one node."""
 
@@ -188,7 +338,7 @@ class _BoundContext(NodeContext):
             )
 
 
-class Network:
+class Network(SendPath):
     """One runnable election instance."""
 
     def __init__(
@@ -272,128 +422,21 @@ class Network:
             self._wakeup_spec, self.topology, self.failed_positions, self.rng
         )
 
-    def _transmit(self, position: int, port: int, message: Message) -> None:
-        """Node ``position`` sends ``message`` through ``port``."""
-        if self._faults is not None:
-            self._transmit_faulty(position, port, message)
-            return
-        if not 0 <= port < self._num_ports:
-            raise SimulationError(
-                f"node {self._ids[position]} used invalid port {port}"
-            )
-        bits = message_bits(message, self._n)
-        self._messages_total += 1
-        self._bits_total += bits
-        type_name = message.type_name
-        counts = self._type_counts
-        counts[type_name] = counts.get(type_name, 0) + 1
-        topology = self.topology
-        far = topology.neighbor(position, port)
-        far_port = topology.reverse_port(position, port)
-        sender_id = self._ids[position]
-        scheduler = self.scheduler
-        if self._tracing:
-            self.tracer.record(
-                scheduler.now,
-                "send",
-                sender_id,
-                to=self._ids[far],
-                message=type_name,
-            )
-        # Channels are keyed (and delay models addressed) by identity, so
-        # adversarial delay strategies can condition on the ids the paper's
-        # constructions talk about.
-        channel = self._channel_of(sender_id, self._ids[far])
-        latency = self._const_latency
-        if latency is not None:
-            arrival = scheduler.now + latency
-            if arrival < channel.last_arrival:
-                arrival = channel.last_arrival
-            channel.last_arrival = arrival
-            channel.messages_sent += 1
-        else:
-            arrival = channel.arrival_time(
-                message, scheduler.now, self.delays, self.rng
-            )
+    def _dispatch_send(
+        self,
+        arrival: float,
+        far: int,
+        far_port: int,
+        message: Message,
+        sender_id: int,
+    ) -> None:
+        """Serial delivery: one payload-carrying heap entry per message."""
         self._schedule_payload(
             arrival,
             self._deliver_entry,
             self._current_depth + 1,
             (far, far_port, message, sender_id),
         )
-
-    def _transmit_faulty(self, position: int, port: int, message: Message) -> None:
-        """The send path with a :class:`FaultPlan` installed.
-
-        Mirrors :meth:`_transmit`'s accounting (a dropped message still
-        *counts* as sent — loss is the gap between sent and delivered), then
-        asks the plan's per-link verdict.  The FIFO arrival is computed
-        first and jitter added on top without advancing the channel's FIFO
-        clock, so reordering stays bounded by the plan's ``jitter``.
-        """
-        if not 0 <= port < self._num_ports:
-            raise SimulationError(
-                f"node {self._ids[position]} used invalid port {port}"
-            )
-        bits = message_bits(message, self._n)
-        self._messages_total += 1
-        self._bits_total += bits
-        type_name = message.type_name
-        counts = self._type_counts
-        counts[type_name] = counts.get(type_name, 0) + 1
-        topology = self.topology
-        far = topology.neighbor(position, port)
-        far_port = topology.reverse_port(position, port)
-        sender_id = self._ids[position]
-        receiver_id = self._ids[far]
-        scheduler = self.scheduler
-        if self._tracing:
-            self.tracer.record(
-                scheduler.now, "send", sender_id, to=receiver_id,
-                message=type_name,
-            )
-        channel = self._channel_of(sender_id, receiver_id)
-        # The generic arrival path computes the same times as the const
-        # fast path for ConstantDelay (latency fixed, gap zero, no RNG
-        # draw), so a plan with all rates zero is byte-identical to no plan.
-        arrival = channel.arrival_time(
-            message, scheduler.now, self.delays, self.rng
-        )
-        copies, jitter, dup_jitter, reason = self._faults.judge(
-            sender_id, receiver_id, scheduler.now
-        )
-        if copies == 0:
-            self._dropped += 1
-            channel.messages_dropped += 1
-            if self._tracing:
-                self.tracer.record(
-                    scheduler.now, "drop", sender_id, to=receiver_id,
-                    message=type_name, reason=reason,
-                )
-            return
-        payload = (far, far_port, message, sender_id)
-        depth = self._current_depth + 1
-        if jitter > 0.0:
-            self._jittered += 1
-            if self._tracing:
-                self.tracer.record(
-                    scheduler.now, "jitter", sender_id, to=receiver_id,
-                    message=type_name, delay=jitter,
-                )
-        self._schedule_payload(
-            arrival + jitter, self._deliver_entry, depth, payload
-        )
-        if copies == 2:
-            self._duplicated += 1
-            channel.messages_duplicated += 1
-            if self._tracing:
-                self.tracer.record(
-                    scheduler.now, "duplicate", sender_id, to=receiver_id,
-                    message=type_name,
-                )
-            self._schedule_payload(
-                arrival + dup_jitter, self._deliver_entry, depth, payload
-            )
 
     def _schedule_timer(
         self, position: int, delay: float, callback: Callable[[], None]

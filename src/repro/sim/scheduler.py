@@ -153,6 +153,17 @@ class Scheduler:
             )
         self._queue.push_entry(time, action, depth, payload, tiebreak)
 
+    def pop_due(self, horizon: float) -> list[tuple]:
+        """Batch-pop every pending entry with ``time < horizon``, in order.
+
+        The sharded window loop owns its own dispatch (it merges these
+        entries with the window's delivery list), so unlike :meth:`run`
+        this neither advances the clock nor touches the budget — the
+        caller accounts for what it dispatches via :meth:`advance_clock`
+        and :meth:`consume_budget`.
+        """
+        return self._queue.pop_until(horizon)
+
     def run(self, *, until: float | None = None) -> None:
         """Process events until the queue drains (or past ``until``).
 

@@ -63,6 +63,7 @@ from array import array
 from collections import Counter
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, fields as _dataclass_fields
+from itertools import repeat
 from time import perf_counter
 from typing import Any
 
@@ -73,17 +74,28 @@ from repro.core.errors import (
     ProtocolViolation,
     SimulationError,
 )
-from repro.core.messages import Message, message_bits
+from repro.core.messages import (
+    MAX_INT_FIELDS,
+    TYPE_TAG_BITS,
+    Message,
+    _word_bits,
+    message_bits,
+)
 from repro.core.node import Node, NodeContext
 from repro.core.protocol import ElectionProtocol
 from repro.core.results import ElectionResult
-from repro.harness.parallel import configured_processes, fork_context
+from repro.harness.parallel import (
+    ShmExchange,
+    configured_processes,
+    fork_context,
+)
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.events import TIEBREAK_SHIFT
 from repro.sim.faults import FaultPlan
-from repro.sim.link import ChannelTable
+from repro.sim.link import Channel, ChannelTable
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import (
+    SendPath,
     WakeupFactory,
     WakeupSchedule,
     merge_crash_schedule,
@@ -107,6 +119,20 @@ _TAG_INT, _TAG_TRUE, _TAG_FALSE, _TAG_NONE = 0, 1, 2, 3
 _REC_HEAD = 9
 #: Largest magnitude packed verbatim; wider ints take the slow lane.
 _INT_LIMIT = 1 << 62
+
+#: The engines a shard can run its window loop on (see ``_shard_class``).
+ENGINES = ("interp", "vector")
+
+# numpy is an optional accelerator for the vector engine's columnar decode;
+# the pure-Python batch loop below it is byte-identical.  ``REPRO_NO_NUMPY``
+# (any non-empty value) forces the fallback — the CI no-numpy leg and the
+# fallback-equality tests use it; tests may also monkeypatch ``_np``.
+try:
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
 
 
 # ---------------------------------------------------------------------------
@@ -204,11 +230,242 @@ class MessageCodec:
             self._cache[key] = message
         return message
 
+    def vector_tables(self) -> "_VectorTables":
+        """The compiled per-type helpers the vector engine dispatches with.
+
+        Built lazily (forked workers compile their own copy from the
+        inherited registry — function objects would not survive a pickle
+        anyway) and cached on the codec.
+        """
+        tables = getattr(self, "_vector_tables", None)
+        if tables is None:
+            tables = self._vector_tables = _VectorTables(self)
+        return tables
+
+
+def _compile_packer(cls: type, names: tuple[str, ...]):
+    """Exec-compile one class's pack function (None: always slow lane).
+
+    The generated function unrolls :meth:`MessageCodec.pack`'s field loop
+    into straight-line attribute reads with literal tag shifts — same
+    verdicts, same ``(tags, ints)`` for every input, no per-field loop or
+    ``getattr`` dispatch.  SNIPPETS.md Snippet 3 (migen) is the grounding:
+    compile the state machine's hot interpretation away.
+    """
+    if len(names) > 30:  # tagword is 2 bits per field in one int
+        return None
+    lines = [
+        "def _pack(m, _LIM=_LIM):",
+        "    tags = 0",
+        "    ints = []",
+        "    ap = ints.append",
+    ]
+    for i, name in enumerate(names):
+        shift = 2 * i
+        lines += [
+            f"    v = m.{name}",
+            "    if type(v) is int:",
+            "        if -_LIM < v < _LIM:",
+            "            ap(v)",
+            "        else:",
+            "            return None",
+            "    elif v is None:",
+            f"        tags |= {_TAG_NONE << shift}",
+            "    elif v is True:",
+            f"        tags |= {_TAG_TRUE << shift}",
+            "    elif v is False:",
+            f"        tags |= {_TAG_FALSE << shift}",
+            "    else:",
+            "        return None",
+        ]
+    lines.append("    return tags, ints")
+    namespace: dict[str, Any] = {"_LIM": _INT_LIMIT}
+    exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
+    return namespace["_pack"]
+
+
+class _VectorTables:
+    """Compiled per-type helpers shared by every :class:`_VectorShard`.
+
+    ``pack_fns`` maps message classes to ``(type_id, compiled packer)``;
+    ``builders`` compiles, per ``(type_id, tagword)``, a constructor call
+    with the tag-constant fields (None/True/False) baked in as literals so
+    decode only feeds it the int fields; ``bits`` memoises the O(log N)
+    audit per ``(type_id, tagword)`` — for a *flat* message the bit count
+    depends on the field values only through the tagword.
+    """
+
+    __slots__ = ("classes", "field_names", "pack_fns", "builders", "bits")
+
+    def __init__(self, codec: MessageCodec) -> None:
+        self.classes = codec._classes
+        self.field_names = codec._field_names
+        self.pack_fns: dict[type, tuple[int, Any]] = {}
+        for type_id, (cls, names) in enumerate(
+            zip(codec._classes, codec._field_names)
+        ):
+            fn = _compile_packer(cls, names)
+            if fn is not None:
+                self.pack_fns[cls] = (type_id, fn)
+        self.builders: dict[tuple[int, int], Any] = {}
+        self.bits: dict[tuple[int, int], int] = {}
+
+    def builder(self, type_id: int, tags: int):
+        """The compiled ``fields -> message`` constructor for one tagword."""
+        key = (type_id, tags)
+        fn = self.builders.get(key)
+        if fn is None:
+            values = []
+            next_int = 0
+            for i in range(len(self.field_names[type_id])):
+                tag = (tags >> (2 * i)) & 3
+                if tag == _TAG_INT:
+                    values.append(f"f[{next_int}]")
+                    next_int += 1
+                elif tag == _TAG_TRUE:
+                    values.append("True")
+                elif tag == _TAG_FALSE:
+                    values.append("False")
+                else:
+                    values.append("None")
+            source = f"def _build(f, _cls=_cls):\n    return _cls({', '.join(values)})"
+            namespace: dict[str, Any] = {"_cls": self.classes[type_id]}
+            exec(source, namespace)  # noqa: S102 - trusted codegen
+            fn = self.builders[key] = namespace["_build"]
+        return fn
+
+
+def _compile_send(shard: "_VectorShard", cls: type):
+    """Compile the fully-fused fast-path send for one message class.
+
+    The vector engine's deepest application of the compile-don't-interpret
+    idea: for an all-int flat message the *entire* send pipeline — port
+    check, O(log N) bit audit, per-type tally, wiring lookup, FIFO clamp
+    and record packing — reduces to straight-line code whose per-run
+    constants (``n``, shard count, port count, constant latency, the
+    audited bit size, the packed record head) are baked in as literals.
+    One compiled frame per send replaces five interpreted ones.
+
+    Field values that fall outside the fast envelope (wide ints, bools,
+    ``None``), timer-sourced ranks, fault plans and invalid ports all fall
+    through to :meth:`_VectorShard._transmit_general`, whose side effects
+    (and exceptions) are identical to the interp engine's.
+    """
+    tables = shard._tables
+    entry = tables.pack_fns.get(cls)
+    type_id = shard.codec._type_ids.get(cls)
+    names = tables.field_names[type_id] if type_id is not None else ()
+    if entry is None or len(names) > MAX_INT_FIELDS:
+        # Unpackable or audit-ineligible classes stay on the general path.
+        return _VectorShard._transmit_general
+    # The per-class tally lives in a one-slot list baked into the compiled
+    # function (folded into ``_type_counts`` by ``finish``), replacing a
+    # dict get+set per send with one indexed increment.
+    cell = shard._class_cells.setdefault(cls, [0])
+    cfg = shard.cfg
+    n = cfg.topology.n
+    bits = TYPE_TAG_BITS + _word_bits(n) * len(names)
+    reads = [f"    v{i} = m.{name}" for i, name in enumerate(names)]
+    guards = [
+        f"type(v{i}) is int and -_LIM < v{i} < _LIM"
+        for i in range(len(names))
+    ]
+    cond = "\n            and ".join(
+        [
+            "self._faults is None",
+            "ce is not None",
+            f"0 <= port < {cfg.topology.num_ports}",
+        ]
+        + guards
+    )
+    if getattr(cfg.topology, "_cyclic", False):
+        wiring = [
+            f"        far = position + port + 1",
+            f"        if far >= {n}:",
+            f"            far -= {n}",
+            f"        far_port = {n - 2} - port",
+        ]
+    else:
+        wiring = [
+            "        topology = self.topology",
+            "        far = topology.neighbor(position, port)",
+            "        far_port = topology.reverse_port(position, port)",
+        ]
+    const_latency = (
+        cfg.delays.delay
+        if type(cfg.delays) is ConstantDelay
+        and type(cfg.delays).gap is DelayModel.gap
+        else None
+    )
+    if const_latency is not None:
+        arrival = [
+            f"        arrival = self.scheduler._now + {const_latency!r}",
+            "        last = channel.last_arrival",
+            "        if arrival < last:",
+            "            arrival = last",
+            "        channel.last_arrival = arrival",
+            "        channel.messages_sent += 1",
+        ]
+    else:
+        arrival = [
+            "        arrival = channel.arrival_time(",
+            "            m, self.scheduler._now, self.delays, self.rng",
+            "        )",
+        ]
+    record = ", ".join(
+        ["ce[1]", "idx", "far", "far_port", "self._current_depth + 1",
+         "sender_id", str(type_id), "0", str(len(names))]
+        + [f"v{i}" for i in range(len(names))]
+    )
+    lines = [
+        "def _send(self, position, port, m, _LIM=_LIM, _cnt=_cnt):",
+        "    ce = self._current_entry",
+        *reads,
+        f"    if ({cond}):",
+        *wiring,
+        f"        self._messages_total += 1",
+        f"        self._bits_total += {bits}",
+        "        _cnt[0] += 1",
+        "        ids = self._ids",
+        "        sender_id = ids[position]",
+        "        far_id = ids[far]",
+        "        link = (sender_id, far_id)",
+        "        channel = self._chan_map.get(link)",
+        "        if channel is None:",
+        "            # Inline the lazy table's creating lookup (complete",
+        "            # graphs touch most channels exactly once).",
+        "            channel = self._chan_map[link] = _Channel(",
+        "                sender_id, far_id",
+        "            )",
+        *arrival,
+        "        idx = self._send_seq",
+        "        self._send_seq = idx + 1",
+        f"        dest = far * {cfg.shards} // {n}",
+        "        outl = self._outl",
+        "        buf = outl[dest]",
+        "        if buf is None:",
+        "            buf = outl[dest] = _OutBuffer()",
+        "        buf.tap(ce[0])",
+        "        buf.tap(arrival)",
+        "        buf.oap(len(buf.ints))",
+        f"        buf.iex(({record}))",
+        "        return",
+        "    self._transmit_general(position, port, m)",
+    ]
+    namespace: dict[str, Any] = {
+        "_LIM": _INT_LIMIT,
+        "_cnt": cell,
+        "_Channel": Channel,
+        "_OutBuffer": _OutBuffer,
+    }
+    exec("\n".join(lines), namespace)  # noqa: S102 - trusted codegen
+    return namespace["_send"]
+
 
 class _OutBuffer:
     """One window's buffered sends from one shard to one destination shard."""
 
-    __slots__ = ("times", "ints", "slow")
+    __slots__ = ("times", "ints", "offs", "slow", "tap", "iex", "oap")
 
     def __init__(self) -> None:
         #: Fast lane, two doubles per record: (source time, arrival time).
@@ -216,9 +473,18 @@ class _OutBuffer:
         #: Fast lane, variable stride: ``src_key, send_idx, dest_pos,
         #: far_port, depth, sender_id, type_id, tagword, nfields, fields...``
         self.ints = array("q")
+        #: Record start offsets into ``ints`` — the side array that lets
+        #: the router and the vector engine address the variable-stride
+        #: records columnarly instead of walking them one by one.
+        self.offs = array("q")
         #: Slow lane: ``(merge_key, arrival, dest_pos, far_port, depth,
         #: sender_id, message)`` tuples.
         self.slow: list[tuple] = []
+        # Pre-bound mutators for the vector engine's fused send: appending
+        # through these skips two attribute walks per lane per send.
+        self.tap = self.times.append
+        self.iex = self.ints.extend
+        self.oap = self.offs.append
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +504,8 @@ class _RunConfig:
     max_events: int
     shards: int
     collect_snapshots: bool
+    #: Window-loop implementation, one of :data:`ENGINES`.
+    engine: str
     codec: MessageCodec
     #: Per-shard initial entries: ``(time, global_key, position)``.
     wakes: list[list[tuple[float, int, int]]]
@@ -294,13 +562,44 @@ class _ShardContext(NodeContext):
         pass
 
 
-class _Shard:
-    """One shard's runtime: nodes, scheduler (timers), channels, metrics."""
+class _VectorContext(_ShardContext):
+    """The vector engine's context: sends dispatch straight to the
+    per-class compiled function, skipping the ``_transmit`` trampoline
+    frame the interp engine pays on every send.
+
+    (A monomorphic inline cache — binding the first class's compiled
+    function over this method per instance — was tried and reverted:
+    election nodes are heavily polymorphic senders, so the class guard
+    failed on ~3/4 of sends and the re-dispatch cost more than the saved
+    frame.)
+    """
+
+    def send(self, port: int, message: Message) -> None:  # noqa: D102
+        shard = self._shard
+        cls = type(message)
+        fn = shard._send_fns.get(cls)
+        if fn is None:
+            fn = shard._send_fns[cls] = _compile_send(shard, cls)
+        fn(shard, self._position, port, message)
+
+
+class _Shard(SendPath):
+    """One shard's runtime: nodes, scheduler (timers), channels, metrics.
+
+    The send pipeline itself (port check, bit audit, FIFO arrival, fault
+    verdicts) is :class:`SendPath`, shared verbatim with the serial kernel;
+    this class binds its :meth:`_dispatch_send` hook to the window buffers.
+    """
+
+    #: Context class handed to nodes; the vector engine swaps in one whose
+    #: ``send`` goes straight to the compiled per-class path.
+    _context_cls: type[_ShardContext] = _ShardContext
 
     def __init__(self, cfg: _RunConfig, index: int) -> None:
         self.cfg = cfg
         self.index = index
         self.topology = cfg.topology
+        self.delays = cfg.delays
         self.scheduler = Scheduler(max_events=cfg.max_events)
         self.metrics = MetricsCollector()
         self.channels = ChannelTable()
@@ -311,8 +610,9 @@ class _Shard:
             cfg.crash_schedule
         )
         self._faults = cfg.faults.bind() if cfg.faults is not None else None
-        # Never consumed: shardable delay models ignore the rng argument.
-        self._rng = random.Random(0)
+        # Shardable delay models draw from per-link streams (or none at
+        # all), never from this run-RNG stand-in.
+        self.rng = random.Random(0)
         self._ids = cfg.topology.ids
         self._num_ports = cfg.topology.num_ports
         self._n = cfg.topology.n
@@ -340,12 +640,27 @@ class _Shard:
         self._busy = 0.0
         self._out: dict[int, _OutBuffer] = {}
 
+        # Freeze ONE bound method per dispatch handler: entries carry these
+        # in slot 2, and the vector engine's inlined dispatch recognises
+        # deliveries by identity (a fresh ``self._deliver_entry`` access
+        # would bind a new object every time and never match ``is``).
+        self._deliver_entry = self._deliver_entry
+        self._timer_entry = self._timer_entry
+        self._wake_entry = self._wake_entry
+        self._crash_entry = self._crash_entry
+
         self.lo, self.hi = _shard_bounds(self._n, cfg.shards, index)
         protocol = cfg.protocol
+        context_cls = self._context_cls
         self.nodes: dict[int, Node] = {
-            position: protocol.create_node(_ShardContext(self, position))
+            position: protocol.create_node(context_cls(self, position))
             for position in range(self.lo, self.hi)
         }
+        #: The same nodes as a dense list (index ``position - lo``); the
+        #: vector engine's dispatch loop indexes it instead of the dict.
+        self._node_list: list[Node] = [
+            self.nodes[position] for position in range(self.lo, self.hi)
+        ]
         #: Globally-keyed entries waiting for their window, serial layout:
         #: ``(time, key, action, depth, *payload)``.
         self.future: list[tuple] = [
@@ -356,21 +671,22 @@ class _Shard:
             for time, key, position in cfg.crashes[index]
         ]
 
-    # -- the send path (mirrors Network._transmit, buffered) ---------------
+    # -- the send path (SendPath pipeline, buffered dispatch) --------------
 
-    def _emit(
+    def _dispatch_send(
         self,
         arrival: float,
-        dest_pos: int,
+        far: int,
         far_port: int,
         message: Message,
         sender_id: int,
     ) -> None:
+        """Buffer one send at the window barrier instead of scheduling it."""
         depth = self._current_depth + 1
         rank = self._current_rank
         idx = self._send_seq
         self._send_seq = idx + 1
-        dest_shard = dest_pos * self._shards // self._n
+        dest_shard = far * self._shards // self._n
         buf = self._out.get(dest_shard)
         if buf is None:
             buf = self._out[dest_shard] = _OutBuffer()
@@ -379,11 +695,12 @@ class _Shard:
             type_id, tags, field_ints = packed
             buf.times.append(rank[0])
             buf.times.append(arrival)
+            buf.offs.append(len(buf.ints))
             buf.ints.extend(
                 (
                     rank[1],
                     idx,
-                    dest_pos,
+                    far,
                     far_port,
                     depth,
                     sender_id,
@@ -399,82 +716,13 @@ class _Shard:
                 (
                     rank + (idx,),
                     arrival,
-                    dest_pos,
+                    far,
                     far_port,
                     depth,
                     sender_id,
                     message,
                 )
             )
-
-    def _transmit(self, position: int, port: int, message: Message) -> None:
-        if self._faults is not None:
-            self._transmit_faulty(position, port, message)
-            return
-        if not 0 <= port < self._num_ports:
-            raise SimulationError(
-                f"node {self._ids[position]} used invalid port {port}"
-            )
-        bits = message_bits(message, self._n)
-        self._messages_total += 1
-        self._bits_total += bits
-        type_name = message.type_name
-        counts = self._type_counts
-        counts[type_name] = counts.get(type_name, 0) + 1
-        topology = self.topology
-        far = topology.neighbor(position, port)
-        far_port = topology.reverse_port(position, port)
-        sender_id = self._ids[position]
-        now = self.scheduler.now
-        channel = self._channel_of(sender_id, self._ids[far])
-        latency = self._const_latency
-        if latency is not None:
-            arrival = now + latency
-            if arrival < channel.last_arrival:
-                arrival = channel.last_arrival
-            channel.last_arrival = arrival
-            channel.messages_sent += 1
-        else:
-            arrival = channel.arrival_time(
-                message, now, self.cfg.delays, self._rng
-            )
-        self._emit(arrival, far, far_port, message, sender_id)
-
-    def _transmit_faulty(
-        self, position: int, port: int, message: Message
-    ) -> None:
-        if not 0 <= port < self._num_ports:
-            raise SimulationError(
-                f"node {self._ids[position]} used invalid port {port}"
-            )
-        bits = message_bits(message, self._n)
-        self._messages_total += 1
-        self._bits_total += bits
-        type_name = message.type_name
-        counts = self._type_counts
-        counts[type_name] = counts.get(type_name, 0) + 1
-        topology = self.topology
-        far = topology.neighbor(position, port)
-        far_port = topology.reverse_port(position, port)
-        sender_id = self._ids[position]
-        receiver_id = self._ids[far]
-        now = self.scheduler.now
-        channel = self._channel_of(sender_id, receiver_id)
-        arrival = channel.arrival_time(message, now, self.cfg.delays, self._rng)
-        copies, jitter, dup_jitter, _reason = self._faults.judge(
-            sender_id, receiver_id, now
-        )
-        if copies == 0:
-            self._dropped += 1
-            channel.messages_dropped += 1
-            return
-        if jitter > 0.0:
-            self._jittered += 1
-        self._emit(arrival + jitter, far, far_port, message, sender_id)
-        if copies == 2:
-            self._duplicated += 1
-            channel.messages_duplicated += 1
-            self._emit(arrival + dup_jitter, far, far_port, message, sender_id)
 
     def _schedule_timer(
         self, position: int, delay: float, callback: Callable[[], None]
@@ -553,9 +801,9 @@ class _Shard:
         for batch in incoming:
             if batch is None:
                 continue
-            times, ints, fast_keys, slow, slow_keys = batch
-            offset = 0
+            times, ints, offs, fast_keys, slow, slow_keys = batch
             for r, key in enumerate(fast_keys):
+                offset = offs[r]
                 nfields = ints[offset + 8]
                 message = unpack(
                     ints[offset + 6],
@@ -574,7 +822,6 @@ class _Shard:
                         ints[offset + 5],
                     )
                 )
-                offset += _REC_HEAD + nfields
             for record, key in zip(slow, slow_keys):
                 future.append(
                     (
@@ -613,11 +860,61 @@ class _Shard:
                 self.future = []
             elif due:
                 self.future = [e for e in future if e[0] >= end]
-            due.sort()
         else:
             due = []
-        self._out = {}
+        # Already-armed timers join the window's sorted batch up front
+        # (entry tuples carry the timer tiebreak in their key, so one sort
+        # interleaves them exactly as the serial heap would); only timers
+        # armed *during* this window still arrive through the heap check
+        # inside the loop.
+        timers = scheduler.pop_due(end)
+        if timers:
+            due.extend(timers)
+        due.sort()
+        self._reset_out()
+        processed = self._dispatch(due, end, budget)
         heap = scheduler._queue.heap  # timers only; deliveries stay in lists
+        if processed:
+            self._last_time = scheduler.now
+            scheduler.consume_budget(processed)
+        self._busy += perf_counter() - t0
+        next_time = None
+        if self.future:
+            next_time = min(e[0] for e in self.future)
+        if heap and (next_time is None or heap[0][0] < next_time):
+            next_time = heap[0][0]
+        out = self._collect_out()
+        stats = {
+            "processed": processed,
+            "next_time": next_time,
+            "last_time": self._last_time,
+            "leader": self._leader,
+        }
+        return out, stats
+
+    def _reset_out(self) -> None:
+        """Clear the window's outgoing buffers (subclass hook)."""
+        self._out = {}
+
+    def _collect_out(self) -> dict[int, tuple]:
+        """Drain the window's buffers into wire tuples (subclass hook)."""
+        out = {
+            dest: (buf.times, buf.ints, buf.offs, buf.slow)
+            for dest, buf in self._out.items()
+        }
+        self._out = {}
+        return out
+
+    def _dispatch(self, due: list[tuple], end: float, budget: int) -> int:
+        """Fire the window's sorted ``due`` list, merged with heap timers.
+
+        Timers armed *during* the window sit on the heap; the per-entry
+        peek interleaves them into the exact ``(time, key)`` order the
+        serial heap would have produced.  Returns the number of events
+        fired (the coordinator's budget accounting needs it).
+        """
+        scheduler = self.scheduler
+        heap = scheduler._queue.heap
         heappop = heapq.heappop
         processed = 0
         i = 0
@@ -645,27 +942,7 @@ class _Shard:
             self._current_rank = (entry[0], entry[1])
             self._current_depth = 0
             entry[2](entry)
-        if processed:
-            self._last_time = scheduler.now
-            scheduler.consume_budget(processed)
-        self._busy += perf_counter() - t0
-        next_time = None
-        if self.future:
-            next_time = min(e[0] for e in self.future)
-        if heap and (next_time is None or heap[0][0] < next_time):
-            next_time = heap[0][0]
-        out = {
-            dest: (buf.times, buf.ints, buf.slow)
-            for dest, buf in self._out.items()
-        }
-        self._out = {}
-        stats = {
-            "processed": processed,
-            "next_time": next_time,
-            "last_time": self._last_time,
-            "leader": self._leader,
-        }
-        return out, stats
+        return processed
 
     def finish(self) -> dict[str, Any]:
         """Final fold of this shard's accounting, for the coordinator."""
@@ -705,6 +982,425 @@ class _Shard:
         }
 
 
+class _VectorShard(_Shard):
+    """The vector engine: columnar decode plus a compiled, fused send path.
+
+    Same window loop, same dispatch order, same buffers as the interp
+    engine — the engine changes *how* a window's batch is decoded and how
+    a send is packed, never *what* is produced, so its results are
+    byte-identical to the interp engine (and therefore to the serial
+    kernel's heap order).  Three mechanisms carry the speedup:
+
+    * **Columnar decode.**  Incoming fast-lane batches are gathered into
+      per-field columns (numpy fancy-indexing over the ``offs`` side
+      array when numpy is importable, list comprehensions otherwise) and
+      zipped straight into entry tuples, instead of per-record offset
+      walking and tuple assembly.
+    * **Grouped message building.**  Records share one compiled
+      constructor per ``(type_id, tagword)`` group (tag-constant fields
+      baked in as literals), fed through the codec's existing value memo.
+    * **Fused send path.**  One compiled per-class packer replaces the
+      pack loop, and the O(log N) bit audit is memoised per
+      ``(type_id, tagword)`` — sound because a *flat* message's bit size
+      depends on its field values only through the tagword.
+
+    Dispatch itself stays strictly per-event in global merge order: the
+    digest contract (and mid-window timer interleaving) forbids applying
+    handlers out of order, so batching ends at the entry list.
+    """
+
+    _context_cls = _VectorContext
+
+    def __init__(self, cfg: _RunConfig, index: int) -> None:
+        super().__init__(cfg, index)
+        #: One-slot per-class tally cells baked into compiled send
+        #: functions; folded into ``_type_counts`` by :meth:`finish`.
+        self._class_cells: dict[type, list[int]] = {}
+        tables = cfg.codec.vector_tables()
+        self._tables = tables
+        self._pack_fns = tables.pack_fns
+        self._bits_memo = tables.bits
+        #: Fast-lane sends tallied per *class* (folded to type names in
+        #: :meth:`finish`); slow-lane and faulty sends still land in
+        #: ``_type_counts`` via the shared pipeline.
+        self._class_counts: dict[type, int] = {}
+        # Sense-of-direction wiring is arithmetic; inlining it drops two
+        # method calls from every fast-lane send.  Same for first-level
+        # access to the lazily-built channel dict (misses fall back to the
+        # table's creating lookup).
+        self._cyclic = getattr(cfg.topology, "_cyclic", False)
+        self._chan_map = self.channels._channels
+        #: Per-class compiled send functions, built on first send of each
+        #: class (a worker only pays compilation for the types its
+        #: protocol actually uses).
+        self._send_fns: dict[type, Any] = {}
+        #: The entry being dispatched, when (and only when) its ``[0:2]``
+        #: is the send rank — i.e. any handler except a timer callback.
+        #: Compiled sends read the rank straight off it, which saves the
+        #: interp loop's per-event ``(time, key)`` tuple; ``None`` routes
+        #: sends to the general path, which falls back to
+        #: ``_current_rank`` exactly as the interp engine does.
+        self._current_entry: tuple | None = None
+        #: The window's outgoing buffers as a dense per-destination list
+        #: (one index per shard) instead of the interp engine's dict.
+        self._outl: list[_OutBuffer | None] = [None] * self._shards
+
+    def _transmit(self, position: int, port: int, message: Message) -> None:
+        self._send_poly(position, port, message)
+
+    def _send_poly(self, position: int, port: int, message: Message) -> None:
+        """Dispatch a send to its class's compiled function."""
+        cls = type(message)
+        fn = self._send_fns.get(cls)
+        if fn is None:
+            fn = self._send_fns[cls] = _compile_send(self, cls)
+        fn(self, position, port, message)
+
+    def _transmit_general(
+        self, position: int, port: int, message: Message
+    ) -> None:
+        if self._faults is not None:
+            self._transmit_faulty(position, port, message)
+            return
+        ce = self._current_entry
+        entry = self._pack_fns.get(type(message))
+        packed = (
+            entry[1](message) if entry is not None and ce is not None else None
+        )
+        if packed is None:
+            # Slow lane (wide ints, non-flat fields) or timer-sourced rank:
+            # the shared pipeline audits and buffers it object-wise.
+            SendPath._transmit(self, position, port, message)
+            return
+        if not 0 <= port < self._num_ports:
+            raise SimulationError(
+                f"node {self._ids[position]} used invalid port {port}"
+            )
+        type_id = entry[0]
+        tags, field_ints = packed
+        bits_key = (type_id, tags)
+        bits = self._bits_memo.get(bits_key)
+        if bits is None:
+            # Only memoise successful audits so an oversized message keeps
+            # raising MessageSizeError on every send, like the interp path.
+            bits = message_bits(message, self._n)
+            self._bits_memo[bits_key] = bits
+        self._messages_total += 1
+        self._bits_total += bits
+        counts = self._class_counts
+        cls = type(message)
+        counts[cls] = counts.get(cls, 0) + 1
+        if self._cyclic:
+            n = self._n
+            far = position + port + 1
+            if far >= n:
+                far -= n
+            far_port = n - 2 - port
+        else:
+            topology = self.topology
+            far = topology.neighbor(position, port)
+            far_port = topology.reverse_port(position, port)
+        ids = self._ids
+        sender_id = ids[position]
+        now = self.scheduler._now
+        link = (sender_id, ids[far])
+        channel = self._chan_map.get(link)
+        if channel is None:
+            channel = self._channel_of(*link)
+        latency = self._const_latency
+        if latency is not None:
+            arrival = now + latency
+            if arrival < channel.last_arrival:
+                arrival = channel.last_arrival
+            channel.last_arrival = arrival
+            channel.messages_sent += 1
+        else:
+            arrival = channel.arrival_time(message, now, self.delays, self.rng)
+        depth = self._current_depth + 1
+        idx = self._send_seq
+        self._send_seq = idx + 1
+        dest_shard = far * self._shards // self._n
+        outl = self._outl
+        buf = outl[dest_shard]
+        if buf is None:
+            buf = outl[dest_shard] = _OutBuffer()
+        buf.tap(ce[0])
+        buf.tap(arrival)
+        buf.oap(len(buf.ints))
+        buf.iex(
+            (
+                ce[1],
+                idx,
+                far,
+                far_port,
+                depth,
+                sender_id,
+                type_id,
+                tags,
+                len(field_ints),
+            )
+        )
+        if field_ints:
+            buf.iex(field_ints)
+
+    # -- rank plumbing for the slow/faulty lanes ---------------------------
+    #
+    # The vector loop publishes the dispatched entry instead of building a
+    # ``(time, key)`` rank tuple per event; the shared SendPath/slow-lane
+    # code still expects ``_current_rank``, so the handful of non-fast
+    # paths reconstruct it on demand.
+
+    def _dispatch_send(
+        self,
+        arrival: float,
+        far: int,
+        far_port: int,
+        message: Message,
+        sender_id: int,
+    ) -> None:
+        ce = self._current_entry
+        if ce is not None:
+            self._current_rank = (ce[0], ce[1])
+        super()._dispatch_send(arrival, far, far_port, message, sender_id)
+
+    def _schedule_timer(
+        self, position: int, delay: float, callback: Callable[[], None]
+    ) -> None:
+        ce = self._current_entry
+        if ce is not None:
+            self._current_rank = (ce[0], ce[1])
+        super()._schedule_timer(position, delay, callback)
+
+    def _timer_entry(self, entry: tuple) -> None:
+        # Timer callbacks send under the timer's own 4-tuple rank; clearing
+        # the entry routes their sends to the rank-aware general path.
+        self._current_entry = None
+        super()._timer_entry(entry)
+
+    def _reset_out(self) -> None:
+        self._out = {}
+        self._outl = [None] * self._shards
+
+    def _collect_out(self) -> dict[int, tuple]:
+        # Fast-lane records live in the dense list; the slow lane (via the
+        # shared ``_dispatch_send``) still lands in ``_out`` dict buffers.
+        # A destination never has both: every vector-side path that buffers
+        # fast records uses ``_outl`` exclusively.
+        out = {
+            dest: (buf.times, buf.ints, buf.offs, buf.slow)
+            for dest, buf in enumerate(self._outl)
+            if buf is not None
+        }
+        for dest, buf in self._out.items():
+            have = out.get(dest)
+            if have is None:
+                out[dest] = (buf.times, buf.ints, buf.offs, buf.slow)
+            else:
+                have[3].extend(buf.slow)
+        self._out = {}
+        self._outl = [None] * self._shards
+        return out
+
+    def _dispatch(self, due: list[tuple], end: float, budget: int) -> int:
+        """The base merge loop with the delivery handler inlined.
+
+        Identical order and side effects; the common case (a failure-free
+        run delivering a message to an awake node) fires without the
+        ``_deliver_entry`` and ``Node.receive`` frames.  Runs with failure
+        configs keep the base loop — the inlined body omits the
+        failed/crashed guards.
+        """
+        if self._has_failures:
+            return super()._dispatch(due, end, budget)
+        scheduler = self.scheduler
+        heap = scheduler._queue.heap
+        heappop = heapq.heappop
+        deliver = self._deliver_entry
+        nodes = self._node_list
+        lo = self.lo
+        on_wake = self.metrics.on_wake
+        processed = 0
+        i = 0
+        ndue = len(due)
+        while True:
+            if i < ndue:
+                entry = due[i]
+                if heap and heap[0][0] < end and heap[0] < entry:
+                    entry = heappop(heap)
+                else:
+                    i += 1
+            elif heap and heap[0][0] < end:
+                entry = heappop(heap)
+            else:
+                break
+            t = entry[0]
+            scheduler._now = t
+            processed += 1
+            if processed > budget:
+                raise LivelockError(
+                    f"event budget of {self.cfg.max_events} exhausted at "
+                    f"t={t}; the protocol is livelocked"
+                )
+            self._send_seq = 0
+            self._timer_seq = 0
+            self._current_entry = entry
+            if entry[2] is deliver:
+                depth = entry[3]
+                if depth > self._max_depth:
+                    self._max_depth = depth
+                self._current_depth = depth
+                node = nodes[entry[4] - lo]
+                if node.awake:
+                    node.on_message(entry[5], entry[6])
+                else:
+                    on_wake(t)
+                    node.receive(entry[5], entry[6])
+            else:
+                self._current_depth = 0
+                entry[2](entry)
+        self._current_entry = None
+        return processed
+
+    def _decode_incoming(self, incoming: list[tuple | None]) -> None:
+        future = self.future
+        deliver = self._deliver_entry
+        tables = self._tables
+        builders = tables.builders
+        make_builder = tables.builder
+        cache = self.codec._cache
+        np = _np
+        for batch in incoming:
+            if batch is None:
+                continue
+            times, ints, offs, fast_keys, slow, slow_keys = batch
+            nrec = len(offs)
+            if nrec and np is not None and nrec >= 16:
+                # Group-ordered columnar decode.  The window loop sorts
+                # ``due`` by ``(time, key)`` before dispatch and treats
+                # ``future`` as an unordered pool, so entries may be
+                # appended in any order — which frees the decode to emit
+                # them one ``(type_id, tagword)`` group at a time, with
+                # every per-field gather a single numpy fancy-index.
+                ivec = np.frombuffer(ints, dtype=np.int64)
+                ovec = np.frombuffer(offs, dtype=np.int64)
+                arrivals = np.frombuffer(times, dtype=np.float64)[1::2]
+                keys = np.frombuffer(fast_keys, dtype=np.int64)
+                tids = ivec[ovec + 6]
+                tagws = ivec[ovec + 7]
+                tid0 = tids[0]
+                if (tids == tid0).all() and (tagws == tagws[0]).all():
+                    # Homogeneous batch (one message class, one tagword —
+                    # common for broadcast-heavy windows): skip the sort.
+                    order = None
+                    tid_s = tids
+                    tag_s = tagws
+                    starts = [0, nrec]
+                else:
+                    order = np.lexsort((tagws, tids))
+                    tid_s = tids[order]
+                    tag_s = tagws[order]
+                    cuts = np.nonzero(
+                        (tid_s[1:] != tid_s[:-1]) | (tag_s[1:] != tag_s[:-1])
+                    )[0]
+                    starts = [0, *(cuts + 1).tolist(), nrec]
+                for g in range(len(starts) - 1):
+                    a, b = starts[g], starts[g + 1]
+                    if order is None:
+                        o_g = ovec
+                        arr_g = arrivals
+                        key_g = keys
+                    else:
+                        idx = order[a:b]
+                        o_g = ovec[idx]
+                        arr_g = arrivals[idx]
+                        key_g = keys[idx]
+                    group = (int(tid_s[a]), int(tag_s[a]))
+                    build = builders.get(group)
+                    if build is None:
+                        build = make_builder(*group)
+                    nf = int(ivec[o_g[0] + 8])
+                    if nf:
+                        cols = [
+                            ivec[o_g + (_REC_HEAD + j)].tolist()
+                            for j in range(nf)
+                        ]
+                        msgs = map(build, zip(*cols))
+                    else:
+                        # Field-less records share one immutable instance,
+                        # exactly like the codec's value memo would.
+                        msgs = repeat(build(()), b - a)
+                    future.extend(
+                        zip(
+                            arr_g.tolist(),
+                            key_g.tolist(),
+                            repeat(deliver),
+                            ivec[o_g + 4].tolist(),
+                            ivec[o_g + 2].tolist(),
+                            ivec[o_g + 3].tolist(),
+                            msgs,
+                            ivec[o_g + 5].tolist(),
+                        )
+                    )
+            elif nrec:
+                arrivals = times[1::2]
+                messages: list[Message | None] = [None] * nrec
+                for r in range(nrec):
+                    o = offs[r]
+                    f = o + _REC_HEAD
+                    key = (ints[o + 6], ints[o + 7], tuple(ints[f : f + ints[o + 8]]))
+                    m = cache.get(key)
+                    if m is None:
+                        group = (key[0], key[1])
+                        build = builders.get(group)
+                        if build is None:
+                            build = make_builder(*group)
+                        m = build(key[2])
+                        if len(cache) < 4096:
+                            cache[key] = m
+                    messages[r] = m
+                future.extend(
+                    zip(
+                        arrivals,
+                        fast_keys,
+                        repeat(deliver),
+                        [ints[o + 4] for o in offs],
+                        [ints[o + 2] for o in offs],
+                        [ints[o + 3] for o in offs],
+                        messages,
+                        [ints[o + 5] for o in offs],
+                    )
+                )
+            for record, key in zip(slow, slow_keys):
+                future.append(
+                    (
+                        record[1],
+                        key,
+                        deliver,
+                        record[4],
+                        record[2],
+                        record[3],
+                        record[6],
+                        record[5],
+                    )
+                )
+
+    def finish(self) -> dict[str, Any]:
+        counts = self._type_counts
+        for cls, count in self._class_counts.items():
+            name = cls.__name__
+            counts[name] = counts.get(name, 0) + count
+        for cls, cell in self._class_cells.items():
+            if cell[0]:
+                name = cls.__name__
+                counts[name] = counts.get(name, 0) + cell[0]
+        return super().finish()
+
+
+def _shard_class(engine: str) -> type[_Shard]:
+    """Map an engine name to its shard implementation."""
+    return _VectorShard if engine == "vector" else _Shard
+
+
 # ---------------------------------------------------------------------------
 # Worker transport: in-process handles and forked pipe workers.
 # ---------------------------------------------------------------------------
@@ -714,9 +1410,9 @@ class _LocalHandle:
     """Drives one shard in-process (the REPRO_PARALLEL=0 / 1-CPU mode)."""
 
     def __init__(self, cfg: _RunConfig, index: int) -> None:
-        self._shard = _Shard(cfg, index)
+        self._shard = _shard_class(cfg.engine)(cfg, index)
 
-    def window(self, start, end, budget, incoming) -> None:
+    def window(self, start, end, budget, incoming, parity) -> None:
         self._reply = self._shard.run_window(start, end, budget, incoming)
 
     def collect(self):
@@ -729,14 +1425,69 @@ class _LocalHandle:
         pass
 
 
-def _worker_main(conn, cfg: _RunConfig, index: int) -> None:
-    """Forked worker loop: build the shard post-fork, serve window ops."""
+def _stash_out(
+    exchange: ShmExchange, index: int, parity: int, out: dict[int, tuple]
+) -> dict[int, tuple]:
+    """Move each fast batch into shared memory; keep overflows on the pipe.
+
+    Returns the pipe-bound ``out`` dict: batches written to the pair's
+    segment are replaced by a ``("shm", n_fast, ints_len, slow)`` marker
+    (the slow lane always rides the pipe); fast batches that do not fit
+    the segment stay in full, so capacity never affects correctness.
+    """
+    wired: dict[int, tuple] = {}
+    for dest, batch in out.items():
+        times, ints, offs, slow = batch
+        if offs and exchange.try_write(index, dest, parity, times, ints, offs):
+            wired[dest] = ("shm", len(offs), len(ints), slow)
+        else:
+            wired[dest] = batch
+    return wired
+
+
+def _resolve_in(
+    exchange: ShmExchange, src: int, index: int, batch: tuple | None
+) -> tuple | None:
+    """Expand a routed ``("shm", ...)`` marker into decode-ready views.
+
+    The fast arrays come straight out of the ``src -> index`` segment as
+    typed memoryviews (the decoder only indexes and iterates them, so no
+    copy is ever made); the merge keys were stamped into the same segment
+    by the coordinator during routing.
+    """
+    if batch is None or batch[0] != "shm":
+        return batch
+    _tag, parity, slow, slow_keys = batch
+    n_fast, ints_len = exchange.header(src, index, parity)
+    times, ints, offs = exchange.fast_views(src, index, parity, n_fast, ints_len)
+    keys = exchange.keys_view(src, index, parity, n_fast)
+    return (times, ints, offs, keys, slow, slow_keys)
+
+
+def _worker_main(
+    conn, cfg: _RunConfig, index: int, exchange: ShmExchange | None = None
+) -> None:
+    """Forked worker loop: build the shard post-fork, serve window ops.
+
+    ``exchange`` (inherited through the fork, never pickled) carries the
+    fast-lane batches when the coordinator managed to create the shared
+    segments; ``None`` means everything rides the pipe.
+    """
     try:
-        shard = _Shard(cfg, index)
+        shard = _shard_class(cfg.engine)(cfg, index)
         while True:
             op = conn.recv()
             if op[0] == "window":
-                conn.send(("done",) + shard.run_window(op[1], op[2], op[3], op[4]))
+                incoming = op[4]
+                if exchange is not None:
+                    incoming = [
+                        _resolve_in(exchange, src, index, batch)
+                        for src, batch in enumerate(incoming)
+                    ]
+                out, stats = shard.run_window(op[1], op[2], op[3], incoming)
+                if exchange is not None:
+                    out = _stash_out(exchange, index, op[5], out)
+                conn.send(("done", out, stats))
             elif op[0] == "finish":
                 conn.send(("result", shard.finish()))
                 return
@@ -756,12 +1507,23 @@ def _worker_main(conn, cfg: _RunConfig, index: int) -> None:
 
 
 class _ForkHandle:
-    """Drives one shard in a forked worker over a pipe."""
+    """Drives one shard in a forked worker over a pipe.
 
-    def __init__(self, context, cfg: _RunConfig, index: int) -> None:
+    When a :class:`ShmExchange` is supplied the pipe carries only control
+    messages, slow-lane records, and overflow batches; the packed fast
+    lanes move through the shared segments without pickling.
+    """
+
+    def __init__(
+        self,
+        context,
+        cfg: _RunConfig,
+        index: int,
+        exchange: ShmExchange | None = None,
+    ) -> None:
         self._conn, child = context.Pipe()
         self._process = context.Process(
-            target=_worker_main, args=(child, cfg, index), daemon=True
+            target=_worker_main, args=(child, cfg, index, exchange), daemon=True
         )
         self._process.start()
         child.close()
@@ -783,8 +1545,8 @@ class _ForkHandle:
             raise exc_type(message)
         return reply
 
-    def window(self, start, end, budget, incoming) -> None:
-        self._conn.send(("window", start, end, budget, incoming))
+    def window(self, start, end, budget, incoming, parity) -> None:
+        self._conn.send(("window", start, end, budget, incoming, parity))
 
     def collect(self):
         reply = self._recv()
@@ -831,6 +1593,7 @@ class ShardedNetwork:
         *,
         shards: int,
         workers: int | None = None,
+        engine: str | None = None,
         delays: DelayModel | None = None,
         wakeup: WakeupSchedule | WakeupFactory | None = None,
         failed_positions: frozenset[int] | set[int] = frozenset(),
@@ -846,12 +1609,24 @@ class ShardedNetwork:
                 f"shards must be an integer in [1, n={topology.n}], "
                 f"got {shards!r}"
             )
+        # ``None`` auto-selects the vector engine: it is digest-identical
+        # by contract and works with or without numpy (the pure-Python
+        # batch loop is the fallback), so there is nothing to detect
+        # beyond letting the import probe above pick the decode path.
+        if engine is None:
+            engine = "vector"
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
         delays = delays if delays is not None else ConstantDelay(1.0)
         if delays.uses_run_rng:
             raise ConfigurationError(
                 f"{type(delays).__name__} consumes the shared run RNG; "
                 "sharded execution cannot reproduce a global draw order "
-                "(use ConstantDelay or a HookDelay with min_latency)"
+                "(use ConstantDelay, a HookDelay with min_latency, or "
+                "UniformDelay(min_latency=...) for per-link streams)"
             )
         lookahead = delays.min_latency
         if lookahead is None or lookahead <= 0.0:
@@ -898,6 +1673,7 @@ class ShardedNetwork:
             max_events=max_events,
             shards=shards,
             collect_snapshots=collect_snapshots,
+            engine=engine,
             codec=MessageCodec(),
             wakes=wakes,
             crashes=crash_entries,
@@ -912,6 +1688,7 @@ class ShardedNetwork:
         else:
             forked = workers > 0 and fork_context() is not None
         self._forked = forked
+        self._exchange: ShmExchange | None = None
         self._ran = False
         self.stats: dict[str, Any] = {}
 
@@ -929,8 +1706,12 @@ class ShardedNetwork:
         cfg = self._cfg
         if self._forked:
             context = fork_context()
+            # Segments must exist before the fork so every worker inherits
+            # the mappings; ``None`` (no /dev/shm, REPRO_SHM=0, ...) simply
+            # keeps the whole exchange on the pipes.
+            self._exchange = ShmExchange.create(k)
             handles: list[Any] = [
-                _ForkHandle(context, cfg, i) for i in range(k)
+                _ForkHandle(context, cfg, i, self._exchange) for i in range(k)
             ]
         else:
             handles = [_LocalHandle(cfg, i) for i in range(k)]
@@ -939,6 +1720,9 @@ class ShardedNetwork:
         finally:
             for handle in handles:
                 handle.close()
+            if self._exchange is not None:
+                self._exchange.close()
+                self._exchange = None
         result = self._build_result(finals)
         self.stats["wall_seconds"] = perf_counter() - wall0
         if require_leader:
@@ -978,9 +1762,10 @@ class ShardedNetwork:
                 break
             end = start + lookahead
             budget = max_events - total_processed
+            parity = windows & 1
             windows += 1
             for index, handle in enumerate(handles):
-                handle.window(start, end, budget, pending_in[index])
+                handle.window(start, end, budget, pending_in[index], parity)
             pending_in = [[None] * k for _ in range(k)]
             outs: list[dict[int, tuple]] = []
             for index, handle in enumerate(handles):
@@ -1001,14 +1786,20 @@ class ShardedNetwork:
                     f"{k} shard schedulers)"
                 )
             incoming_min, global_seq = self._route(
-                outs, pending_in, global_seq
+                outs, pending_in, global_seq, parity
             )
 
         finals = [handle.finish() for handle in handles]
         self.stats.update(
             {
                 "shards": k,
+                "engine": self.engine,
                 "forked": self._forked,
+                "transport": (
+                    "shm"
+                    if self._exchange is not None
+                    else ("pipes" if self._forked else "local")
+                ),
                 "windows": windows,
                 "events_total": total_processed,
                 "events_per_shard": [f["processed"] for f in finals],
@@ -1022,6 +1813,7 @@ class ShardedNetwork:
         outs: list[dict[int, tuple]],
         pending_in: list[list[tuple | None]],
         global_seq: int,
+        parity: int,
     ) -> tuple[float, int]:
         """Globally order one window's sends and route them to their shards.
 
@@ -1029,31 +1821,50 @@ class ShardedNetwork:
         sequence counter.  The sort key is each record's merge key (see the
         module docstring); assigning consecutive keys in sorted order
         reproduces the serial kernel's scheduling order for these sends.
+
+        A batch may arrive as a ``("shm", n_fast, ints_len, slow)`` marker:
+        its fast arrays live in the pair's shared segment for this window's
+        ``parity`` and are read here through memoryview casts; the assigned
+        merge keys are stamped back into the same segment, so the routed
+        entry sent down the pipe is just a tiny ``("shm", parity, slow,
+        slow_keys)`` marker.  The merge-key ordering is source-agnostic --
+        shm and pipe batches interleave in the one global sort.
         """
         items: list[tuple] = []
         routed: dict[tuple[int, int], tuple] = {}
+        exchange = self._exchange
         incoming_min = float("inf")
         for src, out in enumerate(outs):
-            for dest, (times, ints, slow) in out.items():
-                n_fast = len(times) // 2
+            for dest, batch in out.items():
+                shm = batch[0] == "shm"
+                if shm:
+                    _tag, n_fast, ints_len, slow = batch
+                    times, ints, offs = exchange.fast_views(
+                        src, dest, parity, n_fast, ints_len
+                    )
+                else:
+                    times, ints, offs, slow = batch
+                    n_fast = len(offs)
                 fast_keys = [0] * n_fast
                 slow_keys = [0] * len(slow)
-                routed[(src, dest)] = (times, ints, slow, fast_keys, slow_keys)
-                offset = 0
-                for r in range(n_fast):
-                    items.append(
-                        (
-                            (times[2 * r], ints[offset], ints[offset + 1]),
-                            src,
-                            dest,
-                            0,
-                            r,
-                        )
-                    )
-                    arrival = times[2 * r + 1]
+                routed[(src, dest)] = (
+                    shm, times, ints, offs, slow, fast_keys, slow_keys,
+                )
+                if n_fast:
+                    arrival = min(times[1::2])
                     if arrival < incoming_min:
                         incoming_min = arrival
-                    offset += _REC_HEAD + ints[offset + 8]
+                    for r in range(n_fast):
+                        offset = offs[r]
+                        items.append(
+                            (
+                                (times[2 * r], ints[offset], ints[offset + 1]),
+                                src,
+                                dest,
+                                0,
+                                r,
+                            )
+                        )
                 for r, record in enumerate(slow):
                     items.append((record[0], src, dest, 1, r))
                     if record[1] < incoming_min:
@@ -1061,17 +1872,22 @@ class ShardedNetwork:
         items.sort()
         for _mkey, src, dest, lane, r in items:
             batch = routed[(src, dest)]
-            (batch[3] if lane == 0 else batch[4])[r] = global_seq
+            (batch[5] if lane == 0 else batch[6])[r] = global_seq
             global_seq += 1
         for (src, dest), batch in routed.items():
-            times, ints, slow, fast_keys, slow_keys = batch
-            pending_in[dest][src] = (
-                times,
-                ints,
-                array("q", fast_keys),
-                slow,
-                slow_keys,
-            )
+            shm, times, ints, offs, slow, fast_keys, slow_keys = batch
+            if shm:
+                exchange.write_keys(src, dest, parity, fast_keys)
+                pending_in[dest][src] = ("shm", parity, slow, slow_keys)
+            else:
+                pending_in[dest][src] = (
+                    times,
+                    ints,
+                    offs,
+                    array("q", fast_keys),
+                    slow,
+                    slow_keys,
+                )
         return incoming_min, global_seq
 
     def _raise_leader_conflict(
@@ -1198,6 +2014,7 @@ def run_sharded_election(
     *,
     shards: int,
     workers: int | None = None,
+    engine: str | None = None,
     delays: DelayModel | None = None,
     wakeup: WakeupSchedule | WakeupFactory | None = None,
     failed_positions: frozenset[int] | set[int] = frozenset(),
@@ -1219,6 +2036,7 @@ def run_sharded_election(
         topology,
         shards=shards,
         workers=workers,
+        engine=engine,
         delays=delays,
         wakeup=wakeup,
         failed_positions=failed_positions,

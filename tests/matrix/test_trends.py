@@ -44,9 +44,16 @@ class TestMetricDirection:
         assert metric_direction(key) == "down"
 
     def test_raw_counts_and_wall_times_are_untracked(self):
-        for key in ("events", "states", "run_seconds", "peak_rss_mb",
+        for key in ("events", "states", "run_seconds",
                     "transitions", "messages"):
             assert metric_direction(key) is None
+
+    def test_vector_engine_ratios_are_higher_better(self):
+        assert metric_direction("vector_speedup_vs_interp") == "up"
+        assert metric_direction("vector_speedup_vs_record") == "up"
+
+    def test_peak_rss_is_lower_better(self):
+        assert metric_direction("peak_rss_mb") == "down"
 
 
 class TestComparison:
@@ -104,6 +111,26 @@ class TestComparison:
         report = compare_payloads(KERNEL, {})
         assert not report.ok
         assert "workload missing" in report.regressions[0].detail
+
+    def test_peak_rss_gets_a_doubled_band(self):
+        """Memory high-water marks wobble; only clear bloat fails."""
+        baseline = {"C@64-sharded2": {"peak_rss_mb": 100.0}}
+        wobbled = {"C@64-sharded2": {"peak_rss_mb": 150.0}}  # +50% < 60%
+        assert compare_payloads(baseline, wobbled).ok
+        bloated = {"C@64-sharded2": {"peak_rss_mb": 170.0}}  # +70% > 60%
+        report = compare_payloads(baseline, bloated)
+        assert not report.ok
+        (finding,) = report.regressions
+        assert finding.path == "C@64-sharded2.peak_rss_mb"
+
+    def test_vector_speedup_dropping_beyond_the_band_fails(self):
+        baseline = {"C@131072-sharded16-vector": {
+            "vector_speedup_vs_interp": 1.5,
+        }}
+        regressed = {"C@131072-sharded16-vector": {
+            "vector_speedup_vs_interp": 0.9,  # -40% > 30% band
+        }}
+        assert not compare_payloads(baseline, regressed).ok
 
     def test_tolerance_is_configurable(self):
         wobbled = copy.deepcopy(KERNEL)

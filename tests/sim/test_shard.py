@@ -18,9 +18,14 @@ import json
 
 import pytest
 
+from dataclasses import dataclass
+
 from repro.adversary import wakeup as adversary_wakeup
 from repro.adversary.delays import congested_links, worst_case_unit
 from repro.core.errors import ConfigurationError, LivelockError
+from repro.core.messages import Message
+from repro.core.node import Node
+from repro.core.protocol import ElectionProtocol
 from repro.core.reliable import ReliableDelivery
 from repro.protocols.nosense.protocol_d import ProtocolD
 from repro.protocols.nosense.protocol_e import ProtocolE
@@ -126,12 +131,18 @@ FULL_MATRIX_CASES = sorted(SHARDABLE_CASES)
 SMOKE_CASES = ("C@64", "B@32-unit", "G@64-k8", "E@32-lossy-rel")
 
 
-def _run_sharded(name: str, shards: int, workers: int | None = 0):
+def _run_sharded(
+    name: str,
+    shards: int,
+    workers: int | None = 0,
+    engine: str | None = None,
+):
     config = SHARDABLE_CASES[name]()
     protocol = config.pop("protocol")
     topology = config.pop("topology")
     return run_sharded_election(
-        protocol, topology, shards=shards, workers=workers, **config
+        protocol, topology, shards=shards, workers=workers, engine=engine,
+        **config,
     )
 
 
@@ -159,6 +170,50 @@ def test_sharded_digest_matches_seed_fixture(name, shards):
         f"{name} at {shards} shards diverged from the serial seed "
         "fixture: the sharded kernel broke the digest contract"
     )
+
+
+# ---------------------------------------------------------------------------
+# Delivery engines.  ``engine=None`` auto-selects the vector engine, so
+# every other test in this file already exercises it (numpy decode when
+# available); the interp engine and the pure-Python fallback need pins of
+# their own.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.shard_smoke
+@pytest.mark.parametrize("engine", ("interp", "vector"))
+def test_both_engines_match_the_seed_fixture(engine):
+    """The heaviest fault cell, digest-checked under each engine by name."""
+    actual = fingerprint(
+        _run_sharded("E@32-lossy-rel", shards=2, engine=engine)
+    )
+    assert actual == _fixture("E@32-lossy-rel")
+
+
+@pytest.mark.parametrize("name", ("C@64", "G@64-k8"))
+@pytest.mark.parametrize("shards", (2, 3))
+def test_interp_engine_digest_matches_seed_fixture(name, shards):
+    actual = fingerprint(_run_sharded(name, shards=shards, engine="interp"))
+    assert actual == _fixture(name), (
+        f"{name} at {shards} shards diverged under engine='interp'"
+    )
+
+
+def test_vector_engine_without_numpy_is_byte_identical(monkeypatch):
+    """The pure-Python batch fallback (REPRO_NO_NUMPY / numpy absent)
+    must produce the same digest as the numpy decode path."""
+    import repro.sim.shard as shard_mod
+
+    monkeypatch.setattr(shard_mod, "_np", None)
+    actual = fingerprint(
+        _run_sharded("E@32-lossy-rel", shards=2, engine="vector")
+    )
+    assert actual == _fixture("E@32-lossy-rel")
+
+
+def test_unknown_engine_is_refused():
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        _run_sharded("C@64", shards=2, engine="turbo")
 
 
 def test_lossy_overlay_case_is_exact_under_sharding():
@@ -221,6 +276,51 @@ def test_forked_workers_match_in_process_shards():
     in_process = fingerprint(_run_sharded("C@64", shards=2, workers=0))
     forked = fingerprint(_run_sharded("C@64", shards=2, workers=2))
     assert in_process == forked == _fixture("C@64")
+
+
+def _transport_of(name: str, shards: int, workers: int) -> str:
+    config = SHARDABLE_CASES[name]()
+    protocol = config.pop("protocol")
+    topology = config.pop("topology")
+    net = ShardedNetwork(
+        protocol, topology, shards=shards, workers=workers, **config
+    )
+    net.run()
+    return net.stats["transport"]
+
+
+@pytest.mark.shard_smoke
+def test_shm_transport_matches_pipes_and_fixture(monkeypatch):
+    """Fast lanes over shared memory are byte-identical to the pipes.
+
+    Runs the heaviest fault cell (drop/dup/jitter + retransmission
+    overlay) so both the packed fast lane and the pickled slow lane cross
+    the segments' window parity flips.
+    """
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    shm = fingerprint(_run_sharded("E@32-lossy-rel", shards=2, workers=2))
+    monkeypatch.setenv("REPRO_SHM", "0")
+    pipes = fingerprint(_run_sharded("E@32-lossy-rel", shards=2, workers=2))
+    assert shm == pipes == _fixture("E@32-lossy-rel")
+
+
+def test_shm_overflow_batches_ride_the_pipes(monkeypatch):
+    """Segment capacity is a perf knob, never a correctness one: with a
+    2-record capacity almost every batch overflows to the pipe lane, and
+    the digest must not move."""
+    monkeypatch.setenv("REPRO_SHM_RECORDS", "2")
+    assert (
+        fingerprint(_run_sharded("C@64", shards=2, workers=2))
+        == _fixture("C@64")
+    )
+
+
+def test_transport_stat_reports_the_exchange_in_use(monkeypatch):
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    assert _transport_of("C@64", shards=2, workers=0) == "local"
+    assert _transport_of("C@64", shards=2, workers=2) == "shm"
+    monkeypatch.setenv("REPRO_SHM", "off")
+    assert _transport_of("C@64", shards=2, workers=2) == "pipes"
 
 
 def test_worker_exceptions_are_relayed_with_their_type():
@@ -308,6 +408,60 @@ class TestGating:
                 shards=2, delays=UniformDelay(0.1, 1.0),
             )
 
+    def test_undeclared_uniform_delay_refusal_message_is_exact(self):
+        """The refusal must say *why* and name every way out; callers are
+        pointed at the refusal text by docs/matrix.md, so it is pinned
+        verbatim."""
+        with pytest.raises(ConfigurationError) as exc:
+            ShardedNetwork(
+                ProtocolE(), complete_without_sense(16, seed=0),
+                shards=2, delays=UniformDelay(0.1, 1.0),
+            )
+        assert str(exc.value) == (
+            "UniformDelay consumes the shared run RNG; sharded execution "
+            "cannot reproduce a global draw order (use ConstantDelay, a "
+            "HookDelay with min_latency, or UniformDelay(min_latency=...) "
+            "for per-link streams)"
+        )
+
+    def test_uniform_delay_with_declared_bound_is_accepted(self):
+        result = run_sharded_election(
+            ProtocolE(), complete_without_sense(16, seed=0),
+            shards=2, workers=0,
+            delays=UniformDelay(0.1, 1.0, min_latency=0.1),
+        )
+        assert result.leader_id is not None
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_uniform_delay_streams_match_serial_exactly(self, shards):
+        """Per-link streams draw in per-link FIFO order, which the digest
+        contract fixes — so serial and sharded runs agree on every delay."""
+        def make():
+            return (
+                ProtocolE(),
+                complete_without_sense(32, seed=5),
+                UniformDelay(0.05, 1.0, min_latency=0.05, stream_seed=5),
+            )
+
+        protocol, topology, delays = make()
+        serial = fingerprint(
+            run_election(protocol, topology, delays=delays, seed=5)
+        )
+        protocol, topology, delays = make()
+        sharded = fingerprint(
+            run_sharded_election(
+                protocol, topology, shards=shards, workers=0,
+                delays=delays, seed=5,
+            )
+        )
+        assert serial == sharded
+
+    def test_uniform_delay_min_latency_must_not_exceed_low(self):
+        with pytest.raises(ConfigurationError, match="min_latency"):
+            UniformDelay(0.1, 1.0, min_latency=0.2)
+        with pytest.raises(ConfigurationError, match="min_latency"):
+            UniformDelay(0.1, 1.0, min_latency=0.0)
+
     def test_hook_delay_without_min_latency_is_refused(self):
         with pytest.raises(ConfigurationError, match="min_latency"):
             ShardedNetwork(
@@ -355,6 +509,63 @@ class TestGating:
 # ---------------------------------------------------------------------------
 # The packed-array codec.
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Nudge(Message):
+    """A field-less message: packs as an empty payload (tagword 0)."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Census(Message):
+    hops: int
+    tally: int
+
+
+@dataclass(frozen=True, slots=True)
+class _Blob(Message):
+    """A tuple field keeps the class registered but never packable."""
+
+    hops: tuple
+
+
+class _MixedLaneNode(Node):
+    """Chains through port 0, alternating fast- and slow-lane messages.
+
+    Every third hop the chained :class:`_Census` carries an over-limit
+    tally (``2**62``), pushing a *registered, normally-fast* class onto
+    the slow lane; every fourth hop adds an unpackable :class:`_Blob`;
+    every remaining hop adds a field-less :class:`_Nudge`.  One window
+    therefore mixes fast records, empty-payload records, and both kinds
+    of slow records on the same links.
+    """
+
+    _BIG = 1 << 62
+
+    def on_wake(self, spontaneous):
+        if spontaneous:
+            self.ctx.send(0, _Census(1, 0))
+
+    def on_message(self, port, message):
+        if not isinstance(message, _Census):
+            return
+        h = message.hops
+        if h >= 2 * self.ctx.n:
+            self.become_leader()
+            return
+        if h % 4 == 0:
+            self.ctx.send(0, _Blob((h,)))
+        elif h % 3 != 0:
+            self.ctx.send(0, _Nudge())
+        tally = self._BIG if h % 3 == 0 else h
+        self.ctx.send(0, _Census(h + 1, tally))
+
+
+class _MixedLaneProtocol(ElectionProtocol):
+    name = "mixed-lane-test"
+
+    def create_node(self, ctx):
+        return _MixedLaneNode(ctx)
 
 
 class TestMessageCodec:
@@ -413,6 +624,78 @@ class TestMessageCodec:
         once = codec.unpack(type_id, tags, tuple(ints))
         again = codec.unpack(type_id, tags, tuple(ints))
         assert once is again
+
+    def test_over_limit_ints_take_the_slow_lane(self):
+        """The packed lane carries int64s with headroom: |v| >= 2**62
+        falls back to object relay, one short of the limit still packs."""
+        from repro.protocols.sense.protocol_c import LatticeCapture
+
+        codec = MessageCodec()
+        limit = 1 << 62
+        assert codec.pack(LatticeCapture(rank=limit, cand=0)) is None
+        assert codec.pack(LatticeCapture(rank=-limit, cand=0)) is None
+        for edge in (limit - 1, 1 - limit):
+            packed = codec.pack(LatticeCapture(rank=edge, cand=0))
+            assert packed is not None
+            type_id, tags, ints = packed
+            rebuilt = codec.unpack(type_id, tags, tuple(ints))
+            assert rebuilt == LatticeCapture(rank=edge, cand=0)
+
+    def test_empty_payload_messages_round_trip(self):
+        codec = MessageCodec()
+        packed = codec.pack(_Nudge())
+        assert packed is not None
+        type_id, tags, ints = packed
+        assert tags == 0 and ints == []
+        assert codec.unpack(type_id, tags, ()) == _Nudge()
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_mixed_fast_and_slow_windows_round_trip(self, shards):
+        """End-to-end lane mixing: over-limit ints, unpackable classes and
+        empty payloads interleave with fast records inside single windows,
+        and the sharded digest still equals the serial one."""
+        serial = fingerprint(
+            run_election(
+                _MixedLaneProtocol(),
+                complete_without_sense(12, seed=4),
+                wakeup={0: 0.0},
+                seed=4,
+                require_leader=False,
+            )
+        )
+        sharded = fingerprint(
+            run_sharded_election(
+                _MixedLaneProtocol(),
+                complete_without_sense(12, seed=4),
+                shards=shards,
+                workers=0,
+                wakeup={0: 0.0},
+                seed=4,
+                require_leader=False,
+            )
+        )
+        assert serial == sharded
+
+    def test_mixed_lane_windows_round_trip_over_forked_shm_workers(self):
+        """Same mixing, but across the fork transport: slow records ride
+        the pipes while fast ones cross the shared segments."""
+        in_process = fingerprint(
+            run_sharded_election(
+                _MixedLaneProtocol(),
+                complete_without_sense(12, seed=4),
+                shards=2, workers=0, wakeup={0: 0.0}, seed=4,
+                require_leader=False,
+            )
+        )
+        forked = fingerprint(
+            run_sharded_election(
+                _MixedLaneProtocol(),
+                complete_without_sense(12, seed=4),
+                shards=2, workers=2, wakeup={0: 0.0}, seed=4,
+                require_leader=False,
+            )
+        )
+        assert in_process == forked
 
 
 # ---------------------------------------------------------------------------
