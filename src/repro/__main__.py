@@ -13,8 +13,10 @@ Subcommands::
     python -m repro verify --protocol A --n 6 --workers 4 [--symmetry census]
     python -m repro verify --protocol A --n 8 --fuzz 200 [--save-trace T.json]
     python -m repro verify --replay T.json [--shrink]
-    python -m repro lint [--format json] [--select/--ignore RPL0xx] [paths]
-    python -m repro lint --capabilities
+    python -m repro lint [--format json|sarif] [--select/--ignore RPL0xx] [paths]
+    python -m repro lint --flow [paths]
+    python -m repro lint --capabilities [--check]
+    python -m repro analyze [--protocol A] [--n 64] [--format json]
     python -m repro matrix --spec specs.toml [--outdir OUT] [--strict]
     python -m repro check --all [--quick] [--outdir OUT] [--spec FILE]
     python -m repro trends --baseline ci_baseline/ --current .
@@ -325,7 +327,14 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "lint",
         help="static protocol-contract checks (purity, message hygiene, "
-        "equivariance, accounting); see docs/lint.md",
+        "equivariance, flow, accounting); see docs/lint.md",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "analyze",
+        help="derive static per-activation message bounds and check them "
+        "against the paper's complexity table; see docs/lint.md",
         add_help=False,
     )
 
@@ -378,6 +387,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(extra)
+    if args.command == "analyze":
+        from repro.lint.flow.cli import main as analyze_main
+
+        return analyze_main(extra)
     if args.command == "trends":
         from repro.matrix.trends import main as trends_main
 

@@ -31,20 +31,35 @@ from .core import (
     RULES,
     lint_paths,
 )
-from .reporters import render_json, render_text
+from .flow import (  # noqa: F401  (registers the RPL03x rule family)
+    FanOut,
+    FlowAutomaton,
+    analyze_node_class,
+    analyze_protocol,
+    analyze_registered_protocols,
+    flow_findings,
+)
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = [
+    "FanOut",
     "Finding",
+    "FlowAutomaton",
     "LintResult",
     "ModuleContext",
     "ProtocolCapability",
     "RULES",
     "Rule",
+    "analyze_node_class",
+    "analyze_protocol",
+    "analyze_registered_protocols",
     "capability_for",
     "derive_capability_table",
+    "flow_findings",
     "lint_paths",
     "load_packaged_table",
     "packaged_table_path",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -36,7 +36,12 @@ from pathlib import Path
 from .core import ModuleContext
 from .equivariance import check_equivariance
 
-CAPABILITY_TABLE_VERSION = 1
+#: Version 2 adds the flow-derived behavioural fields (``uses_timers``,
+#: ``uses_rng``, ``max_fanout``, ``quiescent_kinds``).  Version-1 tables
+#: still load (see :func:`load_packaged_table`) so downstream checkouts
+#: with an old snapshot degrade to the v1 equivariance gating instead of
+#: crashing.
+CAPABILITY_TABLE_VERSION = 2
 
 #: Modules that are framework (or stdlib plumbing), not protocol
 #: implementation.  Everything else in a protocol/node MRO — including
@@ -48,12 +53,24 @@ _STDLIB_MODULES = {"builtins", "abc", "typing", "dataclasses", "enum"}
 
 @dataclass(frozen=True)
 class ProtocolCapability:
-    """What the equivariance rules measured for one protocol."""
+    """What the equivariance and flow analyses measured for one protocol.
+
+    The v2 fields come from the interprocedural flow automaton
+    (:mod:`repro.lint.flow`): timers and entropy make exhaustive
+    exploration and sharded scheduling unsound to optimise, ``max_fanout``
+    is the symbolic per-activation send bound the conformance probe
+    enforces at runtime, and ``quiescent_kinds`` are handled kinds that
+    provably send nothing (pure sinks).
+    """
 
     protocol: str
     modules: tuple[str, ...]
     id_order_sites: int
     port_scan_sites: int
+    uses_timers: bool = False
+    uses_rng: bool = False
+    max_fanout: str = "0"
+    quiescent_kinds: tuple[str, ...] = ()
 
     @property
     def rotation_equivariant(self) -> bool:
@@ -71,6 +88,10 @@ class ProtocolCapability:
             "port_scan_sites": self.port_scan_sites,
             "rotation_equivariant": self.rotation_equivariant,
             "relabelling_equivariant": self.relabelling_equivariant,
+            "uses_timers": self.uses_timers,
+            "uses_rng": self.uses_rng,
+            "max_fanout": self.max_fanout,
+            "quiescent_kinds": list(self.quiescent_kinds),
         }
 
 
@@ -121,7 +142,10 @@ def _module_source_file(module_name: str) -> Path | None:
     module = sys.modules.get(module_name)
     if module is None:
         module = importlib.import_module(module_name)
-    source = inspect.getsourcefile(module)
+    try:
+        source = inspect.getsourcefile(module)
+    except TypeError:  # built-in or extension module: nothing to analyse
+        return None
     return Path(source) if source else None
 
 
@@ -146,11 +170,18 @@ def capability_for(protocol_cls: type) -> ProtocolCapability:
                 id_sites += 1
             elif finding.code == "RPL021":
                 port_sites += 1
+    from .flow import analyze_protocol
+
+    automaton = analyze_protocol(protocol_cls)
     capability = ProtocolCapability(
         protocol=getattr(protocol_cls, "name", protocol_cls.__name__),
         modules=modules,
         id_order_sites=id_sites,
         port_scan_sites=port_sites,
+        uses_timers=automaton.uses_timers,
+        uses_rng=automaton.uses_rng,
+        max_fanout=automaton.max_fanout.describe(),
+        quiescent_kinds=automaton.quiescent_kinds,
     )
     _CAPABILITY_CACHE[protocol_cls] = capability
     return capability
@@ -180,11 +211,26 @@ def packaged_table_path() -> Path:
 
 
 def load_packaged_table() -> dict | None:
-    """The checked-in capability snapshot, or None if absent."""
+    """The checked-in capability snapshot, or None if absent.
+
+    Version-1 tables (pre flow analysis) still load: the v2 behavioural
+    keys are simply absent from their entries, and consumers fall back
+    to v1 semantics.  A ``deprecation`` note is attached so reports can
+    surface that the snapshot predates the flow fields and should be
+    regenerated.
+    """
     path = packaged_table_path()
     if not path.exists():
         return None
-    return json.loads(path.read_text())
+    table = json.loads(path.read_text())
+    if table.get("version", 1) < CAPABILITY_TABLE_VERSION:
+        table["deprecation"] = (
+            f"capability table version {table.get('version', 1)} predates "
+            f"the flow-derived fields (current: "
+            f"{CAPABILITY_TABLE_VERSION}); regenerate with `python -m "
+            "repro lint --capabilities`"
+        )
+    return table
 
 
 def render_capability_table() -> str:

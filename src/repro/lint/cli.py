@@ -13,7 +13,7 @@ from typing import Sequence
 
 from .capabilities import render_capability_table
 from .core import RULES, lint_paths
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 
 def default_paths() -> list[Path]:
@@ -30,8 +30,9 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
         prog=prog,
         description=(
             "Static protocol-contract checks: purity (RPL00x), message "
-            "hygiene (RPL01x), symmetry equivariance (RPL02x), and "
-            "accounting (RPL04x). See docs/lint.md for the rule catalogue."
+            "hygiene (RPL01x), symmetry equivariance (RPL02x), flow "
+            "(RPL03x, with --flow), and accounting (RPL04x). See "
+            "docs/lint.md for the rule catalogue."
         ),
     )
     parser.add_argument(
@@ -42,9 +43,15 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural RPL03x flow family "
+        "(amplification cycles, dead handlers, unbounded fan-out)",
     )
     parser.add_argument(
         "--select",
@@ -66,9 +73,16 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     parser.add_argument(
         "--capabilities",
         action="store_true",
-        help="emit the derived per-protocol symmetry capability table as "
+        help="emit the derived per-protocol capability table as "
         "JSON and exit (regenerates src/repro/verification/"
         "capabilities.json content)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --capabilities: exit 1 if the checked-in "
+        "capabilities.json differs from the live derivation "
+        "(drift gate for CI)",
     )
     parser.add_argument(
         "--list-rules",
@@ -98,8 +112,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if options.capabilities:
+        if options.check:
+            return check_capability_drift()
         sys.stdout.write(render_capability_table())
         return 0
+
+    if options.check:
+        print(
+            "repro lint: error: --check requires --capabilities",
+            file=sys.stderr,
+        )
+        return 2
 
     paths = options.paths or default_paths()
     try:
@@ -107,6 +130,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             paths,
             select=_split_codes(options.select),
             ignore=_split_codes(options.ignore),
+            flow=options.flow,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
@@ -114,9 +138,58 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if options.format == "json":
         sys.stdout.write(render_json(result))
+    elif options.format == "sarif":
+        sys.stdout.write(render_sarif(result))
     else:
         sys.stdout.write(render_text(result, verbose=options.verbose))
     return 0 if result.ok else 1
+
+
+def check_capability_drift() -> int:
+    """``--capabilities --check``: diff the snapshot against the live
+    derivation; exit 1 on staleness so CI catches un-regenerated tables."""
+    from .capabilities import (
+        derive_capability_table,
+        load_packaged_table,
+        packaged_table_path,
+    )
+
+    live = derive_capability_table()
+    packaged = load_packaged_table()
+    if packaged is None:
+        print(
+            f"capability snapshot missing: {packaged_table_path()}",
+            file=sys.stderr,
+        )
+        return 1
+    packaged.pop("deprecation", None)
+    if packaged == live:
+        print(f"capabilities.json is current ({len(live['protocols'])} "
+              "protocols)")
+        return 0
+    print(
+        "capabilities.json is stale; regenerate with "
+        "`python -m repro lint --capabilities > "
+        "src/repro/verification/capabilities.json`",
+        file=sys.stderr,
+    )
+    stale = sorted(
+        set(live["protocols"]) ^ set(packaged.get("protocols", {}))
+    )
+    for name in sorted(live["protocols"]):
+        if name in packaged.get("protocols", {}) and (
+            live["protocols"][name] != packaged["protocols"][name]
+        ):
+            stale.append(name)
+    for name in sorted(set(stale)):
+        print(f"  drifted: {name}", file=sys.stderr)
+    if packaged.get("version") != live.get("version"):
+        print(
+            f"  schema version: packaged {packaged.get('version')} "
+            f"vs live {live.get('version')}",
+            file=sys.stderr,
+        )
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

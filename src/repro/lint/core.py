@@ -93,13 +93,17 @@ def rule(code: str, name: str, family: str, summary: str) -> Rule:
     return entry
 
 
-def module_checker(fn):
+_ModuleChecker = Callable[["ModuleContext"], Iterable[Finding]]
+_ProjectChecker = Callable[[Sequence["ModuleContext"]], Iterable[Finding]]
+
+
+def module_checker(fn: _ModuleChecker) -> _ModuleChecker:
     """Decorator: register a per-module checker."""
     MODULE_CHECKERS.append(fn)
     return fn
 
 
-def project_checker(fn):
+def project_checker(fn: _ProjectChecker) -> _ProjectChecker:
     """Decorator: register a whole-run checker."""
     PROJECT_CHECKERS.append(fn)
     return fn
@@ -234,7 +238,9 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     return sorted(files)
 
 
-def _normalise_codes(codes, flag: str) -> set[str] | None:
+def _normalise_codes(
+    codes: Iterable[str] | None, flag: str
+) -> set[str] | None:
     if codes is None:
         return None
     result = set(codes)
@@ -252,13 +258,17 @@ def lint_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    flow: bool = False,
 ) -> LintResult:
     """Run every registered rule over ``paths``.
 
     ``select`` keeps only the listed codes; ``ignore`` drops the listed
     codes (applied after ``select``).  Suppressed findings are filtered
     the same way but reported separately, so reporters can show what the
-    inline ``lint-ok`` comments are hiding.
+    inline ``lint-ok`` comments are hiding.  ``flow=True`` additionally
+    runs the interprocedural RPL03x family (``repro lint --flow``),
+    which is opt-in because it analyses the whole import closure of the
+    targets rather than the target files alone.
     """
     selected = _normalise_codes(select, "--select")
     ignored = _normalise_codes(ignore, "--ignore")
@@ -269,6 +279,10 @@ def lint_paths(
             raw.extend(checker(ctx))
     for project_check in PROJECT_CHECKERS:
         raw.extend(project_check(contexts))
+    if flow:
+        from .flow import flow_findings
+
+        raw.extend(flow_findings(contexts))
 
     result = LintResult(files=len(contexts))
     for finding in sorted(raw, key=lambda f: f.sort_key):

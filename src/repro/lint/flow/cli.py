@@ -1,0 +1,202 @@
+"""``python -m repro analyze`` — static message-complexity bounds.
+
+For every registered protocol (or one, with ``--protocol``) this derives
+the message-flow automaton and reports the per-activation fan-out bound
+next to the paper's total message bound.  The consistency contract the
+exit code enforces:
+
+* every handler has a **finite** static fan-out (no ``⊤``), and
+* the must-send kind graph has **no amplification cycle**,
+
+which is exactly what the paper's O(N)/O(N log N) message table
+presupposes — a protocol whose activations can emit unboundedly many
+messages, or whose kind graph multiplies on every traversal, admits no
+such bound.  Exit 0 when every analyzed protocol is consistent, 1
+otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .automaton import FlowAutomaton, analyze_protocol
+
+#: The paper's total message bounds (docs/protocols.md), per protocol.
+#: ``k`` is the protocol's window parameter, ``f`` the failure budget.
+PAPER_MESSAGE_BOUNDS = {
+    "A": "O(N + N^2/k^2)",
+    "A'": "O(N)",
+    "AG85": "O(N log N)",
+    "B": "O(N log N)",
+    "C": "O(N)",
+    "CR": "O(N log N) exp.",
+    "D": "O(N^2)",
+    "E": "O(N log N)",
+    "F": "O(Nk)",
+    "FT": "O(Nf + N log N)",
+    "G": "O(Nk)",
+    "HS": "O(N log N)",
+    "LMW86": "O(N)",
+    "R": "O(N log N)",
+}
+
+
+def is_consistent(automaton: FlowAutomaton) -> bool:
+    """Does the automaton admit the paper's finite message bounds?"""
+    return automaton.max_fanout.is_finite and not (
+        automaton.amplification_edges()
+    )
+
+
+def _protocol_row(name: str, automaton: FlowAutomaton, n: int) -> dict:
+    bound = automaton.max_fanout.bound(n - 1)
+    return {
+        "protocol": name,
+        "node_class": automaton.node_class,
+        "max_fanout": automaton.max_fanout.describe(),
+        "bound_at_n": bound,
+        "paper_bound": PAPER_MESSAGE_BOUNDS.get(name, "?"),
+        "amplification_cycles": len(automaton.amplification_edges()),
+        "quiescent_kinds": list(automaton.quiescent_kinds),
+        "uses_timers": automaton.uses_timers,
+        "uses_rng": automaton.uses_rng,
+        "consistent": is_consistent(automaton),
+    }
+
+
+def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
+    """The ``repro analyze`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Derive static per-activation message bounds for the "
+            "registered protocols and check them against the paper's "
+            "complexity table. See docs/lint.md."
+        ),
+    )
+    parser.add_argument(
+        "--protocol",
+        default=None,
+        help="analyze one protocol in detail (default: summary of all)",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=64,
+        help="network size at which to evaluate the symbolic bound "
+        "(default: 64)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro analyze``."""
+    from repro.analysis.tables import render_table
+    from repro.core.protocol import registered_protocols
+
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.n < 2:
+        print("repro analyze: error: --n must be at least 2",
+              file=sys.stderr)
+        return 2
+
+    protocols = registered_protocols()
+    if options.protocol is not None:
+        if options.protocol not in protocols:
+            print(
+                f"repro analyze: error: unknown protocol "
+                f"{options.protocol!r}; known: "
+                f"{', '.join(sorted(protocols))}",
+                file=sys.stderr,
+            )
+            return 2
+        names = [options.protocol]
+    else:
+        names = sorted(protocols)
+
+    automata = {name: analyze_protocol(protocols[name]) for name in names}
+    rows = [
+        _protocol_row(name, automata[name], options.n) for name in names
+    ]
+    all_consistent = all(row["consistent"] for row in rows)
+
+    if options.format == "json":
+        payload: dict = {
+            "n": options.n,
+            "consistent": all_consistent,
+            "protocols": {row["protocol"]: row for row in rows},
+        }
+        if options.protocol is not None:
+            payload["automaton"] = automata[options.protocol].to_dict(
+                num_ports=options.n - 1
+            )
+        print(json.dumps(payload, indent=2))
+        return 0 if all_consistent else 1
+
+    print(
+        render_table(
+            (
+                "protocol",
+                "max fan-out/activation",
+                f"bound at N={options.n}",
+                "paper total bound",
+                "consistent",
+            ),
+            [
+                (
+                    row["protocol"],
+                    row["max_fanout"],
+                    "unbounded"
+                    if row["bound_at_n"] is None
+                    else str(row["bound_at_n"]),
+                    row["paper_bound"],
+                    "yes" if row["consistent"] else "NO",
+                )
+                for row in rows
+            ],
+        )
+    )
+    if options.protocol is not None:
+        automaton = automata[options.protocol]
+        print(f"\nnode class: {automaton.node_class}")
+        print(f"uses_timers: {automaton.uses_timers}  "
+              f"uses_rng: {automaton.uses_rng}")
+        if automaton.quiescent_kinds:
+            print("quiescent kinds: "
+                  + ", ".join(automaton.quiescent_kinds))
+        print("\nhandlers:")
+        for trigger, flow in sorted(automaton.handlers.items()):
+            print(f"  {trigger}: fan-out {flow.total.describe()}")
+            for send in flow.sends:
+                kinds = "|".join(send.kinds)
+                print(
+                    f"    -> {kinds} via {send.port_class} port "
+                    f"(x{send.fanout.describe()})"
+                )
+        for edge in automaton.amplification_edges():
+            cycle = " -> ".join(edge.cycle + (edge.cycle[0],))
+            print(
+                f"  AMPLIFICATION [{cycle}]: {edge.trigger} always "
+                f"sends {edge.count}x {edge.kind}"
+            )
+    if not all_consistent:
+        bad = ", ".join(r["protocol"] for r in rows if not r["consistent"])
+        print(
+            f"\ninconsistent with the paper's bounds: {bad}",
+            file=sys.stderr,
+        )
+    return 0 if all_consistent else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

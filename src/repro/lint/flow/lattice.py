@@ -1,0 +1,148 @@
+"""The static fan-out lattice ``{0, const k, O(num_ports), ⊤}``.
+
+Every send site in a handler contributes a :class:`FanOut`: how many
+messages one activation of that handler can emit through the site.  The
+lattice has three shapes:
+
+* ``CONST`` — an exact integer (straight-line sends, constant-range
+  loops).  ``FanOut.const(2)`` means "exactly up to 2".
+* ``LINEAR`` — ``coeff·num_ports + const``: the send sits in a loop whose
+  trip count is bounded by the node degree (``range(num_ports)``,
+  ``range(self.k)`` with ``k ≤ N-1``, scans over port-derived state).
+* ``TOP`` — no static bound (``while True``, recursion through the call
+  graph).
+
+``add`` models sequential composition, ``join`` models branch merge
+(pointwise maximum), ``times`` models loop nesting.  ``bound(num_ports)``
+evaluates the symbolic shape to a concrete message count for the runtime
+conformance probe; ``TOP`` has no finite bound and returns ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class _Shape(Enum):
+    CONST = "const"
+    LINEAR = "linear"
+    TOP = "top"
+
+
+@dataclass(frozen=True)
+class FanOut:
+    """One point of the fan-out lattice (immutable, value-compared)."""
+
+    shape: _Shape
+    coeff: int = 0  # multiples of num_ports (LINEAR only)
+    const: int = 0  # additive constant term
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "FanOut":
+        return FanOut(_Shape.CONST, 0, 0)
+
+    @staticmethod
+    def constant(count: int) -> "FanOut":
+        return FanOut(_Shape.CONST, 0, max(0, count))
+
+    @staticmethod
+    def linear(coeff: int = 1, const: int = 0) -> "FanOut":
+        return FanOut(_Shape.LINEAR, max(1, coeff), max(0, const))
+
+    @staticmethod
+    def top() -> "FanOut":
+        return FanOut(_Shape.TOP)
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return self.shape is _Shape.CONST and self.const == 0
+
+    @property
+    def is_top(self) -> bool:
+        return self.shape is _Shape.TOP
+
+    @property
+    def is_finite(self) -> bool:
+        return self.shape is not _Shape.TOP
+
+    # -- lattice operations -------------------------------------------------
+
+    def add(self, other: "FanOut") -> "FanOut":
+        """Sequential composition: both sites run in one activation."""
+        if self.is_top or other.is_top:
+            return FanOut.top()
+        coeff = self.coeff + other.coeff
+        const = self.const + other.const
+        if coeff:
+            return FanOut(_Shape.LINEAR, coeff, const)
+        return FanOut(_Shape.CONST, 0, const)
+
+    def join(self, other: "FanOut") -> "FanOut":
+        """Branch merge: either side may run; take the pointwise maximum."""
+        if self.is_top or other.is_top:
+            return FanOut.top()
+        coeff = max(self.coeff, other.coeff)
+        const = max(self.const, other.const)
+        if coeff:
+            return FanOut(_Shape.LINEAR, coeff, const)
+        return FanOut(_Shape.CONST, 0, const)
+
+    def times(self, multiplier: "FanOut") -> "FanOut":
+        """Loop nesting: the body repeats up to ``multiplier`` times.
+
+        ``LINEAR × LINEAR`` would be quadratic in ``num_ports``; the
+        lattice has no square term, so it widens to ``TOP`` — honest,
+        because no handler in the paper's protocols nests degree-bounded
+        send loops.
+        """
+        if self.is_zero or multiplier.is_zero:
+            return FanOut.zero()
+        if self.is_top or multiplier.is_top:
+            return FanOut.top()
+        if multiplier.shape is _Shape.CONST:
+            if multiplier.coeff:  # pragma: no cover - CONST has coeff 0
+                return FanOut.top()
+            return FanOut(
+                self.shape,
+                self.coeff * multiplier.const,
+                self.const * multiplier.const,
+            )
+        # multiplier is LINEAR
+        if self.shape is _Shape.LINEAR:
+            return FanOut.top()
+        return FanOut(
+            _Shape.LINEAR,
+            multiplier.coeff * self.const,
+            multiplier.const * self.const,
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    def bound(self, num_ports: int) -> int | None:
+        """Concrete per-activation bound at degree ``num_ports``.
+
+        ``None`` means unbounded (``TOP``).
+        """
+        if self.is_top:
+            return None
+        return self.coeff * num_ports + self.const
+
+    # -- display ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable symbolic form (``3``, ``O(num_ports)+1``, ...)."""
+        if self.is_top:
+            return "unbounded"
+        if self.shape is _Shape.CONST:
+            return str(self.const)
+        if self.const:
+            return f"O(num_ports)+{self.const}"
+        return "O(num_ports)"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()

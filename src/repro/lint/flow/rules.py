@@ -1,0 +1,239 @@
+"""The RPL03x flow rule family.
+
+Unlike RPL010-012 (name-level liveness), these rules consume the
+interprocedural automata, so they are *opt-in*: ``lint_paths(...,
+flow=True)`` / ``repro lint --flow`` runs them on top of the default
+families.  The codes are registered at import time either way, so
+``--select RPL030`` validates even without ``--flow``.
+
+* **RPL030 amplification-cycle** — a cycle in the must-send kind graph
+  whose product fan-out exceeds 1: every traversal of the cycle
+  multiplies the message population, a statically provable
+  explosion/livelock.
+* **RPL031 dead-handler** — a dispatch arm for a kind nothing in the
+  analyzed universe constructs, or a ``match`` arm that can never be
+  reached (after a wildcard, or duplicating an earlier unguarded class
+  arm).
+* **RPL032 unbounded-fanout** — a send site whose static fan-out is ``⊤``
+  (a ``while True`` send loop, recursion through the call graph): the
+  conformance probe cannot bound it and the paper's complexity table
+  cannot admit it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from ..core import Finding, ModuleContext, rule, terminal_name
+from .automaton import LEADER, WAKE, FlowAutomaton, analyze_targets
+from .extract import Universe
+
+AMPLIFICATION = rule(
+    "RPL030",
+    "amplification-cycle",
+    "flow",
+    "A kind-graph cycle whose guaranteed fan-out product exceeds 1: "
+    "every traversal multiplies the message population.",
+)
+
+DEAD_HANDLER = rule(
+    "RPL031",
+    "dead-handler",
+    "flow",
+    "A dispatch arm that can never run: its kind is constructed nowhere "
+    "in the analyzed universe, or the arm is shadowed by an earlier one.",
+)
+
+UNBOUNDED_FANOUT = rule(
+    "RPL032",
+    "unbounded-fanout",
+    "flow",
+    "A send site with no static fan-out bound (unbounded loop or "
+    "recursion); the conformance probe cannot check it.",
+)
+
+
+def flow_findings(contexts: Sequence[ModuleContext]) -> list[Finding]:
+    """Run the flow rule family over the lint targets."""
+    universe, automata = analyze_targets(contexts)
+    findings: list[Finding] = []
+    findings.extend(_amplification_findings(automata))
+    findings.extend(_dead_handler_findings(universe, automata))
+    findings.extend(_unreachable_arm_findings(contexts))
+    findings.extend(_unbounded_findings(automata))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPL030 — amplification cycles.
+# ---------------------------------------------------------------------------
+
+
+def _amplification_findings(
+    automata: Sequence[FlowAutomaton],
+) -> Iterable[Finding]:
+    seen: set[tuple] = set()
+    for automaton in automata:
+        for edge in automaton.amplification_edges():
+            flow = automaton.handlers[edge.trigger]
+            anchor = None
+            for record in flow.records:
+                if record.module is not None and record.kinds == (edge.kind,):
+                    anchor = record
+                    break
+            if anchor is None:
+                continue  # cycle closes through support files only
+            key = (
+                anchor.module.display,
+                anchor.call.lineno,
+                edge.trigger,
+                edge.kind,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            cycle = " -> ".join(edge.cycle + (edge.cycle[0],))
+            yield anchor.module.finding(
+                AMPLIFICATION.code,
+                anchor.call,
+                f"amplification cycle [{cycle}]: handling {edge.trigger} "
+                f"always sends {edge.count}x {edge.kind} "
+                f"({automaton.node_class})",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPL031 — dead handlers and unreachable arms.
+# ---------------------------------------------------------------------------
+
+
+def _dead_handler_findings(
+    universe: Universe, automata: Sequence[FlowAutomaton]
+) -> Iterable[Finding]:
+    seen: set[tuple] = set()
+    for automaton in automata:
+        for kind in automaton.handled_kinds:
+            if kind in universe.loose_sent:
+                continue
+            anchor = _find_dispatch_arm(universe, automaton.node_class, kind)
+            if anchor is None:
+                continue
+            ctx, node = anchor
+            key = (ctx.display, node.lineno, kind)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield ctx.finding(
+                DEAD_HANDLER.code,
+                node,
+                f"handler arm for {kind} is dead: nothing in the analyzed "
+                f"universe constructs {kind}",
+            )
+
+
+def _find_dispatch_arm(
+    universe: Universe, class_name: str, kind: str
+) -> tuple[ModuleContext, ast.AST] | None:
+    """The dispatch site for ``kind``, preferring an exact-name arm."""
+    fallback: tuple[ModuleContext, ast.AST] | None = None
+    for name in universe.mro(class_name):
+        info = universe.classes.get(name)
+        if info is None or info.module is None:
+            continue
+        for func in info.methods.values():
+            for node in ast.walk(func):
+                matched: str | None = None
+                if isinstance(node, ast.MatchClass):
+                    matched = terminal_name(node.cls)
+                elif (
+                    isinstance(node, ast.Call)
+                    and terminal_name(node.func) == "isinstance"
+                    and len(node.args) == 2
+                ):
+                    spec = node.args[1]
+                    elts = (
+                        spec.elts if isinstance(spec, ast.Tuple) else [spec]
+                    )
+                    for elt in elts:
+                        elt_name = terminal_name(elt)
+                        if elt_name == kind or (
+                            elt_name is not None
+                            and universe.is_message_subclass(kind, elt_name)
+                        ):
+                            matched = elt_name
+                            break
+                if matched is None:
+                    continue
+                if matched == kind:
+                    return info.module, node
+                if fallback is None and universe.is_message_subclass(
+                    kind, matched
+                ):
+                    fallback = (info.module, node)
+        if fallback is None and kind in info.app_messages:
+            fallback = (info.module, info.node)
+    return fallback
+
+
+def _unreachable_arm_findings(
+    contexts: Sequence[ModuleContext],
+) -> Iterable[Finding]:
+    # A wildcard arm before the end is already a SyntaxError in Python,
+    # so the only statically unreachable arm a parseable file can contain
+    # is one repeating an earlier unguarded class pattern.
+    for ctx in contexts:
+        for match in ast.walk(ctx.tree):
+            if not isinstance(match, ast.Match):
+                continue
+            seen_classes: set[str] = set()
+            for case in match.cases:
+                pattern = case.pattern
+                if not isinstance(pattern, ast.MatchClass):
+                    continue
+                name = terminal_name(pattern.cls)
+                if name is None:
+                    continue
+                if name in seen_classes and case.guard is None:
+                    yield ctx.finding(
+                        DEAD_HANDLER.code,
+                        pattern,
+                        f"match arm is unreachable: an earlier unguarded "
+                        f"arm already matches {name}",
+                    )
+                    continue
+                if case.guard is None:
+                    seen_classes.add(name)
+
+
+# ---------------------------------------------------------------------------
+# RPL032 — unbounded fan-out.
+# ---------------------------------------------------------------------------
+
+
+def _unbounded_findings(
+    automata: Sequence[FlowAutomaton],
+) -> Iterable[Finding]:
+    seen: set[tuple] = set()
+    for automaton in automata:
+        for trigger, flow in sorted(automaton.handlers.items()):
+            if flow.total.is_finite:
+                continue
+            for record in flow.records:
+                if record.module is None or not record.fanout.is_top:
+                    continue
+                key = (record.module.display, record.call.lineno,
+                       record.call.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                label = {
+                    WAKE: "spontaneous wake-up",
+                    LEADER: "leader election",
+                }.get(trigger, f"messages of kind {trigger}")
+                yield record.module.finding(
+                    UNBOUNDED_FANOUT.code,
+                    record.call,
+                    f"send has no static fan-out bound while handling "
+                    f"{label} ({automaton.node_class})",
+                )

@@ -76,3 +76,94 @@ def render_json(result: LintResult) -> str:
         "counts": result.counts,
     }
     return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+#: The SARIF spec revision the reporter targets.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding: Finding) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                        "endLine": finding.end_line,
+                        "endColumn": finding.end_col,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["level"] = "note"
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.suppression_reason or "",
+            }
+        ]
+    return result
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report for code-scanning upload (``--format sarif``).
+
+    Findings become ``error``-level results; suppressed findings are
+    included as ``note``-level results carrying an ``inSource``
+    suppression object, so code-scanning UIs show the acknowledged sites
+    without failing the scan.  Only rules with at least one result are
+    listed in the driver, keeping the document small and diff-stable.
+    """
+    used_codes = sorted(
+        {f.code for f in result.findings}
+        | {f.code for f in result.suppressed}
+    )
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/lint.md",
+                        "rules": [
+                            {
+                                "id": code,
+                                "name": RULES[code].name,
+                                "shortDescription": {
+                                    "text": RULES[code].summary
+                                },
+                                "properties": {
+                                    "family": RULES[code].family
+                                },
+                            }
+                            for code in used_codes
+                        ],
+                    }
+                },
+                "results": [
+                    _sarif_result(f)
+                    for f in sorted(
+                        result.findings + result.suppressed,
+                        key=lambda f: f.sort_key,
+                    )
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,7 +1,7 @@
 """``python -m repro check --all``: the one-command full cross-check.
 
 Runs the curated matrix slice (:func:`repro.matrix.spec.curated_specs`)
-through five phases and folds every verdict into a single
+through six phases and folds every verdict into a single
 :class:`CheckReport`:
 
 1. **Matrix sweep** — every legal (protocol × scenario × N × k × seed)
@@ -29,6 +29,13 @@ through five phases and folds every verdict into a single
    deterministic result field must agree exactly.  This is the
    sharded/serial equivalence promise of docs/performance.md, enforced
    on every ``check --all``.
+6. **Flow-conformance probe** — every registered protocol runs one
+   instrumented benign election
+   (:func:`repro.lint.flow.conformance.probe_protocol_class`) and the
+   measured per-activation fan-out must not exceed the static bound the
+   flow analyzer derived (``python -m repro analyze``).  A violation
+   means the analyzer's capability table (``capabilities.json`` v2) is
+   describing a protocol the code does not implement.
 
 Digest determinism: :meth:`CheckReport.digest` hashes a canonical payload
 with **no wall-clock times and no worker counts**, and every phase fans
@@ -74,6 +81,7 @@ class CheckReport:
     fuzz: dict[str, dict[str, Any]] = field(default_factory=dict)
     contract: dict[str, dict[str, Any]] = field(default_factory=dict)
     shard: dict[str, dict[str, Any]] = field(default_factory=dict)
+    conformance: dict[str, dict[str, Any]] = field(default_factory=dict)
     checks: list[Check] = field(default_factory=list)
 
     @property
@@ -92,6 +100,7 @@ class CheckReport:
             "fuzz": self.fuzz,
             "contract": self.contract,
             "shard": self.shard,
+            "conformance": self.conformance,
             "checks": {
                 check.name: {"passed": check.passed, "detail": check.detail}
                 for check in self.checks
@@ -116,6 +125,7 @@ class CheckReport:
             f"- fuzz campaigns: {len(self.fuzz)}",
             f"- overlay contract runs: {len(self.contract)}",
             f"- sharded digest cells: {len(self.shard)}",
+            f"- flow-conformance probes: {len(self.conformance)}",
             f"- digest: `{self.digest()}`",
             "",
             "## Matrix checks",
@@ -144,7 +154,9 @@ class CheckReport:
             raise AssertionError(f"check --all: failed checks: {details}")
 
 
-def _verify_task(protocol_name: str, n: int, symmetry: str | None):
+def _verify_task(
+    protocol_name: str, n: int, symmetry: str | None
+) -> dict[str, Any]:
     """One exhaustive-exploration task (runs inside the fork pool)."""
     from repro.core.protocol import protocol_class
     from repro.topology.complete import (
@@ -177,7 +189,9 @@ def _verify_task(protocol_name: str, n: int, symmetry: str | None):
     }
 
 
-def _fuzz_task(protocol_name: str, n: int, schedules: int, budget: int):
+def _fuzz_task(
+    protocol_name: str, n: int, schedules: int, budget: int
+) -> dict[str, Any]:
     """One fuzz-campaign task (runs inside the fork pool)."""
     from repro.core.protocol import protocol_class
     from repro.topology.complete import (
@@ -212,7 +226,7 @@ def _fuzz_task(protocol_name: str, n: int, schedules: int, budget: int):
     }
 
 
-def _contract_task(protocol_name: str):
+def _contract_task(protocol_name: str) -> dict[str, Any]:
     """One overlay-contract run (runs inside the fork pool)."""
     from repro.core.protocol import protocol_class
 
@@ -245,7 +259,7 @@ SHARD_CELLS: tuple[tuple[str, int, int, bool, str], ...] = (
 )
 
 
-def _result_fields(result) -> tuple:
+def _result_fields(result: Any) -> tuple:
     """Every deterministic ElectionResult field, in a comparable shape.
 
     The same field set as ``tests/sim/determinism_cases.fingerprint``
@@ -280,7 +294,7 @@ def _result_fields(result) -> tuple:
 
 def _shard_task(
     protocol_name: str, n: int, shards: int, lossy: bool, engine: str
-):
+) -> dict[str, Any]:
     """One serial-vs-sharded digest comparison (runs inside the fork pool)."""
     from repro.core.protocol import protocol_class
     from repro.core.reliable import ReliableDelivery
@@ -294,7 +308,7 @@ def _shard_task(
 
     cls = protocol_class(protocol_name)
 
-    def config():
+    def config() -> tuple[Any, Any, dict[str, Any]]:
         protocol = ReliableDelivery(cls()) if lossy else cls()
         topology = (
             complete_with_sense_of_direction(n)
@@ -319,6 +333,14 @@ def _shard_task(
         "leader_id": serial.leader_id,
         "messages_total": serial.messages_total,
     }
+
+
+def _conformance_task(protocol_name: str) -> dict[str, Any]:
+    """One flow-conformance probe (runs inside the fork pool)."""
+    from repro.core.protocol import protocol_class
+    from repro.lint.flow.conformance import probe_protocol_class
+
+    return probe_protocol_class(protocol_class(protocol_name))
 
 
 def check_all(
@@ -460,6 +482,24 @@ def check_all(
         not diverged,
         f"{len(SHARD_CELLS)} cells"
         + (f"; diverged: {diverged}" if diverged else ""),
+    )
+
+    # -- phase 6: the flow-conformance probe -------------------------------
+    conformance_results = run_sweep(
+        [lambda p=p: _conformance_task(p) for p in protocol_names],
+        parallel=parallel,
+    )
+    for name, outcome in zip(protocol_names, conformance_results):
+        report.conformance[name] = outcome
+    overruns = [
+        name for name, r in report.conformance.items() if not r["ok"]
+    ]
+    report.check(
+        "measured per-activation fan-out stays within the static "
+        "flow bound",
+        not overruns,
+        f"{len(protocol_names)} protocols probed"
+        + (f"; violating: {overruns}" if overruns else ""),
     )
 
     if outdir is not None:

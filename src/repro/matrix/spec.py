@@ -50,8 +50,12 @@ import json
 import tomllib
 from dataclasses import dataclass, field, fields
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.protocol import ElectionProtocol
 
 #: Values ``symmetry`` may take (None = no symmetry pass).
 SYMMETRY_MODES = ("census", "prune")
@@ -151,7 +155,7 @@ def protocol_takes_k(name: str) -> bool:
     return "k" in signature.parameters
 
 
-def build_protocol(cell: MatrixCell):
+def build_protocol(cell: MatrixCell) -> ElectionProtocol:
     """Instantiate the cell's protocol (passing ``k`` when the cell has one)."""
     from repro.core.protocol import protocol_class
 
@@ -304,6 +308,36 @@ def validate_spec(spec: ScenarioSpec) -> None:
         )
     if spec.symmetry == "prune":
         _ensure_prune_capability(spec)
+    _ensure_deterministic_capability(spec)
+
+
+def _ensure_deterministic_capability(spec: ScenarioSpec) -> None:
+    """Reject rows naming protocols the flow analysis marks ``uses_rng``.
+
+    Every matrix phase — golden digests, exhaustive exploration, schedule
+    fuzzing, trend gating — assumes a protocol's behaviour is a function
+    of the seeded schedule alone.  Module-level entropy (``random``,
+    ``secrets``, ``uuid``) escapes the seeded RNG and silently breaks
+    replay and digest comparison, so such rows are refused at load time
+    rather than producing flaky cells.  (v1 capability tables predate the
+    field; absent means not-randomized, matching every shipped protocol.)
+    """
+    from repro.core.protocol import protocol_class
+    from repro.lint.capabilities import capability_for, load_packaged_table
+
+    table = load_packaged_table() or {"protocols": {}}
+    pinned = table.get("protocols", {})
+    for name in spec.protocols:
+        entry = pinned.get(name)
+        if entry is None or "uses_rng" not in entry:
+            entry = capability_for(protocol_class(name)).to_dict()
+        if entry.get("uses_rng", False):
+            raise ConfigurationError(
+                f"spec row {spec.tag!r}: protocol {name!r} uses module-"
+                "level entropy (uses_rng per the flow-derived capability "
+                "table), which breaks seeded replay and digest "
+                "determinism; drop it from the matrix"
+            )
 
 
 def _ensure_prune_capability(spec: ScenarioSpec) -> None:

@@ -1571,6 +1571,51 @@ class _ForkHandle:
 # ---------------------------------------------------------------------------
 
 
+def _refuse_unshardable_protocol(protocol: ElectionProtocol) -> None:
+    """Refuse protocols whose flow-derived capability breaks sharding.
+
+    The digest contract ("sharded == serial, bit for bit") holds because
+    every event is a pure function of the seeded schedule.  A protocol
+    *implementation* that arms wall-clock-shaped timers couples its
+    behaviour to the window partition (a timer races the window barrier
+    differently at different shard counts), and module-level entropy
+    (``random``/``secrets``/``uuid``) escapes the seeded streams
+    entirely — so both are refused up front, per the capability table the
+    flow analyzer derives (``uses_timers``/``uses_rng``).
+
+    Overlay layers are unwrapped via ``.election`` and judged on their
+    *own* implementation modules: the framework's ``ReliableDelivery``
+    overlay uses timers internally, but those live in ``repro.core`` and
+    are vetted with the kernel itself (its rank machinery orders timer
+    events deterministically), so wrapping a shardable election keeps it
+    shardable.
+    """
+    from repro.lint.capabilities import capability_for, implementation_modules
+
+    layer: object | None = protocol
+    seen: set[int] = set()
+    while layer is not None and id(layer) not in seen:
+        seen.add(id(layer))
+        if implementation_modules(type(layer)):
+            capability = capability_for(type(layer))
+            if capability.uses_timers:
+                raise ConfigurationError(
+                    f"protocol {capability.protocol!r} arms timers in its "
+                    "implementation modules (uses_timers per the flow-"
+                    "derived capability table); sharded execution cannot "
+                    "guarantee the serial digest for implementation-level "
+                    "timers — run it on the serial kernel"
+                )
+            if capability.uses_rng:
+                raise ConfigurationError(
+                    f"protocol {capability.protocol!r} imports entropy "
+                    "modules (uses_rng per the flow-derived capability "
+                    "table); sharded execution requires behaviour to be a "
+                    "function of the seeded schedule alone"
+                )
+        layer = getattr(layer, "election", None)
+
+
 class ShardedNetwork:
     """One runnable sharded election (digest-identical to :class:`Network`).
 
@@ -1634,6 +1679,7 @@ class ShardedNetwork:
                 f"{type(delays).__name__} declares no positive min_latency; "
                 "conservative windows need a strictly positive lookahead"
             )
+        _refuse_unshardable_protocol(protocol)
         self.protocol = protocol
         self.topology = topology
         self.lookahead = float(lookahead)

@@ -210,8 +210,18 @@ def ensure_prune_sound(protocol, topology: CompleteTopology) -> None:
     if table is not None and name in table.get("protocols", {}):
         pinned = table["protocols"][name]
         live = capability.to_dict()
-        for key in ("id_order_sites", "port_scan_sites",
-                    "rotation_equivariant", "relabelling_equivariant"):
+        # The v2 behavioural keys are compared only when the pinned entry
+        # has them: a version-1 snapshot (no flow fields) degrades to the
+        # v1 staleness check instead of reading as universally stale.
+        keys = ["id_order_sites", "port_scan_sites",
+                "rotation_equivariant", "relabelling_equivariant"]
+        keys.extend(
+            key
+            for key in ("uses_timers", "uses_rng", "max_fanout",
+                        "quiescent_kinds")
+            if key in pinned
+        )
+        for key in keys:
             if pinned.get(key) != live[key]:
                 raise ConfigurationError(
                     f"symmetry capability table is stale for protocol "
@@ -220,6 +230,15 @@ def ensure_prune_sound(protocol, topology: CompleteTopology) -> None:
                     "src/repro/verification/capabilities.json with "
                     "`python -m repro lint --capabilities`"
                 )
+
+    if capability.uses_rng:
+        raise ConfigurationError(
+            f"symmetry='prune' is not sound for protocol "
+            f"{capability.protocol!r}: the flow analysis found entropy "
+            "imports (uses_rng), so states that look orbit-equivalent "
+            "can diverge on private random choices. Use symmetry='census' "
+            "or symmetry='prune-unsound'."
+        )
 
     if topology.sense_of_direction:
         sound = capability.rotation_equivariant

@@ -1,0 +1,33 @@
+"""Planted amplification cycle (RPL030).
+
+Never imported by tests — only parsed by ``lint --flow``.  Every
+``Spawn`` delivery *unconditionally* sends two more ``Spawn`` messages:
+the must-send kind graph has the self-loop ``Spawn -> Spawn`` with
+fan-out 2, so the message population doubles per round — a statically
+provable explosion.  Contrast with the real contest ladders
+(``capture_base``), where every bounce has a losing branch that sends
+nothing, keeping the guaranteed per-traversal fan-out at 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn(Message):
+    pass
+
+
+class AmplifierNode(Node):
+    def on_wake(self) -> None:
+        self.ctx.send(0, Spawn())
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Spawn():
+                self.ctx.send(0, Spawn())
+                self.ctx.send(1, Spawn())

@@ -1,0 +1,38 @@
+"""Planted dead handler surface (RPL031).
+
+Never imported by tests — only parsed by ``lint --flow``.  ``Stray``
+has a dispatch arm but nothing in the analyzed universe constructs one,
+so the arm can never run; the second ``Ping`` arm repeats an earlier
+unguarded pattern and is shadowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node
+
+
+@dataclass(frozen=True, slots=True)
+class Ping(Message):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Stray(Message):
+    pass
+
+
+class DeadHandlerNode(Node):
+    def on_wake(self) -> None:
+        self.ctx.send(0, Ping())
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Stray():  # dead: no send site constructs Stray
+                self.ctx.send(port, Ping())
+            case Ping():
+                pass
+            case Ping():  # unreachable: shadowed by the arm above
+                self.ctx.send(port, Ping())

@@ -1,0 +1,47 @@
+"""Planted conformance violation: a send the static analyzer cannot see.
+
+``SneakyNode.on_wake`` broadcasts through ``getattr(self.ctx, "se" +
+"nd")``, so the flow analyzer derives fan-out 0 for the wake handler —
+but the runtime probe counts the real sends and must flag the overrun.
+The election itself is legitimate (everyone broadcasts its id, the
+maximum wins), so the probe's instrumented run completes normally and
+the violation is purely a static-vs-measured mismatch.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class Sneak(Message):
+    sender_id: int
+
+
+class SneakyNode(Node):
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.heard = 0
+        self.beaten = False
+
+    def on_wake(self, spontaneous: bool) -> None:
+        send = getattr(self.ctx, "se" + "nd")  # invisible to the analyzer
+        for port in range(self.ctx.num_ports):
+            send(port, Sneak(self.ctx.node_id))
+
+    def on_message(self, port: int, message: Message) -> None:
+        assert isinstance(message, Sneak)
+        self.heard += 1
+        if message.sender_id > self.ctx.node_id:
+            self.beaten = True
+        if self.heard == self.ctx.num_ports and not self.beaten:
+            self.become_leader()
+
+
+class SneakyProtocol(ElectionProtocol):
+    name = "flow-sneaky-fixture"
+
+    def create_node(self, ctx: NodeContext) -> SneakyNode:
+        return SneakyNode(ctx)

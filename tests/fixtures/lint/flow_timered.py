@@ -1,0 +1,34 @@
+"""A protocol whose implementation arms timers (``uses_timers``).
+
+The sharded kernel refuses implementation-level timers: a timer couples
+behaviour to absolute simulation time, and the conservative window
+partition would have to treat every armed timer as a cross-shard event.
+This fixture exists to prove the refusal fires
+(:func:`repro.sim.shard._refuse_unshardable_protocol`).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.core.protocol import ElectionProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class Tick(Message):
+    pass
+
+
+class TimeredNode(Node):
+    def on_wake(self, spontaneous: bool) -> None:
+        self.ctx.set_timer(1.0, self.become_leader)
+
+    def on_message(self, port: int, message: Message) -> None:
+        pass
+
+
+class TimeredProtocol(ElectionProtocol):
+    name = "flow-timered-fixture"
+
+    def create_node(self, ctx: NodeContext) -> TimeredNode:
+        return TimeredNode(ctx)

@@ -1,0 +1,29 @@
+"""Planted unbounded fan-out (RPL032).
+
+Never imported by tests — only parsed by ``lint --flow``.  The send
+sits in a ``while True`` loop, so no static per-activation bound exists
+and the runtime conformance probe could never check it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import Message
+from repro.core.node import Node
+
+
+@dataclass(frozen=True, slots=True)
+class Flood(Message):
+    pass
+
+
+class UnboundedNode(Node):
+    def on_wake(self) -> None:
+        self.ctx.send(0, Flood())
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case Flood():
+                while True:
+                    self.ctx.send(0, Flood())

@@ -1,23 +1,27 @@
-"""The JSON reporter is a stable contract: byte-for-byte golden test.
+"""The machine-readable reporters are stable contracts: golden tests.
 
 ``tests/fixtures/lint/golden_report.json`` is the checked-in output of
 ``python -m repro lint --format json tests/fixtures/lint/accounting_bad.py``
-run from the repository root.  Ordering, schema keys, 1-based columns
-and POSIX relative paths are all part of the contract; bump
-``JSON_SCHEMA_VERSION`` and regenerate the golden on any change.
+run from the repository root, and ``golden_report.sarif`` the same for
+``--format sarif``.  Ordering, schema keys, 1-based columns and POSIX
+relative paths are all part of the contract; bump
+``JSON_SCHEMA_VERSION`` (or the SARIF version) and regenerate the
+goldens on any change.
 """
 
 from __future__ import annotations
 
 import json
+import textwrap
 from pathlib import Path
 
-from repro.lint import lint_paths, render_json
-from repro.lint.reporters import JSON_SCHEMA_VERSION
+from repro.lint import lint_paths, render_json, render_sarif
+from repro.lint.reporters import JSON_SCHEMA_VERSION, SARIF_VERSION
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURE = "tests/fixtures/lint/accounting_bad.py"
 GOLDEN = REPO_ROOT / "tests/fixtures/lint/golden_report.json"
+GOLDEN_SARIF = REPO_ROOT / "tests/fixtures/lint/golden_report.sarif"
 
 
 def _render(monkeypatch) -> str:
@@ -55,3 +59,53 @@ def test_findings_sorted_within_json(monkeypatch):
         for f in payload["findings"]
     ]
     assert keys == sorted(keys)
+
+
+def test_sarif_report_matches_golden_byte_for_byte(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    rendered = render_sarif(lint_paths([FIXTURE]))
+    assert rendered == GOLDEN_SARIF.read_text()
+
+
+def test_sarif_schema_shape(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    payload = json.loads(render_sarif(lint_paths([FIXTURE])))
+    assert payload["version"] == SARIF_VERSION
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    # Only the rules actually used appear, each with its family.
+    assert [r["id"] for r in driver["rules"]] == [
+        "RPL040", "RPL041", "RPL042",
+    ]
+    for rule in driver["rules"]:
+        assert rule["properties"]["family"] == "accounting"
+    assert [r["ruleId"] for r in run["results"]] == [
+        "RPL040", "RPL041", "RPL042",
+    ]
+    for result in run["results"]:
+        assert result["level"] == "error"
+        (location,) = result["locations"]
+        artifact = location["physicalLocation"]["artifactLocation"]
+        assert artifact["uri"] == FIXTURE  # POSIX, repo-root-relative
+        assert artifact["uriBaseId"] == "%SRCROOT%"
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_suppressed_findings_become_notes(tmp_path):
+    path = tmp_path / "suppressed.py"
+    path.write_text(
+        textwrap.dedent(
+            """\
+            import random  # repro: lint-ok[RPL003] seeded tooling only
+            """
+        )
+    )
+    payload = json.loads(render_sarif(lint_paths([path])))
+    (result,) = payload["runs"][0]["results"]
+    assert result["ruleId"] == "RPL003"
+    assert result["level"] == "note"
+    (suppression,) = result["suppressions"]
+    assert suppression["kind"] == "inSource"
+    assert suppression["justification"] == "seeded tooling only"

@@ -21,6 +21,20 @@ EXPECTED = {
     "messages_bad": ["RPL010", "RPL011", "RPL012"],
     "equivariance_bad": ["RPL020", "RPL020", "RPL021"],
     "accounting_bad": ["RPL040", "RPL041", "RPL042"],
+    # The RPL03x fixtures only trip with ``flow=True`` (exercised in
+    # test_flow.py); under the default pass the dead-handler fixture's
+    # never-sent Orphan class still trips the name-level message rule.
+    "flow_amplification": [],
+    "flow_dead_handler": ["RPL012"],
+    "flow_unbounded": [],
+    # The conformance fixtures are real (runnable) protocols, and the
+    # name-level families see exactly what makes each one a fixture: the
+    # sneaky broadcast hides its send (so only the id-contest RPL020
+    # shows), the timered one reaches past the NodeContext API, and the
+    # rng one imports and calls module-level entropy.
+    "flow_sneaky": ["RPL020"],
+    "flow_timered": ["RPL042"],
+    "flow_rng": ["RPL003", "RPL004", "RPL011"],
 }
 
 

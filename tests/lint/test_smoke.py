@@ -92,5 +92,27 @@ def test_capabilities_flag_emits_the_table(capsys):
 def test_list_rules_names_every_family(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for family in ("purity", "messages", "equivariance", "accounting"):
+    for family in (
+        "purity", "messages", "equivariance", "flow", "accounting"
+    ):
         assert family in out
+
+
+def test_self_hosted_flow_analysis_is_clean(capsys):
+    # The interprocedural pass (RPL03x) over the same shipped layers:
+    # no amplification cycles, no dead handlers, no unbounded fan-out.
+    assert cli_main(
+        ["lint", "--flow",
+         str(REPO_ROOT / "src" / "repro" / "protocols"),
+         str(REPO_ROOT / "src" / "repro" / "apps")]
+    ) == 0
+    assert capsys.readouterr().out.startswith("clean:")
+
+
+def test_self_hosted_analyze_derives_finite_bounds(capsys):
+    assert cli_main(["analyze", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["protocols"]) == 14
+    assert payload["consistent"]
+    for row in payload["protocols"].values():
+        assert row["bound_at_n"] is not None, row

@@ -30,7 +30,7 @@ def mini_report():
 
 
 class TestPhases:
-    def test_all_five_phases_ran(self, mini_report):
+    def test_all_six_phases_ran(self, mini_report):
         assert mini_report.matrix.cells
         assert set(mini_report.verify) == {"E@4+census", "C@4+census"}
         assert set(mini_report.fuzz) == {
@@ -38,6 +38,15 @@ class TestPhases:
         }
         assert len(mini_report.contract) == 14
         assert mini_report.shard
+        assert len(mini_report.conformance) == 14
+
+    def test_conformance_phase_respects_every_static_bound(
+        self, mini_report
+    ):
+        for name, outcome in mini_report.conformance.items():
+            assert outcome["ok"], (name, outcome["violations"])
+            assert outcome["measured_max"] <= outcome["static_bound"], name
+            assert outcome["leader_id"] is not None, name
 
     def test_sharded_digest_phase_matches_serial_on_every_cell(
         self, mini_report
@@ -97,6 +106,7 @@ class TestQuickCampaign:
         assert report.verify
         assert report.fuzz
         assert len(report.contract) == 14
+        assert len(report.conformance) == 14
         assert (tmp_path / "check_report.json").exists()
 
 

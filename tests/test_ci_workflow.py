@@ -121,6 +121,34 @@ class TestCommands:
         lines = list(_run_lines(jobs["lint"]))
         assert any(line.strip() == "python -m repro lint" for line in lines)
 
+    def test_lint_job_runs_the_flow_pass_and_analyze(self, jobs):
+        lines = [line.strip() for line in _run_lines(jobs["lint"])]
+        assert "python -m repro lint --flow" in lines
+        assert "python -m repro analyze" in lines
+
+    def test_lint_job_gates_capability_drift(self, jobs):
+        # A code change that alters any derived capability must fail CI
+        # until capabilities.json is regenerated.
+        lines = [line.strip() for line in _run_lines(jobs["lint"])]
+        assert "python -m repro lint --capabilities --check" in lines
+
+    def test_lint_job_uploads_sarif_to_code_scanning(self, jobs):
+        job = jobs["lint"]
+        assert job["permissions"]["security-events"] == "write"
+        uploads = [
+            s for s in _steps(job)
+            if s.get("uses", "").startswith("github/codeql-action/upload-sarif@")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["if"] == "always()"
+        assert uploads[0]["with"]["sarif_file"] == "lint_report.sarif"
+        renders = [
+            s for s in _steps(job)
+            if "run" in s and "--format sarif" in s["run"]
+        ]
+        assert len(renders) == 1
+        assert "lint_report.sarif" in renders[0]["run"]
+
     def test_ruff_and_mypy_are_availability_gated_and_advisory(self, jobs):
         gated = [
             s for s in _steps(jobs["lint"])
