@@ -1,0 +1,25 @@
+"""Benchmark E13: the deterministic-vs-randomized tradeoff curves.
+
+Regenerates the randomized family's sublinearity evidence (message
+growth exponents against Protocol B's n log n, whp success rate, the
+RT-buys-messages-with-time ordering), asserts every check, and writes
+the curves to ``BENCH_random.json`` at the repo root.  The trend gate
+(``python -m repro trends``) tracks the exponents (lower is better —
+more sublinear) and the whp success rate (higher is better) against the
+merge-base snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness.experiments import QUICK, e13_randomized_sublinear
+
+from conftest import run_experiment, write_bench
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_random.json"
+
+
+def test_e13_randomized_sublinear(benchmark):
+    report = run_experiment(benchmark, e13_randomized_sublinear, QUICK)
+    write_bench(BENCH_PATH, report.to_payload(tables={"tradeoff": 0}))

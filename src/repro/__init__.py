@@ -65,6 +65,8 @@ from repro.protocols.nosense.protocol_e import AfekGafni, ProtocolE
 from repro.protocols.nosense.protocol_f import ProtocolF
 from repro.protocols.nosense.protocol_g import ProtocolG
 from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.random.protocol_rs import RandomizedSampling
+from repro.protocols.random.protocol_rt import RandomizedTradeoff
 from repro.apps.broadcast import Broadcast
 from repro.apps.global_function import GlobalFunction
 from repro.apps.spanning_tree import SpanningTree
@@ -115,6 +117,8 @@ __all__ = [
     "ProtocolF",
     "ProtocolG",
     "ProtocolR",
+    "RandomizedSampling",
+    "RandomizedTradeoff",
     "AfekGafni",
     "LMW86",
     "ChangRoberts",

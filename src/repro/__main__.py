@@ -13,6 +13,7 @@ Subcommands::
     python -m repro verify --protocol A --n 6 --workers 4 [--symmetry census]
     python -m repro verify --protocol A --n 8 --fuzz 200 [--save-trace T.json]
     python -m repro verify --replay T.json [--shrink]
+    python -m repro verify --stat [--confidence 0.99] [--trials 600]
     python -m repro lint [--format json|sarif] [--select/--ignore RPL0xx] [paths]
     python -m repro lint --flow [paths]
     python -m repro lint --capabilities [--check]
@@ -120,6 +121,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         save_trace,
         shrink_trace,
     )
+
+    if args.stat:
+        from repro.verification.stat import verify_stat
+
+        try:
+            report = verify_stat(
+                args.stat_protocols,
+                ns=tuple(args.stat_ns),
+                trials=args.trials,
+                confidence=args.confidence,
+                target=args.target,
+            )
+        except (ConfigurationError, ValueError) as error:
+            print(f"refused: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0 if report.passed else 1
 
     if args.replay is not None:
         trace = load_trace(args.replay)
@@ -318,6 +336,37 @@ def main(argv: list[str] | None = None) -> int:
     verify_parser.add_argument(
         "--replay", default=None, metavar="PATH",
         help="replay a saved schedule trace file instead of checking",
+    )
+    verify_parser.add_argument(
+        "--stat", action="store_true",
+        help="Monte-Carlo statistical model checking for the randomized "
+        "family: seeded trials folded into exact Clopper-Pearson lower "
+        "confidence bounds on election safety and the whp message bound "
+        "(see docs/randomized.md)",
+    )
+    verify_parser.add_argument(
+        "--trials", type=int, default=600, metavar="T",
+        help="with --stat: trials per (protocol, N) stratum (>= 459 "
+        "needed for a 0.99 LCB at zero failures; default 600)",
+    )
+    verify_parser.add_argument(
+        "--confidence", type=float, default=0.99,
+        help="with --stat: one-sided confidence level (default 0.99)",
+    )
+    verify_parser.add_argument(
+        "--target", type=float, default=0.99,
+        help="with --stat: required lower confidence bound on the "
+        "success probability (default 0.99)",
+    )
+    verify_parser.add_argument(
+        "--stat-ns", type=int, nargs="+", default=[64, 256], metavar="N",
+        help="with --stat: stratum sizes (default: 64 256, the sublinear "
+        "regime — below 64 the referee sample saturates)",
+    )
+    verify_parser.add_argument(
+        "--stat-protocols", nargs="+", default=None, metavar="P",
+        help="with --stat: protocols to sample (default: every "
+        "registered protocol the flow analysis marks uses_ctx_rng)",
     )
     verify_parser.add_argument(
         "--shrink", action="store_true",

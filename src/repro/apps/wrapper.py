@@ -16,11 +16,16 @@ handler, everything else to the inner election node.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.messages import Message
 from repro.core.node import Node, NodeContext
 from repro.core.protocol import ElectionProtocol
+
+if TYPE_CHECKING:
+    # repro: lint-ok[RPL003] typing-only, for the ctx.rng() forwarder
+    # annotation; never imported at runtime
+    import random
 
 
 class _InterceptedContext(NodeContext):
@@ -60,6 +65,9 @@ class _InterceptedContext(NodeContext):
 
     def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
         self._real.count(metric, delta)
+
+    def rng(self) -> "random.Random":  # noqa: D102
+        return self._real.rng()
 
 
 class AppNode(Node):

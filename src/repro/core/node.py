@@ -20,7 +20,10 @@ information model the paper assumes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    import random
 
 from repro.core.errors import SimulationError
 from repro.core.messages import Message
@@ -83,6 +86,27 @@ class NodeContext(ABC):
         duplicates) that should surface in :class:`MetricsCollector`
         without being protocol messages.
         """
+
+    def rng(self) -> "random.Random":
+        """This node's private, deterministically-seeded coin stream.
+
+        Randomized protocols draw *only* from here — never from the
+        ``random`` module directly (the flow analyzer flags that as
+        ``uses_rng`` and the kernels refuse it).  The stream is derived
+        from ``(run_seed, node_id)`` via :mod:`repro.sim.rng`, so a
+        node's flips depend only on the run seed, its identity and its
+        own draw count — which is what keeps randomized runs
+        byte-replayable and digest-identical across kernels.
+
+        Contexts without a run seed (the lock-step verification world,
+        white-box test stubs) refuse it loudly; exhaustive exploration
+        of coin flips is unsound anyway — use ``verify --stat``.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not provide per-node RNG streams; "
+            "ctx.rng() is only available under the seeded simulator "
+            "(statistical properties are checked via `verify --stat`)"
+        )
 
 
 class Node(ABC):

@@ -35,7 +35,10 @@ redundancy window is designed to survive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    import random
 
 from repro.core.errors import ConfigurationError
 from repro.core.messages import Message
@@ -91,6 +94,9 @@ class _ReliableContext(NodeContext):
 
     def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
         self._real.count(metric, delta)
+
+    def rng(self) -> "random.Random":  # noqa: D102
+        return self._real.rng()
 
 
 class ReliableNode(Node):

@@ -1076,6 +1076,143 @@ def e12_survivability(scale: Scale = QUICK) -> ExperimentReport:
     return report
 
 
+# ---------------------------------------------------------------------------
+# E13 — randomized sublinear elections (the deterministic/randomized tradeoff)
+# ---------------------------------------------------------------------------
+
+
+def e13_randomized_sublinear(scale: Scale = QUICK) -> ExperimentReport:
+    """The randomized family beats the paper's deterministic Ω(N log N)
+    message bound by paying in certainty: candidate sampling (RS) and the
+    wave-paced tradeoff point (RT) elect w.h.p. with strictly sublinear
+    messages, measured against Protocol E's n log n on the same sizes."""
+    from repro.matrix.spec import family_seed
+    from repro.protocols.random.common import whp_message_bound
+    from repro.protocols.random.protocol_rs import RandomizedSampling
+    from repro.protocols.random.protocol_rt import RandomizedTradeoff
+
+    report = ExperimentReport(
+        "E13 — randomized sublinear elections",
+        "The paper's Section 5 lower bound (Ω(N log N) messages) binds "
+        "deterministic protocols only.  The randomized family trades "
+        "certainty for messages: candidate sampling (RS, after "
+        "arXiv 1210.4822) elects w.h.p. in O(1) time with "
+        "O(sqrt(N) log^1.5 N) messages, and the wave-paced variant (RT, "
+        "after the arXiv 2301.08235 tradeoff) spends O(log N) time to "
+        "cut the expected message bill further.  Both curves must come "
+        "out strictly sublinear in N where the deterministic n log n "
+        "baseline (Protocol B, the paper's Section 3 O(N log N) "
+        "protocol) is superlinear.  Protocols, coin streams and the "
+        "statistical gate: docs/randomized.md.",
+    )
+
+    # The sublinear regime only: below N=64 the referee sample saturates
+    # at s = N-1 and RS degenerates to probe-everyone.
+    ns = tuple(n for n in (64, 128, 256, 512) if n <= 2 * scale.n_fixed)
+    trials = 10 * len(scale.seeds)
+
+    def randomized_run(cls, tag, n, index):
+        seed = family_seed(f"e13/{tag}/{n}", index)
+        return run_election(
+            cls(), complete_without_sense(n, seed=seed), seed=seed
+        )
+
+    curves: dict[str, list[tuple[int, float, float, int]]] = {}
+    success_total = 0
+    bound_total = 0
+    for tag, cls in (("RS", RandomizedSampling), ("RT", RandomizedTradeoff)):
+        rows = []
+        for n in ns:
+            results = run_sweep([
+                lambda c=cls, t=tag, n=n, i=i: randomized_run(c, t, n, i)
+                for i in range(trials)
+            ])
+            for result in results:
+                result.verify()
+            success_total += sum(
+                1 for r in results if r.leader_id is not None
+            )
+            bound_total += sum(
+                1
+                for r in results
+                if r.messages_total <= whp_message_bound(n)
+            )
+            rows.append((
+                n,
+                sum(r.messages_total for r in results) / trials,
+                sum(r.election_time for r in results) / trials,
+                max(r.messages_total for r in results),
+            ))
+        curves[tag] = rows
+
+    det_rows = []
+    for n in ns:
+        result = run_election(
+            ProtocolB(), complete_with_sense_of_direction(n), seed=1
+        )
+        result.verify()
+        det_rows.append((n, result.messages_total, result.election_time))
+
+    report.add_table(
+        "Deterministic vs randomized tradeoff (messages/time, mean over "
+        f"{trials} seeded trials per size)",
+        ("N", "B msgs", "RS msgs", "RS time", "RT msgs", "RT time"),
+        [
+            (
+                n,
+                det_rows[i][1],
+                round(curves["RS"][i][1]), round(curves["RS"][i][2], 1),
+                round(curves["RT"][i][1]), round(curves["RT"][i][2], 1),
+            )
+            for i, n in enumerate(ns)
+        ],
+    )
+
+    rs_exponent = loglog_slope(ns, [row[1] for row in curves["RS"]])
+    rt_exponent = loglog_slope(ns, [row[1] for row in curves["RT"]])
+    det_exponent = loglog_slope(ns, [row[1] for row in det_rows])
+    total_trials = 2 * len(ns) * trials
+    success_rate = success_total / total_trials
+    report.find("rs_message_exponent", round(rs_exponent, 3))
+    report.find("rt_message_exponent", round(rt_exponent, 3))
+    report.find("det_message_exponent", round(det_exponent, 3))
+    report.find("whp_success_rate", round(success_rate, 4))
+    report.find(
+        "rs_message_ratio_vs_det_at_max_n",
+        round(curves["RS"][-1][1] / det_rows[-1][1], 3),
+    )
+
+    report.check(
+        "randomized message growth is strictly sublinear where the "
+        "deterministic baseline is superlinear",
+        rs_exponent < 1.0 < det_exponent and rt_exponent < 1.0,
+        f"exponents: RS {rs_exponent:.2f}, RT {rt_exponent:.2f}, "
+        f"B {det_exponent:.2f}",
+    )
+    report.check(
+        "every trial elected a leader (w.h.p. liveness at these sizes)",
+        success_total == total_trials,
+        f"{success_total}/{total_trials} trials",
+    )
+    report.check(
+        "every trial stayed within the whp message bound "
+        "ceil(9 ln N)*(4s+4)",
+        bound_total == total_trials,
+        f"{bound_total}/{total_trials} trials",
+    )
+    report.check(
+        "RT's wave pacing buys messages with time "
+        "(fewer messages, more time than RS at every size)",
+        all(
+            curves["RT"][i][1] < curves["RS"][i][1]
+            and curves["RT"][i][2] >= curves["RS"][i][2]
+            for i in range(len(ns))
+        ),
+        "the arXiv 2301.08235 tradeoff direction",
+    )
+    return report
+
+
 ALL_EXPERIMENTS = (
     e1_figure1,
     e2_messages_sense,
@@ -1089,6 +1226,7 @@ ALL_EXPERIMENTS = (
     e10_applications,
     e11_asynchrony_penalty,
     e12_survivability,
+    e13_randomized_sublinear,
 )
 
 

@@ -51,6 +51,10 @@ FORBIDDEN_LAYERS = (
 )
 
 #: The public ``NodeContext`` surface (see ``repro/core/node.py``).
+#: ``rng`` is the seeded per-node coin stream of the randomized family —
+#: protocol-facing by design (unlike ``set_timer``/``count``, which stay
+#: overlay-only and are deliberately absent here); the flow analyzer
+#: tracks its use as the ``uses_ctx_rng`` capability.
 CONTEXT_API = {
     "send",
     "port_label",
@@ -58,6 +62,7 @@ CONTEXT_API = {
     "now",
     "declare_leader",
     "trace",
+    "rng",
     "node_id",
     "n",
     "num_ports",

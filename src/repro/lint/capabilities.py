@@ -69,6 +69,11 @@ class ProtocolCapability:
     port_scan_sites: int
     uses_timers: bool = False
     uses_rng: bool = False
+    #: Draws from the seeded per-node ``ctx.rng()`` stream — deterministic
+    #: under a pinned run seed (and digest-safe to shard), unlike
+    #: ``uses_rng``'s module-level entropy, but still outside what the
+    #: equivariance argument covers, so symmetry pruning refuses it.
+    uses_ctx_rng: bool = False
     max_fanout: str = "0"
     quiescent_kinds: tuple[str, ...] = ()
 
@@ -90,6 +95,7 @@ class ProtocolCapability:
             "relabelling_equivariant": self.relabelling_equivariant,
             "uses_timers": self.uses_timers,
             "uses_rng": self.uses_rng,
+            "uses_ctx_rng": self.uses_ctx_rng,
             "max_fanout": self.max_fanout,
             "quiescent_kinds": list(self.quiescent_kinds),
         }
@@ -180,6 +186,7 @@ def capability_for(protocol_cls: type) -> ProtocolCapability:
         port_scan_sites=port_sites,
         uses_timers=automaton.uses_timers,
         uses_rng=automaton.uses_rng,
+        uses_ctx_rng=automaton.uses_ctx_rng,
         max_fanout=automaton.max_fanout.describe(),
         quiescent_kinds=automaton.quiescent_kinds,
     )

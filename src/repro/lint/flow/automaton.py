@@ -32,6 +32,7 @@ from .extract import (
     SendRecord,
     Universe,
     build_universe,
+    scan_uses_ctx_rng,
     scan_uses_rng,
     scan_uses_timers,
 )
@@ -114,6 +115,7 @@ class FlowAutomaton:
     handlers: Mapping[str, HandlerFlow]
     uses_timers: bool
     uses_rng: bool
+    uses_ctx_rng: bool = False
 
     @property
     def max_fanout(self) -> FanOut:
@@ -184,6 +186,7 @@ class FlowAutomaton:
             "quiescent_kinds": list(self.quiescent_kinds),
             "uses_timers": self.uses_timers,
             "uses_rng": self.uses_rng,
+            "uses_ctx_rng": self.uses_ctx_rng,
             "handlers": {
                 trigger: flow.to_dict()
                 for trigger, flow in sorted(self.handlers.items())
@@ -350,6 +353,7 @@ def analyze_node_class(
         handlers=handlers,
         uses_timers=scan_uses_timers(subtrees),
         uses_rng=scan_uses_rng(module_trees),
+        uses_ctx_rng=scan_uses_ctx_rng(subtrees),
     )
 
 

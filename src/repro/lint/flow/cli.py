@@ -41,6 +41,10 @@ PAPER_MESSAGE_BOUNDS = {
     "HS": "O(N log N)",
     "LMW86": "O(N)",
     "R": "O(N log N)",
+    # The randomized family (docs/randomized.md): bounds hold w.h.p.,
+    # not worst-case — `verify --stat` samples the tail probability.
+    "RS": "O(sqrt(N) log^1.5 N) whp",
+    "RT": "O(sqrt(N) log^1.5 N) whp",
 }
 
 

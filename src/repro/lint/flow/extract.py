@@ -440,6 +440,29 @@ def scan_uses_timers(trees: Iterable[ast.AST]) -> bool:
     return False
 
 
+def scan_uses_ctx_rng(trees: Iterable[ast.AST]) -> bool:
+    """True when any tree draws from the context stream (``...ctx.rng``).
+
+    Distinct from :func:`scan_uses_rng` on purpose: ``ctx.rng()`` is the
+    *seeded, per-node* stream (:mod:`repro.sim.rng`), deterministic under
+    a pinned run seed and digest-safe to shard, while a module-level
+    entropy import escapes the seeding machinery entirely.  The two
+    capabilities gate differently downstream (symmetry pruning refuses
+    both; the shard kernel and the scenario matrix refuse only the
+    latter).
+    """
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[-1] == "rng" and "ctx" in parts:
+                    return True
+    return False
+
+
 def scan_uses_rng(trees: Iterable[ast.Module]) -> bool:
     """True when any tree imports an entropy module."""
     for tree in trees:

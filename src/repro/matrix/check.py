@@ -1,7 +1,7 @@
 """``python -m repro check --all``: the one-command full cross-check.
 
 Runs the curated matrix slice (:func:`repro.matrix.spec.curated_specs`)
-through six phases and folds every verdict into a single
+through seven phases and folds every verdict into a single
 :class:`CheckReport`:
 
 1. **Matrix sweep** — every legal (protocol × scenario × N × k × seed)
@@ -36,6 +36,17 @@ through six phases and folds every verdict into a single
    flow analyzer derived (``python -m repro analyze``).  A violation
    means the analyzer's capability table (``capabilities.json`` v2) is
    describing a protocol the code does not implement.
+7. **Statistical gate** — the randomized family
+   (:mod:`repro.protocols.random`) gets the Monte-Carlo pass
+   (:func:`repro.verification.stat.verify_stat`): seeded trials folded
+   into exact Clopper–Pearson lower confidence bounds on election
+   safety and the w.h.p. message bound.  Full mode samples
+   :data:`STAT_TRIALS` trials per protocol at N=:data:`STAT_N` against
+   the 0.99/0.99 confidence/target pair; ``--quick`` trims to
+   :data:`STAT_TRIALS_QUICK` trials at N=:data:`STAT_N_QUICK` with the
+   target lowered to what that trial count can certify
+   (:data:`STAT_TARGET_QUICK`) — same machinery, smaller extent,
+   exactly like the other quick restrictions.
 
 Digest determinism: :meth:`CheckReport.digest` hashes a canonical payload
 with **no wall-clock times and no worker counts**, and every phase fans
@@ -71,6 +82,19 @@ from repro.matrix.spec import (
 CONTRACT_N = 16
 CONTRACT_SCENARIO = "lossy"
 
+#: Phase-7 statistical gate.  Full mode certifies the acceptance pair
+#: (LCB >= 0.99 at 0.99 confidence; needs zero failures in >= 459
+#: trials).  Quick mode keeps the machinery but trims the extent — 120
+#: trials can certify at most an 0.9624 LCB, so the quick target is the
+#: round number just below it.
+STAT_N = 64
+STAT_TRIALS = 600
+STAT_N_QUICK = 16
+STAT_TRIALS_QUICK = 120
+STAT_TARGET_QUICK = 0.95
+STAT_CONFIDENCE = 0.99
+STAT_TARGET = 0.99
+
 
 @dataclass
 class CheckReport:
@@ -82,6 +106,7 @@ class CheckReport:
     contract: dict[str, dict[str, Any]] = field(default_factory=dict)
     shard: dict[str, dict[str, Any]] = field(default_factory=dict)
     conformance: dict[str, dict[str, Any]] = field(default_factory=dict)
+    stat: dict[str, dict[str, Any]] = field(default_factory=dict)
     checks: list[Check] = field(default_factory=list)
 
     @property
@@ -101,6 +126,7 @@ class CheckReport:
             "contract": self.contract,
             "shard": self.shard,
             "conformance": self.conformance,
+            "stat": self.stat,
             "checks": {
                 check.name: {"passed": check.passed, "detail": check.detail}
                 for check in self.checks
@@ -126,6 +152,7 @@ class CheckReport:
             f"- overlay contract runs: {len(self.contract)}",
             f"- sharded digest cells: {len(self.shard)}",
             f"- flow-conformance probes: {len(self.conformance)}",
+            f"- statistical strata: {len(self.stat)}",
             f"- digest: `{self.digest()}`",
             "",
             "## Matrix checks",
@@ -501,6 +528,32 @@ def check_all(
         f"{len(protocol_names)} protocols probed"
         + (f"; violating: {overruns}" if overruns else ""),
     )
+
+    # -- phase 7: the statistical gate for the randomized family -----------
+    from repro.verification.stat import randomized_protocol_names, verify_stat
+
+    randomized = randomized_protocol_names()
+    if randomized:
+        stat_report = verify_stat(
+            randomized,
+            ns=(STAT_N_QUICK if quick else STAT_N,),
+            trials=STAT_TRIALS_QUICK if quick else STAT_TRIALS,
+            confidence=STAT_CONFIDENCE,
+            target=STAT_TARGET_QUICK if quick else STAT_TARGET,
+            parallel=parallel,
+        )
+        report.stat = {s.key: s.to_dict() for s in stat_report.strata}
+        below = [c for c in stat_report.checks if not c.passed]
+        report.check(
+            "statistical gate: randomized strata clear the "
+            "Clopper-Pearson targets",
+            not below,
+            f"{len(stat_report.strata)} strata x {stat_report.trials} "
+            f"trials at confidence {stat_report.confidence}"
+            + (
+                f"; failing: {[c.detail for c in below]}" if below else ""
+            ),
+        )
 
     if outdir is not None:
         outdir = Path(outdir)

@@ -201,9 +201,18 @@ def _check_all_elected(report: MatrixReport) -> None:
 
 
 def _check_monotonicity(report: MatrixReport) -> None:
-    """Messages non-decreasing in N within each fixed-everything-else group."""
+    """Messages non-decreasing in N within each fixed-everything-else group.
+
+    Seed-family (randomized) cells are exempt: their message count is a
+    random variable re-drawn at every size — the same family seed flips
+    different coins at N=16 and N=32, so pointwise monotonicity is not a
+    property the protocol promises.  Their growth envelope is checked
+    statistically instead (``verify --stat`` message bounds, E13 slopes).
+    """
     groups: dict[tuple, list[tuple[int, int]]] = {}
     for r in report.cells:
+        if r.cell.seed_family is not None:
+            continue
         key = (r.cell.tag, r.cell.protocol, r.cell.scenario, r.cell.k,
                r.cell.seed)
         groups.setdefault(key, []).append(

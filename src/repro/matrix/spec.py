@@ -44,6 +44,7 @@ duplicate cells.
 from __future__ import annotations
 
 import csv
+import hashlib
 import inspect
 import io
 import json
@@ -63,7 +64,7 @@ SYMMETRY_MODES = ("census", "prune")
 #: CSV column order (one spec per row; list-valued columns are
 #: ``|``-joined; empty string = the field's default).
 CSV_COLUMNS = (
-    "tag", "protocols", "scenarios", "ns", "seeds", "ks",
+    "tag", "protocols", "scenarios", "ns", "seeds", "seed_family", "ks",
     "symmetry", "verify_ns", "fuzz_ns", "fuzz_schedules", "fault_budget",
 )
 
@@ -87,6 +88,14 @@ class ScenarioSpec:
     scenarios: tuple[str, ...]
     ns: tuple[int, ...]
     seeds: tuple[int, ...] = (0,)
+    #: Named seed family for randomized (``uses_ctx_rng``) protocols.
+    #: When set, ``seeds`` are *indices* into the family and each cell
+    #: runs with :func:`family_seed`'s derived value — so a curated row
+    #: declares its whole seed discipline in two short fields, the
+    #: derived seeds are identical across sizes (monotonicity grouping
+    #: still works) and re-deriving the family elsewhere (the stat
+    #: checker, E13) reproduces the exact same runs.
+    seed_family: str | None = None
     ks: tuple[int, ...] = ()
     symmetry: str | None = None
     verify_ns: tuple[int, ...] = ()
@@ -105,6 +114,9 @@ class MatrixCell:
     n: int
     seed: int
     k: int | None = None
+    #: The spec row's seed family (None on deterministic rows).  When
+    #: set, ``seed`` already holds the family-derived value.
+    seed_family: str | None = None
 
     @property
     def cell_id(self) -> str:
@@ -120,6 +132,7 @@ class MatrixCell:
             "scenario": self.scenario,
             "n": self.n,
             "seed": self.seed,
+            "seed_family": self.seed_family,
             "k": self.k,
         }
 
@@ -129,20 +142,39 @@ class MatrixCell:
 # ---------------------------------------------------------------------------
 
 
+def family_seed(family: str, index: int) -> int:
+    """The run seed of entry ``index`` of a named seed family.
+
+    A 32-bit blake2b digest over the family name and index, so spec rows
+    stay short (two fields) while every consumer — the matrix runner,
+    the statistical checker, E13 — derives byte-identical run seeds from
+    the same ``(family, index)`` coordinates.  Independent of N on
+    purpose: the monotonicity check groups cells across sizes by seed.
+    """
+    payload = b"repro.seed-family.v1|%s|%d" % (family.encode(), index)
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=4).digest(), "big")
+
+
 def expand(spec: ScenarioSpec) -> list[MatrixCell]:
     """The pure cross-product of one row's axes, in deterministic order.
 
     No validation and no filtering happen here (see the module docstring's
     layer 3): the cell count is exactly ``len(protocols) * len(scenarios)
-    * len(ns) * len(seeds) * max(1, len(ks))``.
+    * len(ns) * len(seeds) * max(1, len(ks))``.  On a ``seed_family``
+    row, the ``seeds`` axis holds family indices and every cell's
+    ``seed`` is the :func:`family_seed`-derived value.
     """
     ks: tuple[int | None, ...] = spec.ks if spec.ks else (None,)
+    if spec.seed_family is not None:
+        seeds = tuple(family_seed(spec.seed_family, s) for s in spec.seeds)
+    else:
+        seeds = spec.seeds
     return [
-        MatrixCell(spec.tag, protocol, scenario, n, seed, k)
+        MatrixCell(spec.tag, protocol, scenario, n, seed, k, spec.seed_family)
         for protocol in spec.protocols
         for scenario in spec.scenarios
         for n in spec.ns
-        for seed in spec.seeds
+        for seed in seeds
         for k in ks
     ]
 
@@ -182,6 +214,13 @@ def cell_rejection(cell: MatrixCell) -> str | None:
     from repro.harness.scenarios import SCENARIOS
 
     cls = protocol_class(cell.protocol)
+    if cell.seed_family is None and _protocol_uses_ctx_rng(cell.protocol):
+        return (
+            f"randomized protocol {cell.protocol!r} (uses_ctx_rng per the "
+            "flow-derived capability table) requires the row to declare a "
+            "seed_family: its coin flips are part of the run configuration, "
+            "and the family pins which coin universes the matrix samples"
+        )
     if cell.scenario == "adversarial_ports":
         if cls.needs_sense_of_direction:
             return "the port adversary only exists on unlabeled networks"
@@ -259,6 +298,11 @@ def validate_spec(spec: ScenarioSpec) -> None:
         values = getattr(spec, axis)
         _require(bool(values), tag, f"axis {axis!r} must be non-empty")
     _require(bool(spec.seeds), tag, "axis 'seeds' must be non-empty")
+    if spec.seed_family is not None:
+        _require(
+            bool(spec.seed_family), tag,
+            "seed_family must be a non-empty family name",
+        )
     for axis in (*_LIST_STR_FIELDS, *_LIST_INT_FIELDS):
         values = getattr(spec, axis)
         _require(
@@ -311,6 +355,27 @@ def validate_spec(spec: ScenarioSpec) -> None:
     _ensure_deterministic_capability(spec)
 
 
+def _capability_entry(name: str, *, required_key: str) -> dict:
+    """One protocol's capability dict, pinned if fresh enough else live."""
+    from repro.core.protocol import protocol_class
+    from repro.lint.capabilities import capability_for, load_packaged_table
+
+    table = load_packaged_table() or {"protocols": {}}
+    entry = table.get("protocols", {}).get(name)
+    if entry is None or required_key not in entry:
+        entry = capability_for(protocol_class(name)).to_dict()
+    return entry
+
+
+def _protocol_uses_ctx_rng(name: str) -> bool:
+    """Whether the capability table marks ``name`` as coin-flipping."""
+    return bool(
+        _capability_entry(name, required_key="uses_ctx_rng").get(
+            "uses_ctx_rng", False
+        )
+    )
+
+
 def _ensure_deterministic_capability(spec: ScenarioSpec) -> None:
     """Reject rows naming protocols the flow analysis marks ``uses_rng``.
 
@@ -321,22 +386,32 @@ def _ensure_deterministic_capability(spec: ScenarioSpec) -> None:
     replay and digest comparison, so such rows are refused at load time
     rather than producing flaky cells.  (v1 capability tables predate the
     field; absent means not-randomized, matching every shipped protocol.)
-    """
-    from repro.core.protocol import protocol_class
-    from repro.lint.capabilities import capability_for, load_packaged_table
 
-    table = load_packaged_table() or {"protocols": {}}
-    pinned = table.get("protocols", {})
+    ``uses_ctx_rng`` (the seeded per-node streams) is digest-safe, so
+    those rows stay — but the lock-step verification world has no run
+    seed to derive streams from, so a ctx-rng row may not ask for the
+    exhaustive or fuzz passes: probabilistic properties belong to
+    ``verify --stat`` (:mod:`repro.verification.stat`).
+    """
     for name in spec.protocols:
-        entry = pinned.get(name)
-        if entry is None or "uses_rng" not in entry:
-            entry = capability_for(protocol_class(name)).to_dict()
+        entry = _capability_entry(name, required_key="uses_rng")
         if entry.get("uses_rng", False):
             raise ConfigurationError(
                 f"spec row {spec.tag!r}: protocol {name!r} uses module-"
                 "level entropy (uses_rng per the flow-derived capability "
                 "table), which breaks seeded replay and digest "
                 "determinism; drop it from the matrix"
+            )
+        if entry.get("uses_ctx_rng", False) and (
+            spec.verify_ns or spec.fuzz_ns
+        ):
+            raise ConfigurationError(
+                f"spec row {spec.tag!r}: protocol {name!r} draws from the "
+                "per-node coin stream (uses_ctx_rng); the lock-step "
+                "verification world has no run seed, so exhaustive "
+                "exploration and schedule fuzzing cannot drive it — drop "
+                "verify_ns/fuzz_ns from this row and check it with "
+                "`python -m repro verify --stat` instead"
             )
 
 
@@ -361,6 +436,13 @@ def _ensure_prune_capability(spec: ScenarioSpec) -> None:
         entry = pinned.get(name)
         if entry is None:
             entry = capability_for(cls).to_dict()
+        if entry.get("uses_ctx_rng", False):
+            raise ConfigurationError(
+                f"spec row {spec.tag!r}: symmetry='prune' is not sound for "
+                f"randomized protocol {name!r} (uses_ctx_rng): per-node "
+                "coin streams are seeded by identity, so relabelling "
+                "changes future flips; use `verify --stat` instead"
+            )
         key = (
             "rotation_equivariant"
             if cls.needs_sense_of_direction
@@ -392,6 +474,8 @@ def _spec_to_dict(spec: ScenarioSpec) -> dict:
     }
     if spec.seeds != (0,):
         out["seeds"] = list(spec.seeds)
+    if spec.seed_family is not None:
+        out["seed_family"] = spec.seed_family
     if spec.ks:
         out["ks"] = list(spec.ks)
     if spec.symmetry is not None:
@@ -481,6 +565,7 @@ def specs_to_csv(specs: list[ScenarioSpec]) -> str:
             "scenarios": "|".join(spec.scenarios),
             "ns": "|".join(str(n) for n in spec.ns),
             "seeds": "|".join(str(s) for s in spec.seeds),
+            "seed_family": spec.seed_family or "",
             "ks": "|".join(str(k) for k in spec.ks),
             "symmetry": spec.symmetry or "",
             "verify_ns": "|".join(str(n) for n in spec.verify_ns),
@@ -521,6 +606,8 @@ def parse_csv(text: str, *, source: str = "<csv>") -> list[ScenarioSpec]:
                         f"{where}: column {name!r} must be |-joined "
                         f"integers, got {value!r}"
                     ) from None
+        if row.get("seed_family"):
+            raw["seed_family"] = row["seed_family"]
         if row.get("symmetry"):
             raw["symmetry"] = row["symmetry"]
         for name in ("fuzz_schedules", "fault_budget"):
@@ -583,6 +670,7 @@ def restrict_for_quick(specs: list[ScenarioSpec]) -> list[ScenarioSpec]:
                 scenarios=spec.scenarios,
                 ns=ns,
                 seeds=spec.seeds,
+                seed_family=spec.seed_family,
                 ks=tuple(k for k in spec.ks if k <= min(ns) - 1),
                 symmetry=spec.symmetry if verify_ns else None,
                 verify_ns=verify_ns,

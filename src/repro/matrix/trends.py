@@ -1,8 +1,8 @@
 """Tolerance-banded BENCH trend comparison — the CI regression gate.
 
 The repo commits measured benchmark snapshots (``BENCH_kernel.json``,
-``BENCH_verify.json``, ``BENCH_faults.json``) alongside the code that
-produced them.  This module compares a *current* set of those files
+``BENCH_verify.json``, ``BENCH_faults.json``, ``BENCH_random.json``)
+alongside the code that produced them.  This module compares a *current* set of those files
 against a *baseline* set (in CI: the merge-base versions extracted with
 ``git show``) and fails when a tracked metric regressed beyond a
 tolerance band.  Comparing committed snapshots — numbers measured on the
@@ -13,10 +13,13 @@ worse", not "the CI machine is slow today".
 What counts as a regression:
 
 * **higher-is-better** metrics (throughputs — any key ending in
-  ``_per_sec`` — and the named speedup/reduction ratios) dropping more
-  than ``tolerance`` (default 30%) below baseline;
-* **lower-is-better** metrics (keys containing ``overhead``) rising more
-  than ``tolerance`` above baseline;
+  ``_per_sec`` — probabilistic guarantees ending in ``success_rate``,
+  and the named speedup/reduction ratios) dropping more than
+  ``tolerance`` (default 30%) below baseline;
+* **lower-is-better** metrics (keys containing ``overhead``, and the
+  fitted growth exponents ending in ``_exponent`` — a randomized
+  protocol drifting toward linear message growth is a regression)
+  rising more than ``tolerance`` above baseline;
 * any boolean under a ``checks`` mapping flipping true → false (no band
   — a claim that stopped holding is a regression at any magnitude);
 * a tracked metric or workload present in the baseline but **missing**
@@ -49,7 +52,12 @@ from typing import Any
 DEFAULT_TOLERANCE = 0.30
 
 #: The BENCH files the gate tracks by default.
-BENCH_FILES = ("BENCH_kernel.json", "BENCH_verify.json", "BENCH_faults.json")
+BENCH_FILES = (
+    "BENCH_kernel.json",
+    "BENCH_verify.json",
+    "BENCH_faults.json",
+    "BENCH_random.json",
+)
 
 #: Named ratio metrics that are higher-is-better (beyond the ``_per_sec``
 #: suffix rule).  ``sharded_speedup_vs_serial`` is the sharded kernel's
@@ -78,9 +86,17 @@ _TOLERANCE_SCALE = {"peak_rss_mb": 2.0}
 
 def metric_direction(key: str) -> str | None:
     """'up' (higher better), 'down' (lower better), or None (untracked)."""
-    if key.endswith("_per_sec") or key in _HIGHER_BETTER_NAMES:
+    if (
+        key.endswith("_per_sec")
+        or key.endswith("success_rate")
+        or key in _HIGHER_BETTER_NAMES
+    ):
         return "up"
-    if "overhead" in key or key in _LOWER_BETTER_NAMES:
+    if (
+        "overhead" in key
+        or key.endswith("_exponent")
+        or key in _LOWER_BETTER_NAMES
+    ):
         return "down"
     return None
 

@@ -1,0 +1,34 @@
+"""The randomized (coin-flipping) election family.
+
+Everything before this package is deterministic: the paper's A–𝒢
+protocols and the baselines pay Ω(N log N) messages, the lower bound for
+deterministic election in a complete network.  Randomization breaks that
+bound: Kutten, Pandurangan, Peleg, Robinson and Trehan (arXiv 1210.4822)
+elect with O(√N log^{3/2} N) messages *with high probability* by
+thinning candidates with coin flips and letting each survivor talk to a
+random √N-sized sample of "referees" instead of to everyone; Kutten,
+Robinson, Tan and Zhu (arXiv 2301.08235) trade more rounds for fewer
+expected messages along the same sampling skeleton.
+
+* :mod:`repro.protocols.random.common` — the referee role, the shared
+  probe/claim message vocabulary, and the sampling math;
+* :mod:`repro.protocols.random.protocol_rs` — ``RS``, the one-shot
+  candidate-sampling protocol (1210.4822);
+* :mod:`repro.protocols.random.protocol_rt` — ``RT``, the wave-doubling
+  tradeoff point (2301.08235): same safety argument, probes spread over
+  geometrically growing waves so beaten candidates stop early.
+
+All coins come from ``ctx.rng()`` — per-node streams derived from
+``(run_seed, node_id)`` (:mod:`repro.sim.rng`), never from module-level
+entropy — so every run is byte-replayable and the flow analyzer records
+the family as ``uses_ctx_rng`` rather than refusing it outright.
+Correctness here is *probabilistic*: safety and election each hold with
+high probability, not always, which is why these protocols are checked
+by ``python -m repro verify --stat`` (:mod:`repro.verification.stat`)
+instead of exhaustive exploration.
+"""
+
+from repro.protocols.random.protocol_rs import RandomizedSampling
+from repro.protocols.random.protocol_rt import RandomizedTradeoff
+
+__all__ = ["RandomizedSampling", "RandomizedTradeoff"]

@@ -1,0 +1,270 @@
+"""Shared machinery of the randomized sampling protocols (RS, RT).
+
+Both protocols follow the same three-move skeleton from arXiv 1210.4822:
+
+1. **Candidacy coin.**  Each spontaneously-woken node becomes a candidate
+   with probability Θ(log N / N), so about Θ(log N) candidates exist and
+   at least one does with probability 1 − N^{-Θ(1)}.
+2. **Probe.**  Each candidate draws a random *rank* ``(coin, id)`` and
+   asks a uniform sample of ``s = ⌈√(3·N·ln N)⌉`` referees whether any
+   higher rank has been seen.  Any two samples of that size share a
+   referee with probability ≥ 1 − N^{-3} (birthday bound), which is what
+   couples candidates to each other without all-to-all traffic.
+3. **Claim.**  A candidate whose probes all came back clean claims
+   leadership at the same referees.  A referee grants **at most one
+   claim, ever**, and only to the best rank it has seen.  Election
+   therefore needs every one of the candidate's ``s`` grants; since any
+   two candidates share a referee w.h.p. and a shared referee grants at
+   most one of them, two leaders require two *disjoint* samples — a
+   probability-N^{-Θ(1)} event.  That is the whole safety argument, and
+   it is statistical: ``verify --stat`` measures it with Clopper–Pearson
+   bounds rather than proving it per-run.
+
+Liveness is also w.h.p. only: all candidacy coins can come up tails, or
+every claimant can be rejected by a referee whose single grant went to a
+candidate that later stalled elsewhere.  Such runs quiesce without a
+leader (every message is a request with exactly one reply, so the
+network always drains); the statistical checker reports the election
+rate separately from safety.
+
+The messages here carry at most two integer fields, each < N² (coins are
+drawn from ``range(N²)``, identities are < N), so the O(log N)-bit audit
+admits them at two words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+from repro.core.messages import Message
+from repro.core.node import Node, NodeContext
+from repro.protocols.common import Role
+
+# ---------------------------------------------------------------------------
+# sampling math
+
+
+def candidacy_probability(n: int) -> float:
+    """P(a woken node runs): ``min(1, 3·ln N / N)``.
+
+    Expected candidates ≈ 3·ln N; zero candidates (a liveness miss) has
+    probability ≤ N^{-3} when all N nodes wake.
+    """
+    return min(1.0, 3.0 * math.log(n) / n)
+
+
+def referee_sample_size(n: int) -> int:
+    """Sample size ``s = ⌈√(3·N·ln N)⌉`` (capped at the port count).
+
+    Two independent samples of this size from N nodes are disjoint with
+    probability ≤ (1 − s/N)^s ≤ e^{−s²/N} = N^{-3}.
+    """
+    return min(n - 1, math.ceil(math.sqrt(3.0 * n * math.log(n))))
+
+
+def initial_wave_size(n: int) -> int:
+    """RT's first-wave probe chunk: ``⌈ln N⌉`` (at least 1)."""
+    return max(1, math.ceil(math.log(n)))
+
+
+def whp_message_bound(n: int) -> int:
+    """A message-count ceiling both protocols respect w.h.p.
+
+    Candidates number ≤ 9·ln N except with probability ≤ N^{-4}
+    (Chernoff at three times the mean), and each candidate causes at
+    most ``4·s + 4`` messages (probe + ack + claim + grant/reject, one
+    reply per request).  The statistical checker tests this bound per
+    trial; it is sublinear in N — Θ(√N · log^{3/2} N) — which is the
+    measurable claim E13 plots against the deterministic N log N family.
+    """
+    candidates = math.ceil(9.0 * math.log(max(n, 2)))
+    return candidates * (4 * referee_sample_size(n) + 4)
+
+
+def draw_rank(stream: Any, n: int, node_id: int) -> tuple[int, int]:
+    """A candidate's random rank: ``(coin, id)``, compared lexically.
+
+    The coin comes from ``range(N²)`` so it fits one O(log N) word of
+    the bit audit; the identity breaks coin ties, so ranks are unique.
+    """
+    return (stream.randrange(n * n), node_id)
+
+
+def sample_ports(stream: Any, num_ports: int, count: int) -> tuple[int, ...]:
+    """``count`` distinct ports, uniform without replacement.
+
+    An explicit partial Fisher–Yates over ``randrange`` draws rather
+    than ``Random.sample``: sample() switches algorithms on the
+    count/population ratio, and pinned cross-version fixture digests
+    should not hinge on that implementation detail.
+    """
+    pool = list(range(num_ports))
+    for i in range(count):
+        j = stream.randrange(i, num_ports)
+        pool[i], pool[j] = pool[j], pool[i]
+    return tuple(pool[:count])
+
+
+# ---------------------------------------------------------------------------
+# message vocabulary (shared by RS and RT)
+
+
+@dataclass(frozen=True, slots=True)
+class SampleProbe(Message):
+    """A candidate's rank, shown to one sampled referee."""
+
+    coin: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class SampleAck(Message):
+    """Referee's probe answer: is the prober the best rank I have seen?"""
+
+    ok: bool
+
+
+@dataclass(frozen=True, slots=True)
+class SampleClaim(Message):
+    """A fully-acked candidate asks its referees for the leadership grant."""
+
+    coin: int
+    cand: int
+
+
+@dataclass(frozen=True, slots=True)
+class SampleGrant(Message):
+    """Referee's single, unrepeatable grant."""
+
+
+@dataclass(frozen=True, slots=True)
+class SampleReject(Message):
+    """Referee refusal: grant spent, or a better rank is known."""
+
+
+# ---------------------------------------------------------------------------
+# the shared node skeleton
+
+
+class SamplingNode(Node):
+    """Referee bookkeeping plus the candidate claim half, shared by RS/RT.
+
+    Every node is a referee: it tracks the best rank it has ever been
+    shown (its own candidacy rank included) and owns one leadership
+    grant.  Subclasses decide only *how probes are paced* — RS sends the
+    whole sample at once, RT doubles through waves — by implementing
+    :meth:`start_probing` and :meth:`on_probes_clean`.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.role = Role.PASSIVE
+        self.rank: tuple[int, int] | None = None
+        self.best_seen: tuple[int, int] | None = None
+        self.grant_spent = False
+        self.sample: tuple[int, ...] = ()
+        self._acks_pending = 0
+        self._grants_pending = 0
+
+    # -- candidate side ------------------------------------------------------
+
+    def on_wake(self, spontaneous: bool) -> None:
+        if not spontaneous:
+            return
+        stream = self.ctx.rng()
+        n = self.ctx.n
+        if stream.random() >= candidacy_probability(n):
+            return  # declined candidacy: this node referees only
+        self.role = Role.CANDIDATE
+        self.rank = draw_rank(stream, n, self.ctx.node_id)
+        self._note_rank(self.rank)
+        self.sample = sample_ports(
+            stream, self.ctx.num_ports, referee_sample_size(n)
+        )
+        self.start_probing()
+
+    def start_probing(self) -> None:
+        """Send the first probes (all at once, or the first wave)."""
+        raise NotImplementedError
+
+    def on_probes_clean(self) -> None:
+        """All probes sent so far were acked ``ok``; continue or claim."""
+        raise NotImplementedError
+
+    def send_probes(self, ports: tuple[int, ...]) -> None:
+        """Probe ``ports`` and expect one ack each."""
+        assert self.rank is not None
+        self._acks_pending = len(ports)
+        coin, cand = self.rank
+        for probe_port in ports:
+            self.ctx.send(probe_port, SampleProbe(coin, cand))
+
+    def claim_leadership(self) -> None:
+        """Ask every sampled referee for its grant."""
+        assert self.rank is not None
+        self._grants_pending = len(self.sample)
+        coin, cand = self.rank
+        for claim_port in self.sample:
+            self.ctx.send(claim_port, SampleClaim(coin, cand))
+
+    def _stall(self) -> None:
+        """Stop competing (a referee knows a better rank, or a grant
+        was refused); keep refereeing for everyone else."""
+        self.role = Role.STALLED
+
+    # -- referee side --------------------------------------------------------
+
+    def _note_rank(self, rank: tuple[int, int]) -> None:
+        if self.best_seen is None or rank > self.best_seen:
+            self.best_seen = rank
+
+    def on_message(self, port: int, message: Message) -> None:
+        match message:
+            case SampleProbe(coin=coin, cand=cand):
+                rank = (coin, cand)
+                self._note_rank(rank)
+                self.ctx.send(port, SampleAck(ok=rank == self.best_seen))
+            case SampleClaim(coin=coin, cand=cand):
+                rank = (coin, cand)
+                self._note_rank(rank)
+                if not self.grant_spent and rank == self.best_seen:
+                    self.grant_spent = True
+                    self.ctx.send(port, SampleGrant())
+                else:
+                    self.ctx.send(port, SampleReject())
+            case SampleAck(ok=ok):
+                if self.role is not Role.CANDIDATE:
+                    return
+                if not ok:
+                    self._stall()
+                    return
+                self._acks_pending -= 1
+                if self._acks_pending == 0:
+                    self.on_probes_clean()
+            case SampleGrant():
+                if self.role is not Role.CANDIDATE:
+                    return
+                self._grants_pending -= 1
+                if self._grants_pending == 0:
+                    self.role = Role.LEADER
+                    self.become_leader()
+            case SampleReject():
+                if self.role is Role.CANDIDATE:
+                    self._stall()
+            case _:
+                raise ConfigurationError(
+                    f"randomized sampling protocols cannot handle "
+                    f"{message.type_name}"
+                )
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            role=self.role.value,
+            rank=list(self.rank) if self.rank is not None else None,
+            grant_spent=self.grant_spent,
+        )
+        return base

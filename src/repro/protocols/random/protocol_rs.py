@@ -1,0 +1,49 @@
+"""Protocol RS — one-shot randomized candidate sampling (arXiv 1210.4822).
+
+Setting: asynchronous complete network, no sense of direction, coins
+from the per-node ``ctx.rng()`` streams.
+
+A woken node flips for candidacy (probability ``3·ln N / N``); a
+candidate draws a rank and probes all ``s = ⌈√(3·N·ln N)⌉`` of its
+sampled referees *at once*.  If every ack reports the candidate's rank
+as the best its referee has seen, the candidate claims at the same
+referees; ``s`` unanimous grants elect it.  One referee refusal or one
+"better rank exists" ack stalls the candidate permanently.
+
+Costs, with high probability: O(√N · log^{3/2} N) messages — Θ(log N)
+candidates times 4s+O(1) request/replies — and O(1) time (two round
+trips: probe+ack, claim+grant).  This is the family's "all speed" point;
+protocol RT spends more round trips to let beaten candidates quit
+before paying the full sample.
+
+Safety and liveness are w.h.p., not certain (see
+:mod:`repro.protocols.random.common` for the failure modes); the
+statistical checker ``verify --stat`` puts confidence bounds on both.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.random.common import SamplingNode
+
+
+class ProtocolRSNode(SamplingNode):
+    """One node running RS: the whole sample probed in a single burst."""
+
+    def start_probing(self) -> None:
+        self.send_probes(self.sample)
+
+    def on_probes_clean(self) -> None:
+        self.claim_leadership()
+
+
+@register
+class RandomizedSampling(ElectionProtocol):
+    """Protocol RS: O(√N log^{3/2} N) messages w.h.p., O(1) time."""
+
+    name = "RS"
+    needs_sense_of_direction = False
+
+    def create_node(self, ctx: NodeContext) -> ProtocolRSNode:
+        return ProtocolRSNode(ctx)

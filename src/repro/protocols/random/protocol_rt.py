@@ -1,0 +1,68 @@
+"""Protocol RT — wave-doubling randomized sampling (arXiv 2301.08235).
+
+Same setting, rank space, referee sample and claim rule as RS — the
+safety argument is shared verbatim — but the probes are paced in
+geometrically growing waves, the message/time tradeoff move of Kutten,
+Robinson, Tan and Zhu: a candidate first shows its rank to ``⌈ln N⌉``
+referees, then to twice as many, doubling until the cumulative sample
+reaches ``s = ⌈√(3·N·ln N)⌉``, and waits for the wave's acks before
+spending the next wave.  A candidate that learns of a better rank in an
+early wave stalls having paid only O(log N) messages instead of O(√N·
+log^{1/2} N), so the *expected* message total drops while the time cost
+rises from two round trips to O(log N) of them — a different point on
+the same w.h.p. tradeoff curve, which E13 plots against RS and the
+deterministic baseline.
+
+The claim phase is unchanged (all ``s`` referees, unanimous grants), so
+the w.h.p. safety bound is identical to RS's.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.node import NodeContext
+from repro.core.protocol import ElectionProtocol, register
+from repro.protocols.random.common import SamplingNode, initial_wave_size
+
+
+class ProtocolRTNode(SamplingNode):
+    """One node running RT: the sample probed in doubling waves."""
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self._probed = 0  # prefix of ``self.sample`` already probed
+
+    def _next_wave(self) -> None:
+        remaining = len(self.sample) - self._probed
+        # Wave sizes double against the probed prefix, floored at the
+        # initial wave size: w0, then w0, 2·w0, 4·w0, ...
+        wave = min(remaining, max(initial_wave_size(self.ctx.n), self._probed))
+        chunk = self.sample[self._probed : self._probed + wave]
+        self._probed += len(chunk)
+        self.send_probes(chunk)
+
+    def start_probing(self) -> None:
+        self._next_wave()
+
+    def on_probes_clean(self) -> None:
+        if self._probed < len(self.sample):
+            self._next_wave()
+        else:
+            self.claim_leadership()
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(probed=self._probed)
+        return base
+
+
+@register
+class RandomizedTradeoff(ElectionProtocol):
+    """Protocol RT: fewer expected messages than RS, O(log N) time."""
+
+    name = "RT"
+    needs_sense_of_direction = False
+
+    def create_node(self, ctx: NodeContext) -> ProtocolRTNode:
+        return ProtocolRTNode(ctx)

@@ -60,6 +60,7 @@ from repro.sim.events import Event
 from repro.sim.faults import FaultPlan
 from repro.sim.link import ChannelTable
 from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import node_stream
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Tracer
 from repro.topology.complete import CompleteTopology
@@ -307,6 +308,7 @@ class _BoundContext(NodeContext):
         self.n = topology.n
         self.num_ports = topology.num_ports
         self.has_sense_of_direction = topology.sense_of_direction
+        self._rng: random.Random | None = None
 
     def send(self, port: int, message: Message) -> None:  # noqa: D102
         self._network._transmit(self._position, port, message)
@@ -329,6 +331,13 @@ class _BoundContext(NodeContext):
 
     def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
         self._network.metrics.bump(metric, delta)
+
+    def rng(self) -> random.Random:
+        """This node's ``(run_seed, node_id)``-derived stream (lazy)."""
+        stream = self._rng
+        if stream is None:
+            stream = self._rng = node_stream(self._network.seed, self.node_id)
+        return stream
 
     def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
         network = self._network
@@ -359,6 +368,7 @@ class Network(SendPath):
         self.protocol = protocol
         self.topology = topology
         self.delays = delays if delays is not None else ConstantDelay(1.0)
+        self.seed = seed
         self.rng = random.Random(seed)
         self.scheduler = Scheduler(max_events=max_events)
         self.tracer = Tracer(enabled=trace)

@@ -1,0 +1,55 @@
+"""Deterministic per-node RNG streams for randomized protocols.
+
+The randomized family (:mod:`repro.protocols.random`) tosses coins, but
+the repo's whole value proposition is byte-replayability: the same
+``(protocol, topology, seed)`` triple must produce the same digest on
+every kernel — serial, ``REPRO_PARALLEL`` delivery, and sharded.  That
+rules out one shared run-RNG (draw *order* would depend on scheduler
+internals) and module-level entropy (flagged ``uses_rng`` and refused by
+the shard kernel outright).
+
+Instead every node gets its own stream, derived as
+
+    stream_seed = blake2b(run_seed || node_id)
+
+so a node's coin flips depend only on the run seed, its identity and how
+many times *it* has drawn — never on interleaving.  Both the serial
+kernel and every shard derive streams through this one function, which
+is what makes sharded runs of ctx-RNG protocols digest-identical to
+serial runs (see ``_refuse_unshardable_protocol`` in
+:mod:`repro.sim.shard` for the gating that relies on this).
+
+Protocols reach their stream through :meth:`NodeContext.rng`; they must
+never import entropy modules directly (the flow analyzer's ``uses_rng``
+scan catches that).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["node_stream", "node_stream_seed"]
+
+#: Domain-separation tag so node streams can never collide with any other
+#: blake2b-derived stream family in the repo (per-link fault streams key
+#: differently, but cheap insurance beats a subtle future collision).
+_DOMAIN = b"repro.node-stream.v1"
+
+
+def node_stream_seed(run_seed: int, node_id: int) -> int:
+    """The seed of node ``node_id``'s private stream under ``run_seed``.
+
+    A 64-bit blake2b digest over the domain tag and both inputs in a
+    self-delimiting encoding, so ``(1, 23)`` and ``(12, 3)`` cannot
+    alias.  Stable across platforms and Python versions — fixture digests
+    depend on it.
+    """
+    payload = b"%s|%d|%d" % (_DOMAIN, run_seed, node_id)
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def node_stream(run_seed: int, node_id: int) -> random.Random:
+    """A fresh, independently-seeded ``random.Random`` for one node."""
+    return random.Random(node_stream_seed(run_seed, node_id))

@@ -102,6 +102,7 @@ from repro.sim.network import (
     resolve_wakeup,
     validate_failure_config,
 )
+from repro.sim.rng import node_stream
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import Tracer
 from repro.topology.complete import CompleteTopology
@@ -535,6 +536,7 @@ class _ShardContext(NodeContext):
         self.n = topology.n
         self.num_ports = topology.num_ports
         self.has_sense_of_direction = topology.sense_of_direction
+        self._rng: random.Random | None = None
 
     def send(self, port: int, message: Message) -> None:  # noqa: D102
         self._shard._transmit(self._position, port, message)
@@ -557,6 +559,20 @@ class _ShardContext(NodeContext):
 
     def count(self, metric: str, delta: int = 1) -> None:  # noqa: D102
         self._shard.metrics.bump(metric, delta)
+
+    def rng(self) -> random.Random:
+        """This node's ``(run_seed, node_id)``-derived stream (lazy).
+
+        Same derivation as the serial kernel's ``_BoundContext.rng`` —
+        a node's draws depend only on the run seed, its id and its own
+        draw count, so sharded runs of ctx-RNG protocols stay
+        digest-identical to serial runs.
+        """
+        stream = self._rng
+        if stream is None:
+            seed = self._shard.cfg.seed
+            stream = self._rng = node_stream(seed, self.node_id)
+        return stream
 
     def trace(self, kind: str, **detail: Any) -> None:  # noqa: D102
         pass
@@ -1589,6 +1605,13 @@ def _refuse_unshardable_protocol(protocol: ElectionProtocol) -> None:
     are vetted with the kernel itself (its rank machinery orders timer
     events deterministically), so wrapping a shardable election keeps it
     shardable.
+
+    ``uses_ctx_rng`` (the randomized family's seeded per-node streams,
+    :mod:`repro.sim.rng`) is deliberately *not* refused: a node's coin
+    sequence depends only on ``(run_seed, node_id)`` and its own draw
+    count, all of which the window schedule reproduces exactly, so
+    ctx-RNG protocols keep the serial digest — asserted by the phase-5
+    cells of ``check --all`` and tests/sim/test_shard.py.
     """
     from repro.lint.capabilities import capability_for, implementation_modules
 

@@ -16,7 +16,11 @@ driving the very ``Node`` classes the simulator runs:
   schedule families (wake-last, starve-channel, PCT) for N beyond
   exhaustive reach, every run recorded as a replayable trace;
 * :mod:`repro.verification.replay` — byte-for-byte deterministic replay
-  of schedule traces, delta-debugging shrinking, and trace files.
+  of schedule traces, delta-debugging shrinking, and trace files;
+* :mod:`repro.verification.stat` — Monte-Carlo statistical model
+  checking with exact Clopper–Pearson confidence bounds, the honest
+  check for the randomized family the seedless lock-step world cannot
+  drive (``python -m repro verify --stat``, docs/randomized.md).
 """
 
 from repro.verification.explore import (
@@ -45,6 +49,13 @@ from repro.verification.replay import (
     replay_trace,
     save_trace,
     shrink_trace,
+)
+from repro.verification.stat import (
+    StatReport,
+    StatStratum,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    verify_stat,
 )
 from repro.verification.store import FingerprintTable
 from repro.verification.symmetry import (
@@ -81,12 +92,16 @@ __all__ = [
     "ScheduleTrace",
     "SchedulePolicy",
     "StarveChannelSchedule",
+    "StatReport",
+    "StatStratum",
     "StepContext",
     "TargetedLossSchedule",
     "UniformSchedule",
     "WakeLastSchedule",
     "canonical_fingerprint",
     "canonical_state",
+    "clopper_pearson_lower",
+    "clopper_pearson_upper",
     "count_unpruned_interleavings",
     "ensure_prune_sound",
     "explore_protocol",
@@ -101,4 +116,5 @@ __all__ = [
     "shrink_trace",
     "symmetric_group",
     "symmetry_group",
+    "verify_stat",
 ]

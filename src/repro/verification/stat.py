@@ -1,0 +1,394 @@
+"""Statistical model checking: Monte-Carlo trials with exact binomial bounds.
+
+The exhaustive checker and the schedule fuzzer drive the lock-step
+world, which is deliberately seedless — ``ctx.rng()`` raises there, so
+the randomized family (:mod:`repro.protocols.random`) is outside their
+reach *by construction*.  Its guarantees are probabilistic anyway:
+election safety and the sublinear message bound hold with high
+probability, not on every execution, so the only honest check is a
+sampling one with an explicit confidence statement.
+
+This module provides exactly that:
+
+* a **trial** is one seeded election through the ordinary harness
+  scenario runner — the same engine the simulator and the matrix use —
+  with the run seed drawn from a named seed family
+  (:func:`repro.matrix.spec.family_seed`), so every trial is
+  byte-replayable anywhere the family name and trial index are known;
+* per ``(protocol, scenario, N)`` **stratum**, trials fan out over the
+  existing fork pool (:func:`repro.harness.parallel.run_sweep`) and two
+  property counters are folded per trial: **election safety** (the run
+  verifies and elects a unique leader — a
+  :class:`~repro.core.errors.ProtocolViolation`, e.g. two leaders, is
+  the safety failure this protocol family risks) and the **w.h.p.
+  message bound** (:func:`repro.protocols.random.common.whp_message_bound`);
+* each counter becomes a one-sided exact **Clopper–Pearson lower
+  confidence bound** on the success probability (pure-Python bisection
+  on the binomial tail — no scipy, no normal approximation), and the
+  report passes when every stratum's LCB clears the target.
+
+At the defaults (confidence 0.99, target 0.99), zero failures clear the
+target from 459 trials up; the default of 600 leaves headroom for the
+occasional bound excursion.  The report payload contains only integers
+and rounded bisection outputs, so a rerun with the same family, trial
+count and strata is byte-identical — the property the ``stat_smoke`` CI
+leg pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.harness.parallel import run_sweep
+from repro.harness.runner import Check
+
+#: Default strata: the acceptance sizes for the sublinearity claim.  At
+#: N < 64 the referee sample saturates (s = N-1) and the protocols
+#: degenerate to probe-everyone, so smaller sizes say nothing about the
+#: sublinear regime.
+DEFAULT_NS: tuple[int, ...] = (64, 256)
+DEFAULT_TRIALS = 600
+DEFAULT_CONFIDENCE = 0.99
+DEFAULT_TARGET = 0.99
+DEFAULT_SEED_FAMILY = "stat-v1"
+
+
+# -- exact binomial confidence bounds ---------------------------------------
+
+
+def _log_comb(n: int, k: int) -> float:
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def binom_tail_ge(trials: int, successes: int, p: float) -> float:
+    """P(X >= successes) for X ~ Binomial(trials, p), exactly.
+
+    Summed in log space term by term — ``trials`` here is at most a few
+    thousand, so the direct sum is both fast and stable.
+    """
+    if successes <= 0:
+        return 1.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for i in range(successes, trials + 1):
+        total += math.exp(_log_comb(trials, i) + i * log_p + (trials - i) * log_q)
+    return min(total, 1.0)
+
+
+def clopper_pearson_lower(
+    successes: int, trials: int, confidence: float
+) -> float:
+    """One-sided exact lower confidence bound on a binomial proportion.
+
+    The largest ``p`` such that observing ``>= successes`` successes in
+    ``trials`` trials has probability exactly ``1 - confidence`` —
+    i.e. the root of the increasing map ``p -> P(X >= successes | p)``,
+    found by bisection (the Beta-quantile identity without scipy).
+    """
+    if trials <= 0 or successes <= 0:
+        return 0.0
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    alpha = 1.0 - confidence
+    lo, hi = 0.0, 1.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if binom_tail_ge(trials, successes, mid) < alpha:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def clopper_pearson_upper(
+    successes: int, trials: int, confidence: float
+) -> float:
+    """One-sided exact upper confidence bound (the mirror of the lower)."""
+    if trials <= 0:
+        return 1.0
+    return 1.0 - clopper_pearson_lower(
+        trials - successes, trials, confidence
+    )
+
+
+# -- the trial --------------------------------------------------------------
+
+
+def run_stat_trial(
+    protocol_name: str, scenario: str, n: int, seed: int
+) -> dict[str, Any]:
+    """One seeded election, reduced to the two property verdicts.
+
+    Runs inside the fork pool; imports stay local so the parent pays
+    them once and forked workers inherit the warm modules.
+    """
+    from repro.core.errors import ProtocolViolation
+    from repro.core.protocol import protocol_class
+    from repro.harness.scenarios import run_scenario
+    from repro.protocols.random.common import whp_message_bound
+
+    try:
+        result = run_scenario(
+            protocol_class(protocol_name)(), scenario, n, seed=seed
+        )
+        result.verify()
+        safe = result.leader_id is not None
+        messages = result.messages_total
+    except ProtocolViolation:
+        safe = False
+        messages = None
+    return {
+        "safe": safe,
+        "within_bound": (
+            messages is not None and messages <= whp_message_bound(n)
+        ),
+        "messages": messages,
+    }
+
+
+# -- strata and the report --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatStratum:
+    """Folded Monte-Carlo counters for one (protocol, scenario, N) cell."""
+
+    protocol: str
+    scenario: str
+    n: int
+    trials: int
+    safety_successes: int
+    bound_successes: int
+    messages_sum: int
+    messages_max: int
+    lcb_safety: float
+    lcb_bound: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.protocol}/{self.scenario}@{self.n}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping of every stratum field."""
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "n": self.n,
+            "trials": self.trials,
+            "safety_successes": self.safety_successes,
+            "bound_successes": self.bound_successes,
+            "messages_sum": self.messages_sum,
+            "messages_max": self.messages_max,
+            "lcb_safety": self.lcb_safety,
+            "lcb_bound": self.lcb_bound,
+        }
+
+
+@dataclass
+class StatReport:
+    """Aggregate of one ``verify --stat`` campaign."""
+
+    confidence: float
+    target: float
+    trials: int
+    seed_family: str
+    strata: list[StatStratum] = field(default_factory=list)
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one named pass/fail verdict on the campaign."""
+        self.checks.append(Check(name, bool(passed), detail))
+
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON payload — integers, rounded bisection outputs,
+        and the replay coordinates (family + trial count); nothing
+        machine- or schedule-dependent."""
+        return {
+            "confidence": self.confidence,
+            "target": self.target,
+            "trials": self.trials,
+            "seed_family": self.seed_family,
+            "strata": {s.key: s.to_dict() for s in self.strata},
+            "checks": {
+                check.name: {"passed": check.passed, "detail": check.detail}
+                for check in self.checks
+            },
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical payload — stable across reruns,
+        serial/parallel execution, and machines (seeded trials)."""
+        canonical = json.dumps(self.payload(), sort_keys=True).encode()
+        return hashlib.sha256(canonical).hexdigest()
+
+    def render(self) -> str:
+        """Plain-text summary (the CLI output and the CI artifact body)."""
+        lines = [
+            "# Statistical verification report",
+            "",
+            f"- confidence: {self.confidence} (one-sided Clopper-Pearson)",
+            f"- target success probability: {self.target}",
+            f"- trials per stratum: {self.trials} "
+            f"(seed family {self.seed_family!r})",
+            f"- digest: `{self.digest()}`",
+            "",
+            "## Strata",
+            "",
+        ]
+        for s in self.strata:
+            mean = s.messages_sum / max(1, s.safety_successes)
+            lines.append(
+                f"- `{s.key}`: safety {s.safety_successes}/{s.trials} "
+                f"(LCB {s.lcb_safety:.4f}), bound {s.bound_successes}/"
+                f"{s.trials} (LCB {s.lcb_bound:.4f}), "
+                f"messages mean {mean:.0f} max {s.messages_max}"
+            )
+        lines.append("")
+        lines.append("## Checks")
+        lines.append("")
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            suffix = f" — {check.detail}" if check.detail else ""
+            lines.append(f"- [{mark}] {check.name}{suffix}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` naming every failed check (no-op
+        when the campaign passed) — the pytest-facing entry point."""
+        failed = [c for c in self.checks if not c.passed]
+        if failed:
+            details = "; ".join(f"{c.name} ({c.detail})" for c in failed)
+            raise AssertionError(f"verify --stat: failed checks: {details}")
+
+
+def randomized_protocol_names() -> list[str]:
+    """Every registered protocol the flow analysis marks ``uses_ctx_rng``
+    — the population ``verify --stat`` exists for."""
+    import repro  # noqa: F401  (imports register every protocol)
+    from repro.core.protocol import registered_protocols
+    from repro.lint.capabilities import capability_for
+
+    return sorted(
+        name
+        for name, cls in registered_protocols().items()
+        if capability_for(cls).uses_ctx_rng
+    )
+
+
+def _fold_stratum(
+    protocol: str,
+    scenario: str,
+    n: int,
+    outcomes: Sequence[dict[str, Any]],
+    confidence: float,
+) -> StatStratum:
+    safety = sum(1 for o in outcomes if o["safe"])
+    bound = sum(1 for o in outcomes if o["within_bound"])
+    messages = [o["messages"] for o in outcomes if o["messages"] is not None]
+    return StatStratum(
+        protocol=protocol,
+        scenario=scenario,
+        n=n,
+        trials=len(outcomes),
+        safety_successes=safety,
+        bound_successes=bound,
+        messages_sum=sum(messages),
+        messages_max=max(messages, default=0),
+        # 12 decimals: far below the bisection tolerance, far above any
+        # cross-platform libm jitter — the payload stays byte-stable.
+        lcb_safety=round(
+            clopper_pearson_lower(safety, len(outcomes), confidence), 12
+        ),
+        lcb_bound=round(
+            clopper_pearson_lower(bound, len(outcomes), confidence), 12
+        ),
+    )
+
+
+def verify_stat(
+    protocols: Sequence[str] | None = None,
+    *,
+    ns: Sequence[int] = DEFAULT_NS,
+    scenario: str = "benign",
+    trials: int = DEFAULT_TRIALS,
+    confidence: float = DEFAULT_CONFIDENCE,
+    target: float = DEFAULT_TARGET,
+    seed_family: str = DEFAULT_SEED_FAMILY,
+    parallel: bool | None = None,
+) -> StatReport:
+    """Monte-Carlo verify the randomized family's probabilistic properties.
+
+    ``protocols`` defaults to every registered ``uses_ctx_rng`` protocol.
+    Trial ``i`` of stratum ``(P, scenario, N)`` runs with seed
+    ``family_seed(f"{seed_family}/{P}/{scenario}/{N}", i)`` — fully
+    reproducible from the report's own metadata.
+    """
+    from repro.matrix.spec import family_seed
+
+    if protocols is None:
+        protocols = randomized_protocol_names()
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+
+    strata_keys = [(p, scenario, n) for p in protocols for n in ns]
+    jobs: list[tuple[str, str, int, int]] = [
+        (p, sc, n, family_seed(f"{seed_family}/{p}/{sc}/{n}", i))
+        for p, sc, n in strata_keys
+        for i in range(trials)
+    ]
+    outcomes = run_sweep(
+        [
+            lambda p=p, sc=sc, n=n, s=s: run_stat_trial(p, sc, n, s)
+            for p, sc, n, s in jobs
+        ],
+        parallel=parallel,
+    )
+
+    report = StatReport(
+        confidence=confidence,
+        target=target,
+        trials=trials,
+        seed_family=seed_family,
+    )
+    for index, (p, sc, n) in enumerate(strata_keys):
+        report.strata.append(
+            _fold_stratum(
+                p, sc, n,
+                outcomes[index * trials : (index + 1) * trials],
+                confidence,
+            )
+        )
+
+    unsafe = [s.key for s in report.strata if s.lcb_safety < target]
+    report.check(
+        f"election safety LCB >= {target} at {confidence} confidence "
+        "in every stratum",
+        not unsafe,
+        f"{len(report.strata)} strata x {trials} trials"
+        + (f"; below target: {unsafe}" if unsafe else ""),
+    )
+    loose = [s.key for s in report.strata if s.lcb_bound < target]
+    report.check(
+        f"whp message bound LCB >= {target} at {confidence} confidence "
+        "in every stratum",
+        not loose,
+        f"bound: ceil(9 ln N) * (4s+4) messages"
+        + (f"; below target: {loose}" if loose else ""),
+    )
+    return report

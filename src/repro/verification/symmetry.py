@@ -217,8 +217,8 @@ def ensure_prune_sound(protocol, topology: CompleteTopology) -> None:
                 "rotation_equivariant", "relabelling_equivariant"]
         keys.extend(
             key
-            for key in ("uses_timers", "uses_rng", "max_fanout",
-                        "quiescent_kinds")
+            for key in ("uses_timers", "uses_rng", "uses_ctx_rng",
+                        "max_fanout", "quiescent_kinds")
             if key in pinned
         )
         for key in keys:
@@ -238,6 +238,17 @@ def ensure_prune_sound(protocol, topology: CompleteTopology) -> None:
             "imports (uses_rng), so states that look orbit-equivalent "
             "can diverge on private random choices. Use symmetry='census' "
             "or symmetry='prune-unsound'."
+        )
+
+    if capability.uses_ctx_rng:
+        raise ConfigurationError(
+            f"symmetry='prune' is not sound for protocol "
+            f"{capability.protocol!r}: the flow analysis found draws from "
+            "the per-node coin stream (uses_ctx_rng). The streams are "
+            "seeded by node identity, so relabelling a state changes which "
+            "coins its nodes will flip — orbit-equivalent states diverge. "
+            "Randomized protocols are checked statistically instead: "
+            "`python -m repro verify --stat` (see docs/randomized.md)."
         )
 
     if topology.sense_of_direction:

@@ -53,6 +53,12 @@ HAND_CLASSIFICATION = {
     "HS": False,
     "LMW86": False,
     "R": False,
+    # The randomized family breaks symmetry by coin flips, not id order:
+    # syntactically equivariant (ranks are compared as opaque tuples), yet
+    # prune stays denied because the per-node coin streams are seeded by
+    # node identity (uses_ctx_rng) — relabelling changes the coins.
+    "RS": False,
+    "RT": False,
 }
 
 FIXTURE = Path(__file__).resolve().parents[1] / "fixtures/lint/equivariant_ok.py"
@@ -97,11 +103,17 @@ def test_gate_decisions_match_the_hand_classification():
 
 
 def test_every_registered_protocol_is_id_comparing():
-    # The structural reason behind the uniform deny: each protocol's
-    # implementation modules contain at least one RPL020 site, and
-    # no-sense protocols additionally scan ports numerically.
+    # The structural reason behind the uniform deny: each deterministic
+    # protocol's implementation modules contain at least one RPL020 site,
+    # and no-sense protocols additionally scan ports numerically.  The
+    # randomized family is the exception that proves the gate consults
+    # more than equivariance: RS/RT compare ranks as opaque tuples (no
+    # RPL020 sites), yet stay denied through ``uses_ctx_rng``.
     for name, cls in sorted(registered_protocols().items()):
         capability = capability_for(cls)
+        if capability.uses_ctx_rng:
+            assert capability.rotation_equivariant, name
+            continue
         assert capability.id_order_sites > 0, name
         assert not capability.rotation_equivariant, name
         assert not capability.relabelling_equivariant, name

@@ -86,7 +86,7 @@ def test_module_entry_point_subprocess():
 def test_capabilities_flag_emits_the_table(capsys):
     assert cli_main(["lint", "--capabilities"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload["protocols"]) == 14
+    assert len(payload["protocols"]) == 16
 
 
 def test_list_rules_names_every_family(capsys):
@@ -112,7 +112,7 @@ def test_self_hosted_flow_analysis_is_clean(capsys):
 def test_self_hosted_analyze_derives_finite_bounds(capsys):
     assert cli_main(["analyze", "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload["protocols"]) == 14
+    assert len(payload["protocols"]) == 16
     assert payload["consistent"]
     for row in payload["protocols"].values():
         assert row["bound_at_n"] is not None, row

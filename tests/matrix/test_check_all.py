@@ -30,15 +30,25 @@ def mini_report():
 
 
 class TestPhases:
-    def test_all_six_phases_ran(self, mini_report):
+    def test_all_seven_phases_ran(self, mini_report):
         assert mini_report.matrix.cells
         assert set(mini_report.verify) == {"E@4+census", "C@4+census"}
         assert set(mini_report.fuzz) == {
             "E@8x12+faults1", "C@8x12+faults1"
         }
-        assert len(mini_report.contract) == 14
+        assert len(mini_report.contract) == 16
         assert mini_report.shard
-        assert len(mini_report.conformance) == 14
+        assert len(mini_report.conformance) == 16
+        assert set(mini_report.stat) == {"RS/benign@64", "RT/benign@64"}
+
+    def test_stat_phase_certifies_the_acceptance_pair(self, mini_report):
+        # Full (non-quick) mode must certify LCB >= 0.99 at 0.99
+        # confidence for every randomized stratum — the ISSUE's
+        # acceptance criterion, enforced on every check --all.
+        for key, stratum in mini_report.stat.items():
+            assert stratum["trials"] == 600, key
+            assert stratum["lcb_safety"] >= 0.99, (key, stratum)
+            assert stratum["lcb_bound"] >= 0.99, (key, stratum)
 
     def test_conformance_phase_respects_every_static_bound(
         self, mini_report
@@ -105,8 +115,8 @@ class TestQuickCampaign:
         assert report.matrix.rejected
         assert report.verify
         assert report.fuzz
-        assert len(report.contract) == 14
-        assert len(report.conformance) == 14
+        assert len(report.contract) == 16
+        assert len(report.conformance) == 16
         assert (tmp_path / "check_report.json").exists()
 
 

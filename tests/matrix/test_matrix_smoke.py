@@ -47,5 +47,5 @@ def test_cell_elects_a_unique_verified_leader(cell):
 )
 def test_rejected_cells_have_a_known_reason(cell, reason):
     known = ("unlabeled", "too small", "no k parameter", "exceeds",
-             "power of two")
+             "power of two", "seed_family")
     assert any(marker in reason for marker in known), reason

@@ -13,6 +13,7 @@ from repro.matrix.spec import (
     curated_specs,
     expand,
     expand_specs,
+    family_seed,
     load_specs,
     parse_csv,
     parse_toml,
@@ -158,6 +159,100 @@ class TestFiltering:
                      ns=(16,))]
         with pytest.raises(ConfigurationError, match="illegal cell"):
             expand_specs(rows, filter=False)
+
+
+class TestSeedFamily:
+    """The `seed_family` axis: randomized (`uses_ctx_rng`) protocols must
+    name the coin universe their cells sample, and the seeds axis then
+    holds family *indices* whose run seeds are derived, not raw."""
+
+    def test_randomized_cell_without_a_family_is_filtered(self):
+        reason = cell_rejection(MatrixCell("t", "RS", "benign", 16, 0))
+        assert "seed_family" in reason
+        assert "uses_ctx_rng" in reason
+
+    def test_randomized_cell_with_a_family_passes(self):
+        cell = MatrixCell("t", "RT", "benign", 16, 0, seed_family="fam")
+        assert cell_rejection(cell) is None
+
+    def test_deterministic_cells_ignore_the_axis(self):
+        assert cell_rejection(MatrixCell("t", "E", "benign", 8, 0)) is None
+        labelled = MatrixCell("t", "E", "benign", 8, 0, seed_family="fam")
+        assert cell_rejection(labelled) is None
+
+    def test_expansion_derives_seeds_from_the_family(self):
+        row = spec(protocols=("RS",), ns=(16,), seeds=(0, 1, 2),
+                   seed_family="fam")
+        cells = expand(row)
+        assert [c.seed for c in cells] == [
+            family_seed("fam", i) for i in (0, 1, 2)
+        ]
+        assert all(c.seed_family == "fam" for c in cells)
+        # Derived seeds are scrambled, not the raw indices.
+        assert set(c.seed for c in cells) != {0, 1, 2}
+
+    def test_family_seeds_are_stable_and_collision_free(self):
+        assert family_seed("fam", 7) == family_seed("fam", 7)
+        drawn = {family_seed("fam", i) for i in range(50)}
+        drawn |= {family_seed("other", i) for i in range(50)}
+        assert len(drawn) == 100
+
+    def test_distinct_families_give_distinct_cell_ids(self):
+        a = expand(spec(protocols=("RS",), ns=(16,), seed_family="a"))
+        b = expand(spec(protocols=("RS",), ns=(16,), seed_family="b"))
+        assert a[0].seed != b[0].seed
+
+    def test_empty_family_name_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            validate_spec(spec(seed_family=""))
+
+    def test_verify_ns_is_refused_for_ctx_rng_protocols(self):
+        with pytest.raises(ConfigurationError, match="verify --stat"):
+            validate_spec(
+                spec(protocols=("RS",), ns=(16,), seed_family="fam",
+                     symmetry="census", verify_ns=(3,))
+            )
+
+    def test_fuzz_ns_is_refused_for_ctx_rng_protocols(self):
+        with pytest.raises(ConfigurationError, match="uses_ctx_rng"):
+            validate_spec(
+                spec(protocols=("RT",), ns=(16,), seed_family="fam",
+                     fuzz_ns=(4,), fuzz_schedules=8)
+            )
+
+    def test_prune_is_refused_for_ctx_rng_protocols(self):
+        # Per-node streams are seeded by identity, so relabelling
+        # changes future coin flips — prune cannot be outcome-sound.
+        with pytest.raises(ConfigurationError, match="not sound"):
+            validate_spec(
+                spec(protocols=("RS",), ns=(16,), seed_family="fam",
+                     symmetry="prune", verify_ns=(3,))
+            )
+
+    def test_round_trips_preserve_the_family(self):
+        row = spec(protocols=("RS", "RT"), ns=(16, 32), seeds=(0, 1),
+                   seed_family="curated-rand")
+        assert parse_toml(specs_to_toml([row])) == [row]
+        assert parse_csv(specs_to_csv([row])) == [row]
+
+    def test_quick_restriction_preserves_the_family(self):
+        row = spec(protocols=("RS",), ns=(16, 64), seed_family="fam")
+        (quick,) = restrict_for_quick([row])
+        assert quick.seed_family == "fam"
+        assert max(quick.ns) <= 32
+
+    def test_curated_randomized_rows_carry_families(self):
+        rand_rows = [
+            s for s in curated_specs()
+            if any(p in ("RS", "RT") for p in s.protocols)
+        ]
+        assert rand_rows
+        seeded = [s for s in rand_rows if s.seed_family is not None]
+        assert seeded, "curated slice should exercise the seed_family axis"
+        unseeded = [s for s in rand_rows if s.seed_family is None]
+        assert unseeded, "curated slice should demonstrate the rejection"
+        _, rejected = expand_specs(unseeded)
+        assert all("seed_family" in reason for _, reason in rejected)
 
 
 class TestSerialisation:

@@ -26,6 +26,7 @@ from repro.protocols.nosense.protocol_d import ProtocolD
 from repro.protocols.nosense.protocol_e import ProtocolE
 from repro.protocols.nosense.protocol_g import ProtocolG
 from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.random import RandomizedSampling, RandomizedTradeoff
 from repro.protocols.sense.protocol_b import ProtocolB
 from repro.protocols.sense.protocol_c import ProtocolC
 from repro.sim.delays import UniformDelay
@@ -141,6 +142,37 @@ def _case_e16_crash() -> ElectionResult:
     )
 
 
+def _case_rs64() -> ElectionResult:
+    # Randomized candidate sampling: every coin flip comes from the
+    # per-node streams derived from the run seed, so the fingerprint —
+    # including which nodes stood and who won — is pure configuration.
+    return run_election(
+        RandomizedSampling(),
+        complete_without_sense(64, seed=11),
+        seed=11,
+    )
+
+
+def _case_rt64_unit() -> ElectionResult:
+    return run_election(
+        RandomizedTradeoff(),
+        complete_without_sense(64, seed=12),
+        delays=worst_case_unit(),
+        seed=12,
+    )
+
+
+def _case_rs32_lossy_rel() -> ElectionResult:
+    # Coin streams under the fault stack: node draws must stay decoupled
+    # from the fault-layer RNGs (a drop must not shift a candidacy flip).
+    return run_election(
+        ReliableDelivery(RandomizedSampling()),
+        complete_without_sense(32, seed=13),
+        faults=FaultPlan(seed=13, drop=0.10, duplicate=0.05, jitter=0.25),
+        seed=13,
+    )
+
+
 CASES: dict[str, Any] = {
     "C@64": _case_c64,
     "B@32-unit": _case_b32_unit,
@@ -153,6 +185,9 @@ CASES: dict[str, Any] = {
     "E@32-lossy-rel": _case_e32_lossy_rel,
     "G@32-partition-rel": _case_g32_partition_rel,
     "E@16-crash": _case_e16_crash,
+    "RS@64": _case_rs64,
+    "RT@64-unit": _case_rt64_unit,
+    "RS@32-lossy-rel": _case_rs32_lossy_rel,
 }
 
 

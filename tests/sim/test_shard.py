@@ -31,6 +31,7 @@ from repro.protocols.nosense.protocol_d import ProtocolD
 from repro.protocols.nosense.protocol_e import ProtocolE
 from repro.protocols.nosense.protocol_g import ProtocolG
 from repro.protocols.nosense.protocol_r import ProtocolR
+from repro.protocols.random import RandomizedSampling, RandomizedTradeoff
 from repro.protocols.sense.protocol_b import ProtocolB
 from repro.protocols.sense.protocol_c import ProtocolC
 from repro.sim.delays import ConstantDelay, HookDelay, UniformDelay
@@ -123,12 +124,32 @@ SHARDABLE_CASES = {
         "seed": 6,
         "require_leader": False,
     },
+    # Randomized protocols shard cleanly by construction: each node's coin
+    # stream is derived from (run seed, node id) alone, so draws are
+    # identical regardless of which shard hosts the node.
+    "RS@64": lambda: {
+        "protocol": RandomizedSampling(),
+        "topology": complete_without_sense(64, seed=11),
+        "seed": 11,
+    },
+    "RT@64-unit": lambda: {
+        "protocol": RandomizedTradeoff(),
+        "topology": complete_without_sense(64, seed=12),
+        "delays": worst_case_unit(),
+        "seed": 12,
+    },
+    "RS@32-lossy-rel": lambda: {
+        "protocol": ReliableDelivery(RandomizedSampling()),
+        "topology": complete_without_sense(32, seed=13),
+        "faults": FaultPlan(seed=13, drop=0.10, duplicate=0.05, jitter=0.25),
+        "seed": 13,
+    },
 }
 
 #: The exhaustive digest matrix (fixture equality at two shard counts);
 #: the smoke slice runs a subset at shards=2 only.
 FULL_MATRIX_CASES = sorted(SHARDABLE_CASES)
-SMOKE_CASES = ("C@64", "B@32-unit", "G@64-k8", "E@32-lossy-rel")
+SMOKE_CASES = ("C@64", "B@32-unit", "G@64-k8", "E@32-lossy-rel", "RS@64")
 
 
 def _run_sharded(

@@ -18,6 +18,7 @@ import pytest
 yaml = pytest.importorskip("yaml")
 
 WORKFLOW = Path(__file__).parent.parent / ".github" / "workflows" / "ci.yml"
+NIGHTLY = Path(__file__).parent.parent / ".github" / "workflows" / "nightly.yml"
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +29,16 @@ def spec():
 @pytest.fixture(scope="module")
 def jobs(spec):
     return spec["jobs"]
+
+
+@pytest.fixture(scope="module")
+def nightly_spec():
+    return yaml.safe_load(NIGHTLY.read_text())
+
+
+@pytest.fixture(scope="module")
+def nightly_jobs(nightly_spec):
+    return nightly_spec["jobs"]
 
 
 def _steps(job):
@@ -181,6 +192,32 @@ class TestCommands:
         lines = list(_run_lines(jobs["smoke"]))
         assert any("-m ${{ matrix.marker }}" in line for line in lines)
 
+    def test_stat_smoke_leg_diffs_deterministic_reruns(self, jobs):
+        """The stat_smoke leg's reproducibility contract: the reduced
+        Monte-Carlo campaign runs twice with the same deterministic
+        trial seeds and the two reports must be byte-identical."""
+        stat = [
+            s for s in _steps(jobs["smoke"])
+            if "run" in s and "verify --stat" in s["run"]
+        ]
+        assert len(stat) == 1
+        assert stat[0]["if"] == "matrix.marker == 'stat_smoke'"
+        lines = [line.strip() for line in stat[0]["run"].splitlines()]
+        reruns = [line for line in lines if "verify --stat" in line]
+        assert len(reruns) == 2
+        # Same flags both times — fixed trial seeds, so identical input.
+        assert reruns[0].split("|")[0].strip() == reruns[1].split(">")[0].strip()
+        assert any(line.startswith("diff ") for line in lines)
+
+    def test_stat_smoke_failure_uploads_the_aggregate_report(self, jobs):
+        uploads = [
+            s for s in _steps(jobs["smoke"])
+            if s.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["if"] == "failure() && matrix.marker == 'stat_smoke'"
+        assert "stat_report.md" in uploads[0]["with"]["path"]
+
     def test_shard_smoke_leg_is_pinned_in_the_smoke_matrix(self, jobs):
         """The sharded-kernel digest check must stay a named CI leg.
 
@@ -218,10 +255,67 @@ class TestCommands:
         lines = [line.strip() for line in _run_lines(job)]
         assert any("git merge-base" in line for line in lines)
         for name in (
-            "BENCH_kernel.json", "BENCH_verify.json", "BENCH_faults.json"
+            "BENCH_kernel.json", "BENCH_verify.json", "BENCH_faults.json",
+            "BENCH_random.json",
         ):
             assert any(name in line for line in lines), name
         assert (
             "python -m repro trends --baseline ci_baseline --current ."
             in lines
         )
+
+
+class TestNightly:
+    """The scheduled deep-verification workflow (nightly.yml)."""
+
+    def test_runs_on_a_schedule_and_by_hand(self, nightly_spec):
+        triggers = nightly_spec.get("on", nightly_spec.get(True))
+        assert "workflow_dispatch" in triggers
+        crons = [entry["cron"] for entry in triggers["schedule"]]
+        assert len(crons) == 1
+        # Five-field cron, nightly cadence (every day-of-month/month/week).
+        minute, hour, dom, month, dow = crons[0].split()
+        assert (dom, month, dow) == ("*", "*", "*")
+        assert minute.isdigit() and hour.isdigit()
+
+    def test_expected_jobs_exist(self, nightly_jobs):
+        assert set(nightly_jobs) == {"stat-deep", "check-deep"}
+
+    def test_every_nightly_action_is_version_pinned(self, nightly_jobs):
+        for job in nightly_jobs.values():
+            for step in _steps(job):
+                if "uses" in step:
+                    action, _, version = step["uses"].partition("@")
+                    assert action and version.startswith("v"), step["uses"]
+
+    def test_stat_deep_runs_the_acceptance_scale_campaign(self, nightly_jobs):
+        # 600 trials certify the 0.99/0.99 pair (zero failures needed
+        # from 459 up); the default strata are N in {64, 256}.
+        lines = [line.strip() for line in _run_lines(nightly_jobs["stat-deep"])]
+        deep = [line for line in lines if "verify --stat" in line]
+        assert len(deep) == 2, "the campaign must run twice and be diffed"
+        for line in deep:
+            assert "--confidence 0.99" in line
+            assert "--trials 600" in line
+        assert any(line.startswith("diff ") for line in lines)
+
+    def test_stat_deep_always_uploads_the_report(self, nightly_jobs):
+        uploads = [
+            s for s in _steps(nightly_jobs["stat-deep"])
+            if s.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["if"] == "always()"
+        assert "stat_deep.md" in uploads[0]["with"]["path"]
+
+    def test_check_deep_runs_the_full_nonquick_campaign(self, nightly_jobs):
+        lines = [line.strip() for line in _run_lines(nightly_jobs["check-deep"])]
+        full = [line for line in lines if "repro check --all" in line]
+        assert len(full) == 1
+        assert "--quick" not in full[0]
+        uploads = [
+            s for s in _steps(nightly_jobs["check-deep"])
+            if s.get("uses", "").startswith("actions/upload-artifact@")
+        ]
+        assert len(uploads) == 1
+        assert uploads[0]["if"] == "always()"

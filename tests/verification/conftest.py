@@ -15,9 +15,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.protocol import _REGISTRY
+from repro.core.protocol import _REGISTRY, registered_protocols
 from repro.protocols.capture_base import Role
 from repro.protocols.sense.protocol_a import ProtocolA, ProtocolANode
+
+
+def deterministic_protocols() -> list[str]:
+    """Registered protocols the lock-step world can drive.
+
+    The exhaustive/fuzz checkers replay transitions with no run seed, so
+    they cannot derive the per-node coin streams the ``uses_ctx_rng``
+    protocols (RS, RT) draw from — those are excluded here and their
+    probabilistic properties are checked by ``verify --stat``
+    (``tests/verification/test_stat.py``) instead.
+    """
+    from repro.verification.stat import randomized_protocol_names
+
+    randomized = set(randomized_protocol_names())
+    return sorted(set(registered_protocols()) - randomized)
 
 
 class PrematureLeaderNode(ProtocolANode):

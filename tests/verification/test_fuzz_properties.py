@@ -26,6 +26,7 @@ from repro.topology.complete import (
     complete_without_sense,
 )
 from repro.verification import fuzz_protocol
+from tests.verification.conftest import deterministic_protocols
 
 #: B and C pair candidates in a tournament and need a power-of-two N.
 _POWER_OF_TWO_ONLY = {"B", "C"}
@@ -38,7 +39,7 @@ def _sizes(name) -> tuple[int, ...]:
     return (2, 4) if name in _POWER_OF_TWO_ONLY else (2, 3, 4, 5)
 
 
-@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+@pytest.mark.parametrize("name", deterministic_protocols(), ids=str)
 def test_random_instances_satisfy_all_properties(name):
     cls = registered_protocols()[name]
     rng = random.Random(f"fuzz-properties:{name}")

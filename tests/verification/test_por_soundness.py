@@ -37,6 +37,7 @@ from repro.topology.complete import (
     complete_without_sense,
 )
 from repro.verification import explore_protocol
+from tests.verification.conftest import deterministic_protocols
 
 #: Smallest interesting instance per protocol: N=3, except the tournament
 #: protocols B and C which require a power-of-two network.
@@ -51,7 +52,7 @@ def _instance(name, cls):
 
 
 @pytest.mark.parametrize(
-    "name", sorted(registered_protocols()), ids=str
+    "name", deterministic_protocols(), ids=str
 )
 def test_por_preserves_all_outcomes(name):
     protocol, topology = _instance(name, registered_protocols()[name])
@@ -67,7 +68,7 @@ def test_por_preserves_all_outcomes(name):
 
 
 @pytest.mark.parametrize(
-    "name", sorted(registered_protocols()), ids=str
+    "name", deterministic_protocols(), ids=str
 )
 def test_compression_preserves_all_outcomes(name):
     """Inert-delivery compression vs the sleep-set-only reference.
@@ -90,7 +91,7 @@ def test_compression_preserves_all_outcomes(name):
 
 
 @pytest.mark.parametrize(
-    "name", sorted(registered_protocols()), ids=str
+    "name", deterministic_protocols(), ids=str
 )
 def test_parallel_strata_preserve_all_outcomes(name):
     protocol, topology = _instance(name, registered_protocols()[name])
@@ -104,7 +105,7 @@ def test_parallel_strata_preserve_all_outcomes(name):
 
 
 @pytest.mark.parametrize(
-    "name", sorted(registered_protocols()), ids=str
+    "name", deterministic_protocols(), ids=str
 )
 def test_census_observes_without_changing_the_search(name):
     protocol, topology = _instance(name, registered_protocols()[name])

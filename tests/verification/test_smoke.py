@@ -18,6 +18,7 @@ from repro.topology.complete import (
     complete_without_sense,
 )
 from repro.verification import explore_protocol, fuzz_protocol
+from tests.verification.conftest import deterministic_protocols
 
 _POWER_OF_TWO_ONLY = {"B", "C"}
 
@@ -31,7 +32,7 @@ def _instance(name):
 
 
 @pytest.mark.verify_smoke
-@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+@pytest.mark.parametrize("name", deterministic_protocols(), ids=str)
 def test_bounded_explore_smoke(name):
     protocol, topology = _instance(name)
     # bounded: a truncated search is fine here, a violation is not
@@ -41,7 +42,7 @@ def test_bounded_explore_smoke(name):
 
 
 @pytest.mark.verify_smoke
-@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+@pytest.mark.parametrize("name", deterministic_protocols(), ids=str)
 def test_fuzz_smoke(name):
     protocol, topology = _instance(name)
     report = fuzz_protocol(protocol, topology, schedules=50, seed=0)

@@ -1,0 +1,224 @@
+"""The statistical model checker: exact bounds, determinism, the gate.
+
+Three layers, mirroring the module:
+
+* the Clopper–Pearson arithmetic against known closed forms (all-success
+  LCB is ``alpha**(1/n)``; the binomial tail against a direct sum);
+* the Monte-Carlo campaign itself, at trial counts small enough for
+  tier-1: byte-identical digests serial vs fork pool and rerun vs
+  rerun (the ``stat_smoke`` reproducibility contract), failure
+  wiring, and the trial-seed derivation from the named seed family;
+* the CLI surface (``python -m repro verify --stat``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.matrix.spec import family_seed
+from repro.verification.stat import (
+    binom_tail_ge,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    randomized_protocol_names,
+    run_stat_trial,
+    verify_stat,
+)
+from tests.sim.determinism_cases import assert_digest_stable
+
+
+class TestClopperPearson:
+    def test_all_successes_matches_the_closed_form(self):
+        # With zero failures the LCB solves p^n = alpha exactly.
+        for trials in (10, 100, 459, 600):
+            expected = 0.01 ** (1.0 / trials)
+            got = clopper_pearson_lower(trials, trials, 0.99)
+            assert math.isclose(got, expected, abs_tol=1e-9), trials
+
+    def test_459_trials_is_the_zero_failure_threshold(self):
+        # The documented planning number: the smallest all-success run
+        # certifying a 0.99 LCB at 0.99 confidence.
+        assert clopper_pearson_lower(459, 459, 0.99) >= 0.99
+        assert clopper_pearson_lower(458, 458, 0.99) < 0.99
+
+    def test_zero_successes_and_degenerate_inputs(self):
+        assert clopper_pearson_lower(0, 100, 0.99) == 0.0
+        assert clopper_pearson_lower(0, 0, 0.99) == 0.0
+        assert clopper_pearson_upper(0, 0, 0.99) == 1.0
+        with pytest.raises(ValueError):
+            clopper_pearson_lower(5, 10, 1.5)
+
+    def test_lower_bound_is_conservative(self):
+        # The defining property: at p = LCB, seeing >= k successes has
+        # probability exactly alpha — so the tail at the bound is alpha.
+        k, n, confidence = 95, 100, 0.95
+        lcb = clopper_pearson_lower(k, n, confidence)
+        assert math.isclose(
+            binom_tail_ge(n, k, lcb), 1 - confidence, rel_tol=1e-6
+        )
+        assert lcb < k / n
+
+    def test_upper_mirrors_lower(self):
+        upper = clopper_pearson_upper(5, 100, 0.95)
+        assert math.isclose(
+            upper, 1.0 - clopper_pearson_lower(95, 100, 0.95), abs_tol=1e-12
+        )
+
+    def test_tail_against_a_direct_sum(self):
+        n, p = 12, 0.3
+        for k in range(0, n + 1):
+            direct = sum(
+                math.comb(n, i) * p**i * (1 - p) ** (n - i)
+                for i in range(k, n + 1)
+            )
+            assert math.isclose(
+                binom_tail_ge(n, k, p), direct, rel_tol=1e-12
+            ), k
+
+    def test_tail_edges(self):
+        assert binom_tail_ge(10, 0, 0.5) == 1.0
+        assert binom_tail_ge(10, 5, 0.0) == 0.0
+        assert binom_tail_ge(10, 5, 1.0) == 1.0
+
+
+class TestTrials:
+    def test_trial_is_seed_deterministic(self):
+        seed = family_seed("stat-v1/RS/benign/16", 0)
+        first = run_stat_trial("RS", "benign", 16, seed)
+        second = run_stat_trial("RS", "benign", 16, seed)
+        assert first == second
+        assert first["safe"]
+        assert first["within_bound"]
+
+    def test_different_trial_indices_draw_different_seeds(self):
+        seeds = {
+            family_seed("stat-v1/RS/benign/16", i) for i in range(50)
+        }
+        assert len(seeds) == 50
+
+    def test_the_randomized_population_is_the_ctx_rng_protocols(self):
+        assert randomized_protocol_names() == ["RS", "RT"]
+
+
+class TestLeaderDistribution:
+    """Different run seeds must spread the crown: a chi-squared check
+    that leader positions are roughly uniform across seeds.  The fixed
+    family-derived seed list makes this a deterministic regression pin —
+    a stream-derivation bug that freezes or skews the coins fails it —
+    not a flaky statistical test."""
+
+    TRIALS = 240
+    N = 16
+
+    def _leader_counts(self, name: str) -> list[int]:
+        from repro.core.protocol import protocol_class
+        from repro.sim.network import run_election
+        from repro.topology.complete import complete_without_sense
+
+        cls = protocol_class(name)
+        counts = [0] * self.N
+        for i in range(self.TRIALS):
+            seed = family_seed(f"chi2-v1/{name}", i)
+            result = run_election(
+                cls(), complete_without_sense(self.N, seed=seed), seed=seed
+            )
+            counts[result.leader_position] += 1
+        return counts
+
+    @pytest.mark.parametrize("name", ["RS", "RT"])
+    def test_leader_positions_are_roughly_uniform(self, name):
+        counts = self._leader_counts(name)
+        expected = self.TRIALS / self.N
+        stat = sum((c - expected) ** 2 / expected for c in counts)
+        # Wilson-Hilferty chi-squared critical value, df = N - 1, at the
+        # 0.001 level: uniform draws land under it with room to spare,
+        # while a stuck stream (one position always wins) scores ~3600.
+        df = self.N - 1
+        z = 3.0902  # Phi^-1(0.999)
+        crit = df * (1 - 2 / (9 * df) + z * math.sqrt(2 / (9 * df))) ** 3
+        assert stat < crit, (
+            f"{name} chi2={stat:.1f} >= {crit:.1f}; counts={counts}"
+        )
+        assert all(counts), (
+            f"{name}: some position never wins across "
+            f"{self.TRIALS} seeds: {counts}"
+        )
+
+
+@pytest.mark.stat_smoke
+class TestCampaign:
+    def test_digest_is_stable_across_pool_modes_and_reruns(self):
+        # The stat_smoke CI contract: same family + trials + strata ->
+        # byte-identical report, serial or forked, first run or rerun.
+        digest = assert_digest_stable(
+            lambda parallel: verify_stat(
+                ns=(16,), trials=30, target=0.8, parallel=parallel
+            ).digest(),
+            label="verify --stat digest",
+        )
+        assert digest == verify_stat(
+            ns=(16,), trials=30, target=0.8, parallel=False
+        ).digest()
+
+    def test_small_campaign_passes_and_reports_both_properties(self):
+        report = verify_stat(ns=(16,), trials=30, target=0.8, parallel=False)
+        assert report.passed
+        assert [s.key for s in report.strata] == [
+            "RS/benign@16", "RT/benign@16"
+        ]
+        for stratum in report.strata:
+            assert stratum.safety_successes == 30
+            assert stratum.bound_successes == 30
+            assert stratum.messages_max > 0
+        rendered = report.render()
+        assert "Clopper-Pearson" in rendered
+        assert report.digest() in rendered
+
+    def test_unreachable_target_fails_the_report(self):
+        # 30 all-success trials certify at most an ~0.858 LCB at 0.99
+        # confidence, so a 0.99 target must fail — and must say why.
+        report = verify_stat(
+            ns=(16,), trials=30, target=0.99, parallel=False
+        )
+        assert not report.passed
+        with pytest.raises(AssertionError, match="failed checks"):
+            report.raise_if_failed()
+
+    def test_payload_round_trips_through_json(self):
+        import json
+
+        report = verify_stat(
+            protocols=["RS"], ns=(16,), trials=10, target=0.5,
+            parallel=False,
+        )
+        assert json.loads(json.dumps(report.payload())) == report.payload()
+
+    def test_rejects_nonpositive_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            verify_stat(ns=(16,), trials=0)
+
+
+class TestCLI:
+    def test_verify_stat_cli_runs_and_prints_the_report(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["verify", "--stat", "--trials", "10", "--target", "0.5",
+             "--stat-ns", "16", "--stat-protocols", "RT"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Statistical verification report" in out
+        assert "RT/benign@16" in out
+
+    def test_verify_stat_cli_propagates_failure(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["verify", "--stat", "--trials", "10", "--target", "0.999",
+             "--stat-ns", "16", "--stat-protocols", "RT"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -24,6 +24,7 @@ from repro.topology.complete import (
     complete_without_sense,
 )
 from repro.verification.world import LockStepWorld
+from tests.verification.conftest import deterministic_protocols
 
 _POWER_OF_TWO_ONLY = {"B", "C"}
 
@@ -47,7 +48,7 @@ def _random_walk(world: LockStepWorld, rng: random.Random, steps: int) -> None:
             return
 
 
-@pytest.mark.parametrize("name", sorted(registered_protocols()), ids=str)
+@pytest.mark.parametrize("name", deterministic_protocols(), ids=str)
 def test_divergent_siblings_stay_isolated(name):
     protocol, topology = _instance(name)
     rng = random.Random(f"cow:{name}")
